@@ -1,0 +1,250 @@
+//! Quantitative cluster-quality scores for embeddings.
+//!
+//! The paper's Fig. 11 shows *visually* that retraining turns a diffuse
+//! hypervector cloud into per-class clusters. To make that claim testable
+//! we score embeddings numerically: a Fisher-style separation ratio and
+//! k-nearest-neighbour label agreement.
+
+use nshd_tensor::Tensor;
+
+/// Fisher separation ratio: between-class variance over within-class
+/// variance of an `N×d` embedding. Higher = better-separated classes.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or the embedding is empty.
+pub fn fisher_ratio(embedding: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(embedding.shape().rank(), 2, "expected N×d embedding");
+    let (n, d) = (embedding.dims()[0], embedding.dims()[1]);
+    assert_eq!(n, labels.len(), "embedding/label count mismatch");
+    assert!(n > 0, "empty embedding");
+    let k = labels.iter().max().map(|m| m + 1).unwrap_or(0);
+    let x = embedding.as_slice();
+
+    let mut global = vec![0.0f64; d];
+    for row in x.chunks(d) {
+        for (g, &v) in global.iter_mut().zip(row) {
+            *g += v as f64;
+        }
+    }
+    for g in &mut global {
+        *g /= n as f64;
+    }
+
+    let mut centroids = vec![vec![0.0f64; d]; k];
+    let mut counts = vec![0usize; k];
+    for (row, &label) in x.chunks(d).zip(labels) {
+        counts[label] += 1;
+        for (c, &v) in centroids[label].iter_mut().zip(row) {
+            *c += v as f64;
+        }
+    }
+    for (c, &count) in centroids.iter_mut().zip(&counts) {
+        if count > 0 {
+            for v in c.iter_mut() {
+                *v /= count as f64;
+            }
+        }
+    }
+
+    let mut between = 0.0f64;
+    for (c, &count) in centroids.iter().zip(&counts) {
+        if count == 0 {
+            continue;
+        }
+        let dist2: f64 = c.iter().zip(&global).map(|(a, b)| (a - b).powi(2)).sum();
+        between += count as f64 * dist2;
+    }
+    let mut within = 0.0f64;
+    for (row, &label) in x.chunks(d).zip(labels) {
+        within += row
+            .iter()
+            .zip(&centroids[label])
+            .map(|(&v, &c)| (v as f64 - c).powi(2))
+            .sum::<f64>();
+    }
+    if within < 1e-12 {
+        return f32::INFINITY;
+    }
+    (between / within) as f32
+}
+
+/// Leave-one-out k-NN label agreement in the embedding: the fraction of
+/// points whose majority label among the `k` nearest neighbours matches
+/// their own.
+///
+/// # Panics
+///
+/// Panics if shapes disagree, `k == 0`, or there are fewer than `k + 1`
+/// points.
+pub fn knn_agreement(embedding: &Tensor, labels: &[usize], k: usize) -> f32 {
+    assert_eq!(embedding.shape().rank(), 2);
+    let (n, d) = (embedding.dims()[0], embedding.dims()[1]);
+    assert_eq!(n, labels.len(), "embedding/label count mismatch");
+    assert!(k > 0 && n > k, "need more than k points");
+    let x = embedding.as_slice();
+    let num_classes = labels.iter().max().map(|m| m + 1).unwrap_or(1);
+    let mut hits = 0usize;
+    for i in 0..n {
+        let mut dists: Vec<(f32, usize)> = (0..n)
+            .filter(|&j| j != i)
+            .map(|j| {
+                let mut s = 0.0;
+                for t in 0..d {
+                    let diff = x[i * d + t] - x[j * d + t];
+                    s += diff * diff;
+                }
+                (s, labels[j])
+            })
+            .collect();
+        dists.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite distances"));
+        let mut votes = vec![0usize; num_classes];
+        for &(_, l) in dists.iter().take(k) {
+            votes[l] += 1;
+        }
+        let majority = votes
+            .iter()
+            .enumerate()
+            .max_by_key(|(_, &v)| v)
+            .map(|(c, _)| c)
+            .expect("at least one class");
+        if majority == labels[i] {
+            hits += 1;
+        }
+    }
+    hits as f32 / n as f32
+}
+
+/// Mean silhouette coefficient of an `N×d` embedding under the given
+/// labels: `(b − a) / max(a, b)` per point, where `a` is the mean
+/// intra-class distance and `b` the mean distance to the nearest other
+/// class. Ranges over `[-1, 1]`; higher = tighter, better-separated
+/// clusters.
+///
+/// Points whose class has a single member contribute 0 (the sklearn
+/// convention).
+///
+/// # Panics
+///
+/// Panics if shapes disagree or fewer than two classes are present.
+pub fn silhouette(embedding: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(embedding.shape().rank(), 2, "expected N×d embedding");
+    let (n, d) = (embedding.dims()[0], embedding.dims()[1]);
+    assert_eq!(n, labels.len(), "embedding/label count mismatch");
+    let k = labels.iter().max().map(|m| m + 1).unwrap_or(0);
+    let distinct = {
+        let mut seen = vec![false; k];
+        for &l in labels {
+            seen[l] = true;
+        }
+        seen.iter().filter(|&&v| v).count()
+    };
+    assert!(distinct >= 2, "silhouette needs at least two classes");
+    let x = embedding.as_slice();
+    let dist = |i: usize, j: usize| -> f32 {
+        let mut s = 0.0;
+        for t in 0..d {
+            let diff = x[i * d + t] - x[j * d + t];
+            s += diff * diff;
+        }
+        s.sqrt()
+    };
+    let mut total = 0.0f64;
+    for i in 0..n {
+        // Mean distance to every class.
+        let mut sums = vec![0.0f64; k];
+        let mut counts = vec![0usize; k];
+        for j in 0..n {
+            if i == j {
+                continue;
+            }
+            sums[labels[j]] += dist(i, j) as f64;
+            counts[labels[j]] += 1;
+        }
+        let own = labels[i];
+        if counts[own] == 0 {
+            continue; // singleton class: contributes 0
+        }
+        let a = sums[own] / counts[own] as f64;
+        let b = (0..k)
+            .filter(|&c| c != own && counts[c] > 0)
+            .map(|c| sums[c] / counts[c] as f64)
+            .fold(f64::INFINITY, f64::min);
+        let denom = a.max(b);
+        if denom > 0.0 {
+            total += (b - a) / denom;
+        }
+    }
+    (total / n as f64) as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn blobs(sep: f32) -> (Tensor, Vec<usize>) {
+        // Two 2-D blobs with centres ±sep on x.
+        let n_per = 15;
+        let mut labels = Vec::new();
+        let emb = Tensor::from_fn([2 * n_per, 2], |idx| {
+            let i = idx / 2;
+            let j = idx % 2;
+            let cls = i / n_per;
+            let jitter = (((i * 31 + j * 17) % 13) as f32 - 6.0) / 12.0;
+            if j == 0 {
+                (if cls == 0 { -sep } else { sep }) + jitter
+            } else {
+                jitter
+            }
+        });
+        for i in 0..2 * n_per {
+            labels.push(i / n_per);
+        }
+        (emb, labels)
+    }
+
+    #[test]
+    fn fisher_ratio_grows_with_separation() {
+        let (tight, labels) = blobs(5.0);
+        let (loose, _) = blobs(0.2);
+        assert!(fisher_ratio(&tight, &labels) > 10.0 * fisher_ratio(&loose, &labels));
+    }
+
+    #[test]
+    fn knn_agreement_is_high_for_separated_blobs() {
+        let (emb, labels) = blobs(5.0);
+        assert!(knn_agreement(&emb, &labels, 3) > 0.95);
+        let (mixed, labels2) = blobs(0.01);
+        assert!(knn_agreement(&mixed, &labels2, 3) < 0.95);
+    }
+
+    #[test]
+    fn identical_points_per_class_give_infinite_fisher() {
+        let emb = Tensor::from_vec(vec![0.0, 0.0, 0.0, 0.0, 5.0, 5.0, 5.0, 5.0], [4, 2]).unwrap();
+        let labels = vec![0, 0, 1, 1];
+        assert!(fisher_ratio(&emb, &labels).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "mismatch")]
+    fn label_count_mismatch_panics() {
+        fisher_ratio(&Tensor::zeros([3, 2]), &[0, 1]);
+    }
+
+    #[test]
+    fn silhouette_tracks_separation() {
+        let (tight, labels) = blobs(5.0);
+        let (loose, _) = blobs(0.1);
+        let s_tight = silhouette(&tight, &labels);
+        let s_loose = silhouette(&loose, &labels);
+        assert!(s_tight > 0.7, "tight blobs silhouette {s_tight}");
+        assert!(s_tight > s_loose + 0.3, "{s_tight} vs {s_loose}");
+        assert!((-1.0..=1.0).contains(&s_loose));
+    }
+
+    #[test]
+    #[should_panic(expected = "two classes")]
+    fn silhouette_single_class_panics() {
+        silhouette(&Tensor::zeros([4, 2]), &[0, 0, 0, 0]);
+    }
+}

@@ -1,0 +1,31 @@
+//! # nshd-analyze
+//!
+//! Analysis tooling for the NSHD workspace: an exact t-SNE implementation
+//! (the paper's Fig. 11 explainability study), power-iteration PCA used
+//! for embedding initialisation, classification metrics, and quantitative
+//! cluster-quality scores that turn Fig. 11's visual claim into a
+//! testable number.
+//!
+//! # Examples
+//!
+//! ```
+//! use nshd_analyze::{tsne, TsneConfig};
+//! use nshd_tensor::Tensor;
+//!
+//! let data = Tensor::from_fn([30, 8], |i| (i as f32 * 0.37).sin());
+//! let cfg = TsneConfig { iterations: 50, perplexity: 8.0, ..TsneConfig::default() };
+//! let embedding = tsne(&data, &cfg);
+//! assert_eq!(embedding.dims(), &[30, 2]);
+//! ```
+
+#![warn(missing_docs)]
+
+mod embedding;
+mod metrics;
+mod pca;
+mod tsne;
+
+pub use embedding::{fisher_ratio, knn_agreement, silhouette};
+pub use metrics::{top_k_accuracy, ConfusionMatrix};
+pub use pca::pca_project;
+pub use tsne::{tsne, TsneConfig};

@@ -1,0 +1,145 @@
+//! Classification metrics: confusion matrix, accuracy, top-k.
+
+/// A `k×k` confusion matrix: rows = true class, columns = prediction.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfusionMatrix {
+    k: usize,
+    counts: Vec<u64>,
+}
+
+impl ConfusionMatrix {
+    /// Builds a confusion matrix from parallel prediction/label slices.
+    ///
+    /// # Panics
+    ///
+    /// Panics if lengths differ, `num_classes == 0`, or an index is out of
+    /// range.
+    pub fn new(predictions: &[usize], labels: &[usize], num_classes: usize) -> Self {
+        assert_eq!(predictions.len(), labels.len(), "prediction/label length mismatch");
+        assert!(num_classes > 0);
+        let mut counts = vec![0u64; num_classes * num_classes];
+        for (&p, &l) in predictions.iter().zip(labels) {
+            assert!(p < num_classes && l < num_classes, "class index out of range");
+            counts[l * num_classes + p] += 1;
+        }
+        ConfusionMatrix { k: num_classes, counts }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.k
+    }
+
+    /// Count of samples with true class `label` predicted as `pred`.
+    pub fn count(&self, label: usize, pred: usize) -> u64 {
+        self.counts[label * self.k + pred]
+    }
+
+    /// Overall accuracy.
+    pub fn accuracy(&self) -> f32 {
+        let total: u64 = self.counts.iter().sum();
+        if total == 0 {
+            return 0.0;
+        }
+        let diag: u64 = (0..self.k).map(|i| self.count(i, i)).sum();
+        diag as f32 / total as f32
+    }
+
+    /// Per-class recall (diagonal over row sum); `None` for absent
+    /// classes.
+    pub fn recall(&self, label: usize) -> Option<f32> {
+        let row: u64 = (0..self.k).map(|p| self.count(label, p)).sum();
+        if row == 0 {
+            None
+        } else {
+            Some(self.count(label, label) as f32 / row as f32)
+        }
+    }
+}
+
+impl std::fmt::Display for ConfusionMatrix {
+    /// Renders the matrix as an aligned text table (rows = true class,
+    /// columns = prediction), with per-class recall in the margin.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "true\\pred")?;
+        for p in 0..self.k {
+            write!(f, "{p:>6}")?;
+        }
+        writeln!(f, "  recall")?;
+        for l in 0..self.k {
+            write!(f, "{l:>9}")?;
+            for p in 0..self.k {
+                write!(f, "{:>6}", self.count(l, p))?;
+            }
+            match self.recall(l) {
+                Some(r) => writeln!(f, "  {r:>6.3}")?,
+                None => writeln!(f, "       —")?,
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Top-k accuracy from per-sample score vectors.
+///
+/// # Panics
+///
+/// Panics if lengths differ or a score row is shorter than `k`.
+pub fn top_k_accuracy(scores: &[Vec<f32>], labels: &[usize], k: usize) -> f32 {
+    assert_eq!(scores.len(), labels.len(), "scores/label length mismatch");
+    if scores.is_empty() {
+        return 0.0;
+    }
+    let mut hits = 0usize;
+    for (row, &label) in scores.iter().zip(labels) {
+        assert!(row.len() >= k, "need at least {k} scores per sample");
+        let mut idx: Vec<usize> = (0..row.len()).collect();
+        idx.sort_by(|&a, &b| row[b].partial_cmp(&row[a]).expect("finite scores"));
+        if idx[..k].contains(&label) {
+            hits += 1;
+        }
+    }
+    hits as f32 / scores.len() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn confusion_counts_and_accuracy() {
+        let preds = [0, 1, 1, 2, 0];
+        let labels = [0, 1, 2, 2, 1];
+        let cm = ConfusionMatrix::new(&preds, &labels, 3);
+        assert_eq!(cm.count(0, 0), 1);
+        assert_eq!(cm.count(2, 1), 1);
+        assert_eq!(cm.count(2, 2), 1);
+        assert!((cm.accuracy() - 3.0 / 5.0).abs() < 1e-6);
+        assert_eq!(cm.recall(2), Some(0.5));
+        assert_eq!(cm.num_classes(), 3);
+    }
+
+    #[test]
+    fn recall_none_for_absent_class() {
+        let cm = ConfusionMatrix::new(&[0], &[0], 3);
+        assert_eq!(cm.recall(1), None);
+    }
+
+    #[test]
+    fn display_renders_counts_and_recall() {
+        let cm = ConfusionMatrix::new(&[0, 1, 1], &[0, 1, 0], 2);
+        let text = cm.to_string();
+        assert!(text.contains("recall"), "{text}");
+        assert!(text.contains("0.500"), "{text}"); // class 0 recall
+        assert!(text.lines().count() >= 3);
+    }
+
+    #[test]
+    fn top_k_behaviour() {
+        let scores = vec![vec![0.1, 0.9, 0.0], vec![0.5, 0.3, 0.2]];
+        let labels = [0usize, 0];
+        assert!((top_k_accuracy(&scores, &labels, 1) - 0.5).abs() < 1e-6);
+        assert!((top_k_accuracy(&scores, &labels, 2) - 1.0).abs() < 1e-6);
+        assert_eq!(top_k_accuracy(&[], &[], 1), 0.0);
+    }
+}

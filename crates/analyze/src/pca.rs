@@ -1,0 +1,150 @@
+//! Principal component analysis via power iteration, used to initialise
+//! t-SNE embeddings deterministically.
+
+use nshd_tensor::{Rng, Tensor};
+
+/// Projects row-vector data (`N×F`) onto its top `k` principal
+/// components, returning an `N×k` tensor.
+///
+/// Components are extracted by power iteration with deflation — ample for
+/// the `k = 2` initialisation t-SNE needs.
+///
+/// # Panics
+///
+/// Panics if `data` is not rank-2, is empty, or `k` exceeds the feature
+/// count.
+pub fn pca_project(data: &Tensor, k: usize, seed: u64) -> Tensor {
+    assert_eq!(data.shape().rank(), 2, "pca expects N×F data");
+    let (n, f) = (data.dims()[0], data.dims()[1]);
+    assert!(n > 0 && f > 0, "pca requires non-empty data");
+    assert!(k <= f, "cannot extract {k} components from {f} features");
+
+    // Centre the data.
+    let mut centred = data.clone();
+    let mut means = vec![0.0f32; f];
+    for row in data.as_slice().chunks(f) {
+        for (m, &v) in means.iter_mut().zip(row) {
+            *m += v;
+        }
+    }
+    for m in &mut means {
+        *m /= n as f32;
+    }
+    for row in centred.as_mut_slice().chunks_mut(f) {
+        for (v, &m) in row.iter_mut().zip(&means) {
+            *v -= m;
+        }
+    }
+
+    let mut rng = Rng::new(seed);
+    let mut components: Vec<Vec<f32>> = Vec::with_capacity(k);
+    let x = centred.as_slice();
+    for _ in 0..k {
+        // Power iteration on XᵀX without forming it: v ← Xᵀ(Xv).
+        let mut v: Vec<f32> = (0..f).map(|_| rng.normal()).collect();
+        normalize(&mut v);
+        for _ in 0..50 {
+            // Deflate previously found components.
+            for comp in &components {
+                let d = dot(&v, comp);
+                for (vi, &ci) in v.iter_mut().zip(comp) {
+                    *vi -= d * ci;
+                }
+            }
+            let mut xv = vec![0.0f32; n];
+            for (i, row) in x.chunks(f).enumerate() {
+                xv[i] = dot(row, &v);
+            }
+            let mut xtxv = vec![0.0f32; f];
+            for (i, row) in x.chunks(f).enumerate() {
+                let s = xv[i];
+                if s == 0.0 {
+                    continue;
+                }
+                for (a, &r) in xtxv.iter_mut().zip(row) {
+                    *a += s * r;
+                }
+            }
+            let norm = normalize(&mut xtxv);
+            if norm < 1e-12 {
+                break; // degenerate direction; keep the previous v
+            }
+            v = xtxv;
+        }
+        components.push(v);
+    }
+
+    let mut out = Tensor::zeros([n, k]);
+    for (i, row) in x.chunks(f).enumerate() {
+        for (j, comp) in components.iter().enumerate() {
+            *out.at_mut(&[i, j]) = dot(row, comp);
+        }
+    }
+    out
+}
+
+fn dot(a: &[f32], b: &[f32]) -> f32 {
+    a.iter().zip(b).map(|(x, y)| x * y).sum()
+}
+
+fn normalize(v: &mut [f32]) -> f32 {
+    let norm = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+    if norm > 0.0 {
+        for x in v.iter_mut() {
+            *x /= norm;
+        }
+    }
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn recovers_dominant_direction() {
+        // Points spread along (1, 1, 0) with small noise: PC1 scores must
+        // carry almost all the variance.
+        let n = 60;
+        let mut rng = Rng::new(1);
+        let data = Tensor::from_fn([n, 3], |idx| {
+            let i = idx / 3;
+            let j = idx % 3;
+            let t = (i as f32 / n as f32 - 0.5) * 10.0;
+            let noise = rng.normal() * 0.05;
+            match j {
+                0 | 1 => t + noise,
+                _ => noise,
+            }
+        });
+        let proj = pca_project(&data, 2, 7);
+        let var = |j: usize| -> f32 {
+            let vals: Vec<f32> = (0..n).map(|i| proj.at(&[i, j])).collect();
+            let mean: f32 = vals.iter().sum::<f32>() / n as f32;
+            vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / n as f32
+        };
+        assert!(var(0) > 20.0 * var(1), "PC1 var {} vs PC2 var {}", var(0), var(1));
+    }
+
+    #[test]
+    fn projection_is_centred() {
+        let data = Tensor::from_fn([20, 4], |i| ((i * 13 % 17) as f32) + 100.0);
+        let proj = pca_project(&data, 2, 3);
+        for j in 0..2 {
+            let mean: f32 = (0..20).map(|i| proj.at(&[i, j])).sum::<f32>() / 20.0;
+            assert!(mean.abs() < 1e-2, "component {j} mean {mean}");
+        }
+    }
+
+    #[test]
+    fn output_shape() {
+        let data = Tensor::from_fn([5, 8], |i| i as f32);
+        assert_eq!(pca_project(&data, 2, 0).dims(), &[5, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "components")]
+    fn too_many_components_panics() {
+        pca_project(&Tensor::zeros([3, 2]), 3, 0);
+    }
+}

@@ -1,0 +1,271 @@
+//! Exact (O(N²)) t-SNE, used to reproduce the paper's Fig. 11
+//! explainability analysis of sample hypervectors.
+
+use crate::pca::pca_project;
+use nshd_tensor::Tensor;
+
+/// t-SNE hyperparameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TsneConfig {
+    /// Target perplexity of the conditional distributions.
+    pub perplexity: f32,
+    /// Total gradient-descent iterations.
+    pub iterations: usize,
+    /// Learning rate.
+    pub learning_rate: f32,
+    /// Early-exaggeration factor (applied for the first quarter of the
+    /// iterations).
+    pub exaggeration: f32,
+    /// Seed for the PCA initialisation.
+    pub seed: u64,
+}
+
+impl Default for TsneConfig {
+    fn default() -> Self {
+        TsneConfig {
+            perplexity: 30.0,
+            iterations: 400,
+            learning_rate: 120.0,
+            exaggeration: 12.0,
+            seed: 42,
+        }
+    }
+}
+
+/// Embeds `N×F` row-vector data into 2-D with exact t-SNE.
+///
+/// Returns an `N×2` tensor. Suitable up to a few thousand points — the
+/// scale of the paper's Fig. 11.
+///
+/// # Panics
+///
+/// Panics if `data` is not rank-2 or has fewer than 3 rows.
+pub fn tsne(data: &Tensor, config: &TsneConfig) -> Tensor {
+    assert_eq!(data.shape().rank(), 2, "tsne expects N×F data");
+    let n = data.dims()[0];
+    assert!(n >= 3, "tsne needs at least 3 points");
+    let p = joint_probabilities(data, config.perplexity);
+
+    // PCA initialisation, scaled down (standard practice).
+    let mut y = pca_project(data, 2.min(data.dims()[1]), config.seed);
+    if y.dims()[1] < 2 {
+        // Degenerate 1-feature input: pad a zero column.
+        let col = y.clone();
+        y = Tensor::from_fn([n, 2], |idx| if idx % 2 == 0 { col.as_slice()[idx / 2] } else { 0.0 });
+    }
+    let scale = y.as_slice().iter().map(|v| v.abs()).fold(0.0f32, f32::max).max(1e-6);
+    y = y.scale(1e-2 / scale);
+
+    let mut velocity = vec![0.0f32; n * 2];
+    let mut gains = vec![1.0f32; n * 2];
+    let exaggeration_until = config.iterations / 4;
+
+    for iter in 0..config.iterations {
+        let momentum = if iter < exaggeration_until { 0.5 } else { 0.8 };
+        let p_mult = if iter < exaggeration_until { config.exaggeration } else { 1.0 };
+
+        // Student-t affinities in the embedding.
+        let yv = y.as_slice();
+        let mut q_num = vec![0.0f32; n * n];
+        let mut q_sum = 0.0f32;
+        for i in 0..n {
+            for j in (i + 1)..n {
+                let dy0 = yv[i * 2] - yv[j * 2];
+                let dy1 = yv[i * 2 + 1] - yv[j * 2 + 1];
+                let num = 1.0 / (1.0 + dy0 * dy0 + dy1 * dy1);
+                q_num[i * n + j] = num;
+                q_num[j * n + i] = num;
+                q_sum += 2.0 * num;
+            }
+        }
+        let q_sum = q_sum.max(1e-12);
+
+        // Gradient: 4 Σ_j (p_ij − q_ij) q_num_ij (y_i − y_j).
+        let mut grad = vec![0.0f32; n * 2];
+        for i in 0..n {
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                let pij = p[i * n + j] * p_mult;
+                let qij = q_num[i * n + j] / q_sum;
+                let mult = 4.0 * (pij - qij) * q_num[i * n + j];
+                grad[i * 2] += mult * (yv[i * 2] - yv[j * 2]);
+                grad[i * 2 + 1] += mult * (yv[i * 2 + 1] - yv[j * 2 + 1]);
+            }
+        }
+
+        // Gain-adaptive momentum update (van der Maaten's schedule).
+        let yv = y.as_mut_slice();
+        for k in 0..n * 2 {
+            let same_sign = grad[k].signum() == velocity[k].signum();
+            gains[k] = if same_sign { (gains[k] * 0.8).max(0.01) } else { gains[k] + 0.2 };
+            velocity[k] = momentum * velocity[k] - config.learning_rate * gains[k] * grad[k];
+            yv[k] += velocity[k];
+        }
+
+        // Re-centre.
+        let (mut m0, mut m1) = (0.0f32, 0.0f32);
+        for i in 0..n {
+            m0 += yv[i * 2];
+            m1 += yv[i * 2 + 1];
+        }
+        m0 /= n as f32;
+        m1 /= n as f32;
+        for i in 0..n {
+            yv[i * 2] -= m0;
+            yv[i * 2 + 1] -= m1;
+        }
+    }
+    y
+}
+
+/// Symmetrised joint probabilities `p_ij` from a perplexity-calibrated
+/// Gaussian kernel.
+fn joint_probabilities(data: &Tensor, perplexity: f32) -> Vec<f32> {
+    let (n, f) = (data.dims()[0], data.dims()[1]);
+    let x = data.as_slice();
+    // Pairwise squared distances.
+    let mut d2 = vec![0.0f32; n * n];
+    for i in 0..n {
+        for j in (i + 1)..n {
+            let mut s = 0.0;
+            for k in 0..f {
+                let d = x[i * f + k] - x[j * f + k];
+                s += d * d;
+            }
+            d2[i * n + j] = s;
+            d2[j * n + i] = s;
+        }
+    }
+    let target_entropy = perplexity.max(2.0).ln();
+    let mut p = vec![0.0f32; n * n];
+    for i in 0..n {
+        // Binary search beta = 1/(2σ²) for the target entropy.
+        let row = &d2[i * n..(i + 1) * n];
+        let (mut beta, mut beta_lo, mut beta_hi) = (1.0f32, 0.0f32, f32::INFINITY);
+        let mut probs = vec![0.0f32; n];
+        for _ in 0..60 {
+            let mut sum = 0.0f32;
+            for (j, pj) in probs.iter_mut().enumerate() {
+                *pj = if j == i { 0.0 } else { (-beta * row[j]).exp() };
+                sum += *pj;
+            }
+            let sum = sum.max(1e-12);
+            let mut entropy = 0.0f32;
+            for pj in probs.iter_mut() {
+                *pj /= sum;
+                if *pj > 1e-12 {
+                    entropy -= *pj * pj.ln();
+                }
+            }
+            if (entropy - target_entropy).abs() < 1e-4 {
+                break;
+            }
+            if entropy > target_entropy {
+                beta_lo = beta;
+                beta = if beta_hi.is_finite() { (beta + beta_hi) / 2.0 } else { beta * 2.0 };
+            } else {
+                beta_hi = beta;
+                beta = (beta + beta_lo) / 2.0;
+            }
+        }
+        for (j, &pj) in probs.iter().enumerate() {
+            p[i * n + j] = pj;
+        }
+    }
+    // Symmetrise and normalise.
+    let mut joint = vec![0.0f32; n * n];
+    let norm = 2.0 * n as f32;
+    for i in 0..n {
+        for j in 0..n {
+            joint[i * n + j] = ((p[i * n + j] + p[j * n + i]) / norm).max(1e-12);
+        }
+    }
+    joint
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshd_tensor::Rng;
+
+    /// Two well-separated Gaussian blobs in 10-D must stay separated in
+    /// the embedding.
+    #[test]
+    fn separates_two_blobs() {
+        let n_per = 20;
+        let mut rng = Rng::new(1);
+        let data = Tensor::from_fn([2 * n_per, 10], |idx| {
+            let i = idx / 10;
+            let centre = if i < n_per { -5.0 } else { 5.0 };
+            centre + rng.normal() * 0.3
+        });
+        let cfg = TsneConfig { iterations: 250, perplexity: 10.0, ..TsneConfig::default() };
+        let y = tsne(&data, &cfg);
+        // Measure separation along the axis of largest spread.
+        let a: Vec<(f32, f32)> = (0..n_per).map(|i| (y.at(&[i, 0]), y.at(&[i, 1]))).collect();
+        let b: Vec<(f32, f32)> =
+            (n_per..2 * n_per).map(|i| (y.at(&[i, 0]), y.at(&[i, 1]))).collect();
+        let centroid = |pts: &[(f32, f32)]| {
+            let n = pts.len() as f32;
+            (
+                pts.iter().map(|p| p.0).sum::<f32>() / n,
+                pts.iter().map(|p| p.1).sum::<f32>() / n,
+            )
+        };
+        let (ax, ay) = centroid(&a);
+        let (bx, by) = centroid(&b);
+        let between = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
+        let spread = |pts: &[(f32, f32)], c: (f32, f32)| {
+            pts.iter()
+                .map(|p| ((p.0 - c.0).powi(2) + (p.1 - c.1).powi(2)).sqrt())
+                .sum::<f32>()
+                / pts.len() as f32
+        };
+        let within = spread(&a, (ax, ay)) + spread(&b, (bx, by));
+        assert!(
+            between > within,
+            "blobs not separated: between {between}, within {within}"
+        );
+    }
+
+    #[test]
+    fn output_shape_and_centering() {
+        let data = Tensor::from_fn([12, 4], |i| ((i * 31 % 23) as f32) / 23.0);
+        let y = tsne(&data, &TsneConfig { iterations: 50, perplexity: 5.0, ..TsneConfig::default() });
+        assert_eq!(y.dims(), &[12, 2]);
+        for j in 0..2 {
+            let mean: f32 = (0..12).map(|i| y.at(&[i, j])).sum::<f32>() / 12.0;
+            assert!(mean.abs() < 1e-3, "axis {j} mean {mean}");
+        }
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    #[test]
+    fn deterministic_given_config() {
+        let data = Tensor::from_fn([10, 3], |i| (i as f32 * 0.7).sin());
+        let cfg = TsneConfig { iterations: 40, perplexity: 4.0, ..TsneConfig::default() };
+        assert_eq!(tsne(&data, &cfg), tsne(&data, &cfg));
+    }
+
+    #[test]
+    fn joint_probabilities_are_symmetric_and_normalised() {
+        let data = Tensor::from_fn([8, 5], |i| ((i * 7 % 11) as f32) / 11.0);
+        let p = joint_probabilities(&data, 4.0);
+        let n = 8;
+        let sum: f32 = p.iter().sum();
+        assert!((sum - 1.0).abs() < 1e-3, "sum {sum}");
+        for i in 0..n {
+            for j in 0..n {
+                assert!((p[i * n + j] - p[j * n + i]).abs() < 1e-7);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 3")]
+    fn too_few_points_panics() {
+        tsne(&Tensor::zeros([2, 4]), &TsneConfig::default());
+    }
+}

@@ -1,0 +1,62 @@
+//! Criterion benches for end-to-end inference: the full CNN vs NSHD with
+//! a truncated extractor — the wall-clock form of the paper's
+//! execution-time-reduction claim, on our analog models.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nshd_core::{NshdConfig, NshdModel};
+use nshd_data::{normalize_pair, SynthSpec};
+use nshd_nn::{fit, Adam, Architecture, Mode, TrainConfig};
+use nshd_tensor::{Rng, Tensor};
+use std::hint::black_box;
+
+fn bench_inference(c: &mut Criterion) {
+    // One small trained pipeline (training cost paid once, outside the
+    // timing loops).
+    let (mut train, mut test) = SynthSpec::synth10(71).with_sizes(120, 20).generate();
+    normalize_pair(&mut train, &mut test);
+    let mut rng = Rng::new(3);
+    let mut teacher = Architecture::EfficientNetB0.build(10, &mut rng);
+    let mut opt = Adam::new(2e-3, 1e-5);
+    fit(
+        &mut teacher,
+        train.images(),
+        train.labels(),
+        &mut opt,
+        &TrainConfig { epochs: 2, batch_size: 32, seed: 1, ..TrainConfig::default() },
+    );
+    let cut = 6; // the earliest paper cut: largest truncation saving
+    let cfg = NshdConfig::new(cut).with_hv_dim(3_000).with_retrain_epochs(2).with_seed(5);
+    let mut cnn = teacher.clone();
+    let mut nshd = NshdModel::train(teacher, &train, cfg);
+    let (image, _) = test.sample(0);
+    let batched = image.reshape([1, 3, 32, 32]).expect("CHW image");
+
+    let mut group = c.benchmark_group("inference/efficientnetb0");
+    group.bench_function("cnn_full", |b| {
+        b.iter(|| black_box(cnn.forward(black_box(&batched), Mode::Eval)))
+    });
+    group.bench_function("nshd_cut5", |b| {
+        b.iter(|| black_box(nshd.predict(black_box(&image))))
+    });
+    group.finish();
+}
+
+fn bench_cnn_forward_per_arch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cnn_forward");
+    let x = Tensor::zeros([1, 3, 32, 32]);
+    for arch in [Architecture::MobileNetV2, Architecture::EfficientNetB0, Architecture::Vgg16] {
+        let mut rng = Rng::new(4);
+        let mut model = arch.build(10, &mut rng);
+        group.bench_function(arch.display_name(), |b| {
+            b.iter(|| black_box(model.forward(black_box(&x), Mode::Eval)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10);
+    targets = bench_inference, bench_cnn_forward_per_arch
+}
+criterion_main!(benches);

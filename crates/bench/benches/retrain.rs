@@ -1,0 +1,84 @@
+//! Criterion benches for the HD retraining rules: plain MASS vs the
+//! distillation-extended update of Algorithm 1.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use nshd_hdc::{
+    bundle_init, AssociativeMemory, BipolarHv, DistillConfig, DistillTrainer, MassTrainer,
+    OnlineTrainer,
+};
+use nshd_tensor::Rng;
+use std::hint::black_box;
+
+fn random_hv(dim: usize, rng: &mut Rng) -> BipolarHv {
+    BipolarHv::new((0..dim).map(|_| if rng.bipolar() > 0.0 { 1 } else { -1 }).collect())
+}
+
+fn make_samples(n: usize, classes: usize, dim: usize) -> Vec<(BipolarHv, usize, Vec<f32>)> {
+    let mut rng = Rng::new(11);
+    (0..n)
+        .map(|i| {
+            let label = i % classes;
+            let mut logits = vec![0.0f32; classes];
+            logits[label] = 5.0;
+            (random_hv(dim, &mut rng), label, logits)
+        })
+        .collect()
+}
+
+fn bench_retraining(c: &mut Criterion) {
+    let dim = 3_000;
+    let classes = 10;
+    let samples = make_samples(200, classes, dim);
+    let mass_samples: Vec<(BipolarHv, usize)> =
+        samples.iter().map(|(h, l, _)| (h.clone(), *l)).collect();
+    let init = bundle_init(classes, dim, &mass_samples);
+
+    let mut group = c.benchmark_group("retrain_epoch_200x3000");
+    group.bench_function("mass", |b| {
+        let trainer = MassTrainer::new(0.2);
+        b.iter(|| {
+            let mut memory = init.clone();
+            black_box(trainer.epoch(&mut memory, black_box(&mass_samples)))
+        })
+    });
+    group.bench_function("distillation", |b| {
+        let trainer = DistillTrainer::new(DistillConfig::default());
+        b.iter(|| {
+            let mut memory = init.clone();
+            black_box(trainer.epoch(&mut memory, black_box(&samples)))
+        })
+    });
+    group.bench_function("online_adaptive", |b| {
+        let trainer = OnlineTrainer::new(0.2);
+        b.iter(|| {
+            let mut memory = init.clone();
+            black_box(trainer.epoch(&mut memory, black_box(&mass_samples)))
+        })
+    });
+    group.finish();
+}
+
+fn bench_memory_ops(c: &mut Criterion) {
+    let dim = 3_000;
+    let mut rng = Rng::new(13);
+    let hv = random_hv(dim, &mut rng);
+    let mut memory = AssociativeMemory::new(100, dim);
+    for i in 0..100 {
+        memory.bundle(i % 100, &random_hv(dim, &mut rng));
+    }
+    let mut group = c.benchmark_group("memory");
+    group.bench_function("similarities_100x3000", |b| {
+        b.iter(|| black_box(memory.similarities(black_box(&hv))))
+    });
+    group.bench_function("bundle_3000", |b| {
+        b.iter(|| memory.add_scaled(0, black_box(&hv), 0.1))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(15);
+    targets = bench_retraining, bench_memory_ops
+}
+criterion_main!(benches);

@@ -1,0 +1,43 @@
+//! Ablation — DPU core-size design space: FPS, resource footprint, and
+//! energy of NSHD vs the full CNN across the Vitis-AI core family
+//! (B512–B4096), extending the paper's single-configuration Table I.
+
+use nshd_bench::{print_header, print_row};
+use nshd_core::{nshd_workload_from_stats, NshdConfig};
+use nshd_hwmodel::{cnn_workload_from_stats, DpuModel, DpuSize};
+use nshd_nn::specs::{arch_stats, SpecVariant};
+use nshd_nn::Architecture;
+
+fn main() {
+    let arch = Architecture::EfficientNetB0;
+    let cut = arch.paper_cuts()[0];
+    println!("# Ablation — DPU core-size sweep, {} (NSHD @ layer {})\n", arch, cut - 1);
+    let stats = arch_stats(arch, SpecVariant::Reference, 10);
+    let cnn = cnn_workload_from_stats(&stats, arch.display_name());
+    let nshd = nshd_workload_from_stats(&stats, arch.display_name(), &NshdConfig::new(cut), 10);
+
+    let widths = [7usize, 9, 9, 9, 10, 10, 12];
+    print_header(
+        &["core", "DSP", "LUT %", "power W", "CNN FPS", "NSHD FPS", "NSHD mJ/inf"],
+        &widths,
+    );
+    for size in DpuSize::ALL {
+        let dpu = DpuModel::zcu104_with_size(size);
+        print_row(
+            &[
+                size.to_string(),
+                format!("{}", dpu.dsp.used),
+                format!("{:.1}", dpu.lut.utilization_percent()),
+                format!("{:.2}", dpu.power_w),
+                format!("{:.0}", dpu.fps(&cnn)),
+                format!("{:.0}", dpu.fps(&nshd)),
+                format!("{:.2}", dpu.energy_per_inference_mj(&nshd)),
+            ],
+            &widths,
+        );
+    }
+    println!();
+    println!("# Reading: NSHD's FPS advantage persists across core sizes, and small");
+    println!("# cores trade throughput for a fraction of the fabric — the knob an");
+    println!("# integrator turns when the ZCU104 budget is shared with other logic.");
+}

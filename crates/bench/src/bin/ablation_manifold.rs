@@ -1,0 +1,70 @@
+//! Ablation — manifold-learner design choices: output width F̂ (the paper
+//! observes F̂ must be at least the class count, §VII-A), the
+//! straight-through-estimator clip factor, and the manifold's presence.
+//!
+//! Not a paper figure; this regenerates the design-space evidence behind
+//! the paper's hyperparameter choices (F̂ = 100, clipped STE).
+
+use nshd_bench::{print_header, print_row, Bench};
+use nshd_core::{nshd_macs, Classifier, NshdConfig, NshdModel};
+use nshd_hdc::SteConfig;
+use nshd_nn::Architecture;
+
+fn main() {
+    let bench = Bench::synth10(101);
+    let arch = Architecture::EfficientNetB0;
+    let cut = 8;
+    let (teacher, cnn_acc) = bench.train_teacher(arch, 7);
+    println!("# Ablation — manifold learner, {} layer {}, Synth10", arch, cut - 1);
+    println!("CNN (teacher) accuracy: {cnn_acc:.4}\n");
+    let epochs = bench.scale.retrain_epochs();
+
+    println!("## F̂ sweep (paper: F̂ ≥ #classes required; F̂ = 100 default)\n");
+    let widths = [8usize, 10, 14];
+    print_header(&["F̂", "accuracy", "encode MACs"], &widths);
+    for f_hat in [5usize, 10, 25, 50, 100, 200] {
+        let cfg = NshdConfig::new(cut)
+            .with_manifold_features(f_hat)
+            .with_retrain_epochs(epochs)
+            .with_seed(62);
+        let macs = nshd_macs(&teacher, &cfg, 10);
+        let mut model = NshdModel::train(teacher.clone(), &bench.train, cfg);
+        let acc = Classifier::evaluate(&mut model, &bench.test);
+        print_row(
+            &[format!("{f_hat}"), format!("{acc:.4}"), format!("{}", macs.manifold + macs.encode)],
+            &widths,
+        );
+    }
+    println!("\n# Expectation: accuracy collapses below F̂ = #classes (10), saturates above.\n");
+
+    println!("## STE clip-factor sweep (gradient gating through sign)\n");
+    print_header(&["clip", "accuracy", ""], &widths);
+    for clip in [0.5f32, 1.0, 2.0, 4.0, f32::INFINITY] {
+        let mut cfg = NshdConfig::new(cut).with_retrain_epochs(epochs).with_seed(63);
+        cfg.ste = SteConfig { clip_factor: clip };
+        let mut model = NshdModel::train(teacher.clone(), &bench.train, cfg);
+        let acc = Classifier::evaluate(&mut model, &bench.test);
+        print_row(&[format!("{clip}"), format!("{acc:.4}"), String::new()], &widths);
+    }
+
+    println!("\n## Manifold presence (same D, encode width F vs F̂)\n");
+    print_header(&["variant", "accuracy", "encode MACs"], &[12usize, 10, 14]);
+    for (label, use_manifold) in [("manifold", true), ("raw", false)] {
+        let cfg = NshdConfig::new(cut)
+            .with_manifold(use_manifold)
+            .with_retrain_epochs(epochs)
+            .with_seed(64);
+        let macs = nshd_macs(&teacher, &cfg, 10);
+        let encode = if use_manifold {
+            macs.manifold + macs.encode
+        } else {
+            (teacher.feature_len_at(cut) * cfg.hv_dim) as u64
+        };
+        let mut model = NshdModel::train(teacher.clone(), &bench.train, cfg);
+        let acc = Classifier::evaluate(&mut model, &bench.test);
+        print_row(
+            &[label.to_string(), format!("{acc:.4}"), format!("{encode}")],
+            &[12usize, 10, 14],
+        );
+    }
+}

@@ -1,0 +1,53 @@
+//! Fig. 6 — Inference throughput (FPS) of the FPGA (DPU) implementation:
+//! NSHD at the earliest paper cut vs the full CNN, over hypervector
+//! dimensions.
+//!
+//! Paper reference point: NSHD averages +38.14% FPS over the CNN.
+
+use nshd_bench::{print_header, print_row};
+use nshd_core::{nshd_workload_from_stats, NshdConfig};
+use nshd_hwmodel::{cnn_workload_from_stats, DpuModel};
+use nshd_nn::specs::{arch_stats, SpecVariant};
+use nshd_nn::Architecture;
+
+fn main() {
+    let dpu = DpuModel::zcu104();
+    println!("# Fig. 6 — Throughput (FPS) on the ZCU104 DPU model");
+    println!("# NSHD at the earliest paper cut, D ∈ {{1k, 3k, 10k}}\n");
+    let widths = [15usize, 7, 10, 12, 12, 12, 10];
+    print_header(
+        &["model", "layer", "CNN FPS", "NSHD 1K FPS", "NSHD 3K FPS", "NSHD 10K FPS", "Δ3K %"],
+        &widths,
+    );
+    let mut improvements = Vec::new();
+    for arch in Architecture::ALL {
+        let stats = arch_stats(arch, SpecVariant::Reference, 10);
+        let cnn_fps = dpu.fps(&cnn_workload_from_stats(&stats, arch.display_name()));
+        let cut = arch.paper_cuts()[0];
+        let nshd_fps = |d: usize| {
+            let cfg = NshdConfig::new(cut).with_hv_dim(d);
+            dpu.fps(&nshd_workload_from_stats(&stats, arch.display_name(), &cfg, 10))
+        };
+        let f1 = nshd_fps(1_000);
+        let f3 = nshd_fps(3_000);
+        let f10 = nshd_fps(10_000);
+        let delta = (f3 / cnn_fps - 1.0) * 100.0;
+        improvements.push(delta);
+        print_row(
+            &[
+                arch.display_name().to_string(),
+                format!("{}", cut - 1),
+                format!("{cnn_fps:.0}"),
+                format!("{f1:.0}"),
+                format!("{f3:.0}"),
+                format!("{f10:.0}"),
+                format!("{delta:+.2}"),
+            ],
+            &widths,
+        );
+    }
+    let avg: f64 = improvements.iter().sum::<f64>() / improvements.len() as f64;
+    println!();
+    println!("# average FPS improvement at D = 3,000: {avg:+.2}% (paper: +38.14%)");
+    println!("# Shape check vs paper: NSHD above CNN for every model; smaller D → more FPS.");
+}

@@ -1,0 +1,88 @@
+//! Fig. 7 — Accuracy comparison: VanillaHD vs BaselineHD vs NSHD vs the
+//! original CNN, across architectures and cut layers, on both datasets.
+//!
+//! Paper reference points: VanillaHD collapses on image data (39.88% /
+//! 19.7% on CIFAR-10/100); BaselineHD recovers much of the gap; NSHD
+//! reaches (and with deep enough cuts exceeds) the CNN.
+//!
+//! Run with `NSHD_SCALE=full` for paper-shaped budgets.
+
+use nshd_bench::{print_header, print_row, Bench};
+use nshd_core::{BaselineHd, Classifier, NshdConfig, NshdModel, VanillaHd};
+use nshd_nn::Architecture;
+
+fn main() {
+    for (dataset_name, bench) in [("Synth10", Bench::synth10(101)), ("Synth100", Bench::synth100(102))] {
+        println!("\n## Fig. 7 — accuracy on {dataset_name} (train {}, test {})", bench.train.len(), bench.test.len());
+        // VanillaHD: no feature extractor at all — one row per dataset.
+        let mut vanilla = VanillaHd::train(&bench.train, 3_000, bench.scale.retrain_epochs(), 1);
+        let vanilla_acc = vanilla.evaluate(&bench.test);
+        println!("VanillaHD (nonlinear encoding on raw pixels): {:.4}\n", vanilla_acc);
+
+        let widths = [15usize, 7, 9, 12, 9, 9];
+        print_header(&["model", "layer", "CNN", "BaselineHD", "NSHD", "Δ(N−C)"], &widths);
+        for arch in [
+            Architecture::MobileNetV2,
+            Architecture::EfficientNetB0,
+            Architecture::Vgg16,
+        ] {
+            let (teacher, cnn_acc) = bench.train_teacher(arch, 7);
+            for &cut in arch.paper_cuts() {
+                let mut baseline = BaselineHd::train(
+                    teacher.clone(),
+                    &bench.train,
+                    cut,
+                    3_000,
+                    bench.scale.retrain_epochs(),
+                    11,
+                );
+                let base_acc = baseline.evaluate(&bench.test);
+                let cfg = NshdConfig::new(cut)
+                    .with_retrain_epochs(bench.scale.retrain_epochs())
+                    .with_seed(13);
+                let mut nshd = NshdModel::train(teacher.clone(), &bench.train, cfg);
+                let nshd_acc = Classifier::evaluate(&mut nshd, &bench.test);
+                print_row(
+                    &[
+                        arch.display_name().to_string(),
+                        format!("{}", cut - 1),
+                        format!("{cnn_acc:.4}"),
+                        format!("{base_acc:.4}"),
+                        format!("{nshd_acc:.4}"),
+                        format!("{:+.4}", nshd_acc - cnn_acc),
+                    ],
+                    &widths,
+                );
+            }
+        }
+        println!();
+        println!("# Shape check vs paper: VanillaHD ≪ BaselineHD ≤ NSHD ≈ CNN, with NSHD");
+        println!("# closing on the CNN as the cut deepens.");
+    }
+    println!("\n# (EfficientNet-B7 is omitted at quick scale; run NSHD_SCALE=full to include it.)");
+    if nshd_bench::Scale::from_env() == nshd_bench::Scale::Full {
+        let bench = Bench::synth10(103);
+        let arch = Architecture::EfficientNetB7;
+        let (teacher, cnn_acc) = bench.train_teacher(arch, 7);
+        let widths = [15usize, 7, 9, 12, 9, 9];
+        print_header(&["model", "layer", "CNN", "BaselineHD", "NSHD", "Δ(N−C)"], &widths);
+        for &cut in arch.paper_cuts() {
+            let mut baseline = BaselineHd::train(teacher.clone(), &bench.train, cut, 3_000, bench.scale.retrain_epochs(), 11);
+            let base_acc = baseline.evaluate(&bench.test);
+            let cfg = NshdConfig::new(cut).with_retrain_epochs(bench.scale.retrain_epochs()).with_seed(13);
+            let mut nshd = NshdModel::train(teacher.clone(), &bench.train, cfg);
+            let nshd_acc = Classifier::evaluate(&mut nshd, &bench.test);
+            print_row(
+                &[
+                    arch.display_name().to_string(),
+                    format!("{}", cut - 1),
+                    format!("{cnn_acc:.4}"),
+                    format!("{base_acc:.4}"),
+                    format!("{nshd_acc:.4}"),
+                    format!("{:+.4}", nshd_acc - cnn_acc),
+                ],
+                &widths,
+            );
+        }
+    }
+}

@@ -1,0 +1,81 @@
+//! Fig. 9 — Hyperparameter grid for knowledge distillation: accuracy over
+//! temperature T ∈ [12, 17] × α ∈ [0, 0.9].
+//!
+//! Paper reference: the α = 0 row (no distillation) is flat; accuracy
+//! rises with α, peaking around α ∈ [0.6, 0.8], T ∈ [14, 16], for a boost
+//! of ≈ 7.4% over α = 0.
+//!
+//! The sweep reuses one feature-extraction pass across all 60 cells via
+//! `NshdTrainer::clone` + `set_distill_config`.
+
+use nshd_bench::Bench;
+use nshd_core::{NshdConfig, NshdTrainer};
+use nshd_hdc::DistillConfig;
+use nshd_nn::Architecture;
+
+fn main() {
+    let bench = Bench::synth10(101);
+    // The paper sweeps EfficientNet-b7 layer 7; at quick scale we use the
+    // b0 analog (same architecture family) for tractability and b7 under
+    // NSHD_SCALE=full.
+    let arch = if nshd_bench::Scale::from_env() == nshd_bench::Scale::Full {
+        Architecture::EfficientNetB7
+    } else {
+        Architecture::EfficientNetB0
+    };
+    let cut = arch.paper_cuts()[1];
+    println!("# Fig. 9 — KD hyperparameter search, {} layer {}, Synth10\n", arch, cut - 1);
+    let (teacher, cnn_acc) = bench.train_teacher(arch, 7);
+    println!("CNN (teacher) accuracy: {cnn_acc:.4}\n");
+
+    let epochs = bench.scale.retrain_epochs();
+    let base_cfg = NshdConfig::new(cut).with_retrain_epochs(epochs).with_seed(31);
+    let prepared = NshdTrainer::prepare(teacher, &bench.train, base_cfg);
+
+    let temperatures = [12.0f32, 13.0, 14.0, 15.0, 16.0, 17.0];
+    let alphas = [0.0f32, 0.1, 0.2, 0.3, 0.4, 0.5, 0.6, 0.7, 0.8, 0.9];
+
+    print!("{:>6}", "α\\T");
+    for t in temperatures {
+        print!("{t:>9.0}");
+    }
+    println!();
+    let mut best = (0.0f32, 0.0f32, 0.0f32);
+    let mut alpha_zero = 0.0f32;
+    for alpha in alphas {
+        print!("{alpha:>6.1}");
+        for t in temperatures {
+            let mut trainer = prepared.clone();
+            trainer.set_distill_config(DistillConfig {
+                temperature: t,
+                alpha,
+                ..DistillConfig::default()
+            });
+            for _ in 0..epochs {
+                trainer.epoch();
+            }
+            let mut model = trainer.finish();
+            let acc = model.evaluate(&bench.test);
+            if acc > best.0 {
+                best = (acc, t, alpha);
+            }
+            if alpha == 0.0 {
+                alpha_zero = alpha_zero.max(acc);
+            }
+            print!("{acc:>9.4}");
+        }
+        println!();
+    }
+    println!();
+    println!(
+        "best: {:.4} at T={}, α={}; boost over α=0: {:+.4} (paper: +7.39%)",
+        best.0,
+        best.1,
+        best.2,
+        best.0 - alpha_zero
+    );
+    println!("# Shape check vs paper: the α=0 row is constant across T (structural:");
+    println!("# T only enters through the distilled term). The paper reports a +7.4%");
+    println!("# peak in the mid-α band; at this scale the measured peak is weaker");
+    println!("# (see DESIGN.md §7 on the teacher-strength regime difference).");
+}

@@ -1,0 +1,30 @@
+//! Table I — Resource utilisation of the DPU accelerator on the Xilinx
+//! ZCU104 (the configuration constant our DPU model reports).
+
+use nshd_bench::{print_header, print_row};
+use nshd_hwmodel::DpuModel;
+
+fn main() {
+    let dpu = DpuModel::zcu104();
+    println!("# Table I — Design acceleration on Xilinx ZCU104\n");
+    let widths = [6usize, 10, 10, 12];
+    print_header(&["", "Total", "Available", "Utilization"], &widths);
+    for (name, used, avail, pct) in dpu.resource_table() {
+        let (u, a) = (format_k(used), format_k(avail));
+        print_row(
+            &[name.to_string(), u, a, format!("{pct:.2}%")],
+            &widths,
+        );
+    }
+    println!();
+    println!("Frequency: {} MHz", dpu.frequency_hz / 1e6);
+    println!("Power:     {:.3} W", dpu.power_w);
+}
+
+fn format_k(v: u64) -> String {
+    if v >= 10_000 {
+        format!("{:.1}K", v as f64 / 1_000.0)
+    } else {
+        format!("{v}")
+    }
+}

@@ -1,0 +1,41 @@
+//! Table II — Model size (learning parameters) comparison: CNN vs NSHD vs
+//! BaselineHD at each paper cut layer.
+//!
+//! Paper reference points: NSHD below both CNN and BaselineHD at early
+//! cuts (e.g. VGG16@29: BaselineHD ≈ +40% over NSHD); NSHD can exceed the
+//! CNN only at the deepest EfficientNet cuts where the HD stage dominates.
+
+use nshd_bench::{print_header, print_row};
+use nshd_core::{baselinehd_size_from_stats, cnn_size_from_stats, nshd_size_from_stats, NshdConfig};
+use nshd_nn::specs::{arch_stats, SpecVariant};
+use nshd_nn::Architecture;
+
+fn main() {
+    println!("# Table II — Model size (learning parameters)\n");
+    let widths = [15usize, 7, 12, 12, 12, 10];
+    print_header(&["Model", "Layer", "CNN", "NSHD", "BaselineHD", "Δbase %"], &widths);
+    for arch in Architecture::ALL {
+        let stats = arch_stats(arch, SpecVariant::Reference, 10);
+        let cnn_mb = cnn_size_from_stats(&stats) as f64 / (1024.0 * 1024.0);
+        for &cut in arch.paper_cuts() {
+            let cfg = NshdConfig::new(cut);
+            let nshd = nshd_size_from_stats(&stats, &cfg, 10);
+            let base = baselinehd_size_from_stats(&stats, cut, cfg.hv_dim, 10);
+            let delta = (base.total() as f64 / nshd.total() as f64 - 1.0) * 100.0;
+            print_row(
+                &[
+                    arch.display_name().to_string(),
+                    format!("{}", cut - 1),
+                    format!("{cnn_mb:.2}MB"),
+                    format!("{:.2}MB", nshd.total_mb()),
+                    format!("{:.2}MB", base.total_mb()),
+                    format!("{delta:+.1}"),
+                ],
+                &widths,
+            );
+        }
+    }
+    println!();
+    println!("# Shape check vs paper: NSHD < BaselineHD everywhere (the manifold");
+    println!("# layer shrinks the projection); NSHD < CNN at early cuts.");
+}

@@ -1,0 +1,211 @@
+//! # nshd-bench
+//!
+//! The experiment harness regenerating every table and figure of the
+//! NSHD paper (DAC 2023). One binary per experiment:
+//!
+//! | Binary | Paper result |
+//! |--------|--------------|
+//! | `fig4_energy`       | Fig. 4 — energy-efficiency improvement vs CNN |
+//! | `fig5_macs`         | Fig. 5 — manifold learner's MAC reduction |
+//! | `fig6_fpga_fps`     | Fig. 6 — FPGA (DPU) throughput |
+//! | `table1_resources`  | Table I — ZCU104 resource utilisation |
+//! | `table2_model_size` | Table II — model sizes |
+//! | `fig7_accuracy`     | Fig. 7 — accuracy comparison |
+//! | `fig8_kd_impact`    | Fig. 8 — knowledge-distillation impact |
+//! | `fig9_kd_sweep`     | Fig. 9 — (t, α) hyperparameter grid |
+//! | `fig10_dim_tradeoff`| Fig. 10 — dimensionality/efficiency tradeoff |
+//! | `fig11_tsne`        | Fig. 11 — t-SNE explainability |
+//!
+//! Criterion micro-benchmarks (under `benches/`) cover the timing claims:
+//! encode throughput, similarity search, retraining epochs, and
+//! end-to-end inference. Experiment scale is controlled by the
+//! `NSHD_SCALE` environment variable (`quick` — CI-sized, the default —
+//! or `full` — paper-shaped runs that take tens of minutes on one core).
+
+#![warn(missing_docs)]
+
+use nshd_data::{normalize_pair, ImageDataset, SynthSpec};
+use nshd_nn::{evaluate, fit, load_model, save_model, Adam, Architecture, Model, TrainConfig};
+use nshd_tensor::Rng;
+use std::path::PathBuf;
+
+/// Experiment scale selected by the `NSHD_SCALE` environment variable.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-sized runs: small datasets, few epochs, minutes end-to-end.
+    Quick,
+    /// Paper-shaped runs: larger datasets and budgets.
+    Full,
+}
+
+impl Scale {
+    /// Reads the scale from the environment (default [`Scale::Quick`]).
+    pub fn from_env() -> Scale {
+        match std::env::var("NSHD_SCALE").as_deref() {
+            Ok("full") | Ok("FULL") => Scale::Full,
+            _ => Scale::Quick,
+        }
+    }
+
+    /// Training-set size for accuracy experiments.
+    pub fn train_size(self) -> usize {
+        match self {
+            Scale::Quick => 600,
+            Scale::Full => 2_000,
+        }
+    }
+
+    /// Test-set size for accuracy experiments.
+    pub fn test_size(self) -> usize {
+        match self {
+            Scale::Quick => 200,
+            Scale::Full => 600,
+        }
+    }
+
+    /// Teacher CNN training epochs.
+    pub fn teacher_epochs(self) -> usize {
+        match self {
+            Scale::Quick => 12,
+            Scale::Full => 30,
+        }
+    }
+
+    /// NSHD retraining epochs.
+    pub fn retrain_epochs(self) -> usize {
+        match self {
+            Scale::Quick => 8,
+            Scale::Full => 20,
+        }
+    }
+}
+
+/// A prepared experiment environment: normalised train/test splits.
+pub struct Bench {
+    /// Active scale.
+    pub scale: Scale,
+    /// Normalised training split.
+    pub train: ImageDataset,
+    /// Normalised test split.
+    pub test: ImageDataset,
+    /// Cache tag identifying the dataset configuration.
+    tag: String,
+}
+
+impl Bench {
+    /// Builds the Synth10 environment (the CIFAR-10 substitute).
+    pub fn synth10(seed: u64) -> Bench {
+        Bench::build(SynthSpec::synth10(seed), Scale::from_env(), format!("synth10-{seed}"))
+    }
+
+    /// Builds the Synth100 environment (the CIFAR-100 substitute). Sizes
+    /// scale up relative to Synth10 so each of the 100 classes still has
+    /// a usable number of samples.
+    pub fn synth100(seed: u64) -> Bench {
+        let scale = Scale::from_env();
+        let spec = SynthSpec::synth100(seed)
+            .with_sizes(scale.train_size() * 5 / 2, scale.test_size() * 2);
+        let (mut train, mut test) = spec.generate();
+        normalize_pair(&mut train, &mut test);
+        Bench { scale, train, test, tag: format!("synth100-{seed}") }
+    }
+
+    fn build(spec: SynthSpec, scale: Scale, tag: String) -> Bench {
+        let spec = spec.with_sizes(scale.train_size(), scale.test_size());
+        let (mut train, mut test) = spec.generate();
+        normalize_pair(&mut train, &mut test);
+        Bench { scale, train, test, tag }
+    }
+
+    /// Trains a teacher CNN of the given architecture on the training
+    /// split, returning the model and its test accuracy. Trained weights
+    /// are cached under `target/teacher-cache/` keyed by architecture,
+    /// dataset, scale and seed, so every experiment binary reuses the
+    /// same teachers; delete that directory to force retraining.
+    pub fn train_teacher(&self, arch: Architecture, seed: u64) -> (Model, f32) {
+        let mut rng = Rng::new(seed);
+        let mut model = arch.build(self.train.num_classes(), &mut rng);
+        let cache = self.cache_path(arch, seed);
+        if let Ok(file) = std::fs::File::open(&cache) {
+            if load_model(&mut model, std::io::BufReader::new(file)).is_ok() {
+                let acc = evaluate(&mut model, self.test.images(), self.test.labels(), 50);
+                eprintln!("[bench] loaded cached teacher {}", cache.display());
+                return (model, acc);
+            }
+        }
+        let mut opt = Adam::new(2e-3, 1e-5);
+        fit(
+            &mut model,
+            self.train.images(),
+            self.train.labels(),
+            &mut opt,
+            &TrainConfig {
+                epochs: self.scale.teacher_epochs(),
+                batch_size: 32,
+                seed: seed ^ 0xbeef,
+                ..TrainConfig::default()
+            },
+        );
+        if let Some(dir) = cache.parent() {
+            let _ = std::fs::create_dir_all(dir);
+        }
+        if let Ok(file) = std::fs::File::create(&cache) {
+            let _ = save_model(&mut model, std::io::BufWriter::new(file));
+        }
+        let acc = evaluate(&mut model, self.test.images(), self.test.labels(), 50);
+        (model, acc)
+    }
+
+    fn cache_path(&self, arch: Architecture, seed: u64) -> PathBuf {
+        let scale = match self.scale {
+            Scale::Quick => "quick",
+            Scale::Full => "full",
+        };
+        PathBuf::from(format!(
+            "target/teacher-cache/{}-{}-{}-{}.nshd",
+            arch.display_name(),
+            self.tag,
+            scale,
+            seed
+        ))
+    }
+}
+
+/// Prints a table row with aligned columns.
+pub fn print_row(cols: &[String], widths: &[usize]) {
+    let cells: Vec<String> = cols
+        .iter()
+        .zip(widths)
+        .map(|(c, w)| format!("{c:<w$}", w = w))
+        .collect();
+    println!("| {} |", cells.join(" | "));
+}
+
+/// Prints a table header followed by a separator line.
+pub fn print_header(cols: &[&str], widths: &[usize]) {
+    print_row(&cols.iter().map(|c| c.to_string()).collect::<Vec<_>>(), widths);
+    let sep: Vec<String> = widths.iter().map(|w| "-".repeat(*w)).collect();
+    println!("|-{}-|", sep.join("-|-"));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn scale_from_env_defaults_to_quick() {
+        if std::env::var("NSHD_SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Quick);
+        }
+        assert!(Scale::Full.train_size() > Scale::Quick.train_size());
+    }
+
+    #[test]
+    fn bench_builds_normalised_splits() {
+        let spec = SynthSpec::synth10(1).with_sizes(20, 10);
+        let (mut train, mut test) = spec.generate();
+        normalize_pair(&mut train, &mut test);
+        assert_eq!(train.len(), 20);
+        assert_eq!(test.len(), 10);
+    }
+}

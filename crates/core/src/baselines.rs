@@ -1,0 +1,264 @@
+//! The comparison models of the paper's Fig. 7: VanillaHD, BaselineHD,
+//! and the CNN itself, behind one [`Classifier`] interface.
+
+use crate::scaler::FeatureScaler;
+use nshd_data::ImageDataset;
+use nshd_hdc::{bundle_init, AssociativeMemory, BipolarHv, MassTrainer, NonlinearEncoder, RandomProjection};
+use nshd_nn::{evaluate as nn_evaluate, Mode, Model};
+use nshd_tensor::Tensor;
+
+/// A trained image classifier that can be scored on a dataset.
+pub trait Classifier {
+    /// Display name for experiment tables.
+    fn name(&self) -> String;
+
+    /// Classification accuracy over a dataset.
+    fn evaluate(&mut self, dataset: &ImageDataset) -> f32;
+}
+
+/// VanillaHD: the standalone HD model with nonlinear (ID–level) encoding
+/// on raw pixels and MASS retraining — no feature extractor at all.
+///
+/// This is the baseline whose CIFAR performance the paper's introduction
+/// quotes as 39.88% / 19.7%.
+pub struct VanillaHd {
+    encoder: NonlinearEncoder,
+    memory: AssociativeMemory,
+}
+
+impl VanillaHd {
+    /// Trains VanillaHD on raw pixels.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `dim`/`epochs` are zero-ish in a
+    /// way that prevents training.
+    pub fn train(train: &ImageDataset, dim: usize, epochs: usize, seed: u64) -> Self {
+        assert!(!train.is_empty(), "cannot train on an empty dataset");
+        let features = train.sample(0).0.len();
+        // Normalised pixels span roughly [-3, 3]; 32 quantisation levels.
+        let encoder = NonlinearEncoder::new(features, dim, 32, -3.0, 3.0, seed);
+        let samples: Vec<(BipolarHv, usize)> = (0..train.len())
+            .map(|i| {
+                let (img, label) = train.sample(i);
+                (encoder.encode(img.as_slice()), label)
+            })
+            .collect();
+        let mut memory = bundle_init(train.num_classes(), dim, &samples);
+        let trainer = MassTrainer::new(0.2);
+        for _ in 0..epochs {
+            trainer.epoch(&mut memory, &samples);
+        }
+        VanillaHd { encoder, memory }
+    }
+}
+
+impl Classifier for VanillaHd {
+    fn name(&self) -> String {
+        "VanillaHD".into()
+    }
+
+    fn evaluate(&mut self, dataset: &ImageDataset) -> f32 {
+        let samples: Vec<(BipolarHv, usize)> = (0..dataset.len())
+            .map(|i| {
+                let (img, label) = dataset.sample(i);
+                (self.encoder.encode(img.as_slice()), label)
+            })
+            .collect();
+        self.memory.accuracy(&samples)
+    }
+}
+
+/// BaselineHD: prior work's CNN-features-into-HD approach (the paper's
+/// reference \[9\]) — a truncated extractor whose *raw* flattened features are
+/// random-projection encoded (no manifold layer) with plain MASS
+/// retraining (no distillation).
+pub struct BaselineHd {
+    teacher: Model,
+    cut: usize,
+    scaler: FeatureScaler,
+    projection: RandomProjection,
+    memory: AssociativeMemory,
+}
+
+impl BaselineHd {
+    /// Trains BaselineHD from a (pre-trained) teacher CNN truncated at
+    /// `cut`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty or `cut` exceeds the feature stack.
+    pub fn train(
+        mut teacher: Model,
+        train: &ImageDataset,
+        cut: usize,
+        dim: usize,
+        epochs: usize,
+        seed: u64,
+    ) -> Self {
+        assert!(!train.is_empty(), "cannot train on an empty dataset");
+        assert!(cut <= teacher.features.len(), "cut {cut} exceeds feature stack");
+        let features = teacher.feature_len_at(cut);
+        let projection = RandomProjection::new(features, dim, seed);
+        // Extract once, standardise per feature (see `FeatureScaler`),
+        // then encode.
+        let feats: Vec<Tensor> = (0..train.len())
+            .map(|i| {
+                let (img, _) = train.sample(i);
+                let batched = img
+                    .reshape([1, img.dims()[0], img.dims()[1], img.dims()[2]])
+                    .expect("CHW image");
+                teacher.features_at(&batched, cut, Mode::Eval).batch_item(0)
+            })
+            .collect();
+        let scaler = FeatureScaler::fit(&feats);
+        let samples: Vec<(BipolarHv, usize)> = feats
+            .iter()
+            .enumerate()
+            .map(|(i, f)| {
+                let scaled = scaler.transform(f);
+                (projection.encode(scaled.as_slice()), train.sample(i).1)
+            })
+            .collect();
+        let mut memory = bundle_init(train.num_classes(), dim, &samples);
+        let trainer = MassTrainer::new(0.2);
+        for _ in 0..epochs {
+            trainer.epoch(&mut memory, &samples);
+        }
+        BaselineHd { teacher, cut, scaler, projection, memory }
+    }
+
+    /// The truncation point.
+    pub fn cut(&self) -> usize {
+        self.cut
+    }
+
+    /// Symbolises one CHW image.
+    pub fn symbolize(&mut self, image: &Tensor) -> BipolarHv {
+        let batched = image
+            .reshape([1, image.dims()[0], image.dims()[1], image.dims()[2]])
+            .expect("CHW image");
+        let feats = self.teacher.features_at(&batched, self.cut, Mode::Eval);
+        let scaled = self.scaler.transform(&feats.batch_item(0));
+        self.projection.encode(scaled.as_slice())
+    }
+}
+
+impl Classifier for BaselineHd {
+    fn name(&self) -> String {
+        format!("BaselineHD({}@{})", self.teacher.name, self.cut)
+    }
+
+    fn evaluate(&mut self, dataset: &ImageDataset) -> f32 {
+        let samples: Vec<(BipolarHv, usize)> = (0..dataset.len())
+            .map(|i| {
+                let (img, label) = dataset.sample(i);
+                (self.symbolize(&img), label)
+            })
+            .collect();
+        self.memory.accuracy(&samples)
+    }
+}
+
+/// The original CNN as a classifier (the paper's "CNN" series).
+pub struct CnnClassifier {
+    model: Model,
+}
+
+impl CnnClassifier {
+    /// Wraps a trained CNN.
+    pub fn new(model: Model) -> Self {
+        CnnClassifier { model }
+    }
+
+    /// The wrapped model.
+    pub fn model(&self) -> &Model {
+        &self.model
+    }
+}
+
+impl Classifier for CnnClassifier {
+    fn name(&self) -> String {
+        format!("CNN({})", self.model.name)
+    }
+
+    fn evaluate(&mut self, dataset: &ImageDataset) -> f32 {
+        nn_evaluate(&mut self.model, dataset.images(), dataset.labels(), 32)
+    }
+}
+
+impl Classifier for crate::model::NshdModel {
+    fn name(&self) -> String {
+        format!("NSHD({}@{})", self.teacher().name, self.config().cut)
+    }
+
+    fn evaluate(&mut self, dataset: &ImageDataset) -> f32 {
+        NshdModel::evaluate(self, dataset)
+    }
+}
+
+use crate::model::NshdModel;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshd_data::{normalize_pair, SynthSpec};
+    use nshd_nn::{fit, Adam, Architecture, TrainConfig};
+    use nshd_tensor::Rng;
+
+    fn data() -> (ImageDataset, ImageDataset) {
+        let (mut train, mut test) = SynthSpec::synth10(31).with_sizes(100, 60).generate();
+        normalize_pair(&mut train, &mut test);
+        (train, test)
+    }
+
+    #[test]
+    fn vanilla_hd_is_weak_but_trainable() {
+        let (train, test) = data();
+        let mut vanilla = VanillaHd::train(&train, 1_000, 3, 7);
+        let acc = vanilla.evaluate(&test);
+        // On jittered synthetic scenes raw-pixel HD stays far from CNN
+        // quality (the paper's §I observation) but above chance.
+        assert!(acc < 0.7, "VanillaHD unexpectedly strong: {acc}");
+        assert_eq!(vanilla.name(), "VanillaHD");
+    }
+
+    #[test]
+    fn baseline_hd_uses_extracted_features() {
+        let (train, test) = data();
+        let mut rng = Rng::new(9);
+        let mut teacher = Architecture::EfficientNetB0.build(10, &mut rng);
+        let mut opt = Adam::new(2e-3, 1e-5);
+        fit(
+            &mut teacher,
+            train.images(),
+            train.labels(),
+            &mut opt,
+            &TrainConfig { epochs: 3, batch_size: 32, seed: 4, ..TrainConfig::default() },
+        );
+        let mut baseline = BaselineHd::train(teacher, &train, 8, 1_000, 3, 11);
+        let acc = baseline.evaluate(&test);
+        assert!(acc > 0.15, "BaselineHD accuracy {acc}");
+        assert!(baseline.name().starts_with("BaselineHD"));
+        assert_eq!(baseline.cut(), 8);
+    }
+
+    #[test]
+    fn cnn_classifier_scores_its_model() {
+        let (train, test) = data();
+        let mut rng = Rng::new(10);
+        let mut teacher = Architecture::MobileNetV2.build(10, &mut rng);
+        let mut opt = Adam::new(2e-3, 1e-5);
+        fit(
+            &mut teacher,
+            train.images(),
+            train.labels(),
+            &mut opt,
+            &TrainConfig { epochs: 3, batch_size: 32, seed: 5, ..TrainConfig::default() },
+        );
+        let mut cnn = CnnClassifier::new(teacher);
+        let acc = cnn.evaluate(&test);
+        assert!(acc > 0.12, "CNN accuracy {acc}");
+        assert!(cnn.name().starts_with("CNN("));
+    }
+}

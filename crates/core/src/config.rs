@@ -1,0 +1,155 @@
+//! NSHD pipeline configuration.
+
+use nshd_hdc::{DistillConfig, SteConfig};
+
+/// Configuration of an NSHD model, with the paper's defaults.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_core::NshdConfig;
+///
+/// let cfg = NshdConfig::new(8)        // cut after EfficientNet block 7
+///     .with_hv_dim(3_000)             // paper default D
+///     .with_manifold_features(100)    // paper default F̂
+///     .with_retrain_epochs(10);
+/// assert_eq!(cfg.cut, 8);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct NshdConfig {
+    /// Number of feature layers kept from the CNN (a cut of `n` truncates
+    /// after the paper's layer index `n−1`).
+    pub cut: usize,
+    /// Hypervector dimensionality `D` (paper default 3,000).
+    pub hv_dim: usize,
+    /// Manifold-layer output width `F̂` (paper default 100; must be at
+    /// least the class count for accurate predictions, §VII-A).
+    pub manifold_features: usize,
+    /// Whether the manifold learner is present (disabled for the
+    /// BaselineHD comparison, which projects the raw extracted features).
+    pub use_manifold: bool,
+    /// Knowledge-distillation hyperparameters (α = 0 degenerates to pure
+    /// MASS retraining).
+    pub distill: DistillConfig,
+    /// Retraining epochs over the symbolised training set.
+    pub retrain_epochs: usize,
+    /// Learning rate of the manifold-layer update decoded through the HD
+    /// encoder.
+    pub manifold_lr: f32,
+    /// Straight-through-estimator settings for that update.
+    pub ste: SteConfig,
+    /// Seed for the projection matrix and manifold initialisation.
+    pub seed: u64,
+}
+
+impl NshdConfig {
+    /// Creates a configuration with the paper's defaults for a given cut
+    /// point.
+    pub fn new(cut: usize) -> Self {
+        NshdConfig {
+            cut,
+            hv_dim: 3_000,
+            manifold_features: 100,
+            use_manifold: true,
+            distill: DistillConfig::default(),
+            retrain_epochs: 10,
+            manifold_lr: 0.05,
+            ste: SteConfig::default(),
+            seed: 0x5eed,
+        }
+    }
+
+    /// Sets the hypervector dimensionality `D`.
+    pub fn with_hv_dim(mut self, d: usize) -> Self {
+        self.hv_dim = d;
+        self
+    }
+
+    /// Sets the manifold output width `F̂`.
+    pub fn with_manifold_features(mut self, f: usize) -> Self {
+        self.manifold_features = f;
+        self
+    }
+
+    /// Enables or disables the manifold learner.
+    pub fn with_manifold(mut self, enabled: bool) -> Self {
+        self.use_manifold = enabled;
+        self
+    }
+
+    /// Replaces the distillation hyperparameters.
+    pub fn with_distill(mut self, distill: DistillConfig) -> Self {
+        self.distill = distill;
+        self
+    }
+
+    /// Disables knowledge distillation (α = 0): pure MASS retraining.
+    pub fn without_distillation(mut self) -> Self {
+        self.distill.alpha = 0.0;
+        self
+    }
+
+    /// Sets the retraining epoch count.
+    pub fn with_retrain_epochs(mut self, epochs: usize) -> Self {
+        self.retrain_epochs = epochs;
+        self
+    }
+
+    /// Sets the random seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn validate(&self) {
+        assert!(self.hv_dim > 0, "hypervector dimension must be positive");
+        assert!(self.manifold_features > 0, "manifold width must be positive");
+        assert!(self.cut > 0, "cut must keep at least one feature layer");
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_paper() {
+        let cfg = NshdConfig::new(8);
+        assert_eq!(cfg.hv_dim, 3_000);
+        assert_eq!(cfg.manifold_features, 100);
+        assert!(cfg.use_manifold);
+        // Paper temperature default; α is re-tuned for this
+        // reproduction's teacher regime (see DistillConfig::default).
+        assert!((cfg.distill.temperature - 15.0).abs() < 1e-6);
+        assert!((cfg.distill.alpha - 0.3).abs() < 1e-6);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let cfg = NshdConfig::new(5)
+            .with_hv_dim(1000)
+            .with_manifold_features(50)
+            .with_manifold(false)
+            .without_distillation()
+            .with_retrain_epochs(3)
+            .with_seed(9);
+        assert_eq!(cfg.hv_dim, 1000);
+        assert_eq!(cfg.manifold_features, 50);
+        assert!(!cfg.use_manifold);
+        assert_eq!(cfg.distill.alpha, 0.0);
+        assert_eq!(cfg.retrain_epochs, 3);
+        assert_eq!(cfg.seed, 9);
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_dim_fails_validation() {
+        NshdConfig::new(1).with_hv_dim(0).validate();
+    }
+}

@@ -1,0 +1,318 @@
+//! Cost accounting for the NSHD pipelines: hardware workloads (Figs. 4
+//! and 6), MAC breakdowns (Fig. 5), and model sizes (Table II).
+
+use crate::config::NshdConfig;
+use nshd_hwmodel::{extractor_workload_from_stats, OpKind, Phase, Workload};
+use nshd_nn::stats::{model_stats, ModelStats};
+use nshd_nn::Model;
+
+/// Byte size of one projection cell (bipolar → 1 bit, so ⅛ byte; computed
+/// in aggregate below).
+const CLASS_HV_BYTES_PER_DIM: u64 = 4; // class hypervectors stay f32
+
+/// Pooled feature count after the manifold's window-2 max pool.
+fn pooled_len(feat_shape: &[usize]) -> usize {
+    let (c, h, w) = (feat_shape[0], feat_shape[1], feat_shape[2]);
+    if h >= 2 && w >= 2 {
+        c * (h / 2) * (w / 2)
+    } else {
+        c * h * w
+    }
+}
+
+/// MAC breakdown of an HD pipeline's per-sample inference (Fig. 5's
+/// accounting, which counts binding/bundling as elementwise
+/// multiply/accumulate).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MacBreakdown {
+    /// Convolution extractor MACs.
+    pub extractor: u64,
+    /// Manifold-layer MACs (0 for BaselineHD).
+    pub manifold: u64,
+    /// HD encoding MACs (`F·D` on the encoded width).
+    pub encode: u64,
+    /// Similarity-search MACs (`k·D`).
+    pub similarity: u64,
+}
+
+impl MacBreakdown {
+    /// Total MACs.
+    pub fn total(&self) -> u64 {
+        self.extractor + self.manifold + self.encode + self.similarity
+    }
+}
+
+/// Fig. 5: NSHD's per-sample MACs at a cut, from architecture statistics
+/// (use [`nshd_nn::specs::arch_stats`] with
+/// [`nshd_nn::specs::SpecVariant::Reference`] for paper-scale numbers).
+pub fn nshd_macs_from_stats(
+    stats: &ModelStats,
+    config: &NshdConfig,
+    num_classes: usize,
+) -> MacBreakdown {
+    let feat_shape = nshd_nn::specs::feature_shape_at(stats, config.cut);
+    let pl = pooled_len(&feat_shape);
+    let f_hat = config.manifold_features;
+    MacBreakdown {
+        extractor: stats.feature_macs_to(config.cut),
+        manifold: (pl * f_hat) as u64,
+        encode: (f_hat * config.hv_dim) as u64,
+        similarity: (num_classes * config.hv_dim) as u64,
+    }
+}
+
+/// Fig. 5: NSHD's per-sample MACs at a cut, with the manifold layer.
+pub fn nshd_macs(model: &Model, config: &NshdConfig, num_classes: usize) -> MacBreakdown {
+    nshd_macs_from_stats(&model_stats(model), config, num_classes)
+}
+
+/// Fig. 5: BaselineHD's per-sample MACs from architecture statistics.
+pub fn baselinehd_macs_from_stats(
+    stats: &ModelStats,
+    cut: usize,
+    hv_dim: usize,
+    num_classes: usize,
+) -> MacBreakdown {
+    let features = stats.feature_len_at(cut);
+    MacBreakdown {
+        extractor: stats.feature_macs_to(cut),
+        manifold: 0,
+        encode: (features * hv_dim) as u64,
+        similarity: (num_classes * hv_dim) as u64,
+    }
+}
+
+/// Fig. 5: BaselineHD's per-sample MACs — no manifold, so the projection
+/// runs on the full extracted feature width.
+pub fn baselinehd_macs(model: &Model, cut: usize, hv_dim: usize, num_classes: usize) -> MacBreakdown {
+    baselinehd_macs_from_stats(&model_stats(model), cut, hv_dim, num_classes)
+}
+
+/// Model-size breakdown in bytes (Table II's accounting: f32 CNN and
+/// manifold weights, 1-bit projection cells, f32 class hypervectors).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SizeBreakdown {
+    /// Extractor (kept CNN prefix) bytes.
+    pub extractor: u64,
+    /// Manifold-layer bytes (0 when absent).
+    pub manifold: u64,
+    /// Binary projection matrix bytes.
+    pub projection: u64,
+    /// Class-hypervector bytes.
+    pub classes: u64,
+}
+
+impl SizeBreakdown {
+    /// Total bytes.
+    pub fn total(&self) -> u64 {
+        self.extractor + self.manifold + self.projection + self.classes
+    }
+
+    /// Total in binary megabytes, Table II's unit.
+    pub fn total_mb(&self) -> f64 {
+        self.total() as f64 / (1024.0 * 1024.0)
+    }
+}
+
+/// Table II: NSHD's learning-parameter size at a cut, from architecture
+/// statistics.
+pub fn nshd_size_from_stats(
+    stats: &ModelStats,
+    config: &NshdConfig,
+    num_classes: usize,
+) -> SizeBreakdown {
+    let feat_shape = nshd_nn::specs::feature_shape_at(stats, config.cut);
+    let pl = pooled_len(&feat_shape);
+    let f_hat = config.manifold_features;
+    SizeBreakdown {
+        extractor: stats.feature_params_to(config.cut) as u64 * 4,
+        manifold: ((pl * f_hat + f_hat) * 4) as u64,
+        projection: ((f_hat * config.hv_dim) as u64).div_ceil(8),
+        classes: (num_classes * config.hv_dim) as u64 * CLASS_HV_BYTES_PER_DIM,
+    }
+}
+
+/// Table II: NSHD's learning-parameter size at a cut.
+pub fn nshd_size(model: &Model, config: &NshdConfig, num_classes: usize) -> SizeBreakdown {
+    nshd_size_from_stats(&model_stats(model), config, num_classes)
+}
+
+/// Table II: BaselineHD's size at a cut, from architecture statistics.
+pub fn baselinehd_size_from_stats(
+    stats: &ModelStats,
+    cut: usize,
+    hv_dim: usize,
+    num_classes: usize,
+) -> SizeBreakdown {
+    let features = stats.feature_len_at(cut);
+    SizeBreakdown {
+        extractor: stats.feature_params_to(cut) as u64 * 4,
+        manifold: 0,
+        projection: ((features * hv_dim) as u64).div_ceil(8),
+        classes: (num_classes * hv_dim) as u64 * CLASS_HV_BYTES_PER_DIM,
+    }
+}
+
+/// Table II: BaselineHD's size at a cut (projection over the full feature
+/// width, no manifold).
+pub fn baselinehd_size(model: &Model, cut: usize, hv_dim: usize, num_classes: usize) -> SizeBreakdown {
+    baselinehd_size_from_stats(&model_stats(model), cut, hv_dim, num_classes)
+}
+
+/// Table II: the full CNN's size from architecture statistics.
+pub fn cnn_size_from_stats(stats: &ModelStats) -> u64 {
+    stats.total_params as u64 * 4
+}
+
+/// Table II: the full CNN's size.
+pub fn cnn_size_bytes(model: &Model) -> u64 {
+    model.param_count() as u64 * 4
+}
+
+/// Builds the NSHD inference workload from architecture statistics:
+/// truncated extractor (INT8 convolutions) + manifold + binary HD encode
+/// + binary similarity search.
+pub fn nshd_workload_from_stats(
+    stats: &ModelStats,
+    name: &str,
+    config: &NshdConfig,
+    num_classes: usize,
+) -> Workload {
+    let mut w = extractor_workload_from_stats(stats, config.cut, name);
+    w.name = format!("NSHD ({}@{})", name, config.cut);
+    let feat_shape = nshd_nn::specs::feature_shape_at(stats, config.cut);
+    let feat_len: usize = feat_shape.iter().product();
+    let pl = pooled_len(&feat_shape);
+    let f_hat = config.manifold_features;
+    let d = config.hv_dim;
+    if config.use_manifold {
+        w.phases.push(Phase::new("manifold:pool", OpKind::Elementwise, 0, 0, feat_len as u64));
+        w.phases.push(Phase::new(
+            "manifold:fc",
+            OpKind::MacInt8,
+            (pl * f_hat) as u64,
+            (pl * f_hat + f_hat) as u64, // INT8 weights
+            f_hat as u64,
+        ));
+    }
+    let encode_width = if config.use_manifold { f_hat } else { feat_len };
+    w.phases.push(Phase::new(
+        "hd:encode",
+        OpKind::BinaryOp,
+        (encode_width * d) as u64,
+        ((encode_width * d) as u64).div_ceil(8), // binary projection bits
+        d as u64,
+    ));
+    w.phases.push(Phase::new(
+        "hd:similarity",
+        OpKind::BinaryOp,
+        (num_classes * d) as u64,
+        (num_classes * d) as u64, // int8-quantised class hypervectors
+        num_classes as u64,
+    ));
+    w
+}
+
+/// Builds the NSHD inference workload for the hardware models.
+pub fn nshd_workload(model: &Model, config: &NshdConfig, num_classes: usize) -> Workload {
+    nshd_workload_from_stats(&model_stats(model), &model.name, config, num_classes)
+}
+
+/// Builds the BaselineHD workload from architecture statistics.
+pub fn baselinehd_workload_from_stats(
+    stats: &ModelStats,
+    name: &str,
+    cut: usize,
+    hv_dim: usize,
+    num_classes: usize,
+) -> Workload {
+    let cfg = NshdConfig::new(cut).with_hv_dim(hv_dim).with_manifold(false);
+    let mut w = nshd_workload_from_stats(stats, name, &cfg, num_classes);
+    w.name = format!("BaselineHD ({name}@{cut})");
+    w
+}
+
+/// Builds the BaselineHD workload (projection over full features).
+pub fn baselinehd_workload(model: &Model, cut: usize, hv_dim: usize, num_classes: usize) -> Workload {
+    baselinehd_workload_from_stats(&model_stats(model), &model.name, cut, hv_dim, num_classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshd_nn::Architecture;
+    use nshd_tensor::Rng;
+
+    fn model() -> Model {
+        Architecture::EfficientNetB0.build(10, &mut Rng::new(1))
+    }
+
+    #[test]
+    fn manifold_cuts_encode_macs() {
+        let m = model();
+        let cfg = NshdConfig::new(7);
+        let nshd = nshd_macs(&m, &cfg, 10);
+        let base = baselinehd_macs(&m, 7, cfg.hv_dim, 10);
+        // Same extractor, but the encode stage shrinks from F·D to F̂·D,
+        // far outweighing the added manifold MACs (paper Fig. 5).
+        assert_eq!(nshd.extractor, base.extractor);
+        assert!(nshd.encode < base.encode);
+        assert!(nshd.total() < base.total(), "{} vs {}", nshd.total(), base.total());
+    }
+
+    #[test]
+    fn mac_savings_grow_with_dimension() {
+        let m = model();
+        let saving = |d: usize| {
+            let cfg = NshdConfig::new(7).with_hv_dim(d);
+            let nshd = nshd_macs(&m, &cfg, 10).total() as f64;
+            let base = baselinehd_macs(&m, 7, d, 10).total() as f64;
+            (1.0 - nshd / base) * 100.0
+        };
+        // Paper: higher savings for D = 10,000 than for D = 3,000.
+        assert!(saving(10_000) > saving(3_000));
+    }
+
+    #[test]
+    fn nshd_smaller_than_baselinehd_and_cnn() {
+        let m = model();
+        let cfg = NshdConfig::new(7);
+        let nshd = nshd_size(&m, &cfg, 10);
+        let base = baselinehd_size(&m, 7, cfg.hv_dim, 10);
+        assert!(nshd.total() < base.total(), "{} vs {}", nshd.total(), base.total());
+        // The paper's Table II shows NSHD below the CNN for early cuts.
+        let early = NshdConfig::new(6);
+        let nshd_early = nshd_size(&m, &early, 10);
+        assert!(nshd_early.total() < cnn_size_bytes(&m));
+    }
+
+    #[test]
+    fn workload_phases_cover_pipeline() {
+        let m = model();
+        let cfg = NshdConfig::new(7);
+        let w = nshd_workload(&m, &cfg, 10);
+        let names: Vec<&str> = w.phases.iter().map(|p| p.name.as_str()).collect();
+        assert!(names.contains(&"manifold:fc"));
+        assert!(names.contains(&"hd:encode"));
+        assert!(names.contains(&"hd:similarity"));
+        // Without the manifold, encode width grows.
+        let base = baselinehd_workload(&m, 7, cfg.hv_dim, 10);
+        let enc = |w: &Workload| {
+            w.phases
+                .iter()
+                .find(|p| p.name == "hd:encode")
+                .map(|p| p.ops)
+                .expect("encode phase")
+        };
+        assert!(enc(&base) > enc(&w));
+    }
+
+    #[test]
+    fn size_breakdown_total_adds_up() {
+        let m = model();
+        let cfg = NshdConfig::new(7);
+        let s = nshd_size(&m, &cfg, 10);
+        assert_eq!(s.total(), s.extractor + s.manifold + s.projection + s.classes);
+        assert!(s.total_mb() > 0.0);
+    }
+}

@@ -1,0 +1,228 @@
+//! The manifold learner Ψ: max-pool + fully-connected regressor that
+//! compresses convolution-extracted features to `F̂` values before HD
+//! encoding (paper §IV-C), trained by gradients decoded through the HD
+//! encoder (§V-C).
+
+use nshd_nn::{Layer, MaxPool2d, Mode};
+use nshd_tensor::{Rng, Tensor};
+
+/// The manifold learner: `Ψ(x) = W · flatten(maxpool₂(x)) + b`.
+#[derive(Debug, Clone)]
+pub struct ManifoldLearner {
+    feat_shape: Vec<usize>,
+    pool_window: usize,
+    pooled_len: usize,
+    out_features: usize,
+    /// `out × pooled_len` weight matrix.
+    weight: Tensor,
+    bias: Vec<f32>,
+}
+
+impl ManifoldLearner {
+    /// Creates a manifold learner for extractor outputs of shape
+    /// `feat_shape` (CHW), producing `out_features` values.
+    ///
+    /// The paper pools with window 2; when the feature map's spatial
+    /// extent is already 1, pooling is skipped (it would be undefined).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `feat_shape` is not CHW or `out_features == 0`.
+    pub fn new(feat_shape: &[usize], out_features: usize, rng: &mut Rng) -> Self {
+        assert_eq!(feat_shape.len(), 3, "manifold expects CHW extractor output");
+        assert!(out_features > 0);
+        let (c, h, w) = (feat_shape[0], feat_shape[1], feat_shape[2]);
+        let pool_window = if h >= 2 && w >= 2 { 2 } else { 1 };
+        let (ph, pw) = (h / pool_window, w / pool_window);
+        let pooled_len = c * ph * pw;
+        let bound = (6.0 / (pooled_len + out_features) as f32).sqrt();
+        let weight = Tensor::from_fn([out_features, pooled_len], |_| rng.uniform_in(-bound, bound));
+        ManifoldLearner {
+            feat_shape: feat_shape.to_vec(),
+            pool_window,
+            pooled_len,
+            out_features,
+            weight,
+            bias: vec![0.0; out_features],
+        }
+    }
+
+    /// Output width `F̂`.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Flattened input width after pooling.
+    pub fn pooled_len(&self) -> usize {
+        self.pooled_len
+    }
+
+    /// Learning-parameter count (weights + biases).
+    pub fn param_count(&self) -> usize {
+        self.weight.len() + self.bias.len()
+    }
+
+    /// MACs per sample (the FC regressor; pooling is elementwise).
+    pub fn macs(&self) -> u64 {
+        (self.pooled_len * self.out_features) as u64
+    }
+
+    /// Runs the pooling stage only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` does not match the configured shape.
+    pub fn pool(&self, features: &Tensor) -> Vec<f32> {
+        assert_eq!(features.dims(), &self.feat_shape[..], "extractor output shape mismatch");
+        if self.pool_window == 1 {
+            return features.as_slice().to_vec();
+        }
+        let batched = features
+            .reshape([1, self.feat_shape[0], self.feat_shape[1], self.feat_shape[2]])
+            .expect("same element count");
+        let mut pool = MaxPool2d::new(self.pool_window);
+        pool.forward(&batched, Mode::Eval).into_vec()
+    }
+
+    /// Full forward pass for one sample: returns `(pooled, output)`.
+    /// The pooled vector is needed again by [`update`](Self::update).
+    pub fn forward(&self, features: &Tensor) -> (Vec<f32>, Vec<f32>) {
+        let pooled = self.pool(features);
+        let out = self.apply_fc(&pooled);
+        (pooled, out)
+    }
+
+    /// The FC regressor on an already-pooled vector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `pooled.len() != self.pooled_len()`.
+    pub fn apply_fc(&self, pooled: &[f32]) -> Vec<f32> {
+        assert_eq!(pooled.len(), self.pooled_len, "pooled length mismatch");
+        let w = self.weight.as_slice();
+        (0..self.out_features)
+            .map(|o| {
+                nshd_tensor::dot(&w[o * self.pooled_len..(o + 1) * self.pooled_len], pooled)
+                    + self.bias[o]
+            })
+            .collect()
+    }
+
+    /// The raw `(weight, bias)` values, weight row-major `F̂ × pooled_len`
+    /// (serialization).
+    pub fn weights_raw(&self) -> (Vec<f32>, Vec<f32>) {
+        (self.weight.as_slice().to_vec(), self.bias.clone())
+    }
+
+    /// Replaces the learned weights.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when lengths do not match this learner's shape.
+    pub fn set_weights_raw(&mut self, weight: Vec<f32>, bias: Vec<f32>) -> Result<(), String> {
+        if weight.len() != self.out_features * self.pooled_len {
+            return Err(format!(
+                "manifold weight length {} does not match {}×{}",
+                weight.len(),
+                self.out_features,
+                self.pooled_len
+            ));
+        }
+        if bias.len() != self.out_features {
+            return Err(format!("manifold bias length {} does not match F̂ {}", bias.len(), self.out_features));
+        }
+        self.weight = Tensor::from_vec(weight, [self.out_features, self.pooled_len])
+            .expect("length checked above");
+        self.bias = bias;
+        Ok(())
+    }
+
+    /// Applies one decoded-gradient ascent step:
+    /// `W += lr · g ⊗ pooled`, `b += lr · g`, where `g` is the
+    /// feature-space gradient decoded through the HD encoder
+    /// ([`nshd_hdc::feature_gradient`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the gradient or pooled lengths mismatch.
+    pub fn update(&mut self, pooled: &[f32], grad_out: &[f32], lr: f32) {
+        assert_eq!(grad_out.len(), self.out_features, "gradient width mismatch");
+        assert_eq!(pooled.len(), self.pooled_len, "pooled length mismatch");
+        let w = self.weight.as_mut_slice();
+        for (o, &g) in grad_out.iter().enumerate() {
+            if g == 0.0 {
+                continue;
+            }
+            let row = &mut w[o * self.pooled_len..(o + 1) * self.pooled_len];
+            let step = lr * g;
+            for (wi, &xi) in row.iter_mut().zip(pooled) {
+                *wi += step * xi;
+            }
+            self.bias[o] += step;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pooling_halves_spatial_dims() {
+        let mut rng = Rng::new(1);
+        let m = ManifoldLearner::new(&[4, 8, 8], 10, &mut rng);
+        assert_eq!(m.pooled_len(), 4 * 4 * 4);
+        assert_eq!(m.out_features(), 10);
+        assert_eq!(m.macs(), 64 * 10);
+        assert_eq!(m.param_count(), 64 * 10 + 10);
+    }
+
+    #[test]
+    fn unit_spatial_maps_skip_pooling() {
+        let mut rng = Rng::new(2);
+        let m = ManifoldLearner::new(&[16, 1, 1], 8, &mut rng);
+        assert_eq!(m.pooled_len(), 16);
+        let x = Tensor::from_fn([16, 1, 1], |i| i as f32);
+        let (pooled, out) = m.forward(&x);
+        assert_eq!(pooled, x.as_slice());
+        assert_eq!(out.len(), 8);
+    }
+
+    #[test]
+    fn pool_takes_window_maxima() {
+        let mut rng = Rng::new(3);
+        let m = ManifoldLearner::new(&[1, 2, 2], 2, &mut rng);
+        let x = Tensor::from_vec(vec![1.0, 5.0, 2.0, 3.0], [1, 2, 2]).unwrap();
+        assert_eq!(m.pool(&x), vec![5.0]);
+    }
+
+    #[test]
+    fn update_moves_output_along_gradient() {
+        let mut rng = Rng::new(4);
+        let mut m = ManifoldLearner::new(&[2, 2, 2], 3, &mut rng);
+        let x = Tensor::from_fn([2, 2, 2], |i| (i as f32 * 0.31).sin() + 0.5);
+        let (pooled, before) = m.forward(&x);
+        let g = vec![1.0, -1.0, 0.0];
+        m.update(&pooled, &g, 0.1);
+        let (_, after) = m.forward(&x);
+        assert!(after[0] > before[0], "output 0 should rise");
+        assert!(after[1] < before[1], "output 1 should fall");
+        assert!((after[2] - before[2]).abs() < 1e-6, "output 2 unchanged");
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = ManifoldLearner::new(&[2, 4, 4], 5, &mut Rng::new(7));
+        let b = ManifoldLearner::new(&[2, 4, 4], 5, &mut Rng::new(7));
+        let x = Tensor::from_fn([2, 4, 4], |i| i as f32 * 0.1);
+        assert_eq!(a.forward(&x).1, b.forward(&x).1);
+    }
+
+    #[test]
+    #[should_panic(expected = "shape mismatch")]
+    fn wrong_input_shape_panics() {
+        let mut rng = Rng::new(8);
+        let m = ManifoldLearner::new(&[2, 4, 4], 5, &mut rng);
+        m.pool(&Tensor::zeros([2, 3, 4]));
+    }
+}

@@ -1,0 +1,162 @@
+//! Per-feature standardisation of extracted CNN features.
+//!
+//! Random-projection encoding is driven by *relative* feature magnitudes:
+//! a handful of large-activation channels would otherwise dominate the
+//! pre-sign accumulator and collapse every sample onto nearly the same
+//! hypervector. Standardising each feature over the training set (the
+//! usual preprocessing in HD learning pipelines) restores the contrast
+//! the encoder needs.
+
+use nshd_tensor::Tensor;
+
+/// Per-feature mean/standard-deviation statistics fitted on the training
+/// set's extracted features.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FeatureScaler {
+    mean: Vec<f32>,
+    inv_std: Vec<f32>,
+}
+
+impl FeatureScaler {
+    /// Fits statistics over a set of equally-shaped feature tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features` is empty or shapes disagree.
+    pub fn fit(features: &[Tensor]) -> Self {
+        let first = features.first().expect("cannot fit a scaler on no features");
+        let len = first.len();
+        let n = features.len() as f64;
+        let mut mean = vec![0.0f64; len];
+        for f in features {
+            assert_eq!(f.len(), len, "feature shapes disagree");
+            for (m, &v) in mean.iter_mut().zip(f.as_slice()) {
+                *m += v as f64;
+            }
+        }
+        for m in &mut mean {
+            *m /= n;
+        }
+        let mut var = vec![0.0f64; len];
+        for f in features {
+            for ((v, &x), &m) in var.iter_mut().zip(f.as_slice()).zip(&mean) {
+                *v += (x as f64 - m).powi(2);
+            }
+        }
+        let inv_std: Vec<f32> = var
+            .iter()
+            .map(|&v| {
+                let std = (v / n).sqrt();
+                if std < 1e-6 {
+                    0.0 // constant feature carries no information; zero it
+                } else {
+                    1.0 / std as f32
+                }
+            })
+            .collect();
+        FeatureScaler { mean: mean.iter().map(|&m| m as f32).collect(), inv_std }
+    }
+
+    /// Feature count.
+    pub fn len(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Whether the scaler covers zero features.
+    pub fn is_empty(&self) -> bool {
+        self.mean.is_empty()
+    }
+
+    /// Standardises a feature tensor in place (shape preserved).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the length differs from the fitted length.
+    pub fn apply(&self, features: &mut Tensor) {
+        assert_eq!(features.len(), self.mean.len(), "feature length mismatch");
+        for ((v, &m), &s) in features
+            .as_mut_slice()
+            .iter_mut()
+            .zip(&self.mean)
+            .zip(&self.inv_std)
+        {
+            *v = (*v - m) * s;
+        }
+    }
+
+    /// Returns a standardised copy.
+    pub fn transform(&self, features: &Tensor) -> Tensor {
+        let mut out = features.clone();
+        self.apply(&mut out);
+        out
+    }
+
+    /// The raw `(mean, 1/std)` statistics (serialization).
+    pub fn raw(&self) -> (Vec<f32>, Vec<f32>) {
+        (self.mean.clone(), self.inv_std.clone())
+    }
+
+    /// Rebuilds a scaler from raw statistics.
+    ///
+    /// # Errors
+    ///
+    /// Returns a message when the vectors are empty or differ in length.
+    pub fn from_raw(mean: Vec<f32>, inv_std: Vec<f32>) -> Result<Self, String> {
+        if mean.is_empty() || mean.len() != inv_std.len() {
+            return Err(format!(
+                "invalid scaler statistics: {} means, {} inverse stds",
+                mean.len(),
+                inv_std.len()
+            ));
+        }
+        Ok(FeatureScaler { mean, inv_std })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standardises_each_feature_independently() {
+        let feats: Vec<Tensor> = (0..50)
+            .map(|i| {
+                // Feature 0: huge scale; feature 1: tiny scale.
+                Tensor::from_slice(&[1000.0 + i as f32, 0.001 * i as f32])
+            })
+            .collect();
+        let scaler = FeatureScaler::fit(&feats);
+        let scaled: Vec<Tensor> = feats.iter().map(|f| scaler.transform(f)).collect();
+        for feat_idx in 0..2 {
+            let vals: Vec<f32> = scaled.iter().map(|t| t.as_slice()[feat_idx]).collect();
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-3, "feature {feat_idx} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "feature {feat_idx} var {var}");
+        }
+    }
+
+    #[test]
+    fn constant_features_map_to_zero() {
+        let feats: Vec<Tensor> = (0..10).map(|i| Tensor::from_slice(&[5.0, i as f32])).collect();
+        let scaler = FeatureScaler::fit(&feats);
+        let out = scaler.transform(&feats[3]);
+        assert_eq!(out.as_slice()[0], 0.0);
+        assert!(out.as_slice()[1].abs() > 0.0);
+    }
+
+    #[test]
+    fn transform_preserves_shape() {
+        let feats = vec![Tensor::zeros([2, 3, 4]), Tensor::ones([2, 3, 4])];
+        let scaler = FeatureScaler::fit(&feats);
+        let out = scaler.transform(&feats[0]);
+        assert_eq!(out.dims(), &[2, 3, 4]);
+        assert_eq!(scaler.len(), 24);
+    }
+
+    #[test]
+    #[should_panic(expected = "no features")]
+    fn empty_fit_panics() {
+        FeatureScaler::fit(&[]);
+    }
+}

@@ -1,0 +1,241 @@
+//! Save/load of trained NSHD models.
+//!
+//! A trained pipeline is the teacher CNN weights, the feature scaler, the
+//! manifold layer, the class memory, and the configuration. The random
+//! projection is *not* stored — it is reconstructed from the persisted
+//! seed, one of the practical perks of seeded HD encodings.
+
+use crate::config::NshdConfig;
+use crate::model::NshdModel;
+use nshd_data::ImageDataset;
+use nshd_nn::{load_model, save_model, Model};
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"NSHDPIP1";
+
+impl NshdModel {
+    /// Saves the trained pipeline.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn save<W: Write>(&mut self, mut writer: W) -> io::Result<()> {
+        writer.write_all(MAGIC)?;
+        // Configuration (the fields needed to rebuild structure).
+        let cfg = self.config().clone();
+        write_u64(&mut writer, cfg.cut as u64)?;
+        write_u64(&mut writer, cfg.hv_dim as u64)?;
+        write_u64(&mut writer, cfg.manifold_features as u64)?;
+        write_u64(&mut writer, u64::from(cfg.use_manifold))?;
+        write_u64(&mut writer, cfg.seed)?;
+        write_u64(&mut writer, self.projection_seed())?;
+        // Class memory.
+        let memory = self.memory();
+        write_u64(&mut writer, memory.num_classes() as u64)?;
+        write_u64(&mut writer, memory.dim() as u64)?;
+        for c in 0..memory.num_classes() {
+            write_f32s(&mut writer, memory.class(c))?;
+        }
+        // Scaler.
+        let (mean, inv_std) = self.scaler_raw();
+        write_f32s(&mut writer, &mean)?;
+        write_f32s(&mut writer, &inv_std)?;
+        // Manifold.
+        match self.manifold_raw() {
+            Some((weight, bias)) => {
+                write_u64(&mut writer, 1)?;
+                write_f32s(&mut writer, &weight)?;
+                write_f32s(&mut writer, &bias)?;
+            }
+            None => write_u64(&mut writer, 0)?,
+        }
+        // Teacher CNN (weights + batch-norm state).
+        save_model(self.teacher_mut(), &mut writer)
+    }
+
+    /// Loads a pipeline saved by [`save`](NshdModel::save) into a model
+    /// freshly trained-or-built against the *same teacher architecture
+    /// and dataset shape*. The easiest way to obtain a compatible
+    /// receiver is [`NshdModel::train`] with `retrain_epochs = 0` — see
+    /// `examples/` — or simply the same builder code that produced the
+    /// saved model.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on magic/shape mismatch or I/O failure.
+    pub fn load_into<R: Read>(&mut self, mut reader: R) -> io::Result<()> {
+        let mut magic = [0u8; 8];
+        reader.read_exact(&mut magic)?;
+        if &magic != MAGIC {
+            return Err(bad("not an NSHD pipeline file"));
+        }
+        let cut = read_u64(&mut reader)? as usize;
+        let hv_dim = read_u64(&mut reader)? as usize;
+        let f_hat = read_u64(&mut reader)? as usize;
+        let use_manifold = read_u64(&mut reader)? != 0;
+        let seed = read_u64(&mut reader)?;
+        let proj_seed = read_u64(&mut reader)?;
+        {
+            let cfg = self.config();
+            if cut != cfg.cut
+                || hv_dim != cfg.hv_dim
+                || f_hat != cfg.manifold_features
+                || use_manifold != cfg.use_manifold
+            {
+                return Err(bad("pipeline configuration mismatch"));
+            }
+            if seed != cfg.seed || proj_seed != self.projection_seed() {
+                return Err(bad("pipeline seed mismatch (projection not reproducible)"));
+            }
+        }
+        // Class memory.
+        let k = read_u64(&mut reader)? as usize;
+        let d = read_u64(&mut reader)? as usize;
+        if k != self.memory().num_classes() || d != self.memory().dim() {
+            return Err(bad("class-memory shape mismatch"));
+        }
+        let mut classes = Vec::with_capacity(k);
+        for _ in 0..k {
+            let row = read_f32s(&mut reader)?;
+            if row.len() != d {
+                return Err(bad("class hypervector length mismatch"));
+            }
+            classes.push(row);
+        }
+        self.set_memory_raw(classes);
+        // Scaler.
+        let mean = read_f32s(&mut reader)?;
+        let inv_std = read_f32s(&mut reader)?;
+        self.set_scaler_raw(mean, inv_std).map_err(bad)?;
+        // Manifold.
+        let has_manifold = read_u64(&mut reader)? != 0;
+        if has_manifold != use_manifold {
+            return Err(bad("manifold presence mismatch"));
+        }
+        if has_manifold {
+            let weight = read_f32s(&mut reader)?;
+            let bias = read_f32s(&mut reader)?;
+            self.set_manifold_raw(weight, bias).map_err(bad)?;
+        }
+        load_model(self.teacher_mut(), &mut reader)
+    }
+
+    /// Mutable teacher access (serialization needs `&mut` for the shared
+    /// save path).
+    pub fn teacher_mut(&mut self) -> &mut Model {
+        self.teacher_mut_internal()
+    }
+}
+
+fn bad(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_f32s<W: Write>(w: &mut W, vals: &[f32]) -> io::Result<()> {
+    write_u64(w, vals.len() as u64)?;
+    for v in vals {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f32s<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
+    let len = read_u64(r)? as usize;
+    if len > (1 << 31) {
+        return Err(bad("implausible vector length"));
+    }
+    let mut out = vec![0.0f32; len];
+    let mut buf = [0u8; 4];
+    for v in out.iter_mut() {
+        r.read_exact(&mut buf)?;
+        *v = f32::from_le_bytes(buf);
+    }
+    Ok(out)
+}
+
+/// Round-trip helper used by examples and tests: trains a 0-epoch
+/// skeleton against the same teacher/dataset/config and loads the saved
+/// pipeline into it.
+///
+/// # Errors
+///
+/// Returns serialization errors from [`NshdModel::load_into`].
+pub fn load_pipeline<R: Read>(
+    teacher: Model,
+    train: &ImageDataset,
+    config: NshdConfig,
+    reader: R,
+) -> io::Result<NshdModel> {
+    let mut skeleton = NshdModel::train(teacher, train, config.with_retrain_epochs(0));
+    skeleton.load_into(reader)?;
+    Ok(skeleton)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshd_data::{normalize_pair, SynthSpec};
+    use nshd_nn::{fit, Adam, Architecture, TrainConfig};
+    use nshd_tensor::Rng;
+
+    fn setup() -> (Model, ImageDataset, ImageDataset) {
+        let (mut train, mut test) = SynthSpec::synth10(91).with_sizes(80, 40).generate();
+        normalize_pair(&mut train, &mut test);
+        let mut teacher = Architecture::MobileNetV2.build(10, &mut Rng::new(4));
+        let mut opt = Adam::new(2e-3, 0.0);
+        fit(
+            &mut teacher,
+            train.images(),
+            train.labels(),
+            &mut opt,
+            &TrainConfig { epochs: 3, batch_size: 32, seed: 1, ..TrainConfig::default() },
+        );
+        (teacher, train, test)
+    }
+
+    #[test]
+    fn pipeline_round_trips_with_identical_predictions() {
+        let (teacher, train, test) = setup();
+        let cfg = NshdConfig::new(15).with_hv_dim(600).with_retrain_epochs(3).with_seed(5);
+        let mut original = NshdModel::train(teacher.clone(), &train, cfg.clone());
+        let mut bytes = Vec::new();
+        original.save(&mut bytes).expect("save");
+
+        let mut restored =
+            load_pipeline(teacher, &train, cfg, bytes.as_slice()).expect("load");
+        for i in 0..test.len() {
+            let (img, _) = test.sample(i);
+            assert_eq!(original.predict(&img), restored.predict(&img), "sample {i}");
+        }
+    }
+
+    #[test]
+    fn config_mismatch_is_rejected() {
+        let (teacher, train, _) = setup();
+        let cfg = NshdConfig::new(15).with_hv_dim(600).with_retrain_epochs(1).with_seed(5);
+        let mut original = NshdModel::train(teacher.clone(), &train, cfg.clone());
+        let mut bytes = Vec::new();
+        original.save(&mut bytes).expect("save");
+        let other_cfg = cfg.with_hv_dim(700);
+        let err = load_pipeline(teacher, &train, other_cfg, bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn garbage_rejected() {
+        let (teacher, train, _) = setup();
+        let cfg = NshdConfig::new(15).with_hv_dim(300).with_retrain_epochs(0).with_seed(5);
+        let err = load_pipeline(teacher, &train, cfg, &b"nonsense"[..]).unwrap_err();
+        assert!(err.to_string().contains("pipeline") || err.kind() == io::ErrorKind::UnexpectedEof);
+    }
+}

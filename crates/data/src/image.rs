@@ -1,0 +1,165 @@
+//! Small RGB image type used by the synthetic dataset generators.
+
+use nshd_tensor::Tensor;
+
+/// Image edge length (CIFAR-compatible 32×32).
+pub const IMAGE_SIZE: usize = 32;
+
+/// Number of colour channels.
+pub const CHANNELS: usize = 3;
+
+/// A 3×32×32 RGB image with `f32` intensities, nominally in `[0, 1]`
+/// before normalisation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Image {
+    pixels: Vec<f32>,
+}
+
+impl Image {
+    /// Creates a black image.
+    pub fn new() -> Self {
+        Image { pixels: vec![0.0; CHANNELS * IMAGE_SIZE * IMAGE_SIZE] }
+    }
+
+    /// Creates an image filled with an RGB colour.
+    pub fn filled(rgb: [f32; 3]) -> Self {
+        let mut img = Image::new();
+        for c in 0..CHANNELS {
+            let plane = &mut img.pixels[c * IMAGE_SIZE * IMAGE_SIZE..(c + 1) * IMAGE_SIZE * IMAGE_SIZE];
+            plane.fill(rgb[c]);
+        }
+        img
+    }
+
+    /// Pixel accessor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn get(&self, c: usize, y: usize, x: usize) -> f32 {
+        assert!(c < CHANNELS && y < IMAGE_SIZE && x < IMAGE_SIZE);
+        self.pixels[(c * IMAGE_SIZE + y) * IMAGE_SIZE + x]
+    }
+
+    /// Sets one pixel channel.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any coordinate is out of range.
+    pub fn set(&mut self, c: usize, y: usize, x: usize, v: f32) {
+        assert!(c < CHANNELS && y < IMAGE_SIZE && x < IMAGE_SIZE);
+        self.pixels[(c * IMAGE_SIZE + y) * IMAGE_SIZE + x] = v;
+    }
+
+    /// Alpha-blends an RGB colour into the pixel at `(y, x)` with coverage
+    /// `alpha ∈ [0, 1]`.
+    pub fn blend(&mut self, y: usize, x: usize, rgb: [f32; 3], alpha: f32) {
+        let a = alpha.clamp(0.0, 1.0);
+        for c in 0..CHANNELS {
+            let old = self.get(c, y, x);
+            self.set(c, y, x, old * (1.0 - a) + rgb[c] * a);
+        }
+    }
+
+    /// The raw CHW pixel buffer.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.pixels
+    }
+
+    /// Mutable raw pixel buffer.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.pixels
+    }
+
+    /// Converts into a `3×32×32` tensor.
+    pub fn into_tensor(self) -> Tensor {
+        Tensor::from_vec(self.pixels, [CHANNELS, IMAGE_SIZE, IMAGE_SIZE])
+            .expect("image buffer matches shape")
+    }
+
+    /// Clamps all intensities to `[0, 1]`.
+    pub fn clamp(&mut self) {
+        for p in &mut self.pixels {
+            *p = p.clamp(0.0, 1.0);
+        }
+    }
+
+    /// Writes the image as a binary PPM (P6) file — handy for visually
+    /// inspecting synthetic samples without an image crate.
+    ///
+    /// Intensities are clamped to `[0, 1]` on output.
+    ///
+    /// # Errors
+    ///
+    /// Returns any underlying I/O error.
+    pub fn write_ppm<W: std::io::Write>(&self, mut writer: W) -> std::io::Result<()> {
+        writeln!(writer, "P6 {IMAGE_SIZE} {IMAGE_SIZE} 255")?;
+        let mut row = [0u8; 3 * IMAGE_SIZE];
+        for y in 0..IMAGE_SIZE {
+            for x in 0..IMAGE_SIZE {
+                for c in 0..CHANNELS {
+                    row[x * 3 + c] = (self.get(c, y, x).clamp(0.0, 1.0) * 255.0).round() as u8;
+                }
+            }
+            writer.write_all(&row)?;
+        }
+        Ok(())
+    }
+}
+
+impl Default for Image {
+    fn default() -> Self {
+        Image::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn filled_image_has_uniform_channels() {
+        let img = Image::filled([0.2, 0.5, 0.9]);
+        assert_eq!(img.get(0, 10, 10), 0.2);
+        assert_eq!(img.get(1, 0, 31), 0.5);
+        assert_eq!(img.get(2, 31, 0), 0.9);
+    }
+
+    #[test]
+    fn blend_interpolates() {
+        let mut img = Image::filled([0.0, 0.0, 0.0]);
+        img.blend(5, 5, [1.0, 1.0, 1.0], 0.25);
+        assert!((img.get(0, 5, 5) - 0.25).abs() < 1e-6);
+        img.blend(5, 5, [1.0, 1.0, 1.0], 1.0);
+        assert_eq!(img.get(0, 5, 5), 1.0);
+    }
+
+    #[test]
+    fn into_tensor_has_chw_shape() {
+        let t = Image::new().into_tensor();
+        assert_eq!(t.dims(), &[3, 32, 32]);
+    }
+
+    #[test]
+    fn ppm_output_has_expected_header_and_size() {
+        let mut img = Image::filled([1.0, 0.5, 0.0]);
+        img.set(0, 0, 0, 2.0); // clamped on output
+        let mut buf = Vec::new();
+        img.write_ppm(&mut buf).expect("in-memory write");
+        let header = b"P6 32 32 255\n";
+        assert_eq!(&buf[..header.len()], header);
+        assert_eq!(buf.len(), header.len() + 3 * 32 * 32);
+        // First pixel: clamped red channel.
+        assert_eq!(buf[header.len()], 255);
+    }
+
+    #[test]
+    fn clamp_bounds_values() {
+        let mut img = Image::new();
+        img.set(0, 0, 0, 2.0);
+        img.set(1, 0, 0, -1.0);
+        img.clamp();
+        assert_eq!(img.get(0, 0, 0), 1.0);
+        assert_eq!(img.get(1, 0, 0), 0.0);
+    }
+}

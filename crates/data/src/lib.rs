@@ -1,0 +1,36 @@
+//! # nshd-data
+//!
+//! Procedural synthetic image datasets for the NSHD workspace.
+//!
+//! The NSHD paper evaluates on CIFAR-10/100, which cannot be fetched in
+//! this environment. This crate substitutes **Synth10**/**Synth100**:
+//! 32×32 RGB scenes generated from per-class shape×palette programs with
+//! heavy per-sample jitter (pose, hue, clutter, noise). The substitution
+//! preserves the paper's central contrast — class identity lives in
+//! mid-level visual structure that convolutions learn and raw-pixel HD
+//! encodings miss (see DESIGN.md §3).
+//!
+//! # Examples
+//!
+//! ```
+//! use nshd_data::{normalize_pair, SynthSpec};
+//!
+//! let (mut train, mut test) = SynthSpec::synth10(42).with_sizes(64, 16).generate();
+//! normalize_pair(&mut train, &mut test);
+//! assert_eq!(train.images().dims(), &[64, 3, 32, 32]);
+//! assert_eq!(train.num_classes(), 10);
+//! ```
+
+#![warn(missing_docs)]
+
+mod augment;
+mod dataset;
+mod image;
+mod normalize;
+mod synth;
+
+pub use augment::Augment;
+pub use dataset::{ImageDataset, SynthSpec};
+pub use image::{Image, CHANNELS, IMAGE_SIZE};
+pub use normalize::{normalize_pair, Normalizer};
+pub use synth::{render_sample, SynthParams};

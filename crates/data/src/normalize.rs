@@ -1,0 +1,125 @@
+//! Per-channel normalisation, fitted on the training split.
+
+use crate::dataset::ImageDataset;
+use crate::image::{CHANNELS, IMAGE_SIZE};
+
+/// Per-channel mean/standard-deviation statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Normalizer {
+    /// Channel means.
+    pub mean: [f32; CHANNELS],
+    /// Channel standard deviations.
+    pub std: [f32; CHANNELS],
+}
+
+impl Normalizer {
+    /// Fits channel statistics on a dataset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the dataset is empty.
+    pub fn fit(dataset: &ImageDataset) -> Self {
+        assert!(!dataset.is_empty(), "cannot fit a normalizer on an empty dataset");
+        let x = dataset.images().as_slice();
+        let n = dataset.len();
+        let plane = IMAGE_SIZE * IMAGE_SIZE;
+        let mut mean = [0.0f32; CHANNELS];
+        let mut std = [0.0f32; CHANNELS];
+        let count = (n * plane) as f32;
+        for c in 0..CHANNELS {
+            let mut s = 0.0f64;
+            for b in 0..n {
+                let base = (b * CHANNELS + c) * plane;
+                s += x[base..base + plane].iter().map(|&v| v as f64).sum::<f64>();
+            }
+            mean[c] = (s / count as f64) as f32;
+        }
+        for c in 0..CHANNELS {
+            let mut s = 0.0f64;
+            for b in 0..n {
+                let base = (b * CHANNELS + c) * plane;
+                s += x[base..base + plane]
+                    .iter()
+                    .map(|&v| ((v - mean[c]) as f64).powi(2))
+                    .sum::<f64>();
+            }
+            std[c] = ((s / count as f64).sqrt() as f32).max(1e-6);
+        }
+        Normalizer { mean, std }
+    }
+
+    /// Applies `(x - mean) / std` in place.
+    pub fn apply(&self, dataset: &mut ImageDataset) {
+        let n = dataset.len();
+        let plane = IMAGE_SIZE * IMAGE_SIZE;
+        let x = dataset.images_mut().as_mut_slice();
+        for b in 0..n {
+            for c in 0..CHANNELS {
+                let base = (b * CHANNELS + c) * plane;
+                for v in &mut x[base..base + plane] {
+                    *v = (*v - self.mean[c]) / self.std[c];
+                }
+            }
+        }
+    }
+}
+
+/// Fits on `train`, applies to both splits, and returns the fitted
+/// statistics — the standard leak-free preprocessing pipeline.
+pub fn normalize_pair(train: &mut ImageDataset, test: &mut ImageDataset) -> Normalizer {
+    let norm = Normalizer::fit(train);
+    norm.apply(train);
+    norm.apply(test);
+    norm
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dataset::SynthSpec;
+
+    #[test]
+    fn fitted_then_applied_train_is_standardised() {
+        let (mut train, mut test) = SynthSpec::synth10(1).with_sizes(30, 10).generate();
+        normalize_pair(&mut train, &mut test);
+        let x = train.images().as_slice();
+        let plane = IMAGE_SIZE * IMAGE_SIZE;
+        for c in 0..CHANNELS {
+            let mut vals = Vec::new();
+            for b in 0..train.len() {
+                let base = (b * CHANNELS + c) * plane;
+                vals.extend_from_slice(&x[base..base + plane]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean).powi(2)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-3, "channel {c} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {c} var {var}");
+        }
+    }
+
+    #[test]
+    fn test_split_uses_train_statistics() {
+        let (mut train, mut test) = SynthSpec::synth10(2).with_sizes(30, 10).generate();
+        let before = test.images().as_slice().to_vec();
+        let norm = normalize_pair(&mut train, &mut test);
+        // Reconstruct: normalised·std + mean must equal the original.
+        let plane = IMAGE_SIZE * IMAGE_SIZE;
+        let after = test.images().as_slice();
+        for b in 0..test.len() {
+            for c in 0..CHANNELS {
+                let base = (b * CHANNELS + c) * plane;
+                for i in 0..plane {
+                    let rebuilt = after[base + i] * norm.std[c] + norm.mean[c];
+                    assert!((rebuilt - before[base + i]).abs() < 1e-4);
+                }
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "empty")]
+    fn empty_dataset_panics() {
+        let (train, _) = SynthSpec::synth10(3).with_sizes(10, 4).generate();
+        Normalizer::fit(&train.take(0));
+    }
+}

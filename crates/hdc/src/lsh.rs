@@ -1,0 +1,127 @@
+//! Random-hyperplane LSH encoding — the feature-reduction strategy of
+//! the prior work the paper calls BaselineHD (Neubert et al., ref [9]).
+//!
+//! Each output bit is the sign of a projection onto a random Gaussian
+//! hyperplane. Unlike NSHD's learned manifold layer, the reduction is
+//! data-independent, which is exactly the deficiency the paper's manifold
+//! learner addresses.
+
+use crate::hypervector::BipolarHv;
+use nshd_tensor::Rng;
+
+/// A random-hyperplane locality-sensitive-hashing encoder.
+#[derive(Debug, Clone)]
+pub struct LshEncoder {
+    features: usize,
+    dim: usize,
+    /// `dim × features` Gaussian hyperplane normals, row-major.
+    planes: Vec<f32>,
+}
+
+impl LshEncoder {
+    /// Creates an encoder hashing `features`-dimensional inputs to
+    /// `dim`-bit hypervectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features == 0` or `dim == 0`.
+    pub fn new(features: usize, dim: usize, seed: u64) -> Self {
+        assert!(features > 0 && dim > 0);
+        let mut rng = Rng::new(seed);
+        let planes = (0..dim * features).map(|_| rng.normal()).collect();
+        LshEncoder { features, dim, planes }
+    }
+
+    /// Number of input features.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Output dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Encodes a feature vector: bit *d* is `sign(⟨w_d, v⟩)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.features()`.
+    pub fn encode(&self, values: &[f32]) -> BipolarHv {
+        assert_eq!(values.len(), self.features, "feature count mismatch");
+        let signs: Vec<f32> = (0..self.dim)
+            .map(|d| {
+                let row = &self.planes[d * self.features..(d + 1) * self.features];
+                nshd_tensor::dot(row, values)
+            })
+            .collect();
+        BipolarHv::from_signs(&signs)
+    }
+
+    /// MACs per encoded sample: a full dense projection, `F·D` — the cost
+    /// the paper's Fig. 5 charges BaselineHD for.
+    pub fn macs_per_encode(&self) -> u64 {
+        (self.features * self.dim) as u64
+    }
+
+    /// Parameter count (`F·D` hyperplane coefficients).
+    pub fn param_count(&self) -> usize {
+        self.features * self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::cosine_packed;
+
+    #[test]
+    fn preserves_angular_locality() {
+        // LSH guarantee: P[bit differs] = angle/π, so cosine-similar
+        // inputs share most bits.
+        let enc = LshEncoder::new(24, 4096, 1);
+        let mut rng = Rng::new(2);
+        let v: Vec<f32> = (0..24).map(|_| rng.normal()).collect();
+        let mut close = v.clone();
+        for x in &mut close {
+            *x += rng.normal() * 0.05;
+        }
+        let far: Vec<f32> = (0..24).map(|_| rng.normal()).collect();
+        let h = enc.encode(&v).to_packed();
+        let hc = enc.encode(&close).to_packed();
+        let hf = enc.encode(&far).to_packed();
+        assert!(cosine_packed(&h, &hc) > 0.8);
+        assert!(cosine_packed(&h, &hf).abs() < 0.4);
+    }
+
+    #[test]
+    fn scale_invariance_of_signs() {
+        // LSH bits depend only on direction, not magnitude.
+        let enc = LshEncoder::new(8, 512, 3);
+        let v = [0.3, -0.7, 1.1, 0.2, -0.9, 0.5, 0.0, 2.0];
+        let scaled: Vec<f32> = v.iter().map(|x| x * 7.5).collect();
+        assert_eq!(enc.encode(&v), enc.encode(&scaled));
+    }
+
+    #[test]
+    fn deterministic_per_seed() {
+        let v = [1.0, -1.0, 0.5];
+        assert_eq!(
+            LshEncoder::new(3, 64, 4).encode(&v),
+            LshEncoder::new(3, 64, 4).encode(&v)
+        );
+        assert_ne!(
+            LshEncoder::new(3, 64, 4).encode(&v),
+            LshEncoder::new(3, 64, 5).encode(&v)
+        );
+    }
+
+    #[test]
+    fn cost_accounting() {
+        let enc = LshEncoder::new(1000, 3000, 0);
+        assert_eq!(enc.macs_per_encode(), 3_000_000);
+        assert_eq!(enc.param_count(), 3_000_000);
+    }
+
+    use nshd_tensor::Rng;
+}

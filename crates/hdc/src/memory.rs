@@ -1,0 +1,234 @@
+//! The associative class memory: one accumulated hypervector per class.
+
+use crate::hypervector::BipolarHv;
+use crate::similarity::cosine_dense_bipolar;
+
+/// An HD associative memory `M = [C_0 … C_{k-1}]` of dense class
+/// hypervectors.
+///
+/// Class vectors are kept as `f32` accumulators (the standard HD learning
+/// representation) so that bundling and retraining updates remain exact;
+/// queries arrive as bipolar hypervectors and are compared by cosine
+/// similarity, the normalised δ of the paper.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_hdc::{AssociativeMemory, BipolarHv};
+///
+/// let mut mem = AssociativeMemory::new(2, 64);
+/// let h = BipolarHv::from_signs(&vec![1.0; 64]);
+/// mem.bundle(0, &h);
+/// assert_eq!(mem.predict(&h), 0);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociativeMemory {
+    dim: usize,
+    classes: Vec<Vec<f32>>,
+}
+
+impl AssociativeMemory {
+    /// Creates a zeroed memory for `num_classes` classes of dimension
+    /// `dim`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `num_classes == 0` or `dim == 0`.
+    pub fn new(num_classes: usize, dim: usize) -> Self {
+        assert!(num_classes > 0 && dim > 0);
+        AssociativeMemory { dim, classes: vec![vec![0.0; dim]; num_classes] }
+    }
+
+    /// Rebuilds a memory from raw class accumulators (deserialization).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `classes` is empty or rows have differing lengths.
+    pub fn from_classes(classes: Vec<Vec<f32>>) -> Self {
+        let dim = classes.first().expect("at least one class").len();
+        assert!(dim > 0, "zero-dimensional class hypervectors");
+        assert!(classes.iter().all(|c| c.len() == dim), "ragged class hypervectors");
+        AssociativeMemory { dim, classes }
+    }
+
+    /// Number of classes `k`.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Hypervector dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The accumulated class hypervector for `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn class(&self, class: usize) -> &[f32] {
+        &self.classes[class]
+    }
+
+    /// Bundles a sample into a class: `C_c += H`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range or dimensions disagree.
+    pub fn bundle(&mut self, class: usize, hv: &BipolarHv) {
+        self.add_scaled(class, hv, 1.0);
+    }
+
+    /// Scaled bundle: `C_c += weight · H` — the primitive both MASS and
+    /// distillation retraining are built from.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range or dimensions disagree.
+    pub fn add_scaled(&mut self, class: usize, hv: &BipolarHv, weight: f32) {
+        assert_eq!(hv.dim(), self.dim, "dimension mismatch");
+        let c = &mut self.classes[class];
+        for (a, &s) in c.iter_mut().zip(hv.components()) {
+            // Multiplication-free: add or subtract the weight by sign.
+            if s > 0 {
+                *a += weight;
+            } else {
+                *a -= weight;
+            }
+        }
+    }
+
+    /// Cosine similarity of a query against every class:
+    /// `δ(M, H) ∈ [-1, 1]^k`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn similarities(&self, hv: &BipolarHv) -> Vec<f32> {
+        self.classes
+            .iter()
+            .map(|c| cosine_dense_bipolar(c, hv))
+            .collect()
+    }
+
+    /// Predicted class: `argmax δ(M, H)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn predict(&self, hv: &BipolarHv) -> usize {
+        let sims = self.similarities(hv);
+        sims.iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite similarities"))
+            .map(|(i, _)| i)
+            .expect("memory has at least one class")
+    }
+
+    /// Classification accuracy over a labelled set of hypervectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn accuracy(&self, samples: &[(BipolarHv, usize)]) -> f32 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|(hv, label)| self.predict(hv) == *label)
+            .count();
+        correct as f32 / samples.len() as f32
+    }
+
+    /// Learning-parameter count (`k·D`, as Table II counts the HD model).
+    pub fn param_count(&self) -> usize {
+        self.classes.len() * self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshd_tensor::Rng;
+
+    fn random_hv(dim: usize, rng: &mut Rng) -> BipolarHv {
+        BipolarHv::new((0..dim).map(|_| if rng.bipolar() > 0.0 { 1 } else { -1 }).collect())
+    }
+
+    #[test]
+    fn bundled_prototype_is_retrieved() {
+        let mut rng = Rng::new(1);
+        let dim = 2048;
+        let mut mem = AssociativeMemory::new(3, dim);
+        let prototypes: Vec<BipolarHv> = (0..3).map(|_| random_hv(dim, &mut rng)).collect();
+        // Bundle noisy variants of each prototype.
+        for (c, proto) in prototypes.iter().enumerate() {
+            for _ in 0..10 {
+                let noisy = BipolarHv::new(
+                    proto
+                        .components()
+                        .iter()
+                        .map(|&s| if rng.chance(0.1) { -s } else { s })
+                        .collect(),
+                );
+                mem.bundle(c, &noisy);
+            }
+        }
+        // Fresh noisy queries retrieve the right class.
+        for (c, proto) in prototypes.iter().enumerate() {
+            let query = BipolarHv::new(
+                proto
+                    .components()
+                    .iter()
+                    .map(|&s| if rng.chance(0.15) { -s } else { s })
+                    .collect(),
+            );
+            assert_eq!(mem.predict(&query), c);
+        }
+    }
+
+    #[test]
+    fn similarities_are_cosines_in_range() {
+        let mut rng = Rng::new(2);
+        let mut mem = AssociativeMemory::new(2, 512);
+        let h = random_hv(512, &mut rng);
+        mem.bundle(0, &h);
+        let sims = mem.similarities(&h);
+        assert!((sims[0] - 1.0).abs() < 1e-5, "self similarity {sims:?}");
+        assert_eq!(sims[1], 0.0, "empty class similarity {sims:?}");
+    }
+
+    #[test]
+    fn add_scaled_negative_weight_repels() {
+        let mut rng = Rng::new(3);
+        let mut mem = AssociativeMemory::new(2, 1024);
+        let h = random_hv(1024, &mut rng);
+        mem.bundle(0, &h);
+        mem.bundle(1, &h);
+        // Push class 1 away from h.
+        mem.add_scaled(1, &h, -0.9);
+        let sims = mem.similarities(&h);
+        assert!(sims[0] > sims[1]);
+        assert_eq!(mem.predict(&h), 0);
+    }
+
+    #[test]
+    fn accuracy_over_labelled_set() {
+        let mut rng = Rng::new(4);
+        let dim = 1024;
+        let mut mem = AssociativeMemory::new(2, dim);
+        let a = random_hv(dim, &mut rng);
+        let b = random_hv(dim, &mut rng);
+        mem.bundle(0, &a);
+        mem.bundle(1, &b);
+        let set = vec![(a.clone(), 0), (b.clone(), 1), (a.clone(), 1)];
+        assert!((mem.accuracy(&set) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(mem.accuracy(&[]), 0.0);
+    }
+
+    #[test]
+    fn param_count_is_k_times_d() {
+        assert_eq!(AssociativeMemory::new(10, 3000).param_count(), 30_000);
+    }
+}

@@ -1,0 +1,183 @@
+//! Core HD arithmetic: bundling, binding, and permutation.
+//!
+//! Bundling (⊕) superposes hypervectors into a composite *similar to its
+//! inputs* (elementwise addition, optionally followed by `sign`). Binding
+//! (⊗) associates hypervectors into a composite *quasi-orthogonal to its
+//! inputs* (elementwise multiplication). Permutation (ρ) encodes order.
+
+use crate::hypervector::BipolarHv;
+
+/// Bundles bipolar hypervectors by elementwise addition, returning the
+/// dense (integer-valued) accumulator as `f32`.
+///
+/// # Panics
+///
+/// Panics if `items` is empty or dimensions disagree.
+pub fn bundle(items: &[&BipolarHv]) -> Vec<f32> {
+    let first = items.first().expect("bundle requires at least one hypervector");
+    let dim = first.dim();
+    let mut acc = vec![0.0f32; dim];
+    for hv in items {
+        assert_eq!(hv.dim(), dim, "dimension mismatch in bundle");
+        for (a, &c) in acc.iter_mut().zip(hv.components()) {
+            *a += c as f32;
+        }
+    }
+    acc
+}
+
+/// Bundles and re-binarises: `sign(Σ items)`, the majority rule. Ties
+/// (possible for even counts) resolve via a fixed pseudo-random pattern —
+/// resolving them all to `+1` would inject a structured bias that
+/// corrupts unbinding (every tied position would correlate with the
+/// all-ones vector).
+///
+/// # Panics
+///
+/// Panics if `items` is empty or dimensions disagree.
+pub fn bundle_majority(items: &[&BipolarHv]) -> BipolarHv {
+    sign_with_tiebreak(&bundle(items))
+}
+
+/// Binarises an accumulator with pseudo-random (but deterministic,
+/// position-keyed) tie-breaking at exact zeros.
+pub fn sign_with_tiebreak(acc: &[f32]) -> BipolarHv {
+    BipolarHv::new(
+        acc.iter()
+            .enumerate()
+            .map(|(i, &v)| {
+                if v > 0.0 {
+                    1
+                } else if v < 0.0 {
+                    -1
+                } else {
+                    // SplitMix-style hash of the index: balanced and
+                    // uncorrelated with any stored hypervector.
+                    let mut z = (i as u64).wrapping_add(0x9E3779B97F4A7C15);
+                    z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+                    if z & 1 == 0 {
+                        1
+                    } else {
+                        -1
+                    }
+                }
+            })
+            .collect(),
+    )
+}
+
+/// Binds two bipolar hypervectors by elementwise multiplication.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree.
+pub fn bind(a: &BipolarHv, b: &BipolarHv) -> BipolarHv {
+    assert_eq!(a.dim(), b.dim(), "dimension mismatch in bind");
+    BipolarHv::new(
+        a.components()
+            .iter()
+            .zip(b.components())
+            .map(|(&x, &y)| x * y)
+            .collect(),
+    )
+}
+
+/// Cyclically permutes (rotates) a hypervector by `shift` positions — the
+/// ρ operator used to encode sequence position.
+pub fn permute(hv: &BipolarHv, shift: usize) -> BipolarHv {
+    let dim = hv.dim();
+    if dim == 0 {
+        return hv.clone();
+    }
+    let s = shift % dim;
+    let mut comps = Vec::with_capacity(dim);
+    comps.extend_from_slice(&hv.components()[dim - s..]);
+    comps.extend_from_slice(&hv.components()[..dim - s]);
+    BipolarHv::new(comps)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshd_tensor::Rng;
+
+    fn random_hv(dim: usize, rng: &mut Rng) -> BipolarHv {
+        BipolarHv::new((0..dim).map(|_| if rng.bipolar() > 0.0 { 1 } else { -1 }).collect())
+    }
+
+    #[test]
+    fn bundle_sums_components() {
+        let a = BipolarHv::new(vec![1, -1, 1]);
+        let b = BipolarHv::new(vec![1, 1, -1]);
+        assert_eq!(bundle(&[&a, &b]), vec![2.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn bundle_majority_is_similar_to_inputs() {
+        let mut rng = Rng::new(1);
+        let items: Vec<BipolarHv> = (0..5).map(|_| random_hv(2000, &mut rng)).collect();
+        let refs: Vec<&BipolarHv> = items.iter().collect();
+        let m = bundle_majority(&refs);
+        // Each input should correlate positively with the bundle.
+        for hv in &items {
+            let dot: i64 = m
+                .components()
+                .iter()
+                .zip(hv.components())
+                .map(|(&x, &y)| (x as i64) * (y as i64))
+                .sum();
+            assert!(dot > 0, "bundle lost similarity to an input: {dot}");
+        }
+    }
+
+    #[test]
+    fn bind_produces_quasi_orthogonal_result() {
+        let mut rng = Rng::new(2);
+        let a = random_hv(4000, &mut rng);
+        let b = random_hv(4000, &mut rng);
+        let c = bind(&a, &b);
+        let dot_ca: i64 = c
+            .components()
+            .iter()
+            .zip(a.components())
+            .map(|(&x, &y)| (x as i64) * (y as i64))
+            .sum();
+        // |dot| should be O(√D) ≈ 63; allow 4σ.
+        assert!(dot_ca.abs() < 260, "bind result not orthogonal to input: {dot_ca}");
+    }
+
+    #[test]
+    fn bind_is_associative_and_self_inverse() {
+        let mut rng = Rng::new(3);
+        let a = random_hv(128, &mut rng);
+        let b = random_hv(128, &mut rng);
+        let c = random_hv(128, &mut rng);
+        assert_eq!(bind(&bind(&a, &b), &c), bind(&a, &bind(&b, &c)));
+        assert_eq!(bind(&bind(&a, &b), &b), a);
+    }
+
+    #[test]
+    fn permute_rotates_and_inverts() {
+        let h = BipolarHv::new(vec![1, -1, 1, 1, -1]);
+        let r = permute(&h, 2);
+        assert_eq!(r.components(), &[1, -1, 1, -1, 1]);
+        // A full cycle is identity; shift + (dim − shift) is identity.
+        assert_eq!(permute(&h, 5), h);
+        assert_eq!(permute(&permute(&h, 2), 3), h);
+    }
+
+    #[test]
+    fn permutation_preserves_composition() {
+        let mut rng = Rng::new(4);
+        let a = random_hv(64, &mut rng);
+        let b = random_hv(64, &mut rng);
+        // ρ(a ⊗ b) == ρ(a) ⊗ ρ(b)
+        assert_eq!(permute(&bind(&a, &b), 7), bind(&permute(&a, 7), &permute(&b, 7)));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one")]
+    fn empty_bundle_panics() {
+        bundle(&[]);
+    }
+}

@@ -1,0 +1,252 @@
+//! Random-projection encoding — the paper's Φ_P — and its decoding
+//! adjoint used by the manifold-learner backward pass.
+
+use crate::hypervector::{BipolarHv, PackedHv};
+use nshd_tensor::Rng;
+
+/// A seeded bipolar random-projection encoder.
+///
+/// Holds one random bipolar *base hypervector* `P_f ∈ {±1}^D` per input
+/// feature, stored bit-packed (the paper's constant-memory binary layout).
+/// Encoding is `H = sign(Σ_f v_f ⊗ P_f)` — binding each feature value to
+/// its base vector and bundling — computed without multiplications by
+/// adding or subtracting `v_f` according to each stored sign bit.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_hdc::RandomProjection;
+///
+/// let proj = RandomProjection::new(16, 1024, 42);
+/// let hv = proj.encode(&vec![0.5; 16]);
+/// assert_eq!(hv.dim(), 1024);
+/// ```
+#[derive(Debug, Clone)]
+pub struct RandomProjection {
+    features: usize,
+    dim: usize,
+    seed: u64,
+    rows: Vec<PackedHv>,
+}
+
+impl RandomProjection {
+    /// Creates a projection for `features` inputs into `dim`-dimensional
+    /// hyperspace, deterministically from `seed`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `features == 0` or `dim == 0`.
+    pub fn new(features: usize, dim: usize, seed: u64) -> Self {
+        assert!(features > 0 && dim > 0, "features and dim must be positive");
+        let mut rng = Rng::new(seed);
+        let rows = (0..features)
+            .map(|_| {
+                let signs: Vec<f32> = (0..dim).map(|_| rng.bipolar()).collect();
+                BipolarHv::from_signs(&signs).to_packed()
+            })
+            .collect();
+        RandomProjection { features, dim, seed, rows }
+    }
+
+    /// The seed this projection was built from (sufficient to
+    /// reconstruct it exactly — seeded projections need not be stored).
+    pub fn seed(&self) -> u64 {
+        self.seed
+    }
+
+    /// Number of input features `F`.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Hypervector dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// The base hypervector for feature `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `f >= self.features()`.
+    pub fn base(&self, f: usize) -> &PackedHv {
+        &self.rows[f]
+    }
+
+    /// The pre-sign accumulator `Σ_f v_f ⊗ P_f` (a dense `D`-vector).
+    ///
+    /// Exposed separately because the straight-through estimator needs the
+    /// pre-binarisation activations.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.features()`.
+    pub fn encode_raw(&self, values: &[f32]) -> Vec<f32> {
+        assert_eq!(values.len(), self.features, "feature count mismatch");
+        let mut acc = vec![0.0f32; self.dim];
+        for (row, &v) in self.rows.iter().zip(values) {
+            if v == 0.0 {
+                continue;
+            }
+            let words = row.words();
+            // Add/sub by sign bit, 64 dimensions per word.
+            for (w, word) in words.iter().enumerate() {
+                let base = w * 64;
+                let end = (base + 64).min(self.dim);
+                let mut bits = *word;
+                for d in base..end {
+                    if bits & 1 == 1 {
+                        acc[d] += v;
+                    } else {
+                        acc[d] -= v;
+                    }
+                    bits >>= 1;
+                }
+            }
+        }
+        acc
+    }
+
+    /// Encodes a feature vector into a bipolar hypervector:
+    /// `sign(encode_raw(values))`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != self.features()`.
+    pub fn encode(&self, values: &[f32]) -> BipolarHv {
+        BipolarHv::from_signs(&self.encode_raw(values))
+    }
+
+    /// Decodes a dense hyperspace vector back to feature space:
+    /// `out_f = ⟨P_f, e⟩ / D` — the paper's HD decoding, which is the
+    /// adjoint of `encode_raw` up to the `1/D` normalisation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hyper.len() != self.dim()`.
+    pub fn decode(&self, hyper: &[f32]) -> Vec<f32> {
+        assert_eq!(hyper.len(), self.dim, "hyperspace dimension mismatch");
+        let inv_d = 1.0 / self.dim as f32;
+        self.rows
+            .iter()
+            .map(|row| {
+                let words = row.words();
+                let mut s = 0.0;
+                for (w, word) in words.iter().enumerate() {
+                    let base = w * 64;
+                    let end = (base + 64).min(self.dim);
+                    let mut bits = *word;
+                    for item in &hyper[base..end] {
+                        if bits & 1 == 1 {
+                            s += item;
+                        } else {
+                            s -= item;
+                        }
+                        bits >>= 1;
+                    }
+                }
+                s * inv_d
+            })
+            .collect()
+    }
+
+    /// MACs per encoded sample under the paper's Fig. 5 convention
+    /// (binding = one multiply–accumulate per feature per dimension).
+    pub fn macs_per_encode(&self) -> u64 {
+        (self.features * self.dim) as u64
+    }
+
+    /// Parameter count of the projection (one bipolar scalar per cell;
+    /// Table II counts these as learning parameters).
+    pub fn param_count(&self) -> usize {
+        self.features * self.dim
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let a = RandomProjection::new(8, 256, 5);
+        let b = RandomProjection::new(8, 256, 5);
+        let v: Vec<f32> = (0..8).map(|i| i as f32 * 0.3 - 1.0).collect();
+        assert_eq!(a.encode(&v), b.encode(&v));
+        let c = RandomProjection::new(8, 256, 6);
+        assert_ne!(a.encode(&v), c.encode(&v));
+    }
+
+    #[test]
+    fn encode_raw_matches_explicit_matrix_product() {
+        let proj = RandomProjection::new(5, 130, 1);
+        let v = [0.7, -1.2, 0.0, 2.0, -0.4];
+        let raw = proj.encode_raw(&v);
+        for d in 0..130 {
+            let mut expect = 0.0;
+            for f in 0..5 {
+                expect += v[f] * proj.base(f).sign_at(d) as f32;
+            }
+            assert!((raw[d] - expect).abs() < 1e-5, "dim {d}");
+        }
+    }
+
+    #[test]
+    fn similar_inputs_encode_to_similar_hypervectors() {
+        let proj = RandomProjection::new(32, 4096, 2);
+        let mut rng = Rng::new(3);
+        let v: Vec<f32> = (0..32).map(|_| rng.normal()).collect();
+        let mut v2 = v.clone();
+        v2[0] += 0.05; // small perturbation
+        let w: Vec<f32> = (0..32).map(|_| rng.normal()).collect(); // unrelated
+        let h = proj.encode(&v).to_packed();
+        let h2 = proj.encode(&v2).to_packed();
+        let hw = proj.encode(&w).to_packed();
+        let sim_close = crate::similarity::cosine_packed(&h, &h2);
+        let sim_far = crate::similarity::cosine_packed(&h, &hw);
+        assert!(sim_close > 0.9, "perturbed input similarity {sim_close}");
+        assert!(sim_far < 0.5, "unrelated input similarity {sim_far}");
+    }
+
+    #[test]
+    fn decode_is_scaled_adjoint_of_encode_raw() {
+        // ⟨encode_raw(v), e⟩ == D · ⟨v, decode(e)⟩ for arbitrary v, e.
+        let proj = RandomProjection::new(7, 200, 4);
+        let v: Vec<f32> = (0..7).map(|i| (i as f32 * 0.77).sin()).collect();
+        let e: Vec<f32> = (0..200).map(|i| (i as f32 * 0.13).cos()).collect();
+        let lhs: f32 = proj.encode_raw(&v).iter().zip(&e).map(|(a, b)| a * b).sum();
+        let dec = proj.decode(&e);
+        let rhs: f32 = v.iter().zip(&dec).map(|(a, b)| a * b).sum::<f32>() * 200.0;
+        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "{lhs} vs {rhs}");
+    }
+
+    #[test]
+    fn decode_recovers_feature_direction() {
+        // decode(encode_raw(v)) ≈ v up to projection noise: the diagonal
+        // of PᵀP/D concentrates at 1.
+        let proj = RandomProjection::new(10, 8000, 9);
+        let v: Vec<f32> = (0..10).map(|i| (i as f32) - 4.5).collect();
+        let rec = proj.decode(&proj.encode_raw(&v));
+        // Cosine between v and its reconstruction should be near 1.
+        let dot: f32 = v.iter().zip(&rec).map(|(a, b)| a * b).sum();
+        let nv: f32 = v.iter().map(|a| a * a).sum::<f32>().sqrt();
+        let nr: f32 = rec.iter().map(|a| a * a).sum::<f32>().sqrt();
+        let cos = dot / (nv * nr);
+        assert!(cos > 0.95, "reconstruction cosine {cos}");
+    }
+
+    #[test]
+    fn cost_accounting() {
+        let proj = RandomProjection::new(100, 3000, 0);
+        assert_eq!(proj.macs_per_encode(), 300_000);
+        assert_eq!(proj.param_count(), 300_000);
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn wrong_feature_count_panics() {
+        RandomProjection::new(4, 64, 0).encode(&[1.0; 5]);
+    }
+
+    use nshd_tensor::Rng;
+}

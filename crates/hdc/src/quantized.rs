@@ -1,0 +1,290 @@
+//! Quantised deployments of the associative memory.
+//!
+//! The paper compiles the trained NSHD model through Vitis-AI, which
+//! quantises it to INT8, "with very minor impacts on the prediction
+//! quality" (§VI-B); the GPGPU path likewise stores binary hypervectors
+//! in constant memory. This module provides both deployment forms —
+//! [`QuantizedMemory`] (per-class symmetric INT8) and [`BinaryMemory`]
+//! (sign-binarised, packed, popcount similarity) — so that claim is
+//! testable in-repo.
+
+use crate::hypervector::{BipolarHv, PackedHv};
+use crate::memory::AssociativeMemory;
+use crate::similarity::cosine_packed;
+
+/// An INT8-quantised class memory (symmetric per-class scaling), the
+/// DPU-style deployment of a trained [`AssociativeMemory`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedMemory {
+    dim: usize,
+    classes: Vec<Vec<i8>>,
+    scales: Vec<f32>,
+}
+
+impl QuantizedMemory {
+    /// Quantises a trained memory: each class hypervector is scaled by
+    /// `127 / max|component|` and rounded to `i8`.
+    pub fn from_memory(memory: &AssociativeMemory) -> Self {
+        let dim = memory.dim();
+        let mut classes = Vec::with_capacity(memory.num_classes());
+        let mut scales = Vec::with_capacity(memory.num_classes());
+        for c in 0..memory.num_classes() {
+            let class = memory.class(c);
+            let max = class.iter().fold(0.0f32, |m, v| m.max(v.abs()));
+            let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
+            classes.push(
+                class
+                    .iter()
+                    .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
+                    .collect(),
+            );
+            scales.push(scale);
+        }
+        QuantizedMemory { dim, classes, scales }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Hypervector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Cosine similarities of a bipolar query against each quantised
+    /// class (integer accumulation, de-scaled at the end).
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn similarities(&self, hv: &BipolarHv) -> Vec<f32> {
+        assert_eq!(hv.dim(), self.dim, "dimension mismatch");
+        let sqrt_d = (self.dim as f32).sqrt();
+        self.classes
+            .iter()
+            .zip(&self.scales)
+            .map(|(class, &scale)| {
+                let mut acc: i64 = 0;
+                let mut norm2: i64 = 0;
+                for (&c, &s) in class.iter().zip(hv.components()) {
+                    // Multiplication-free accumulate, as in the paper's
+                    // binary kernels: add or subtract by the sign bit.
+                    if s > 0 {
+                        acc += c as i64;
+                    } else {
+                        acc -= c as i64;
+                    }
+                    norm2 += (c as i64) * (c as i64);
+                }
+                let norm = (norm2 as f32).sqrt() * scale;
+                if norm == 0.0 {
+                    0.0
+                } else {
+                    (acc as f32 * scale) / (norm * sqrt_d)
+                }
+            })
+            .collect()
+    }
+
+    /// Predicted class: `argmax` of the quantised similarities.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn predict(&self, hv: &BipolarHv) -> usize {
+        self.similarities(hv)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite similarities"))
+            .map(|(i, _)| i)
+            .expect("memory has at least one class")
+    }
+
+    /// Classification accuracy over labelled hypervectors.
+    pub fn accuracy(&self, samples: &[(BipolarHv, usize)]) -> f32 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples.iter().filter(|(h, l)| self.predict(h) == *l).count();
+        correct as f32 / samples.len() as f32
+    }
+
+    /// Deployment bytes: one `i8` per component plus one `f32` scale per
+    /// class — vs 4 bytes per component for the f32 memory.
+    pub fn size_bytes(&self) -> u64 {
+        (self.classes.len() * self.dim) as u64 + (self.classes.len() * 4) as u64
+    }
+}
+
+/// A fully binarised class memory: each class hypervector reduced to its
+/// sign pattern and bit-packed; similarity by popcount — the paper's
+/// constant-memory GPGPU representation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BinaryMemory {
+    dim: usize,
+    classes: Vec<PackedHv>,
+}
+
+impl BinaryMemory {
+    /// Binarises a trained memory: `sign` of each class accumulator.
+    pub fn from_memory(memory: &AssociativeMemory) -> Self {
+        let classes = (0..memory.num_classes())
+            .map(|c| BipolarHv::from_signs(memory.class(c)).to_packed())
+            .collect();
+        BinaryMemory { dim: memory.dim(), classes }
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classes.len()
+    }
+
+    /// Hypervector dimensionality.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Hamming-based cosine similarities against each binary class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn similarities(&self, hv: &PackedHv) -> Vec<f32> {
+        assert_eq!(hv.dim(), self.dim, "dimension mismatch");
+        self.classes.iter().map(|c| cosine_packed(c, hv)).collect()
+    }
+
+    /// Predicted class.
+    ///
+    /// # Panics
+    ///
+    /// Panics if dimensions disagree.
+    pub fn predict(&self, hv: &PackedHv) -> usize {
+        self.similarities(hv)
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite similarities"))
+            .map(|(i, _)| i)
+            .expect("memory has at least one class")
+    }
+
+    /// Classification accuracy over labelled bipolar hypervectors.
+    pub fn accuracy(&self, samples: &[(BipolarHv, usize)]) -> f32 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|(h, l)| self.predict(&h.to_packed()) == *l)
+            .count();
+        correct as f32 / samples.len() as f32
+    }
+
+    /// Deployment bytes: one bit per component.
+    pub fn size_bytes(&self) -> u64 {
+        (self.classes.len() as u64) * (self.dim as u64).div_ceil(8)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::mass::{bundle_init, MassTrainer};
+    use nshd_tensor::Rng;
+
+    fn random_hv(dim: usize, rng: &mut Rng) -> BipolarHv {
+        BipolarHv::new((0..dim).map(|_| if rng.bipolar() > 0.0 { 1 } else { -1 }).collect())
+    }
+
+    /// A trained memory on a noisy prototype task plus held-out queries.
+    fn trained_task(
+        dim: usize,
+    ) -> (AssociativeMemory, Vec<(BipolarHv, usize)>) {
+        let mut rng = Rng::new(3);
+        let classes = 6;
+        let prototypes: Vec<BipolarHv> = (0..classes).map(|_| random_hv(dim, &mut rng)).collect();
+        let noisy = |proto: &BipolarHv, rng: &mut Rng| {
+            BipolarHv::new(
+                proto
+                    .components()
+                    .iter()
+                    .map(|&s| if rng.chance(0.25) { -s } else { s })
+                    .collect(),
+            )
+        };
+        let mut train = Vec::new();
+        let mut test = Vec::new();
+        for c in 0..classes {
+            for _ in 0..10 {
+                train.push((noisy(&prototypes[c], &mut rng), c));
+                test.push((noisy(&prototypes[c], &mut rng), c));
+            }
+        }
+        let mut memory = bundle_init(classes, dim, &train);
+        let trainer = MassTrainer::new(0.2);
+        for _ in 0..5 {
+            trainer.epoch(&mut memory, &train);
+        }
+        (memory, test)
+    }
+
+    #[test]
+    fn int8_quantisation_preserves_accuracy() {
+        let (memory, test) = trained_task(2_048);
+        let float_acc = memory.accuracy(&test);
+        let quant = QuantizedMemory::from_memory(&memory);
+        let quant_acc = quant.accuracy(&test);
+        assert!(float_acc > 0.9, "float accuracy {float_acc}");
+        // The paper's §VI-B claim: quantisation has very minor impact.
+        assert!(
+            (float_acc - quant_acc).abs() < 0.03,
+            "quantisation changed accuracy too much: {float_acc} → {quant_acc}"
+        );
+    }
+
+    #[test]
+    fn binarisation_preserves_most_accuracy() {
+        let (memory, test) = trained_task(4_096);
+        let float_acc = memory.accuracy(&test);
+        let binary = BinaryMemory::from_memory(&memory);
+        let bin_acc = binary.accuracy(&test);
+        assert!(
+            bin_acc > float_acc - 0.1,
+            "binarisation lost too much: {float_acc} → {bin_acc}"
+        );
+    }
+
+    #[test]
+    fn quantised_similarities_track_float_similarities() {
+        let (memory, test) = trained_task(1_024);
+        let quant = QuantizedMemory::from_memory(&memory);
+        for (hv, _) in test.iter().take(10) {
+            let f = memory.similarities(hv);
+            let q = quant.similarities(hv);
+            for (a, b) in f.iter().zip(&q) {
+                assert!((a - b).abs() < 0.02, "similarity drift {a} vs {b}");
+            }
+        }
+    }
+
+    #[test]
+    fn deployment_sizes_shrink() {
+        let (memory, _) = trained_task(1_024);
+        let float_bytes = (memory.param_count() * 4) as u64;
+        let quant = QuantizedMemory::from_memory(&memory);
+        let binary = BinaryMemory::from_memory(&memory);
+        assert!(quant.size_bytes() < float_bytes / 3);
+        assert!(binary.size_bytes() < quant.size_bytes() / 7);
+        assert_eq!(quant.num_classes(), memory.num_classes());
+        assert_eq!(binary.dim(), memory.dim());
+    }
+
+    #[test]
+    fn empty_sample_sets_score_zero() {
+        let (memory, _) = trained_task(256);
+        assert_eq!(QuantizedMemory::from_memory(&memory).accuracy(&[]), 0.0);
+        assert_eq!(BinaryMemory::from_memory(&memory).accuracy(&[]), 0.0);
+    }
+}

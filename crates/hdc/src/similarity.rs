@@ -1,0 +1,114 @@
+//! Similarity metrics between hypervectors and dense class vectors.
+
+use crate::hypervector::{BipolarHv, PackedHv};
+
+/// Dot product between a dense (accumulated) vector and a bipolar
+/// hypervector — the δ of the paper for unnormalised memories.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn dot_dense_bipolar(dense: &[f32], hv: &BipolarHv) -> f32 {
+    assert_eq!(dense.len(), hv.dim(), "length mismatch");
+    let mut s = 0.0;
+    for (&d, &c) in dense.iter().zip(hv.components()) {
+        // Add/sub by sign bit: the paper's multiplication-free kernel.
+        if c > 0 {
+            s += d;
+        } else {
+            s -= d;
+        }
+    }
+    s
+}
+
+/// Cosine similarity between a dense vector and a bipolar hypervector.
+///
+/// A bipolar hypervector has norm `√D`, so this is
+/// `dot / (‖dense‖ · √D)`. Returns 0 when the dense vector is all zero.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn cosine_dense_bipolar(dense: &[f32], hv: &BipolarHv) -> f32 {
+    let norm: f32 = dense.iter().map(|d| d * d).sum::<f32>().sqrt();
+    if norm == 0.0 {
+        return 0.0;
+    }
+    dot_dense_bipolar(dense, hv) / (norm * (hv.dim() as f32).sqrt())
+}
+
+/// Normalised Hamming similarity between packed hypervectors, in
+/// `[-1, 1]` (equivalent to the cosine of the bipolar vectors).
+///
+/// # Panics
+///
+/// Panics if dimensions differ or are zero.
+pub fn cosine_packed(a: &PackedHv, b: &PackedHv) -> f32 {
+    assert!(a.dim() > 0, "empty hypervectors have no similarity");
+    a.dot(b) as f32 / a.dim() as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshd_tensor::Rng;
+
+    fn random_hv(dim: usize, rng: &mut Rng) -> BipolarHv {
+        BipolarHv::new((0..dim).map(|_| if rng.bipolar() > 0.0 { 1 } else { -1 }).collect())
+    }
+
+    #[test]
+    fn dot_matches_explicit_multiplication() {
+        let dense = vec![0.5, -1.5, 2.0, 3.0];
+        let hv = BipolarHv::new(vec![1, -1, -1, 1]);
+        assert!((dot_dense_bipolar(&dense, &hv) - (0.5 + 1.5 - 2.0 + 3.0)).abs() < 1e-6);
+    }
+
+    #[test]
+    fn cosine_of_self_pattern_is_one() {
+        let hv = BipolarHv::new(vec![1, -1, 1, -1]);
+        let dense = hv.to_f32();
+        assert!((cosine_dense_bipolar(&dense, &hv) - 1.0).abs() < 1e-6);
+        let anti: Vec<f32> = dense.iter().map(|v| -v).collect();
+        assert!((cosine_dense_bipolar(&anti, &hv) + 1.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn zero_dense_vector_has_zero_similarity() {
+        let hv = BipolarHv::new(vec![1, 1]);
+        assert_eq!(cosine_dense_bipolar(&[0.0, 0.0], &hv), 0.0);
+    }
+
+    #[test]
+    fn random_hypervectors_are_quasi_orthogonal() {
+        // The statistical foundation of HD computing: random D-dim bipolar
+        // vectors overlap in ≈ D/2 bits with std √(D/4), so the cosine is
+        // ≈ 0 ± 1/√D.
+        let mut rng = Rng::new(7);
+        let d = 10_000;
+        let n = 30;
+        let hvs: Vec<BipolarHv> = (0..n).map(|_| random_hv(d, &mut rng)).collect();
+        let bound = 5.0 / (d as f32).sqrt(); // 5σ
+        for i in 0..n {
+            for j in 0..i {
+                let c = cosine_packed(&hvs[i].to_packed(), &hvs[j].to_packed());
+                assert!(c.abs() < bound, "cosine {c} exceeds {bound}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_cosine_equals_dense_cosine() {
+        let mut rng = Rng::new(8);
+        let a = random_hv(513, &mut rng);
+        let b = random_hv(513, &mut rng);
+        let dense = cosine_dense_bipolar(&a.to_f32(), &b) / (513f32).sqrt().recip();
+        // cosine_dense_bipolar normalises by ‖a‖·√D = D here, same as
+        // packed; compare directly instead:
+        let via_dense = cosine_dense_bipolar(&a.to_f32(), &b);
+        let via_packed = cosine_packed(&a.to_packed(), &b.to_packed());
+        assert!((via_dense - via_packed).abs() < 1e-5, "{via_dense} vs {via_packed}");
+        let _ = dense;
+    }
+}

@@ -1,0 +1,193 @@
+//! Straight-through-estimator gradients across the HD encoder.
+//!
+//! The paper trains the manifold layer by *decoding* the class-hypervector
+//! errors back into feature space (§V-C): the error signal in hyperspace
+//! is pushed through the non-differentiable `sign` with a straight-through
+//! estimator (as in BinaryNet training) and then through the projection by
+//! HD decoding — binding with the base hypervectors and a dot product,
+//! i.e. multiplication by `Pᵀ`.
+
+use crate::memory::AssociativeMemory;
+use crate::projection::RandomProjection;
+
+/// Straight-through-estimator settings.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SteConfig {
+    /// Gradients pass where `|pre-activation| ≤ clip_factor ×
+    /// mean(|pre-activation|)`; elsewhere the estimator saturates to zero,
+    /// the standard clipped-STE rule.
+    pub clip_factor: f32,
+}
+
+impl Default for SteConfig {
+    fn default() -> Self {
+        SteConfig { clip_factor: 2.0 }
+    }
+}
+
+/// Builds the hyperspace error signal `e = Σ_c U_c · Ĉ_c` from a sample's
+/// update vector `U` and the (ℓ²-normalised) class hypervectors — the
+/// dense direction in which moving the sample's hypervector would realise
+/// the update that Algorithm 1 applied to the memory.
+///
+/// # Panics
+///
+/// Panics if `u.len() != memory.num_classes()`.
+pub fn hyperspace_error(memory: &AssociativeMemory, u: &[f32]) -> Vec<f32> {
+    assert_eq!(u.len(), memory.num_classes(), "update vector width mismatch");
+    let dim = memory.dim();
+    let mut e = vec![0.0f32; dim];
+    for (c, &uc) in u.iter().enumerate() {
+        if uc == 0.0 {
+            continue;
+        }
+        let class = memory.class(c);
+        let norm: f32 = class.iter().map(|v| v * v).sum::<f32>().sqrt();
+        if norm == 0.0 {
+            continue;
+        }
+        let w = uc / norm;
+        for (ei, &ci) in e.iter_mut().zip(class) {
+            *ei += w * ci;
+        }
+    }
+    e
+}
+
+/// Applies the clipped straight-through estimator: zeroes error components
+/// whose pre-sign activation saturates.
+///
+/// # Panics
+///
+/// Panics if lengths differ.
+pub fn apply_ste(error: &[f32], pre_activation: &[f32], config: &SteConfig) -> Vec<f32> {
+    assert_eq!(error.len(), pre_activation.len(), "length mismatch");
+    if error.is_empty() {
+        return Vec::new();
+    }
+    let mean_abs: f32 =
+        pre_activation.iter().map(|p| p.abs()).sum::<f32>() / pre_activation.len() as f32;
+    let clip = config.clip_factor * mean_abs;
+    error
+        .iter()
+        .zip(pre_activation)
+        .map(|(&e, &p)| if p.abs() <= clip { e } else { 0.0 })
+        .collect()
+}
+
+/// Full decoded feature-space gradient for one sample: STE through the
+/// sign, then HD decoding through the projection.
+///
+/// Returns the direction in the manifold layer's *output* space that
+/// increases the realised update — callers ascend it (or descend its
+/// negation) when updating the manifold weights.
+///
+/// # Panics
+///
+/// Panics if dimensions disagree between `memory`, `projection` and
+/// `pre_activation`.
+pub fn feature_gradient(
+    projection: &RandomProjection,
+    memory: &AssociativeMemory,
+    u: &[f32],
+    pre_activation: &[f32],
+    config: &SteConfig,
+) -> Vec<f32> {
+    assert_eq!(memory.dim(), projection.dim(), "memory/projection dimension mismatch");
+    assert_eq!(pre_activation.len(), projection.dim(), "pre-activation length mismatch");
+    let e = hyperspace_error(memory, u);
+    let gated = apply_ste(&e, pre_activation, config);
+    projection.decode(&gated)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypervector::BipolarHv;
+    use nshd_tensor::Rng;
+
+    fn random_hv(dim: usize, rng: &mut Rng) -> BipolarHv {
+        BipolarHv::new((0..dim).map(|_| if rng.bipolar() > 0.0 { 1 } else { -1 }).collect())
+    }
+
+    #[test]
+    fn hyperspace_error_points_toward_positive_classes() {
+        let mut rng = Rng::new(1);
+        let dim = 1024;
+        let mut mem = AssociativeMemory::new(2, dim);
+        let a = random_hv(dim, &mut rng);
+        let b = random_hv(dim, &mut rng);
+        mem.bundle(0, &a);
+        mem.bundle(1, &b);
+        let e = hyperspace_error(&mem, &[1.0, -1.0]);
+        // e must correlate positively with class 0 and negatively with 1.
+        let dot = |x: &[f32], hv: &BipolarHv| -> f32 {
+            x.iter().zip(hv.components()).map(|(v, &s)| v * s as f32).sum()
+        };
+        assert!(dot(&e, &a) > 0.0);
+        assert!(dot(&e, &b) < 0.0);
+    }
+
+    #[test]
+    fn empty_class_contributes_nothing() {
+        let mem = AssociativeMemory::new(2, 64);
+        let e = hyperspace_error(&mem, &[1.0, 1.0]);
+        assert!(e.iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn ste_gates_saturated_components() {
+        let error = vec![1.0, 1.0, 1.0, 1.0];
+        let pre = vec![0.1, -0.2, 10.0, -12.0]; // mean |pre| = 5.575
+        let cfg = SteConfig { clip_factor: 0.5 }; // clip ≈ 2.79
+        let gated = apply_ste(&error, &pre, &cfg);
+        assert_eq!(gated, vec![1.0, 1.0, 0.0, 0.0]);
+    }
+
+    #[test]
+    fn feature_gradient_improves_similarity_when_followed() {
+        // Ascending the decoded gradient in feature space must increase
+        // the (pre-sign, hence eventual) similarity to the target class.
+        let mut rng = Rng::new(2);
+        let f = 12;
+        let d = 4096;
+        let proj = RandomProjection::new(f, d, 3);
+        let v: Vec<f32> = (0..f).map(|_| rng.normal()).collect();
+        let pre = proj.encode_raw(&v);
+        let h = BipolarHv::from_signs(&pre);
+
+        // Memory: class 0 is a random target prototype, class 1 is h
+        // itself (so the sample currently matches the wrong class).
+        let target = random_hv(d, &mut rng);
+        let mut mem = AssociativeMemory::new(2, d);
+        mem.bundle(0, &target);
+        mem.bundle(1, &h);
+
+        let u = vec![1.0, -1.0]; // push toward class 0, away from class 1
+        let g = feature_gradient(&proj, &mem, &u, &pre, &SteConfig::default());
+        assert_eq!(g.len(), f);
+        assert!(g.iter().any(|&x| x != 0.0));
+
+        // Decoded gradients carry a 1/D normalisation, so scale the ascent
+        // step relative to the input magnitude (as the manifold trainer
+        // does).
+        let norm_v: f32 = v.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let norm_g: f32 = g.iter().map(|x| x * x).sum::<f32>().sqrt();
+        let step = 0.5 * norm_v / norm_g;
+        let v2: Vec<f32> = v.iter().zip(&g).map(|(a, b)| a + step * b).collect();
+        let h2 = proj.encode(&v2);
+        let sims_before = mem.similarities(&h);
+        let sims_after = mem.similarities(&h2);
+        assert!(
+            sims_after[0] - sims_after[1] > sims_before[0] - sims_before[1],
+            "margin did not improve: {sims_before:?} → {sims_after:?}"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "width mismatch")]
+    fn wrong_update_width_panics() {
+        let mem = AssociativeMemory::new(3, 64);
+        hyperspace_error(&mem, &[1.0, 2.0]);
+    }
+}

@@ -1,0 +1,234 @@
+//! Symbolic composition utilities: item memories, key–value records, and
+//! sequence encoding.
+//!
+//! The paper positions NSHD inside neuro-symbolic AI: once data is
+//! symbolised into hypervectors, classic HD algebra composes and queries
+//! structures. This module supplies the standard toolkit — a seeded item
+//! memory of named atomic symbols, record (key ⊗ value bundling)
+//! encoding, and permutation-based n-gram sequence encoding — so the
+//! symbolised representations can be *reasoned over*, not just
+//! classified.
+
+use crate::hypervector::BipolarHv;
+use crate::ops::{bind, bundle, permute, sign_with_tiebreak};
+use nshd_tensor::Rng;
+use std::collections::HashMap;
+
+/// A deterministic item memory: assigns each distinct name a random
+/// bipolar hypervector, created lazily and reproducibly from a seed.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_hdc::ItemMemory;
+///
+/// let mut items = ItemMemory::new(1_000, 7);
+/// let apple = items.get("apple").clone();
+/// assert_eq!(&apple, items.get("apple")); // stable
+/// assert_ne!(&apple, items.get("pear"));  // distinct
+/// ```
+#[derive(Debug, Clone)]
+pub struct ItemMemory {
+    dim: usize,
+    rng: Rng,
+    items: HashMap<String, BipolarHv>,
+}
+
+impl ItemMemory {
+    /// Creates an item memory of the given dimensionality.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dim == 0`.
+    pub fn new(dim: usize, seed: u64) -> Self {
+        assert!(dim > 0);
+        ItemMemory { dim, rng: Rng::new(seed), items: HashMap::new() }
+    }
+
+    /// Dimensionality of stored symbols.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Number of distinct symbols allocated so far.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// Whether no symbols have been allocated.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The hypervector for `name`, allocating a fresh quasi-orthogonal
+    /// one on first use.
+    pub fn get(&mut self, name: &str) -> &BipolarHv {
+        if !self.items.contains_key(name) {
+            // Derive the symbol from the name so allocation order does
+            // not matter: fork the seed stream by the name's hash.
+            let mut h: u64 = 0xcbf29ce484222325;
+            for b in name.bytes() {
+                h ^= b as u64;
+                h = h.wrapping_mul(0x100000001b3);
+            }
+            let mut rng = self.rng.clone().fork(h);
+            let hv = BipolarHv::new(
+                (0..self.dim).map(|_| if rng.bipolar() > 0.0 { 1 } else { -1 }).collect(),
+            );
+            self.items.insert(name.to_string(), hv);
+        }
+        &self.items[name]
+    }
+
+    /// The most similar known symbol to a query, with its cosine — the
+    /// "cleanup memory" operation.
+    pub fn cleanup(&self, query: &BipolarHv) -> Option<(&str, f32)> {
+        let mut best: Option<(&str, f32)> = None;
+        for (name, hv) in &self.items {
+            let dot: i64 = hv
+                .components()
+                .iter()
+                .zip(query.components())
+                .map(|(&a, &b)| a as i64 * b as i64)
+                .sum();
+            let cos = dot as f32 / self.dim as f32;
+            if best.map(|(_, b)| cos > b).unwrap_or(true) {
+                best = Some((name.as_str(), cos));
+            }
+        }
+        best
+    }
+}
+
+/// Encodes a record `{key_i: value_i}` as `sign(Σ key_i ⊗ value_i)`.
+///
+/// Individual fields are recoverable by binding with the key again
+/// (binding is self-inverse) and cleaning up against the item memory.
+///
+/// # Panics
+///
+/// Panics if `fields` is empty or dimensions disagree.
+pub fn encode_record(fields: &[(&BipolarHv, &BipolarHv)]) -> BipolarHv {
+    assert!(!fields.is_empty(), "record needs at least one field");
+    let bound: Vec<BipolarHv> = fields.iter().map(|(k, v)| bind(k, v)).collect();
+    let refs: Vec<&BipolarHv> = bound.iter().collect();
+    sign_with_tiebreak(&bundle(&refs))
+}
+
+/// Retrieves (an approximation of) the value stored under `key` in a
+/// record hypervector: `record ⊗ key`.
+pub fn query_record(record: &BipolarHv, key: &BipolarHv) -> BipolarHv {
+    bind(record, key)
+}
+
+/// Encodes a sequence of symbols as bundled position-permuted n-grams:
+/// `Σ_i ρ^(n-1)(s_i) ⊗ ρ^(n-2)(s_{i+1}) ⊗ … ⊗ s_{i+n-1}` — the encoding
+/// used by the HD language-recognition literature the paper cites.
+///
+/// # Panics
+///
+/// Panics if `n == 0` or the sequence is shorter than `n`.
+pub fn encode_sequence(symbols: &[&BipolarHv], n: usize) -> BipolarHv {
+    assert!(n > 0, "n-gram size must be positive");
+    assert!(symbols.len() >= n, "sequence shorter than n-gram size");
+    let mut grams: Vec<BipolarHv> = Vec::with_capacity(symbols.len() - n + 1);
+    for window in symbols.windows(n) {
+        let mut gram = permute(window[0], n - 1);
+        for (offset, sym) in window.iter().enumerate().skip(1) {
+            gram = bind(&gram, &permute(sym, n - 1 - offset));
+        }
+        grams.push(gram);
+    }
+    let refs: Vec<&BipolarHv> = grams.iter().collect();
+    sign_with_tiebreak(&bundle(&refs))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::similarity::cosine_packed;
+
+    #[test]
+    fn item_memory_is_order_independent() {
+        let mut a = ItemMemory::new(512, 3);
+        let mut b = ItemMemory::new(512, 3);
+        let x1 = a.get("x").clone();
+        let _ = b.get("y");
+        let x2 = b.get("x").clone();
+        assert_eq!(x1, x2, "symbol identity must not depend on allocation order");
+    }
+
+    #[test]
+    fn record_fields_are_recoverable() {
+        let dim = 4_096;
+        let mut items = ItemMemory::new(dim, 5);
+        let name_k = items.get("name").clone();
+        let colour_k = items.get("colour").clone();
+        let alice = items.get("alice").clone();
+        let red = items.get("red").clone();
+        let record = encode_record(&[(&name_k, &alice), (&colour_k, &red)]);
+        // Unbind the name key and clean up.
+        let noisy_name = query_record(&record, &name_k);
+        let (best, cos) = items.cleanup(&noisy_name).expect("non-empty memory");
+        assert_eq!(best, "alice", "cleanup returned {best} ({cos})");
+        let noisy_colour = query_record(&record, &colour_k);
+        assert_eq!(items.cleanup(&noisy_colour).expect("some").0, "red");
+    }
+
+    #[test]
+    fn cleanup_rejects_unrelated_queries_gracefully() {
+        let mut items = ItemMemory::new(2_048, 6);
+        let _ = items.get("a");
+        let _ = items.get("b");
+        let mut other = ItemMemory::new(2_048, 99);
+        let q = other.get("unrelated").clone();
+        let (_, cos) = items.cleanup(&q).expect("non-empty");
+        assert!(cos.abs() < 0.1, "unrelated query matched too well: {cos}");
+    }
+
+    #[test]
+    fn sequences_distinguish_order() {
+        let dim = 4_096;
+        let mut items = ItemMemory::new(dim, 7);
+        let a = items.get("a").clone();
+        let b = items.get("b").clone();
+        let c = items.get("c").clone();
+        let abc = encode_sequence(&[&a, &b, &c], 2);
+        let cba = encode_sequence(&[&c, &b, &a], 2);
+        let abc2 = encode_sequence(&[&a, &b, &c], 2);
+        assert_eq!(abc, abc2);
+        let same = cosine_packed(&abc.to_packed(), &abc2.to_packed());
+        let reversed = cosine_packed(&abc.to_packed(), &cba.to_packed());
+        assert!(same > reversed + 0.5, "order not distinguished: {same} vs {reversed}");
+    }
+
+    #[test]
+    fn similar_sequences_share_ngrams() {
+        let dim = 4_096;
+        let mut items = ItemMemory::new(dim, 8);
+        let syms: Vec<BipolarHv> = (0..6).map(|i| items.get(&format!("s{i}")).clone()).collect();
+        let refs: Vec<&BipolarHv> = syms.iter().collect();
+        let full = encode_sequence(&refs, 3);
+        // Replace the last symbol only: most trigrams survive.
+        let mut alt = refs.clone();
+        let z = items.get("z").clone();
+        alt[5] = &z;
+        let close = encode_sequence(&alt, 3);
+        let cos = cosine_packed(&full.to_packed(), &close.to_packed());
+        assert!(cos > 0.4, "shared n-grams lost: {cos}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one field")]
+    fn empty_record_panics() {
+        encode_record(&[]);
+    }
+
+    #[test]
+    #[should_panic(expected = "shorter than n-gram")]
+    fn short_sequence_panics() {
+        let mut items = ItemMemory::new(64, 9);
+        let a = items.get("a").clone();
+        encode_sequence(&[&a], 2);
+    }
+}

@@ -1,0 +1,282 @@
+//! Analytical model of the Xilinx DPU accelerator on the ZCU104, the
+//! platform of the paper's FPGA results (Table I, Fig. 6, Fig. 10).
+//!
+//! The model captures the structure that matters for throughput shape: a
+//! fixed INT8 MAC array at 200 MHz, per-phase efficiency factors (dense
+//! convolution keeps the array busy; fully-connected and HD phases are
+//! bandwidth-bound), and a roofline-style `max(compute, memory)` cycle
+//! count per phase.
+
+use crate::phase::{OpKind, Phase, Workload};
+
+/// One resource row of the FPGA utilisation table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ResourceRow {
+    /// Units used by the accelerator.
+    pub used: u64,
+    /// Units available on the device.
+    pub available: u64,
+}
+
+impl ResourceRow {
+    /// Utilisation percentage.
+    pub fn utilization_percent(&self) -> f64 {
+        self.used as f64 / self.available as f64 * 100.0
+    }
+}
+
+/// The DPU configuration and resource footprint (Table I).
+#[derive(Debug, Clone, PartialEq)]
+pub struct DpuModel {
+    /// Configuration name.
+    pub name: String,
+    /// Look-up tables.
+    pub lut: ResourceRow,
+    /// Flip-flops.
+    pub ff: ResourceRow,
+    /// Block RAM tiles.
+    pub bram: ResourceRow,
+    /// UltraRAM tiles.
+    pub uram: ResourceRow,
+    /// DSP slices.
+    pub dsp: ResourceRow,
+    /// Clock frequency in hertz.
+    pub frequency_hz: f64,
+    /// Measured board power in watts.
+    pub power_w: f64,
+    /// Peak INT8 MACs retired per cycle (a B4096-class core does 4096
+    /// INT8 ops ≈ 2048 MACs per cycle).
+    pub macs_per_cycle: f64,
+    /// Peak binary (popcount/add-sub) ops per cycle — HD phases map to
+    /// LUT logic and run wider than the MAC array.
+    pub binary_ops_per_cycle: f64,
+    /// External-memory bytes per cycle.
+    pub bytes_per_cycle: f64,
+    /// MAC-array efficiency for dense convolution phases.
+    pub conv_efficiency: f64,
+    /// MAC-array efficiency for fully-connected / bandwidth-bound phases.
+    pub fc_efficiency: f64,
+}
+
+/// The standard Vitis-AI DPU core sizes (peak INT8 ops per cycle).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DpuSize {
+    /// B512 core: 512 ops/cycle.
+    B512,
+    /// B1024 core: 1024 ops/cycle.
+    B1024,
+    /// B2304 core: 2304 ops/cycle.
+    B2304,
+    /// B4096 core: 4096 ops/cycle (the ZCU104 configuration).
+    B4096,
+}
+
+impl DpuSize {
+    /// All sizes, smallest first.
+    pub const ALL: [DpuSize; 4] = [DpuSize::B512, DpuSize::B1024, DpuSize::B2304, DpuSize::B4096];
+
+    /// Peak INT8 operations per cycle.
+    pub fn ops_per_cycle(self) -> f64 {
+        match self {
+            DpuSize::B512 => 512.0,
+            DpuSize::B1024 => 1024.0,
+            DpuSize::B2304 => 2304.0,
+            DpuSize::B4096 => 4096.0,
+        }
+    }
+
+    /// Approximate resource scaling relative to B4096 (DSPs and LUTs
+    /// scale close to linearly with the MAC array).
+    fn resource_fraction(self) -> f64 {
+        self.ops_per_cycle() / 4096.0
+    }
+}
+
+impl std::fmt::Display for DpuSize {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let name = match self {
+            DpuSize::B512 => "B512",
+            DpuSize::B1024 => "B1024",
+            DpuSize::B2304 => "B2304",
+            DpuSize::B4096 => "B4096",
+        };
+        f.write_str(name)
+    }
+}
+
+impl DpuModel {
+    /// The ZCU104 DPU configuration of the paper's Table I.
+    pub fn zcu104() -> Self {
+        DpuModel {
+            name: "DPU @ ZCU104".into(),
+            lut: ResourceRow { used: 84_900, available: 230_400 },
+            ff: ResourceRow { used: 146_500, available: 460_800 },
+            bram: ResourceRow { used: 224, available: 312 },
+            uram: ResourceRow { used: 40, available: 96 },
+            dsp: ResourceRow { used: 844, available: 1728 },
+            frequency_hz: 200e6,
+            power_w: 4.427,
+            macs_per_cycle: 2048.0,
+            binary_ops_per_cycle: 8192.0,
+            bytes_per_cycle: 64.0,
+            conv_efficiency: 0.55,
+            fc_efficiency: 0.18,
+        }
+    }
+
+    /// Cycles consumed by one phase: the roofline maximum of compute and
+    /// memory cycles.
+    pub fn phase_cycles(&self, phase: &Phase) -> f64 {
+        let compute = match phase.kind {
+            OpKind::MacFp32 | OpKind::MacInt8 => {
+                // DPU executes everything quantised to INT8; efficiency
+                // depends on phase structure.
+                let eff = if phase.param_bytes > 0 && phase.ops / phase.param_bytes.max(1) < 16 {
+                    // Low arithmetic intensity → FC-like.
+                    self.fc_efficiency
+                } else {
+                    self.conv_efficiency
+                };
+                phase.ops as f64 / (self.macs_per_cycle * eff)
+            }
+            OpKind::BinaryOp => phase.ops as f64 / self.binary_ops_per_cycle,
+            OpKind::Elementwise => phase.activation_bytes as f64 / self.bytes_per_cycle,
+        };
+        let memory =
+            (phase.param_bytes + phase.activation_bytes) as f64 / self.bytes_per_cycle;
+        compute.max(memory)
+    }
+
+    /// Total per-inference latency in seconds.
+    pub fn latency_s(&self, workload: &Workload) -> f64 {
+        let cycles: f64 = workload.phases.iter().map(|p| self.phase_cycles(p)).sum();
+        cycles / self.frequency_hz
+    }
+
+    /// Inference throughput in frames per second — Fig. 6's metric.
+    pub fn fps(&self, workload: &Workload) -> f64 {
+        1.0 / self.latency_s(workload)
+    }
+
+    /// Energy per inference in millijoules (power × latency).
+    pub fn energy_per_inference_mj(&self, workload: &Workload) -> f64 {
+        self.power_w * self.latency_s(workload) * 1e3
+    }
+
+    /// A scaled DPU variant: the ZCU104 fabric with a smaller (or the
+    /// same) core. Compute throughput, DSP/LUT footprint, and power scale
+    /// with the MAC array; external bandwidth is a board property and
+    /// stays fixed. Useful for design-space exploration ("which core fits
+    /// my FPS target in my LUT budget?").
+    pub fn zcu104_with_size(size: DpuSize) -> Self {
+        let base = DpuModel::zcu104();
+        let frac = size.resource_fraction();
+        DpuModel {
+            name: format!("DPU {size} @ ZCU104"),
+            lut: ResourceRow {
+                used: (base.lut.used as f64 * frac) as u64,
+                available: base.lut.available,
+            },
+            ff: ResourceRow {
+                used: (base.ff.used as f64 * frac) as u64,
+                available: base.ff.available,
+            },
+            bram: ResourceRow {
+                used: (base.bram.used as f64 * frac.max(0.4)) as u64, // buffers shrink sub-linearly
+                available: base.bram.available,
+            },
+            uram: base.uram,
+            dsp: ResourceRow {
+                used: (base.dsp.used as f64 * frac) as u64,
+                available: base.dsp.available,
+            },
+            macs_per_cycle: size.ops_per_cycle() / 2.0,
+            binary_ops_per_cycle: base.binary_ops_per_cycle * frac,
+            power_w: 1.2 + (base.power_w - 1.2) * frac, // static + dynamic split
+            ..base
+        }
+    }
+
+    /// The Table I rows as `(name, used, available, utilisation %)`.
+    pub fn resource_table(&self) -> Vec<(&'static str, u64, u64, f64)> {
+        vec![
+            ("LUT", self.lut.used, self.lut.available, self.lut.utilization_percent()),
+            ("FF", self.ff.used, self.ff.available, self.ff.utilization_percent()),
+            ("BRAM", self.bram.used, self.bram.available, self.bram.utilization_percent()),
+            ("URAM", self.uram.used, self.uram.available, self.uram.utilization_percent()),
+            ("DSP", self.dsp.used, self.dsp.available, self.dsp.utilization_percent()),
+        ]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_one_utilisations_match_paper() {
+        let dpu = DpuModel::zcu104();
+        let rows = dpu.resource_table();
+        let pct: Vec<f64> = rows.iter().map(|r| r.3).collect();
+        // Paper Table I: 36.87%, 31.80%, 71.79%, 41.67%, 48.84%.
+        for (got, expect) in pct.iter().zip([36.87, 31.80, 71.79, 41.67, 48.84]) {
+            assert!((got - expect).abs() < 0.05, "{got} vs {expect}");
+        }
+        assert_eq!(dpu.frequency_hz, 200e6);
+        assert!((dpu.power_w - 4.427).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fewer_macs_means_more_fps() {
+        let dpu = DpuModel::zcu104();
+        let heavy = Workload::new("h").with(Phase::new("c", OpKind::MacInt8, 50_000_000, 1_000_000, 100_000));
+        let light = Workload::new("l").with(Phase::new("c", OpKind::MacInt8, 10_000_000, 500_000, 100_000));
+        assert!(dpu.fps(&light) > dpu.fps(&heavy));
+    }
+
+    #[test]
+    fn binary_phases_are_cheaper_than_equivalent_mac_phases() {
+        let dpu = DpuModel::zcu104();
+        let mac = Phase::new("m", OpKind::MacInt8, 1_000_000, 0, 0);
+        let bin = Phase::new("b", OpKind::BinaryOp, 1_000_000, 0, 0);
+        assert!(dpu.phase_cycles(&bin) < dpu.phase_cycles(&mac));
+    }
+
+    #[test]
+    fn bandwidth_bound_phase_hits_memory_roofline() {
+        let dpu = DpuModel::zcu104();
+        // Tiny compute with huge parameter streaming: memory cycles win.
+        let p = Phase::new("fc", OpKind::MacInt8, 1_000, 10_000_000, 0);
+        let cycles = dpu.phase_cycles(&p);
+        assert!((cycles - 10_000_000.0 / 64.0).abs() < 1.0);
+    }
+
+    #[test]
+    fn smaller_cores_are_slower_but_cheaper() {
+        let w = Workload::new("w").with(Phase::new("c", OpKind::MacInt8, 100_000_000, 1_000_000, 0));
+        let mut prev_fps = 0.0;
+        let mut prev_dsp = 0;
+        for size in DpuSize::ALL {
+            let dpu = DpuModel::zcu104_with_size(size);
+            let fps = dpu.fps(&w);
+            assert!(fps > prev_fps, "{size}: fps not increasing");
+            assert!(dpu.dsp.used > prev_dsp, "{size}: dsp not increasing");
+            prev_fps = fps;
+            prev_dsp = dpu.dsp.used;
+        }
+        // The B4096 variant is exactly the Table I configuration.
+        let full = DpuModel::zcu104_with_size(DpuSize::B4096);
+        assert_eq!(full.dsp.used, DpuModel::zcu104().dsp.used);
+        assert_eq!(full.macs_per_cycle, DpuModel::zcu104().macs_per_cycle);
+    }
+
+    #[test]
+    fn fps_is_inverse_latency_and_energy_scales_with_latency() {
+        let dpu = DpuModel::zcu104();
+        let w = Workload::new("w").with(Phase::new("c", OpKind::MacInt8, 20_000_000, 2_000_000, 0));
+        let fps = dpu.fps(&w);
+        let lat = dpu.latency_s(&w);
+        assert!((fps * lat - 1.0).abs() < 1e-9);
+        assert!((dpu.energy_per_inference_mj(&w) - dpu.power_w * lat * 1e3).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,148 @@
+//! Analytical energy model for GPU-class edge accelerators.
+//!
+//! The paper measures Xavier power with `nvidia-smi`; here energy is
+//! `Σ ops·e_op + Σ bytes·e_byte` over the workload's phases, with per-op
+//! energies differentiated by arithmetic class (the TensorRT INT8 path and
+//! the binary constant-memory HD kernels are what make NSHD cheap on real
+//! hardware, and the same structure makes it cheap here). Only *relative*
+//! energy matters for Fig. 4, and relative energy is governed by the
+//! op/byte counts, which this workspace counts exactly.
+
+use crate::phase::{OpKind, Phase, Workload};
+
+/// Per-operation and per-byte energy coefficients, in picojoules.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EnergyProfile {
+    /// Profile name.
+    pub name: String,
+    /// Energy per FP32 MAC.
+    pub pj_per_mac_fp32: f64,
+    /// Energy per INT8 MAC.
+    pub pj_per_mac_int8: f64,
+    /// Energy per binary (sign-select add/sub) op.
+    pub pj_per_binary_op: f64,
+    /// Energy per elementwise op (per activation byte touched).
+    pub pj_per_elementwise: f64,
+    /// Energy per DRAM byte (parameter streaming).
+    pub pj_per_dram_byte: f64,
+    /// Energy per on-chip SRAM byte (activation traffic).
+    pub pj_per_sram_byte: f64,
+    /// Multiplier on parameter bytes: workloads describe INT8 deployment
+    /// sizes, but the GPU path streams FP16 weights (TensorRT's default
+    /// precision on Xavier), doubling weight traffic.
+    pub weight_bytes_multiplier: f64,
+}
+
+impl EnergyProfile {
+    /// An NVIDIA-Xavier-class edge-GPU profile.
+    ///
+    /// Coefficients follow published energy-per-op figures for 16 nm-class
+    /// silicon (Horowitz ISSCC'14 scaling, LPDDR4x interface energy):
+    /// ≈ 2.7 pJ per FP32 MAC, ≈ 0.25 pJ per tensor-core INT8 MAC,
+    /// ≈ 0.1 pJ per binary add/sub, ≈ 25 pJ per LPDDR4x byte end to end,
+    /// ≈ 1 pJ per SRAM byte, with FP16 weight streaming (2× the INT8
+    /// deployment bytes). Absolute numbers are approximate; Fig. 4's
+    /// percentages depend only on their ratios.
+    pub fn xavier() -> Self {
+        EnergyProfile {
+            name: "xavier".into(),
+            pj_per_mac_fp32: 2.7,
+            pj_per_mac_int8: 0.25,
+            pj_per_binary_op: 0.1,
+            pj_per_elementwise: 0.2,
+            pj_per_dram_byte: 25.0,
+            pj_per_sram_byte: 1.0,
+            weight_bytes_multiplier: 2.0,
+        }
+    }
+
+    /// Energy of one phase, in picojoules.
+    pub fn phase_energy_pj(&self, phase: &Phase) -> f64 {
+        let op_cost = match phase.kind {
+            OpKind::MacFp32 => self.pj_per_mac_fp32,
+            OpKind::MacInt8 => self.pj_per_mac_int8,
+            OpKind::BinaryOp => self.pj_per_binary_op,
+            OpKind::Elementwise => self.pj_per_elementwise,
+        };
+        phase.ops as f64 * op_cost
+            + phase.param_bytes as f64 * self.weight_bytes_multiplier * self.pj_per_dram_byte
+            + phase.activation_bytes as f64 * self.pj_per_sram_byte
+    }
+
+    /// Energy of a whole per-inference workload, in microjoules.
+    pub fn workload_energy_uj(&self, workload: &Workload) -> f64 {
+        workload
+            .phases
+            .iter()
+            .map(|p| self.phase_energy_pj(p))
+            .sum::<f64>()
+            / 1e6
+    }
+
+    /// Percentage energy improvement of `candidate` over `baseline`
+    /// (positive = candidate cheaper), the metric Fig. 4 plots.
+    pub fn improvement_percent(&self, baseline: &Workload, candidate: &Workload) -> f64 {
+        let b = self.workload_energy_uj(baseline);
+        let c = self.workload_energy_uj(candidate);
+        if b == 0.0 {
+            return 0.0;
+        }
+        (1.0 - c / b) * 100.0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::phase::Phase;
+
+    fn phase(kind: OpKind, ops: u64) -> Phase {
+        Phase::new("p", kind, ops, 0, 0)
+    }
+
+    #[test]
+    fn binary_ops_are_cheapest_int8_beats_fp32() {
+        let p = EnergyProfile::xavier();
+        let fp = p.phase_energy_pj(&phase(OpKind::MacFp32, 1000));
+        let int8 = p.phase_energy_pj(&phase(OpKind::MacInt8, 1000));
+        let bin = p.phase_energy_pj(&phase(OpKind::BinaryOp, 1000));
+        assert!(fp > int8 && int8 > bin, "{fp} / {int8} / {bin}");
+    }
+
+    #[test]
+    fn memory_traffic_dominates_small_compute() {
+        let p = EnergyProfile::xavier();
+        // 1 KB of DRAM traffic outweighs 1000 INT8 MACs.
+        let mem_heavy = Phase::new("m", OpKind::MacInt8, 1000, 1024, 0);
+        let compute_only = Phase::new("c", OpKind::MacInt8, 1000, 0, 0);
+        assert!(p.phase_energy_pj(&mem_heavy) > 10.0 * p.phase_energy_pj(&compute_only));
+    }
+
+    #[test]
+    fn improvement_percent_matches_hand_computation() {
+        let p = EnergyProfile::xavier();
+        let baseline = Workload::new("b").with(phase(OpKind::MacFp32, 1_000_000));
+        let candidate = Workload::new("c").with(phase(OpKind::MacFp32, 500_000));
+        let imp = p.improvement_percent(&baseline, &candidate);
+        assert!((imp - 50.0).abs() < 1e-9);
+        // Candidate worse → negative improvement.
+        let worse = Workload::new("w").with(phase(OpKind::MacFp32, 2_000_000));
+        assert!(p.improvement_percent(&baseline, &worse) < 0.0);
+    }
+
+    #[test]
+    fn workload_energy_sums_phases() {
+        let p = EnergyProfile::xavier();
+        let w = Workload::new("w")
+            .with(phase(OpKind::MacInt8, 100))
+            .with(phase(OpKind::BinaryOp, 100));
+        let expect = (100.0 * 0.25 + 100.0 * 0.1) / 1e6;
+        assert!((p.workload_energy_uj(&w) - expect).abs() < 1e-12);
+    }
+
+    #[test]
+    fn zero_baseline_yields_zero_improvement() {
+        let p = EnergyProfile::xavier();
+        assert_eq!(p.improvement_percent(&Workload::new("z"), &Workload::new("z")), 0.0);
+    }
+}

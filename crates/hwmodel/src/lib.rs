@@ -1,0 +1,42 @@
+//! # nshd-hwmodel
+//!
+//! Analytical hardware cost models for the NSHD paper's efficiency
+//! experiments. The paper measures an NVIDIA Xavier GPU (`nvidia-smi`
+//! power) and a Xilinx ZCU104 FPGA running the Vitis-AI DPU; neither is
+//! available here, so this crate substitutes calibrated analytical models
+//! (DESIGN.md §3):
+//!
+//! - [`EnergyProfile`] — per-op/per-byte energy accounting on a
+//!   Xavier-class profile, driving the Fig. 4 energy-improvement numbers;
+//! - [`DpuModel`] — a B4096-class DPU at 200 MHz with the paper's exact
+//!   Table I resource footprint, a roofline cycle model, FPS (Fig. 6) and
+//!   the dimensionality–efficiency tradeoff (Fig. 10);
+//! - [`Workload`]/[`Phase`] — the pipeline description both models price.
+//!
+//! # Examples
+//!
+//! ```
+//! use nshd_hwmodel::{DpuModel, EnergyProfile, OpKind, Phase, Workload};
+//!
+//! let w = Workload::new("demo")
+//!     .with(Phase::new("conv", OpKind::MacInt8, 1_000_000, 10_000, 4_096))
+//!     .with(Phase::new("hd encode", OpKind::BinaryOp, 300_000, 0, 3_000));
+//! let fps = DpuModel::zcu104().fps(&w);
+//! let uj = EnergyProfile::xavier().workload_energy_uj(&w);
+//! assert!(fps > 0.0 && uj > 0.0);
+//! ```
+
+#![warn(missing_docs)]
+
+mod dpu;
+mod energy;
+mod phase;
+mod workloads;
+
+pub use dpu::{DpuModel, DpuSize, ResourceRow};
+pub use energy::EnergyProfile;
+pub use phase::{OpKind, Phase, Workload};
+pub use workloads::{
+    cnn_workload, cnn_workload_from_stats, extractor_workload, extractor_workload_from_stats,
+    phase_from_stat, INT8_ACT_BYTES, INT8_PARAM_BYTES,
+};

@@ -1,0 +1,99 @@
+//! Workload phases: the unit both hardware models consume.
+//!
+//! An inference pipeline (CNN or NSHD) is described as an ordered list of
+//! phases, each with an operation count, an arithmetic kind, and memory
+//! traffic. The energy model prices each phase on a GPU-like profile; the
+//! DPU model converts each phase to cycles.
+
+/// The arithmetic class of a phase, which determines per-op cost.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OpKind {
+    /// FP32 multiply–accumulate (unoptimised GPU path).
+    MacFp32,
+    /// INT8 multiply–accumulate (TensorRT-quantised convolutions, DPU
+    /// native precision).
+    MacInt8,
+    /// Binary add/sub selected by a sign bit — the paper's optimized HD
+    /// kernels (constant-memory binary hypervectors, no multiplication).
+    BinaryOp,
+    /// Elementwise / data-movement work (pooling, activation) — priced by
+    /// bytes, with negligible arithmetic cost.
+    Elementwise,
+}
+
+/// One stage of an inference pipeline.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Phase {
+    /// Human-readable stage name (`"feature extractor"`, `"hd encode"`…).
+    pub name: String,
+    /// Arithmetic class.
+    pub kind: OpKind,
+    /// Operation count per inference (MACs or binary ops).
+    pub ops: u64,
+    /// Bytes of parameters streamed from DRAM per inference (weights are
+    /// re-read unless cached; we charge them once per inference, the
+    /// steady-state batch-1 behaviour of both platforms).
+    pub param_bytes: u64,
+    /// Bytes of activations moved through on-chip memory.
+    pub activation_bytes: u64,
+}
+
+impl Phase {
+    /// Creates a phase.
+    pub fn new(
+        name: impl Into<String>,
+        kind: OpKind,
+        ops: u64,
+        param_bytes: u64,
+        activation_bytes: u64,
+    ) -> Self {
+        Phase { name: name.into(), kind, ops, param_bytes, activation_bytes }
+    }
+}
+
+/// A complete per-inference workload: an ordered list of phases.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Workload {
+    /// Pipeline name (`"CNN (VGG16)"`, `"NSHD (VGG16@27)"` …).
+    pub name: String,
+    /// The stages executed per inference.
+    pub phases: Vec<Phase>,
+}
+
+impl Workload {
+    /// Creates an empty workload.
+    pub fn new(name: impl Into<String>) -> Self {
+        Workload { name: name.into(), phases: Vec::new() }
+    }
+
+    /// Appends a phase, builder-style.
+    pub fn with(mut self, phase: Phase) -> Self {
+        self.phases.push(phase);
+        self
+    }
+
+    /// Total operation count across phases.
+    pub fn total_ops(&self) -> u64 {
+        self.phases.iter().map(|p| p.ops).sum()
+    }
+
+    /// Total parameter bytes.
+    pub fn total_param_bytes(&self) -> u64 {
+        self.phases.iter().map(|p| p.param_bytes).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn workload_builder_accumulates() {
+        let w = Workload::new("test")
+            .with(Phase::new("a", OpKind::MacInt8, 100, 400, 50))
+            .with(Phase::new("b", OpKind::BinaryOp, 200, 0, 10));
+        assert_eq!(w.phases.len(), 2);
+        assert_eq!(w.total_ops(), 300);
+        assert_eq!(w.total_param_bytes(), 400);
+    }
+}

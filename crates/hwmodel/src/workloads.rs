@@ -1,0 +1,109 @@
+//! Builders that turn CNN cost statistics into hardware workloads.
+//!
+//! NSHD-specific pipelines (extractor + manifold + HD encode + similarity)
+//! are assembled in `nshd-core`; this module provides the generic
+//! CNN-side conversion both use.
+
+use crate::phase::{OpKind, Phase, Workload};
+use nshd_nn::stats::{model_stats, LayerStat, ModelStats};
+use nshd_nn::Model;
+
+/// Bytes per parameter under INT8 deployment quantisation (the paper runs
+/// TensorRT / Vitis-AI INT8).
+pub const INT8_PARAM_BYTES: u64 = 1;
+
+/// Bytes per activation element (INT8 deployment).
+pub const INT8_ACT_BYTES: u64 = 1;
+
+/// Converts one layer's statistics into a phase.
+pub fn phase_from_stat(stat: &LayerStat, prefix: &str) -> Phase {
+    let kind = if stat.macs > 0 { OpKind::MacInt8 } else { OpKind::Elementwise };
+    Phase::new(
+        format!("{prefix}{}:{}", stat.index, stat.name),
+        kind,
+        stat.macs,
+        stat.params as u64 * INT8_PARAM_BYTES,
+        stat.activation_elems as u64 * INT8_ACT_BYTES,
+    )
+}
+
+/// Builds the full-CNN inference workload from precomputed statistics
+/// (works for both built models and reference-scale specs).
+pub fn cnn_workload_from_stats(stats: &ModelStats, name: &str) -> Workload {
+    let mut w = Workload::new(format!("CNN ({name})"));
+    for s in &stats.features {
+        w.phases.push(phase_from_stat(s, "feat"));
+    }
+    for s in &stats.classifier {
+        w.phases.push(phase_from_stat(s, "head"));
+    }
+    w
+}
+
+/// Builds the full-CNN inference workload (the paper's baseline in
+/// Figs. 4 and 6): every feature layer plus the classifier head.
+pub fn cnn_workload(model: &Model) -> Workload {
+    cnn_workload_from_stats(&model_stats(model), &model.name)
+}
+
+/// Builds the truncated-extractor workload from precomputed statistics.
+///
+/// # Panics
+///
+/// Panics if `cut` exceeds the feature stack.
+pub fn extractor_workload_from_stats(stats: &ModelStats, cut: usize, name: &str) -> Workload {
+    assert!(cut <= stats.features.len(), "cut {cut} exceeds feature stack");
+    let mut w = Workload::new(format!("extractor ({name}@{cut})"));
+    for s in &stats.features[..cut] {
+        w.phases.push(phase_from_stat(s, "feat"));
+    }
+    w
+}
+
+/// Builds the truncated-extractor workload: feature layers `0..cut` only.
+/// NSHD pipelines start from this and append manifold/HD phases.
+pub fn extractor_workload(model: &Model, cut: usize) -> Workload {
+    extractor_workload_from_stats(&model_stats(model), cut, &model.name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshd_nn::Architecture;
+    use nshd_tensor::Rng;
+
+    #[test]
+    fn cnn_workload_covers_all_layers() {
+        let mut rng = Rng::new(1);
+        let m = Architecture::Vgg16.build(10, &mut rng);
+        let w = cnn_workload(&m);
+        assert_eq!(w.phases.len(), 31 + 4);
+        assert_eq!(w.total_ops(), {
+            let stats = model_stats(&m);
+            stats.total_macs
+        });
+    }
+
+    #[test]
+    fn extractor_workload_is_a_prefix() {
+        let mut rng = Rng::new(2);
+        let m = Architecture::MobileNetV2.build(10, &mut rng);
+        let full = cnn_workload(&m);
+        let cut = extractor_workload(&m, 15);
+        assert_eq!(cut.phases.len(), 15);
+        for (a, b) in cut.phases.iter().zip(full.phases.iter()) {
+            assert_eq!(a, b);
+        }
+        assert!(cut.total_ops() < full.total_ops());
+    }
+
+    #[test]
+    fn zero_mac_layers_become_elementwise() {
+        let mut rng = Rng::new(3);
+        let m = Architecture::Vgg16.build(10, &mut rng);
+        let w = cnn_workload(&m);
+        // Layer 1 is a ReLU.
+        assert_eq!(w.phases[1].kind, OpKind::Elementwise);
+        assert_eq!(w.phases[0].kind, OpKind::MacInt8);
+    }
+}

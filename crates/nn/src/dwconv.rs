@@ -1,0 +1,279 @@
+//! Depthwise 2-D convolution (one filter per channel), the workhorse of
+//! MobileNetV2's and EfficientNet's inverted-residual blocks.
+
+use crate::init::he_normal;
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use nshd_tensor::{Rng, Tensor};
+
+/// A depthwise convolution: each input channel is convolved with its own
+/// `R×S` kernel; channel count is preserved.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_nn::{DepthwiseConv2d, Layer, Mode};
+/// use nshd_tensor::{Rng, Tensor};
+///
+/// let mut rng = Rng::new(0);
+/// let mut dw = DepthwiseConv2d::new(4, 3, 2, 1, &mut rng);
+/// let y = dw.forward(&Tensor::zeros([1, 4, 16, 16]), Mode::Eval);
+/// assert_eq!(y.dims(), &[1, 4, 8, 8]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct DepthwiseConv2d {
+    channels: usize,
+    kernel: usize,
+    stride: usize,
+    padding: usize,
+    /// `channels × kernel² ` filter bank.
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl DepthwiseConv2d {
+    /// Creates a depthwise convolution with He-initialised filters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    pub fn new(channels: usize, kernel: usize, stride: usize, padding: usize, rng: &mut Rng) -> Self {
+        assert!(channels > 0 && kernel > 0 && stride > 0);
+        let fan_in = kernel * kernel;
+        let weight = Param::new(he_normal(rng, &[channels, fan_in], fan_in));
+        let bias = Param::new_no_decay(Tensor::zeros([channels]));
+        DepthwiseConv2d { channels, kernel, stride, padding, weight, bias, cached_input: None }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding - self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding - self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+}
+
+impl Layer for DepthwiseConv2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> String {
+        format!("dwconv{}x{}(c{},s{})", self.kernel, self.kernel, self.channels, self.stride)
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let dims = input.dims();
+        assert_eq!(dims.len(), 4, "DepthwiseConv2d expects NCHW input");
+        assert_eq!(dims[1], self.channels, "channel mismatch in {}", self.name());
+        let (n, h, w) = (dims[0], dims[2], dims[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        let mut out = Tensor::zeros([n, self.channels, oh, ow]);
+        let x = input.as_slice();
+        let wv = self.weight.value.as_slice();
+        let bv = self.bias.value.as_slice();
+        let ov = out.as_mut_slice();
+        let k = self.kernel;
+        for b in 0..n {
+            for c in 0..self.channels {
+                let plane = &x[(b * self.channels + c) * h * w..(b * self.channels + c + 1) * h * w];
+                let filt = &wv[c * k * k..(c + 1) * k * k];
+                let dst =
+                    &mut ov[(b * self.channels + c) * oh * ow..(b * self.channels + c + 1) * oh * ow];
+                for oy in 0..oh {
+                    let y0 = (oy * self.stride) as isize - self.padding as isize;
+                    let y_interior = y0 >= 0 && (y0 as usize) + k <= h;
+                    for ox in 0..ow {
+                        let x0 = (ox * self.stride) as isize - self.padding as isize;
+                        let mut acc = bv[c];
+                        if y_interior && x0 >= 0 && (x0 as usize) + k <= w {
+                            // Fully in-bounds window: branch-free taps.
+                            let base = y0 as usize * w + x0 as usize;
+                            for ky in 0..k {
+                                let row = &plane[base + ky * w..base + ky * w + k];
+                                let frow = &filt[ky * k..ky * k + k];
+                                for (&pv, &fv) in row.iter().zip(frow) {
+                                    acc += pv * fv;
+                                }
+                            }
+                        } else {
+                            for ky in 0..k {
+                                let iy = y0 + ky as isize;
+                                if iy < 0 || iy as usize >= h {
+                                    continue;
+                                }
+                                for kx in 0..k {
+                                    let ix = x0 + kx as isize;
+                                    if ix >= 0 && (ix as usize) < w {
+                                        acc +=
+                                            plane[iy as usize * w + ix as usize] * filt[ky * k + kx];
+                                    }
+                                }
+                            }
+                        }
+                        dst[oy * ow + ox] = acc;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called without a training-mode forward")
+            .clone();
+        let dims = input.dims();
+        let (n, h, w) = (dims[0], dims[2], dims[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        assert_eq!(grad.dims(), &[n, self.channels, oh, ow]);
+        let mut dx = Tensor::zeros([n, self.channels, h, w]);
+        let x = input.as_slice();
+        let g = grad.as_slice();
+        let wv = self.weight.value.as_slice();
+        let dwv = self.weight.grad.as_mut_slice();
+        let dbv = self.bias.grad.as_mut_slice();
+        let dxv = dx.as_mut_slice();
+        let k = self.kernel;
+        for b in 0..n {
+            for c in 0..self.channels {
+                let base_in = (b * self.channels + c) * h * w;
+                let base_out = (b * self.channels + c) * oh * ow;
+                let filt = &wv[c * k * k..(c + 1) * k * k];
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let go = g[base_out + oy * ow + ox];
+                        if go == 0.0 {
+                            continue;
+                        }
+                        dbv[c] += go;
+                        for ky in 0..k {
+                            let iy = (oy * self.stride + ky) as isize - self.padding as isize;
+                            if iy < 0 || iy as usize >= h {
+                                continue;
+                            }
+                            for kx in 0..k {
+                                let ix = (ox * self.stride + kx) as isize - self.padding as isize;
+                                if ix >= 0 && (ix as usize) < w {
+                                    let pix = base_in + iy as usize * w + ix as usize;
+                                    dwv[c * k * k + ky * k + kx] += go * x[pix];
+                                    dxv[pix] += go * filt[ky * k + kx];
+                                }
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(in_shape[1], in_shape[2]);
+        vec![self.channels, oh, ow]
+    }
+
+    fn macs(&self, in_shape: &[usize]) -> u64 {
+        let (oh, ow) = self.out_hw(in_shape[1], in_shape[2]);
+        (self.channels * self.kernel * self.kernel * oh * ow) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn channels_are_independent() {
+        let mut rng = Rng::new(1);
+        let mut dw = DepthwiseConv2d::new(2, 3, 1, 1, &mut rng);
+        // Zero out channel 1's filter: its output must be the bias (0).
+        for v in dw.weight.value.as_mut_slice()[9..18].iter_mut() {
+            *v = 0.0;
+        }
+        let x = Tensor::from_fn([1, 2, 4, 4], |i| i as f32);
+        let y = dw.forward(&x, Mode::Eval);
+        let c1 = &y.as_slice()[16..32];
+        assert!(c1.iter().all(|&v| v == 0.0));
+        let c0 = &y.as_slice()[..16];
+        assert!(c0.iter().any(|&v| v != 0.0));
+    }
+
+    #[test]
+    fn matches_full_conv_with_block_diagonal_weights() {
+        use crate::conv::Conv2d;
+        let mut rng = Rng::new(2);
+        let mut dw = DepthwiseConv2d::new(2, 3, 1, 1, &mut rng);
+        let mut full = Conv2d::new(2, 2, 3, 1, 1, &mut Rng::new(99));
+        // Build the equivalent block-diagonal full-conv weight.
+        for v in full.params_mut()[0].value.as_mut_slice().iter_mut() {
+            *v = 0.0;
+        }
+        let dwv: Vec<f32> = dw.weight.value.as_slice().to_vec();
+        {
+            let wfull = &mut full.params_mut()[0].value;
+            // full weight layout: [co][ci*9 + t], co==ci on the diagonal.
+            for c in 0..2 {
+                for t in 0..9 {
+                    *wfull.at_mut(&[c, c * 9 + t]) = dwv[c * 9 + t];
+                }
+            }
+        }
+        let x = Tensor::from_fn([1, 2, 5, 5], |i| ((i * 7 % 13) as f32 - 6.0) / 6.0);
+        let a = dw.forward(&x, Mode::Eval);
+        let b = full.forward(&x, Mode::Eval);
+        for (u, v) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((u - v).abs() < 1e-5, "{u} vs {v}");
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Rng::new(3);
+        let mut dw = DepthwiseConv2d::new(1, 3, 1, 1, &mut rng);
+        let x = Tensor::from_fn([1, 1, 4, 4], |i| (i as f32 * 0.31).cos());
+        let y = dw.forward(&x, Mode::Train);
+        let dx = dw.backward(&Tensor::ones(y.shape().clone()));
+        let eps = 1e-2;
+        for &idx in &[0usize, 7, 15] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let numeric =
+                (dw.forward(&xp, Mode::Eval).sum() - dw.forward(&xm, Mode::Eval).sum()) / (2.0 * eps);
+            assert!((numeric - dx.as_slice()[idx]).abs() < 1e-2);
+        }
+        for &idx in &[0usize, 4, 8] {
+            let orig = dw.weight.value.as_slice()[idx];
+            dw.weight.value.as_mut_slice()[idx] = orig + eps;
+            let fp = dw.forward(&x, Mode::Eval).sum();
+            dw.weight.value.as_mut_slice()[idx] = orig - eps;
+            let fm = dw.forward(&x, Mode::Eval).sum();
+            dw.weight.value.as_mut_slice()[idx] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - dw.weight.grad.as_slice()[idx]).abs() < 2e-2);
+        }
+    }
+
+    #[test]
+    fn macs_are_k2_per_output_element() {
+        let mut rng = Rng::new(4);
+        let dw = DepthwiseConv2d::new(8, 3, 1, 1, &mut rng);
+        assert_eq!(dw.macs(&[8, 16, 16]), 8 * 9 * 256);
+        assert_eq!(dw.param_count(), 8 * 9 + 8);
+    }
+}

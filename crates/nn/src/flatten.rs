@@ -1,0 +1,164 @@
+//! Shape-only layers: flatten and dropout.
+
+use crate::layer::{Layer, Mode};
+use nshd_tensor::{Rng, Tensor};
+
+/// Flattens `N×C×H×W` to `N×(C·H·W)`.
+#[derive(Debug, Clone, Default)]
+pub struct Flatten {
+    cached_in_shape: Option<Vec<usize>>,
+}
+
+impl Flatten {
+    /// Creates a flatten layer.
+    pub fn new() -> Self {
+        Flatten { cached_in_shape: None }
+    }
+}
+
+impl Layer for Flatten {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> String {
+        "flatten".into()
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Train {
+            self.cached_in_shape = Some(input.dims().to_vec());
+        }
+        let n = input.dims()[0];
+        let f: usize = input.dims()[1..].iter().product();
+        input.reshape([n, f]).expect("flatten preserves element count")
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let shape = self
+            .cached_in_shape
+            .as_ref()
+            .expect("backward called without a training-mode forward");
+        grad.reshape(shape.clone()).expect("flatten preserves element count")
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        vec![in_shape.iter().product()]
+    }
+}
+
+/// Inverted dropout: active only in training mode, identity in evaluation.
+#[derive(Debug, Clone)]
+pub struct Dropout {
+    p: f32,
+    rng: Rng,
+    mask: Option<Tensor>,
+}
+
+impl Dropout {
+    /// Creates a dropout layer that zeroes activations with probability `p`
+    /// during training and rescales survivors by `1/(1-p)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics unless `0 <= p < 1`.
+    pub fn new(p: f32, rng: Rng) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1), got {p}");
+        Dropout { p, rng, mask: None }
+    }
+}
+
+impl Layer for Dropout {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> String {
+        format!("dropout({})", self.p)
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        match mode {
+            Mode::Eval => input.clone(),
+            Mode::Train => {
+                let keep = 1.0 - self.p;
+                let scale = 1.0 / keep;
+                let mask = Tensor::from_fn(input.shape().clone(), |_| {
+                    if self.rng.chance(keep) {
+                        scale
+                    } else {
+                        0.0
+                    }
+                });
+                let out = input.mul(&mask);
+                self.mask = Some(mask);
+                out
+            }
+        }
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let mask = self
+            .mask
+            .as_ref()
+            .expect("backward called without a training-mode forward");
+        grad.mul(mask)
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        in_shape.to_vec()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn flatten_round_trips() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_fn([2, 3, 2, 2], |i| i as f32);
+        let y = f.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[2, 12]);
+        let back = f.backward(&y);
+        assert_eq!(back.dims(), x.dims());
+        assert_eq!(back.as_slice(), x.as_slice());
+    }
+
+    #[test]
+    fn dropout_identity_in_eval() {
+        let mut d = Dropout::new(0.5, Rng::new(1));
+        let x = Tensor::ones([4, 4]);
+        assert_eq!(d.forward(&x, Mode::Eval), x);
+    }
+
+    #[test]
+    fn dropout_preserves_expectation_in_train() {
+        let mut d = Dropout::new(0.3, Rng::new(2));
+        let x = Tensor::ones([10_000]);
+        let y = d.forward(&x, Mode::Train);
+        let mean = y.mean();
+        assert!((mean - 1.0).abs() < 0.05, "mean {mean}");
+        // Survivors are scaled by 1/(1-p).
+        let nonzero: Vec<f32> = y.as_slice().iter().copied().filter(|&v| v != 0.0).collect();
+        assert!(nonzero.iter().all(|&v| (v - 1.0 / 0.7).abs() < 1e-5));
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, Rng::new(3));
+        let x = Tensor::ones([64]);
+        let y = d.forward(&x, Mode::Train);
+        let g = d.backward(&Tensor::ones([64]));
+        // Gradient is zero exactly where the output was zeroed.
+        for (a, b) in y.as_slice().iter().zip(g.as_slice()) {
+            assert_eq!(*a == 0.0, *b == 0.0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn invalid_probability_panics() {
+        Dropout::new(1.0, Rng::new(4));
+    }
+}

@@ -1,0 +1,53 @@
+//! Weight initialisation schemes.
+
+use nshd_tensor::{Rng, Tensor};
+
+/// He (Kaiming) normal initialisation for layers followed by ReLU-family
+/// activations: `N(0, sqrt(2 / fan_in))`.
+pub fn he_normal(rng: &mut Rng, shape: &[usize], fan_in: usize) -> Tensor {
+    let std = (2.0 / fan_in.max(1) as f32).sqrt();
+    Tensor::from_fn(shape.to_vec(), |_| rng.normal_with(0.0, std))
+}
+
+/// Xavier (Glorot) uniform initialisation for linear layers:
+/// `U(±sqrt(6 / (fan_in + fan_out)))`.
+pub fn xavier_uniform(rng: &mut Rng, shape: &[usize], fan_in: usize, fan_out: usize) -> Tensor {
+    let bound = (6.0 / (fan_in + fan_out).max(1) as f32).sqrt();
+    Tensor::from_fn(shape.to_vec(), |_| rng.uniform_in(-bound, bound))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn he_std_scales_with_fan_in() {
+        let mut rng = Rng::new(1);
+        let n = 4096;
+        let w = he_normal(&mut rng, &[n], 128);
+        let var: f32 = w.as_slice().iter().map(|x| x * x).sum::<f32>() / n as f32;
+        let expected = 2.0 / 128.0;
+        assert!(
+            (var - expected).abs() < expected * 0.2,
+            "var {var} expected {expected}"
+        );
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = Rng::new(2);
+        let w = xavier_uniform(&mut rng, &[1000], 50, 70);
+        let bound = (6.0f32 / 120.0).sqrt();
+        assert!(w.as_slice().iter().all(|x| x.abs() <= bound));
+        // Spread should roughly fill the interval.
+        assert!(w.max().unwrap() > bound * 0.8);
+        assert!(w.min().unwrap() < -bound * 0.8);
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let a = he_normal(&mut Rng::new(7), &[16], 8);
+        let b = he_normal(&mut Rng::new(7), &[16], 8);
+        assert_eq!(a, b);
+    }
+}

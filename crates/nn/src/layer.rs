@@ -1,0 +1,144 @@
+//! The layer abstraction all network components implement.
+
+use crate::param::Param;
+use nshd_tensor::Tensor;
+
+/// Whether a forward pass is part of training or evaluation.
+///
+/// Controls batch-norm statistics (batch vs running) and dropout.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Mode {
+    /// Training: batch statistics, dropout active, inputs cached for
+    /// backward.
+    Train,
+    /// Evaluation: running statistics, dropout inactive.
+    #[default]
+    Eval,
+}
+
+/// A differentiable network component.
+///
+/// Layers operate on batched tensors whose leading dimension is the batch
+/// (`N×C×H×W` for spatial layers, `N×F` after flattening). Each layer caches
+/// whatever it needs during a [`Mode::Train`] forward pass so that
+/// [`backward`](Layer::backward) can run afterwards; calling `backward`
+/// without a preceding training-mode forward is a programmer error and
+/// panics.
+pub trait Layer: Send + Sync {
+    /// A short human-readable layer name, e.g. `"conv3x3(16→32)"`.
+    fn name(&self) -> String;
+
+    /// Computes the layer output for a batched input.
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
+
+    /// Propagates `grad` (∂loss/∂output) backwards, accumulating parameter
+    /// gradients and returning ∂loss/∂input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no training-mode forward pass preceded this call.
+    fn backward(&mut self, grad: &Tensor) -> Tensor;
+
+    /// Immutable access to the layer's parameters (possibly empty).
+    fn params(&self) -> Vec<&Param> {
+        Vec::new()
+    }
+
+    /// Mutable access to the layer's parameters, in the same stable order
+    /// as [`params`](Layer::params).
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+
+    /// Output shape (excluding batch) for a given input shape (excluding
+    /// batch).
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize>;
+
+    /// Multiply–accumulate operations for one sample of the given input
+    /// shape. Elementwise layers report 0 following the convention of the
+    /// NSHD paper's Fig. 5 (binding/bundling counted by the HD side).
+    fn macs(&self, _in_shape: &[usize]) -> u64 {
+        0
+    }
+
+    /// Total scalar parameter count.
+    fn param_count(&self) -> usize {
+        self.params().iter().map(|p| p.len()).sum()
+    }
+
+    /// Zeroes all parameter gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Clones the layer into a boxed trait object, enabling `Clone` for
+    /// containers of `Box<dyn Layer>` (and thus for whole models, so a
+    /// trained teacher can be reused across experiment configurations).
+    fn clone_box(&self) -> Box<dyn Layer>;
+
+    /// Appends any non-parameter learned state (e.g. batch-norm running
+    /// statistics) to `out`, in a stable order. Containers forward to
+    /// their children in order. Parameter-only layers need not override.
+    fn collect_state(&self, _out: &mut Vec<Vec<f32>>) {}
+
+    /// Restores state previously produced by
+    /// [`collect_state`](Layer::collect_state), consuming entries from
+    /// the cursor in the same stable order.
+    ///
+    /// # Panics
+    ///
+    /// Implementations panic if the cursor runs dry or an entry has the
+    /// wrong length.
+    fn restore_state(&mut self, _state: &mut std::vec::IntoIter<Vec<f32>>) {}
+}
+
+impl Clone for Box<dyn Layer> {
+    fn clone(&self) -> Self {
+        self.clone_box()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Minimal identity layer to exercise trait defaults.
+    struct Identity;
+
+    impl Layer for Identity {
+        fn name(&self) -> String {
+            "identity".into()
+        }
+        fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
+            input.clone()
+        }
+        fn backward(&mut self, grad: &Tensor) -> Tensor {
+            grad.clone()
+        }
+        fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+            in_shape.to_vec()
+        }
+        fn clone_box(&self) -> Box<dyn Layer> {
+            Box::new(Identity)
+        }
+    }
+
+    #[test]
+    fn trait_defaults_are_sensible() {
+        let mut id = Identity;
+        assert!(id.params().is_empty());
+        assert_eq!(id.param_count(), 0);
+        assert_eq!(id.macs(&[3, 32, 32]), 0);
+        id.zero_grad(); // no-op, must not panic
+        let x = Tensor::ones([2, 3]);
+        assert_eq!(id.forward(&x, Mode::Train), x);
+        assert_eq!(id.backward(&x), x);
+    }
+
+    #[test]
+    fn mode_default_is_eval() {
+        assert_eq!(Mode::default(), Mode::Eval);
+    }
+}

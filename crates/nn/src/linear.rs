@@ -1,0 +1,227 @@
+//! Fully-connected layer.
+
+use crate::init::xavier_uniform;
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use nshd_tensor::{matmul_at, matmul_bt, Rng, Tensor};
+
+/// A fully-connected layer: `y = x·Wᵀ + b` over `N×F_in` batches.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_nn::{Layer, Linear, Mode};
+/// use nshd_tensor::{Rng, Tensor};
+///
+/// let mut rng = Rng::new(0);
+/// let mut fc = Linear::new(8, 3, &mut rng);
+/// let y = fc.forward(&Tensor::zeros([4, 8]), Mode::Eval);
+/// assert_eq!(y.dims(), &[4, 3]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Linear {
+    in_features: usize,
+    out_features: usize,
+    /// `out×in` weight matrix.
+    weight: Param,
+    bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// Creates a linear layer with Xavier-uniform weights and zero bias.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut Rng) -> Self {
+        assert!(in_features > 0 && out_features > 0);
+        let weight = Param::new(xavier_uniform(
+            rng,
+            &[out_features, in_features],
+            in_features,
+            out_features,
+        ));
+        let bias = Param::new_no_decay(Tensor::zeros([out_features]));
+        Linear { in_features, out_features, weight, bias, cached_input: None }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.in_features
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.out_features
+    }
+
+    /// Immutable view of the weight matrix (`out×in`).
+    pub fn weight(&self) -> &Tensor {
+        &self.weight.value
+    }
+
+    /// Mutable view of the weight matrix, for external training procedures
+    /// such as the NSHD manifold-learner update.
+    pub fn weight_mut(&mut self) -> &mut Tensor {
+        &mut self.weight.value
+    }
+
+    /// Mutable view of the bias vector.
+    pub fn bias_mut(&mut self) -> &mut Tensor {
+        &mut self.bias.value
+    }
+}
+
+impl Layer for Linear {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> String {
+        format!("linear({}→{})", self.in_features, self.out_features)
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let input2 = flatten_to_2d(input, self.in_features);
+        if mode == Mode::Train {
+            self.cached_input = Some(input2.clone());
+        }
+        let mut y = matmul_bt(&input2, &self.weight.value);
+        let n = y.dims()[0];
+        let bv = self.bias.value.as_slice().to_vec();
+        for b in 0..n {
+            let row = &mut y.as_mut_slice()[b * self.out_features..(b + 1) * self.out_features];
+            for (o, add) in row.iter_mut().zip(&bv) {
+                *o += add;
+            }
+        }
+        y
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let input = self
+            .cached_input
+            .as_ref()
+            .expect("backward called without a training-mode forward");
+        let n = grad.dims()[0];
+        assert_eq!(grad.dims(), &[n, self.out_features]);
+        // dW += gradᵀ · x  ((out×n)·(n×in))
+        let dw = matmul_at(grad, input);
+        self.weight.grad.axpy(1.0, &dw);
+        // db += column sums of grad.
+        for b in 0..n {
+            let row = &grad.as_slice()[b * self.out_features..(b + 1) * self.out_features];
+            for (g, &r) in self.bias.grad.as_mut_slice().iter_mut().zip(row) {
+                *g += r;
+            }
+        }
+        // dx = grad · W  ((n×out)·(out×in))
+        nshd_tensor::matmul(grad, &self.weight.value)
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.weight, &self.bias]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        let f: usize = in_shape.iter().product();
+        assert_eq!(f, self.in_features, "linear expects {} features, got {f}", self.in_features);
+        vec![self.out_features]
+    }
+
+    fn macs(&self, _in_shape: &[usize]) -> u64 {
+        (self.in_features * self.out_features) as u64
+    }
+}
+
+/// Flattens an `N×…` tensor to `N×F`, checking the feature count.
+fn flatten_to_2d(input: &Tensor, features: usize) -> Tensor {
+    let n = input.dims()[0];
+    let f: usize = input.dims()[1..].iter().product();
+    assert_eq!(f, features, "linear expects {features} features per sample, got {f}");
+    input.reshape([n, f]).expect("same element count")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_known_values() {
+        let mut rng = Rng::new(1);
+        let mut fc = Linear::new(2, 2, &mut rng);
+        fc.weight.value = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        fc.bias.value = Tensor::from_slice(&[0.5, -0.5]);
+        let x = Tensor::from_vec(vec![1.0, 1.0], [1, 2]).unwrap();
+        let y = fc.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), &[3.5, 6.5]);
+    }
+
+    #[test]
+    fn accepts_nchw_input_by_flattening() {
+        let mut rng = Rng::new(2);
+        let mut fc = Linear::new(12, 4, &mut rng);
+        let y = fc.forward(&Tensor::zeros([2, 3, 2, 2]), Mode::Eval);
+        assert_eq!(y.dims(), &[2, 4]);
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Rng::new(3);
+        let mut fc = Linear::new(3, 2, &mut rng);
+        let x = Tensor::from_vec(vec![0.3, -0.7, 1.1, 0.9, 0.2, -0.4], [2, 3]).unwrap();
+        let y = fc.forward(&x, Mode::Train);
+        // Loss: weighted sum to make gradients non-uniform.
+        let gy = Tensor::from_fn(y.shape().clone(), |i| (i as f32 + 1.0) * 0.5);
+        let dx = fc.backward(&gy);
+        let loss = |fc: &mut Linear, x: &Tensor| {
+            let out = fc.forward(x, Mode::Eval);
+            out.as_slice()
+                .iter()
+                .enumerate()
+                .map(|(i, v)| v * (i as f32 + 1.0) * 0.5)
+                .sum::<f32>()
+        };
+        let eps = 1e-2;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let numeric = (loss(&mut fc, &xp) - loss(&mut fc, &xm)) / (2.0 * eps);
+            assert!((numeric - dx.as_slice()[idx]).abs() < 1e-2);
+        }
+        for idx in 0..fc.weight.value.len() {
+            let orig = fc.weight.value.as_slice()[idx];
+            fc.weight.value.as_mut_slice()[idx] = orig + eps;
+            let fp = loss(&mut fc, &x);
+            fc.weight.value.as_mut_slice()[idx] = orig - eps;
+            let fm = loss(&mut fc, &x);
+            fc.weight.value.as_mut_slice()[idx] = orig;
+            let numeric = (fp - fm) / (2.0 * eps);
+            assert!((numeric - fc.weight.grad.as_slice()[idx]).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn macs_and_shape() {
+        let mut rng = Rng::new(4);
+        let fc = Linear::new(100, 10, &mut rng);
+        assert_eq!(fc.macs(&[100]), 1000);
+        assert_eq!(fc.out_shape(&[100]), vec![10]);
+        assert_eq!(fc.param_count(), 1010);
+    }
+
+    #[test]
+    #[should_panic(expected = "features")]
+    fn wrong_feature_count_panics() {
+        let mut rng = Rng::new(5);
+        let mut fc = Linear::new(4, 2, &mut rng);
+        fc.forward(&Tensor::zeros([1, 5]), Mode::Eval);
+    }
+}

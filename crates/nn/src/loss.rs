@@ -1,0 +1,192 @@
+//! Classification losses: softmax cross-entropy and the soft
+//! (distillation) variant.
+
+use nshd_tensor::Tensor;
+
+/// Value and gradient of softmax cross-entropy over a logit batch.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LossOutput {
+    /// Mean loss over the batch.
+    pub loss: f32,
+    /// Gradient with respect to the logits (`N×K`), already divided by the
+    /// batch size.
+    pub grad: Tensor,
+}
+
+/// Softmax cross-entropy between `logits` (`N×K`) and integer `labels`.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2, `labels.len()` differs from the batch
+/// size, or a label is out of range.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_nn::cross_entropy;
+/// use nshd_tensor::Tensor;
+///
+/// let logits = Tensor::from_vec(vec![5.0, -5.0], [1, 2])?;
+/// let out = cross_entropy(&logits, &[0]);
+/// assert!(out.loss < 0.01); // confident and correct
+/// # Ok::<(), nshd_tensor::TensorError>(())
+/// ```
+pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
+    assert_eq!(logits.shape().rank(), 2, "cross_entropy expects N×K logits");
+    let (n, k) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n, "label count must equal batch size");
+    let probs = logits.softmax();
+    let mut loss = 0.0;
+    let mut grad = probs.clone();
+    for (b, &label) in labels.iter().enumerate() {
+        assert!(label < k, "label {label} out of range for {k} classes");
+        let p = probs.at(&[b, label]).max(1e-12);
+        loss -= p.ln();
+        *grad.at_mut(&[b, label]) -= 1.0;
+    }
+    let inv_n = 1.0 / n as f32;
+    LossOutput { loss: loss * inv_n, grad: grad.scale(inv_n) }
+}
+
+/// Distillation loss between student logits and a teacher's soft targets,
+/// Hinton-style: `KL(softmax(teacher/T) ‖ softmax(student/T)) · T²`,
+/// averaged over the batch.
+///
+/// Returned gradient is with respect to the student logits. The `T²` factor
+/// keeps gradient magnitudes comparable across temperatures.
+///
+/// # Panics
+///
+/// Panics if shapes disagree or `temperature <= 0`.
+pub fn distillation_loss(student_logits: &Tensor, teacher_logits: &Tensor, temperature: f32) -> LossOutput {
+    assert!(temperature > 0.0, "temperature must be positive");
+    assert_eq!(student_logits.shape(), teacher_logits.shape());
+    let (n, _k) = (student_logits.dims()[0], student_logits.dims()[1]);
+    let p_teacher = teacher_logits.softmax_with_temperature(temperature);
+    let p_student = student_logits.softmax_with_temperature(temperature);
+    let mut loss = 0.0;
+    for (t, s) in p_teacher.as_slice().iter().zip(p_student.as_slice()) {
+        if *t > 0.0 {
+            loss += t * (t.max(1e-12).ln() - s.max(1e-12).ln());
+        }
+    }
+    // d/d(student logits) of T²·KL = T · (p_student - p_teacher); averaged
+    // over batch.
+    let grad = p_student
+        .sub(&p_teacher)
+        .scale(temperature / n as f32);
+    LossOutput { loss: loss * temperature * temperature / n as f32, grad }
+}
+
+/// Fraction of rows whose argmax equals the label.
+///
+/// # Panics
+///
+/// Panics if `logits` is not rank-2 or `labels.len()` differs from the
+/// batch size.
+pub fn accuracy(logits: &Tensor, labels: &[usize]) -> f32 {
+    assert_eq!(logits.shape().rank(), 2);
+    let (n, k) = (logits.dims()[0], logits.dims()[1]);
+    assert_eq!(labels.len(), n);
+    if n == 0 {
+        return 0.0;
+    }
+    let mut correct = 0usize;
+    for (b, &label) in labels.iter().enumerate() {
+        let row = &logits.as_slice()[b * k..(b + 1) * k];
+        let pred = row
+            .iter()
+            .enumerate()
+            .max_by(|a, b| a.1.partial_cmp(b.1).expect("finite logits"))
+            .map(|(i, _)| i)
+            .expect("non-empty row");
+        if pred == label {
+            correct += 1;
+        }
+    }
+    correct as f32 / n as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn uniform_logits_give_log_k() {
+        let logits = Tensor::zeros([2, 4]);
+        let out = cross_entropy(&logits, &[0, 3]);
+        assert!((out.loss - (4.0f32).ln()).abs() < 1e-5);
+    }
+
+    #[test]
+    fn gradient_is_softmax_minus_onehot_over_n() {
+        let logits = Tensor::from_vec(vec![1.0, 2.0, 0.5, 0.1], [2, 2]).unwrap();
+        let out = cross_entropy(&logits, &[1, 0]);
+        let probs = logits.softmax();
+        let expect_00 = probs.at(&[0, 0]) / 2.0;
+        let expect_01 = (probs.at(&[0, 1]) - 1.0) / 2.0;
+        assert!((out.grad.at(&[0, 0]) - expect_00).abs() < 1e-6);
+        assert!((out.grad.at(&[0, 1]) - expect_01).abs() < 1e-6);
+        // Gradient rows sum to zero.
+        for b in 0..2 {
+            let s: f32 = (0..2).map(|k| out.grad.at(&[b, k])).sum();
+            assert!(s.abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn gradient_matches_finite_differences() {
+        let logits = Tensor::from_vec(vec![0.3, -0.8, 1.2], [1, 3]).unwrap();
+        let labels = [2usize];
+        let out = cross_entropy(&logits, &labels);
+        let eps = 1e-3;
+        for idx in 0..3 {
+            let mut lp = logits.clone();
+            lp.as_mut_slice()[idx] += eps;
+            let mut lm = logits.clone();
+            lm.as_mut_slice()[idx] -= eps;
+            let numeric =
+                (cross_entropy(&lp, &labels).loss - cross_entropy(&lm, &labels).loss) / (2.0 * eps);
+            assert!((numeric - out.grad.as_slice()[idx]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn distillation_zero_when_student_matches_teacher() {
+        let logits = Tensor::from_vec(vec![1.0, -2.0, 0.3], [1, 3]).unwrap();
+        let out = distillation_loss(&logits, &logits, 4.0);
+        assert!(out.loss.abs() < 1e-5);
+        assert!(out.grad.as_slice().iter().all(|g| g.abs() < 1e-6));
+    }
+
+    #[test]
+    fn distillation_gradient_matches_finite_differences() {
+        let student = Tensor::from_vec(vec![0.5, -0.5, 1.0], [1, 3]).unwrap();
+        let teacher = Tensor::from_vec(vec![2.0, 0.0, -1.0], [1, 3]).unwrap();
+        let t = 3.0;
+        let out = distillation_loss(&student, &teacher, t);
+        let eps = 1e-3;
+        for idx in 0..3 {
+            let mut sp = student.clone();
+            sp.as_mut_slice()[idx] += eps;
+            let mut sm = student.clone();
+            sm.as_mut_slice()[idx] -= eps;
+            let numeric = (distillation_loss(&sp, &teacher, t).loss
+                - distillation_loss(&sm, &teacher, t).loss)
+                / (2.0 * eps);
+            assert!(
+                (numeric - out.grad.as_slice()[idx]).abs() < 1e-3,
+                "{numeric} vs {}",
+                out.grad.as_slice()[idx]
+            );
+        }
+    }
+
+    #[test]
+    fn accuracy_counts_argmax_matches() {
+        let logits =
+            Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 9.0, 0.0, 0.1, 0.2, 0.3], [3, 3]).unwrap();
+        assert!((accuracy(&logits, &[2, 1, 0]) - 2.0 / 3.0).abs() < 1e-6);
+        assert_eq!(accuracy(&Tensor::zeros([0, 3]), &[]), 0.0);
+    }
+}

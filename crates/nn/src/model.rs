@@ -1,0 +1,190 @@
+//! The [`Model`] container: an indexed feature stack plus a classifier
+//! head, mirroring the `features` / `classifier` split of torchvision
+//! models that the NSHD paper's layer indices refer to.
+
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use crate::sequential::Sequential;
+use nshd_tensor::Tensor;
+
+/// A CNN organised as `features` (indexed layers, the paper's truncation
+/// points) followed by a `classifier` head.
+///
+/// The NSHD pipeline truncates `features` at a *cut point* — `cut` layers
+/// are kept — and uses the remainder plus the classifier as the
+/// distillation teacher's tail.
+#[derive(Clone)]
+pub struct Model {
+    /// Human-readable model name (`"vgg16"`, `"efficientnet-b0"`, …).
+    pub name: String,
+    /// The indexed feature stack.
+    pub features: Sequential,
+    /// The classification head.
+    pub classifier: Sequential,
+    /// Expected input shape, CHW.
+    pub input_shape: Vec<usize>,
+    /// Number of output classes.
+    pub num_classes: usize,
+}
+
+impl Model {
+    /// Full forward pass producing logits (`N×classes`).
+    pub fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let feats = self.features.forward_all(input, mode);
+        self.classifier.forward_all(&feats, mode)
+    }
+
+    /// Backward pass through classifier then features (training-mode
+    /// forward required).
+    pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
+        let g = self.classifier.backward_all(grad_logits);
+        self.features.backward_all(&g)
+    }
+
+    /// Activations after the first `cut` feature layers — NSHD's extracted
+    /// features.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut > self.features.len()`.
+    pub fn features_at(&mut self, input: &Tensor, cut: usize, mode: Mode) -> Tensor {
+        self.features.forward_to(input, cut, mode)
+    }
+
+    /// Completes the forward pass from intermediate features: runs
+    /// feature layers `cut..` and the classifier. Used to obtain teacher
+    /// logits without recomputing the shared prefix.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut > self.features.len()`.
+    pub fn logits_from_features(&mut self, feats: &Tensor, cut: usize, mode: Mode) -> Tensor {
+        let tail = self.features.forward_from(feats, cut, mode);
+        self.classifier.forward_all(&tail, mode)
+    }
+
+    /// Flattened feature count after `cut` feature layers.
+    pub fn feature_len_at(&self, cut: usize) -> usize {
+        self.features.out_shape_at(&self.input_shape, cut).iter().product()
+    }
+
+    /// Feature-map shape (CHW) after `cut` feature layers.
+    pub fn feature_shape_at(&self, cut: usize) -> Vec<usize> {
+        self.features.out_shape_at(&self.input_shape, cut)
+    }
+
+    /// All parameters, features first.
+    pub fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.features.params_mut();
+        p.extend(self.classifier.params_mut());
+        p
+    }
+
+    /// Total parameter count.
+    pub fn param_count(&self) -> usize {
+        self.features.param_count() + self.classifier.param_count()
+    }
+
+    /// Parameter count of the first `cut` feature layers only — the part
+    /// NSHD keeps at inference time.
+    pub fn param_count_to_cut(&self, cut: usize) -> usize {
+        self.features.param_count_to(cut)
+    }
+
+    /// MACs for one full forward pass of a single sample.
+    pub fn total_macs(&self) -> u64 {
+        let feat_shape = self.features.out_shape(&self.input_shape);
+        self.features.total_macs(&self.input_shape) + self.classifier.total_macs(&feat_shape)
+    }
+
+    /// MACs for the first `cut` feature layers of a single sample.
+    pub fn macs_to_cut(&self, cut: usize) -> u64 {
+        self.features.macs_to(&self.input_shape, cut)
+    }
+
+    /// Zeroes all gradients.
+    pub fn zero_grad(&mut self) {
+        self.features.zero_grad();
+        self.classifier.zero_grad();
+    }
+}
+
+impl std::fmt::Debug for Model {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Model")
+            .field("name", &self.name)
+            .field("features", &self.features)
+            .field("classifier", &self.classifier)
+            .field("input_shape", &self.input_shape)
+            .field("num_classes", &self.num_classes)
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::act::{ActKind, Activation};
+    use crate::conv::Conv2d;
+    use crate::flatten::Flatten;
+    use crate::linear::Linear;
+    use crate::pool::MaxPool2d;
+    use nshd_tensor::Rng;
+
+    fn tiny_model() -> Model {
+        let mut rng = Rng::new(1);
+        let features = Sequential::new()
+            .with(Conv2d::new(1, 4, 3, 1, 1, &mut rng))
+            .with(Activation::new(ActKind::Relu))
+            .with(MaxPool2d::new(2));
+        let classifier = Sequential::new()
+            .with(Flatten::new())
+            .with(Linear::new(4 * 4 * 4, 3, &mut rng));
+        Model {
+            name: "tiny".into(),
+            features,
+            classifier,
+            input_shape: vec![1, 8, 8],
+            num_classes: 3,
+        }
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let mut m = tiny_model();
+        let y = m.forward(&Tensor::zeros([2, 1, 8, 8]), Mode::Eval);
+        assert_eq!(y.dims(), &[2, 3]);
+    }
+
+    #[test]
+    fn split_forward_matches_full_forward() {
+        let mut m = tiny_model();
+        let x = Tensor::from_fn([1, 1, 8, 8], |i| (i as f32 * 0.1).sin());
+        let full = m.forward(&x, Mode::Eval);
+        let feats = m.features_at(&x, 2, Mode::Eval);
+        let rejoined = m.logits_from_features(&feats, 2, Mode::Eval);
+        for (a, b) in full.as_slice().iter().zip(rejoined.as_slice()) {
+            assert!((a - b).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn feature_shapes_and_counts() {
+        let m = tiny_model();
+        assert_eq!(m.feature_shape_at(1), vec![4, 8, 8]);
+        assert_eq!(m.feature_len_at(3), 4 * 4 * 4);
+        assert_eq!(m.param_count_to_cut(1), 4 * 9 + 4);
+        assert!(m.param_count() > m.param_count_to_cut(3));
+        assert!(m.total_macs() > m.macs_to_cut(3));
+    }
+
+    #[test]
+    fn backward_flows_to_input() {
+        let mut m = tiny_model();
+        let x = Tensor::from_fn([1, 1, 8, 8], |i| (i as f32 * 0.2).cos());
+        let y = m.forward(&x, Mode::Train);
+        let dx = m.backward(&Tensor::ones(y.shape().clone()));
+        assert_eq!(dx.dims(), x.dims());
+        assert!(dx.as_slice().iter().any(|&g| g != 0.0));
+    }
+}

@@ -1,0 +1,195 @@
+//! EfficientNet-B0/B7 analogs with per-block feature indexing.
+
+use crate::act::{ActKind, Activation};
+use crate::conv::Conv2d;
+use crate::dwconv::DepthwiseConv2d;
+use crate::linear::Linear;
+use crate::model::Model;
+use crate::norm::BatchNorm2d;
+use crate::pool::GlobalAvgPool;
+use crate::se::SqueezeExcite;
+use crate::sequential::Sequential;
+use crate::Residual;
+use nshd_tensor::Rng;
+
+/// Number of entries in the EfficientNet `features` stack (indices 0–8,
+/// matching torchvision): stem, 7 MBConv stages, head.
+pub const EFFICIENTNET_FEATURE_COUNT: usize = 9;
+
+/// conv + BN + SiLU helper.
+fn conv_bn_silu(seq: &mut Sequential, cin: usize, cout: usize, k: usize, s: usize, p: usize, rng: &mut Rng) {
+    seq.push(Box::new(Conv2d::new(cin, cout, k, s, p, rng)));
+    seq.push(Box::new(BatchNorm2d::new(cout)));
+    seq.push(Box::new(Activation::new(ActKind::Silu)));
+}
+
+/// One MBConv block: expand (1×1) → depthwise → squeeze-and-excite →
+/// project (1×1, linear), with a skip connection when shape-preserving.
+fn mbconv(cin: usize, cout: usize, stride: usize, expand: usize, kernel: usize, rng: &mut Rng) -> Box<dyn crate::Layer> {
+    let hidden = cin * expand;
+    let mut body = Sequential::new();
+    if expand != 1 {
+        conv_bn_silu(&mut body, cin, hidden, 1, 1, 0, rng);
+    }
+    body.push(Box::new(DepthwiseConv2d::new(hidden, kernel, stride, kernel / 2, rng)));
+    body.push(Box::new(BatchNorm2d::new(hidden)));
+    body.push(Box::new(Activation::new(ActKind::Silu)));
+    // SE reduction is relative to the block's input channels (ratio 4).
+    body.push(Box::new(SqueezeExcite::new(hidden, (cin / 4).max(1), rng)));
+    body.push(Box::new(Conv2d::new(hidden, cout, 1, 1, 0, rng)));
+    body.push(Box::new(BatchNorm2d::new(cout)));
+    if stride == 1 && cin == cout {
+        Box::new(Residual::new(body))
+    } else {
+        Box::new(body)
+    }
+}
+
+/// Per-variant compound-scaling plan.
+struct Plan {
+    name: &'static str,
+    stem: usize,
+    head: usize,
+    /// (expand, channels, repeats, first-stride, kernel) per stage.
+    stages: [(usize, usize, usize, usize, usize); 7],
+}
+
+/// Builds an EfficientNet model from a plan.
+fn build(plan: &Plan, num_classes: usize, rng: &mut Rng) -> Model {
+    let mut features = Sequential::new();
+    // Block 0: stem (reference stride 2; stride 1 for 32×32 inputs).
+    {
+        let mut op = Sequential::new();
+        conv_bn_silu(&mut op, 3, plan.stem, 3, 1, 1, rng);
+        features.push(Box::new(op));
+    }
+    let mut cin = plan.stem;
+    for (expand, cout, repeats, stride, kernel) in plan.stages {
+        let mut stage = Sequential::new();
+        for i in 0..repeats {
+            let s = if i == 0 { stride } else { 1 };
+            stage.push(mbconv(cin, cout, s, expand, kernel, rng));
+            cin = cout;
+        }
+        features.push(Box::new(stage));
+    }
+    // Block 8: 1×1 head conv.
+    {
+        let mut op = Sequential::new();
+        conv_bn_silu(&mut op, cin, plan.head, 1, 1, 0, rng);
+        features.push(Box::new(op));
+    }
+    debug_assert_eq!(features.len(), EFFICIENTNET_FEATURE_COUNT);
+    let classifier = Sequential::new()
+        .with(GlobalAvgPool::new())
+        .with(Linear::new(plan.head, num_classes, rng));
+    Model {
+        name: plan.name.into(),
+        features,
+        classifier,
+        input_shape: vec![3, 32, 32],
+        num_classes,
+    }
+}
+
+/// Builds the EfficientNet-B0 analog for 3×32×32 inputs.
+///
+/// Stage structure (expansion, repeats, kernels, SE) follows the reference
+/// B0; channels are width-reduced and total downsampling is 8× for 32×32
+/// inputs. Feature indices: 0 = stem, 1–7 = MBConv stages, 8 = head — the
+/// paper's "layers 5–8".
+pub fn efficientnet_b0(num_classes: usize, rng: &mut Rng) -> Model {
+    let plan = Plan {
+        name: "efficientnet-b0",
+        stem: 8,
+        head: 192,
+        // Reference: t, c(16,24,40,80,112,192,320), n(1,2,2,3,3,4,1),
+        // kernels (3,3,5,3,5,5,3). Channels scaled ≈ /5 (min 8) — wide
+        // enough to learn shape classes on one CPU core; strides adapted
+        // to 32×32 (8× total).
+        stages: [
+            (1, 8, 1, 1, 3),
+            (6, 8, 2, 1, 3),
+            (6, 12, 2, 2, 5),
+            (6, 16, 3, 2, 3),
+            (6, 22, 3, 1, 5),
+            (6, 38, 4, 2, 5),
+            (6, 64, 1, 1, 3),
+        ],
+    };
+    build(&plan, num_classes, rng)
+}
+
+/// Builds the EfficientNet-B7 analog: the same stage skeleton scaled wider
+/// and deeper (compound scaling), as in the reference family.
+pub fn efficientnet_b7(num_classes: usize, rng: &mut Rng) -> Model {
+    let plan = Plan {
+        name: "efficientnet-b7",
+        stem: 12,
+        head: 384,
+        stages: [
+            (1, 12, 2, 1, 3),
+            (6, 16, 3, 1, 3),
+            (6, 24, 3, 2, 5),
+            (6, 32, 4, 2, 3),
+            (6, 44, 4, 1, 5),
+            (6, 76, 5, 2, 5),
+            (6, 128, 2, 1, 3),
+        ],
+    };
+    build(&plan, num_classes, rng)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use nshd_tensor::Tensor;
+
+    #[test]
+    fn block_count_is_nine() {
+        let mut rng = Rng::new(1);
+        let b0 = efficientnet_b0(10, &mut rng);
+        assert_eq!(b0.features.len(), EFFICIENTNET_FEATURE_COUNT);
+        let b7 = efficientnet_b7(10, &mut rng);
+        assert_eq!(b7.features.len(), EFFICIENTNET_FEATURE_COUNT);
+    }
+
+    #[test]
+    fn b7_is_strictly_larger_than_b0() {
+        let mut rng = Rng::new(2);
+        let b0 = efficientnet_b0(10, &mut rng);
+        let b7 = efficientnet_b7(10, &mut rng);
+        assert!(b7.param_count() > 2 * b0.param_count());
+        assert!(b7.total_macs() > 2 * b0.total_macs());
+    }
+
+    #[test]
+    fn forward_backward_b0() {
+        let mut rng = Rng::new(3);
+        let mut m = efficientnet_b0(4, &mut rng);
+        let x = Tensor::from_fn([2, 3, 32, 32], |i| ((i % 53) as f32 - 26.0) / 26.0);
+        let y = m.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[2, 4]);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        let dx = m.backward(&Tensor::ones(y.shape().clone()));
+        assert_eq!(dx.dims(), x.dims());
+    }
+
+    #[test]
+    fn paper_cuts_have_growing_macs() {
+        let mut rng = Rng::new(4);
+        let m = efficientnet_b0(10, &mut rng);
+        // Cuts 6,7,8,9 (paper layers 5,6,7,8).
+        let macs: Vec<u64> = [6usize, 7, 8, 9].iter().map(|&c| m.macs_to_cut(c)).collect();
+        assert!(macs.windows(2).all(|w| w[0] < w[1]), "{macs:?}");
+    }
+
+    #[test]
+    fn downsampling_totals_8x() {
+        let mut rng = Rng::new(5);
+        let m = efficientnet_b0(10, &mut rng);
+        let shape = m.feature_shape_at(EFFICIENTNET_FEATURE_COUNT);
+        assert_eq!(&shape[1..], &[4, 4]);
+    }
+}

@@ -1,0 +1,166 @@
+//! MobileNetV2 analog with per-operator feature indexing.
+
+use crate::act::{ActKind, Activation};
+use crate::conv::Conv2d;
+use crate::dwconv::DepthwiseConv2d;
+use crate::linear::Linear;
+use crate::model::Model;
+use crate::norm::BatchNorm2d;
+use crate::pool::GlobalAvgPool;
+use crate::sequential::Sequential;
+use crate::Residual;
+use nshd_tensor::Rng;
+
+/// Number of operators in the MobileNetV2 `features` stack (indices 0–18,
+/// matching torchvision): stem, 17 inverted residuals, head.
+pub const MOBILENET_FEATURE_COUNT: usize = 19;
+
+/// Width divisor applied to the reference channel plan (laptop-scale
+/// substitution; see DESIGN.md §3). Chosen, like the EfficientNet
+/// analogs, to be just wide enough to learn the shape classes on one CPU
+/// core.
+const DIV: usize = 5;
+
+fn scaled(c: usize) -> usize {
+    (c / DIV).max(8)
+}
+
+/// conv1x1 + BN + ReLU6 helper.
+fn conv_bn_act(seq: &mut Sequential, cin: usize, cout: usize, k: usize, s: usize, p: usize, rng: &mut Rng) {
+    seq.push(Box::new(Conv2d::new(cin, cout, k, s, p, rng)));
+    seq.push(Box::new(BatchNorm2d::new(cout)));
+    seq.push(Box::new(Activation::new(ActKind::Relu6)));
+}
+
+/// One inverted-residual operator: expand (1×1), depthwise (3×3), project
+/// (1×1, linear). Wrapped in a skip connection when stride is 1 and the
+/// channel count is preserved, exactly like the reference block.
+fn inverted_residual(cin: usize, cout: usize, stride: usize, expand: usize, rng: &mut Rng) -> Box<dyn crate::Layer> {
+    let hidden = cin * expand;
+    let mut body = Sequential::new();
+    if expand != 1 {
+        conv_bn_act(&mut body, cin, hidden, 1, 1, 0, rng);
+    }
+    body.push(Box::new(DepthwiseConv2d::new(hidden, 3, stride, 1, rng)));
+    body.push(Box::new(BatchNorm2d::new(hidden)));
+    body.push(Box::new(Activation::new(ActKind::Relu6)));
+    body.push(Box::new(Conv2d::new(hidden, cout, 1, 1, 0, rng)));
+    body.push(Box::new(BatchNorm2d::new(cout)));
+    if stride == 1 && cin == cout {
+        Box::new(Residual::new(body))
+    } else {
+        Box::new(body)
+    }
+}
+
+/// Builds the MobileNetV2 analog for 3×32×32 inputs.
+///
+/// Feature indices match torchvision's operator numbering, so the paper's
+/// layers 14 and 17 are the same operators here. Strides follow the
+/// standard CIFAR adaptation (stem and first stages at stride 1, total 8×
+/// downsampling).
+pub fn mobilenet_v2(num_classes: usize, rng: &mut Rng) -> Model {
+    // (expand t, channels c, repeats n, first stride s) per reference
+    // stage; channels pass through `scaled`.
+    let stages: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 1), // reference stride 2; CIFAR keeps 1
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let stem = scaled(32);
+    let mut features = Sequential::new();
+    // Operator 0: stem conv (reference stride 2; stride 1 for 32×32).
+    {
+        let mut op = Sequential::new();
+        conv_bn_act(&mut op, 3, stem, 3, 1, 1, rng);
+        features.push(Box::new(op));
+    }
+    let mut cin = stem;
+    for (t, c, n, s) in stages {
+        let cout = scaled(c);
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            features.push(inverted_residual(cin, cout, stride, t, rng));
+            cin = cout;
+        }
+    }
+    // Operator 18: 1×1 head conv.
+    let head = scaled(1280);
+    {
+        let mut op = Sequential::new();
+        conv_bn_act(&mut op, cin, head, 1, 1, 0, rng);
+        features.push(Box::new(op));
+    }
+    debug_assert_eq!(features.len(), MOBILENET_FEATURE_COUNT);
+    let classifier = Sequential::new()
+        .with(GlobalAvgPool::new())
+        .with(Linear::new(head, num_classes, rng));
+    Model {
+        name: "mobilenet_v2".into(),
+        features,
+        classifier,
+        input_shape: vec![3, 32, 32],
+        num_classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use nshd_tensor::Tensor;
+
+    #[test]
+    fn operator_count_matches_torchvision() {
+        let mut rng = Rng::new(1);
+        let m = mobilenet_v2(10, &mut rng);
+        assert_eq!(m.features.len(), MOBILENET_FEATURE_COUNT);
+    }
+
+    #[test]
+    fn residual_operators_appear_within_stages() {
+        let mut rng = Rng::new(2);
+        let m = mobilenet_v2(10, &mut rng);
+        // Operator 2 is the first repeat of stage 2 at stride 1 with equal
+        // channels — it must be a residual.
+        assert!(m.features.layer(2).name().starts_with("residual"));
+        // Operator 0 (stem) is a plain sequential.
+        assert!(m.features.layer(0).name().starts_with("sequential"));
+    }
+
+    #[test]
+    fn downsampling_totals_8x() {
+        let mut rng = Rng::new(3);
+        let m = mobilenet_v2(10, &mut rng);
+        let final_shape = m.feature_shape_at(MOBILENET_FEATURE_COUNT);
+        assert_eq!(&final_shape[1..], &[4, 4]);
+    }
+
+    #[test]
+    fn paper_cut_points_are_valid() {
+        let mut rng = Rng::new(4);
+        let mut m = mobilenet_v2(10, &mut rng);
+        // Paper layers 14 and 17 → cuts 15 and 18.
+        for cut in [15usize, 18] {
+            let f = m.features_at(&Tensor::zeros([1, 3, 32, 32]), cut, Mode::Eval);
+            assert_eq!(f.len(), m.feature_len_at(cut));
+        }
+        assert!(m.feature_len_at(15) < m.feature_len_at(18) * 4);
+    }
+
+    #[test]
+    fn forward_backward_run() {
+        let mut rng = Rng::new(5);
+        let mut m = mobilenet_v2(4, &mut rng);
+        let x = Tensor::from_fn([2, 3, 32, 32], |i| ((i % 31) as f32 - 15.0) / 15.0);
+        let y = m.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[2, 4]);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        let dx = m.backward(&Tensor::ones(y.shape().clone()));
+        assert_eq!(dx.dims(), x.dims());
+    }
+}

@@ -1,0 +1,114 @@
+//! The model zoo: width-reduced analogs of the four CNNs the NSHD paper
+//! uses as feature extractors.
+//!
+//! Each builder reproduces the reference architecture's *topology and
+//! layer-index conventions* — VGG16 indexed by conv/activation/pool entry
+//! (torchvision `features` order), MobileNetV2 by operator, EfficientNet
+//! by block — at channel widths small enough to train on one CPU core.
+//! DESIGN.md §3 documents why this substitution preserves the paper's
+//! observable behaviour.
+
+mod efficientnet;
+mod mobilenet;
+mod vgg;
+
+pub use efficientnet::{efficientnet_b0, efficientnet_b7, EFFICIENTNET_FEATURE_COUNT};
+pub use mobilenet::{mobilenet_v2, MOBILENET_FEATURE_COUNT};
+pub use vgg::{vgg16, VGG16_FEATURE_COUNT};
+
+use crate::model::Model;
+use nshd_tensor::Rng;
+
+/// The four feature-extractor architectures evaluated in the paper.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Architecture {
+    /// VGG16 analog (paper cut layers 27, 29).
+    Vgg16,
+    /// MobileNetV2 analog (paper cut layers 14, 17).
+    MobileNetV2,
+    /// EfficientNet-B0 analog (paper cut blocks 5–8).
+    EfficientNetB0,
+    /// EfficientNet-B7 analog (paper cut blocks 6–8).
+    EfficientNetB7,
+}
+
+impl Architecture {
+    /// All architectures, in the order the paper's figures list them.
+    pub const ALL: [Architecture; 4] = [
+        Architecture::MobileNetV2,
+        Architecture::EfficientNetB0,
+        Architecture::EfficientNetB7,
+        Architecture::Vgg16,
+    ];
+
+    /// Builds the model for `num_classes` classes with seeded weights.
+    pub fn build(self, num_classes: usize, rng: &mut Rng) -> Model {
+        match self {
+            Architecture::Vgg16 => vgg16(num_classes, rng),
+            Architecture::MobileNetV2 => mobilenet_v2(num_classes, rng),
+            Architecture::EfficientNetB0 => efficientnet_b0(num_classes, rng),
+            Architecture::EfficientNetB7 => efficientnet_b7(num_classes, rng),
+        }
+    }
+
+    /// The feature-layer cut points the paper evaluates for this
+    /// architecture (earliest first), as *cut counts*: a cut of `n` keeps
+    /// feature layers `0..n`, i.e. truncates *after* the paper's layer
+    /// index `n-1`.
+    pub fn paper_cuts(self) -> &'static [usize] {
+        match self {
+            // Paper Fig. 4/Table II: VGG16 layers 27 and 29.
+            Architecture::Vgg16 => &[28, 30],
+            // MobileNetV2 operators 14 and 17.
+            Architecture::MobileNetV2 => &[15, 18],
+            // EfficientNet-b0 blocks 5–8 (Fig. 8a sweeps all four).
+            Architecture::EfficientNetB0 => &[6, 7, 8, 9],
+            // EfficientNet-b7 blocks 6–8.
+            Architecture::EfficientNetB7 => &[7, 8, 9],
+        }
+    }
+
+    /// Display name matching the paper's figures.
+    pub fn display_name(self) -> &'static str {
+        match self {
+            Architecture::Vgg16 => "VGG16",
+            Architecture::MobileNetV2 => "Mobilenetv2",
+            Architecture::EfficientNetB0 => "Efficientnetb0",
+            Architecture::EfficientNetB7 => "Efficientnetb7",
+        }
+    }
+}
+
+impl std::fmt::Display for Architecture {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.display_name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use nshd_tensor::Tensor;
+
+    #[test]
+    fn all_architectures_build_and_run() {
+        for arch in Architecture::ALL {
+            let mut rng = Rng::new(7);
+            let mut m = arch.build(10, &mut rng);
+            let y = m.forward(&Tensor::zeros([1, 3, 32, 32]), Mode::Eval);
+            assert_eq!(y.dims(), &[1, 10], "{arch}");
+            // Paper cut points must be valid prefixes of the feature stack.
+            for &cut in arch.paper_cuts() {
+                assert!(cut <= m.features.len(), "{arch} cut {cut}");
+                assert!(m.feature_len_at(cut) > 0);
+            }
+        }
+    }
+
+    #[test]
+    fn display_names_match_paper() {
+        assert_eq!(Architecture::Vgg16.to_string(), "VGG16");
+        assert_eq!(Architecture::MobileNetV2.to_string(), "Mobilenetv2");
+    }
+}

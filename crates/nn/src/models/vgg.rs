@@ -1,0 +1,121 @@
+//! VGG16 analog with torchvision `features` layer indexing.
+
+use crate::act::{ActKind, Activation};
+use crate::conv::Conv2d;
+use crate::flatten::Flatten;
+use crate::linear::Linear;
+use crate::model::Model;
+use crate::pool::MaxPool2d;
+use crate::sequential::Sequential;
+use nshd_tensor::Rng;
+
+/// Number of entries in the VGG16 `features` stack (indices 0–30), matching
+/// torchvision: 13 convolutions, 13 ReLUs, 5 max-pools.
+pub const VGG16_FEATURE_COUNT: usize = 31;
+
+/// Base channel width of the analog (torchvision VGG16 uses 64).
+const BASE: usize = 8;
+
+/// Builds the VGG16 analog for 3×32×32 inputs.
+///
+/// The feature stack follows torchvision's exact interleaving, so the
+/// paper's "layer 27" (a ReLU after the 13th conv's predecessor) and
+/// "layer 29" (the final ReLU) land on the same indices here:
+///
+/// ```text
+/// 0:conv 1:relu 2:conv 3:relu 4:pool
+/// 5:conv 6:relu 7:conv 8:relu 9:pool
+/// 10:conv 11:relu 12:conv 13:relu 14:conv 15:relu 16:pool
+/// 17:conv 18:relu 19:conv 20:relu 21:conv 22:relu 23:pool
+/// 24:conv 25:relu 26:conv 27:relu 28:conv 29:relu 30:pool
+/// ```
+pub fn vgg16(num_classes: usize, rng: &mut Rng) -> Model {
+    let cfg: [&[usize]; 5] = [
+        &[BASE, BASE],
+        &[2 * BASE, 2 * BASE],
+        &[4 * BASE, 4 * BASE, 4 * BASE],
+        &[8 * BASE, 8 * BASE, 8 * BASE],
+        &[8 * BASE, 8 * BASE, 8 * BASE],
+    ];
+    let mut features = Sequential::new();
+    let mut in_ch = 3;
+    for stage in cfg {
+        for &out_ch in stage {
+            features.push(Box::new(Conv2d::new(in_ch, out_ch, 3, 1, 1, rng)));
+            features.push(Box::new(Activation::new(ActKind::Relu)));
+            in_ch = out_ch;
+        }
+        features.push(Box::new(MaxPool2d::new(2)));
+    }
+    debug_assert_eq!(features.len(), VGG16_FEATURE_COUNT);
+    // 32×32 input through 5 pools → 1×1 spatial; classifier mirrors VGG's
+    // FC stack at reduced width.
+    let flat = 8 * BASE;
+    let hidden = 8 * BASE;
+    let classifier = Sequential::new()
+        .with(Flatten::new())
+        .with(Linear::new(flat, hidden, rng))
+        .with(Activation::new(ActKind::Relu))
+        .with(Linear::new(hidden, num_classes, rng));
+    Model {
+        name: "vgg16".into(),
+        features,
+        classifier,
+        input_shape: vec![3, 32, 32],
+        num_classes,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use nshd_tensor::Tensor;
+
+    #[test]
+    fn layer_indices_match_torchvision_layout() {
+        let mut rng = Rng::new(1);
+        let m = vgg16(10, &mut rng);
+        assert_eq!(m.features.len(), VGG16_FEATURE_COUNT);
+        // Pools sit at torchvision indices 4, 9, 16, 23, 30.
+        for &idx in &[4usize, 9, 16, 23, 30] {
+            assert!(m.features.layer(idx).name().starts_with("maxpool"), "index {idx}");
+        }
+        // Convs at 24, 26, 28; ReLUs at 27 and 29 (the paper's cut layers).
+        for &idx in &[24usize, 26, 28] {
+            assert!(m.features.layer(idx).name().starts_with("conv"), "index {idx}");
+        }
+        for &idx in &[27usize, 29] {
+            assert_eq!(m.features.layer(idx).name(), "relu", "index {idx}");
+        }
+    }
+
+    #[test]
+    fn spatial_shape_collapses_to_1x1() {
+        let mut rng = Rng::new(2);
+        let m = vgg16(10, &mut rng);
+        assert_eq!(m.feature_shape_at(VGG16_FEATURE_COUNT), vec![8 * BASE, 1, 1]);
+        // After layer 27 (ReLU, cut 28): still 2×2 spatial.
+        assert_eq!(m.feature_shape_at(28), vec![8 * BASE, 2, 2]);
+    }
+
+    #[test]
+    fn forward_and_backward_run() {
+        let mut rng = Rng::new(3);
+        let mut m = vgg16(5, &mut rng);
+        let x = Tensor::from_fn([2, 3, 32, 32], |i| ((i % 97) as f32 - 48.0) / 48.0);
+        let y = m.forward(&x, Mode::Train);
+        assert_eq!(y.dims(), &[2, 5]);
+        assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        let dx = m.backward(&Tensor::ones(y.shape().clone()));
+        assert_eq!(dx.dims(), x.dims());
+    }
+
+    #[test]
+    fn deeper_cut_means_more_macs() {
+        let mut rng = Rng::new(4);
+        let m = vgg16(10, &mut rng);
+        assert!(m.macs_to_cut(28) < m.macs_to_cut(30));
+        assert!(m.macs_to_cut(30) < m.total_macs());
+    }
+}

@@ -1,0 +1,214 @@
+//! First-order optimizers: SGD with momentum and Adam.
+//!
+//! Optimizers keep per-parameter state positionally: the layer graph is
+//! static, so [`Layer::params_mut`] yields parameters in a stable order on
+//! every call.
+//!
+//! [`Layer::params_mut`]: crate::Layer::params_mut
+
+use crate::param::Param;
+
+/// A gradient-descent rule applied to a flat list of parameters.
+pub trait Optimizer {
+    /// Applies one update step from the accumulated gradients, then leaves
+    /// gradients untouched (call [`Layer::zero_grad`] between steps).
+    ///
+    /// [`Layer::zero_grad`]: crate::Layer::zero_grad
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Replaces the learning rate (for schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with classical momentum and decoupled
+/// weight decay.
+#[derive(Debug, Clone)]
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Vec<f32>>,
+}
+
+impl Sgd {
+    /// Creates SGD with the given learning rate, momentum, and weight
+    /// decay.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0` or `momentum` is outside `[0, 1)`.
+    pub fn new(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        assert!((0.0..1.0).contains(&momentum), "momentum must be in [0, 1)");
+        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() {
+            self.velocity = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        assert_eq!(
+            self.velocity.len(),
+            params.len(),
+            "parameter list changed between optimizer steps"
+        );
+        for (p, v) in params.iter_mut().zip(self.velocity.iter_mut()) {
+            let decay = if p.decay { self.weight_decay } else { 0.0 };
+            let value = p.value.as_mut_slice();
+            let grad = p.grad.as_slice();
+            for i in 0..value.len() {
+                let g = grad[i] + decay * value[i];
+                v[i] = self.momentum * v[i] + g;
+                value[i] -= self.lr * v[i];
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba) with bias correction and decoupled weight decay.
+#[derive(Debug, Clone)]
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    weight_decay: f32,
+    t: u64,
+    m: Vec<Vec<f32>>,
+    v: Vec<Vec<f32>>,
+}
+
+impl Adam {
+    /// Creates Adam with standard defaults β₁=0.9, β₂=0.999, ε=1e-8.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lr <= 0`.
+    pub fn new(lr: f32, weight_decay: f32) -> Self {
+        assert!(lr > 0.0, "learning rate must be positive");
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            weight_decay,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| vec![0.0; p.len()]).collect();
+            self.v = params.iter().map(|p| vec![0.0; p.len()]).collect();
+        }
+        assert_eq!(self.m.len(), params.len(), "parameter list changed between optimizer steps");
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for ((p, m), v) in params.iter_mut().zip(self.m.iter_mut()).zip(self.v.iter_mut()) {
+            let decay = if p.decay { self.weight_decay } else { 0.0 };
+            let value = p.value.as_mut_slice();
+            let grad = p.grad.as_slice();
+            for i in 0..value.len() {
+                let g = grad[i] + decay * value[i];
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * g;
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * g * g;
+                let m_hat = m[i] / bc1;
+                let v_hat = v[i] / bc2;
+                value[i] -= self.lr * m_hat / (v_hat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshd_tensor::Tensor;
+
+    /// Minimise f(x) = x² with each optimizer; both must converge.
+    fn quadratic_descent(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut p = Param::new(Tensor::from_slice(&[5.0]));
+        for _ in 0..steps {
+            let x = p.value.as_slice()[0];
+            p.grad.as_mut_slice()[0] = 2.0 * x;
+            opt.step(&mut [&mut p]);
+            p.zero_grad();
+        }
+        p.value.as_slice()[0]
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut sgd = Sgd::new(0.1, 0.0, 0.0);
+        assert!(quadratic_descent(&mut sgd, 50).abs() < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_accelerates() {
+        let mut plain = Sgd::new(0.02, 0.0, 0.0);
+        let mut with_mom = Sgd::new(0.02, 0.9, 0.0);
+        let slow = quadratic_descent(&mut plain, 30).abs();
+        let fast = quadratic_descent(&mut with_mom, 30).abs();
+        assert!(fast < slow, "momentum {fast} should beat plain {slow}");
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut adam = Adam::new(0.1, 0.0);
+        assert!(quadratic_descent(&mut adam, 300).abs() < 0.05);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_params_with_zero_grad() {
+        let mut sgd = Sgd::new(0.1, 0.0, 0.5);
+        let mut p = Param::new(Tensor::from_slice(&[2.0]));
+        sgd.step(&mut [&mut p]);
+        // x ← x − lr·wd·x = 2 − 0.1·0.5·2 = 1.9
+        assert!((p.value.as_slice()[0] - 1.9).abs() < 1e-6);
+        // No-decay params are untouched by weight decay.
+        let mut sgd2 = Sgd::new(0.1, 0.0, 0.5);
+        let mut q = Param::new_no_decay(Tensor::from_slice(&[2.0]));
+        sgd2.step(&mut [&mut q]);
+        assert_eq!(q.value.as_slice()[0], 2.0);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut sgd = Sgd::new(0.1, 0.0, 0.0);
+        assert_eq!(sgd.learning_rate(), 0.1);
+        sgd.set_learning_rate(0.01);
+        assert_eq!(sgd.learning_rate(), 0.01);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_lr_panics() {
+        Sgd::new(0.0, 0.0, 0.0);
+    }
+}

@@ -1,0 +1,83 @@
+//! Learnable parameters: a value tensor paired with its gradient.
+
+use nshd_tensor::Tensor;
+
+/// A learnable parameter: the value and its accumulated gradient.
+///
+/// Layers own their `Param`s; optimizers visit them through
+/// [`Layer::params_mut`] in a stable order, which lets per-parameter
+/// optimizer state (momentum, Adam moments) be kept positionally.
+///
+/// [`Layer::params_mut`]: crate::Layer::params_mut
+#[derive(Debug, Clone, PartialEq)]
+pub struct Param {
+    /// Current parameter value.
+    pub value: Tensor,
+    /// Gradient accumulated by the most recent backward pass(es).
+    pub grad: Tensor,
+    /// Whether weight decay applies (disabled for biases and norm scales,
+    /// following standard practice).
+    pub decay: bool,
+}
+
+impl Param {
+    /// Creates a parameter with a zeroed gradient, with weight decay
+    /// enabled.
+    pub fn new(value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param { value, grad, decay: true }
+    }
+
+    /// Creates a parameter exempt from weight decay (biases, norm affine
+    /// terms).
+    pub fn new_no_decay(value: Tensor) -> Self {
+        let mut p = Param::new(value);
+        p.decay = false;
+        p
+    }
+
+    /// Number of scalar parameters.
+    pub fn len(&self) -> usize {
+        self.value.len()
+    }
+
+    /// Whether the parameter is empty.
+    pub fn is_empty(&self) -> bool {
+        self.value.is_empty()
+    }
+
+    /// Zeroes the accumulated gradient.
+    pub fn zero_grad(&mut self) {
+        for g in self.grad.as_mut_slice() {
+            *g = 0.0;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_param_has_zero_grad_matching_shape() {
+        let p = Param::new(Tensor::ones([2, 3]));
+        assert_eq!(p.grad.dims(), &[2, 3]);
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+        assert!(p.decay);
+        assert_eq!(p.len(), 6);
+    }
+
+    #[test]
+    fn no_decay_constructor() {
+        let p = Param::new_no_decay(Tensor::ones([4]));
+        assert!(!p.decay);
+    }
+
+    #[test]
+    fn zero_grad_clears() {
+        let mut p = Param::new(Tensor::ones([3]));
+        p.grad.as_mut_slice().copy_from_slice(&[1.0, 2.0, 3.0]);
+        p.zero_grad();
+        assert!(p.grad.as_slice().iter().all(|&g| g == 0.0));
+    }
+}

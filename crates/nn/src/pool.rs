@@ -1,0 +1,416 @@
+//! Pooling layers: max, average, and global average.
+
+use crate::layer::{Layer, Mode};
+use nshd_tensor::Tensor;
+
+/// 2-D max pooling over NCHW inputs.
+///
+/// The paper's manifold learner begins with a window-2 max pool, so this
+/// layer is shared between the CNN substrate and the NSHD pipeline.
+#[derive(Debug, Clone)]
+pub struct MaxPool2d {
+    window: usize,
+    stride: usize,
+    cached: Option<MaxCache>,
+}
+
+#[derive(Debug, Clone)]
+struct MaxCache {
+    in_shape: Vec<usize>,
+    argmax: Vec<usize>,
+}
+
+impl MaxPool2d {
+    /// Creates a max pool with the given square window and stride equal to
+    /// the window (the common non-overlapping configuration).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0);
+        MaxPool2d { window, stride: window, cached: None }
+    }
+
+    /// Creates a max pool with an explicit stride.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0` or `stride == 0`.
+    pub fn with_stride(window: usize, stride: usize) -> Self {
+        assert!(window > 0 && stride > 0);
+        MaxPool2d { window, stride, cached: None }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h >= self.window && w >= self.window,
+            "pool window {} larger than input {h}×{w}",
+            self.window
+        );
+        ((h - self.window) / self.stride + 1, (w - self.window) / self.stride + 1)
+    }
+}
+
+impl Layer for MaxPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> String {
+        format!("maxpool{}", self.window)
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let dims = input.dims();
+        assert_eq!(dims.len(), 4, "MaxPool2d expects NCHW input");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let x = input.as_slice();
+        let mut out = Tensor::zeros([n, c, oh, ow]);
+        let mut argmax = vec![0usize; out.len()];
+        {
+            let o = out.as_mut_slice();
+            let mut oi = 0usize;
+            for b in 0..n {
+                for ch in 0..c {
+                    let base = (b * c + ch) * h * w;
+                    for oy in 0..oh {
+                        for ox in 0..ow {
+                            let mut best = f32::NEG_INFINITY;
+                            let mut best_idx = 0usize;
+                            for ky in 0..self.window {
+                                for kx in 0..self.window {
+                                    let iy = oy * self.stride + ky;
+                                    let ix = ox * self.stride + kx;
+                                    let idx = base + iy * w + ix;
+                                    if x[idx] > best {
+                                        best = x[idx];
+                                        best_idx = idx;
+                                    }
+                                }
+                            }
+                            o[oi] = best;
+                            argmax[oi] = best_idx;
+                            oi += 1;
+                        }
+                    }
+                }
+            }
+        }
+        if mode == Mode::Train {
+            self.cached = Some(MaxCache { in_shape: dims.to_vec(), argmax });
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let cache = self
+            .cached
+            .as_ref()
+            .expect("backward called without a training-mode forward");
+        let mut dx = Tensor::zeros(cache.in_shape.clone());
+        let dxv = dx.as_mut_slice();
+        for (g, &src) in grad.as_slice().iter().zip(cache.argmax.iter()) {
+            dxv[src] += g;
+        }
+        dx
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(in_shape[1], in_shape[2]);
+        vec![in_shape[0], oh, ow]
+    }
+}
+
+/// 2-D average pooling over NCHW inputs (non-overlapping windows).
+#[derive(Debug, Clone)]
+pub struct AvgPool2d {
+    window: usize,
+    cached_in_shape: Option<Vec<usize>>,
+}
+
+impl AvgPool2d {
+    /// Creates an average pool with a square window and stride equal to
+    /// the window.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `window == 0`.
+    pub fn new(window: usize) -> Self {
+        assert!(window > 0);
+        AvgPool2d { window, cached_in_shape: None }
+    }
+
+    fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        assert!(
+            h >= self.window && w >= self.window,
+            "pool window {} larger than input {h}×{w}",
+            self.window
+        );
+        (h / self.window, w / self.window)
+    }
+}
+
+impl Layer for AvgPool2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> String {
+        format!("avgpool{}", self.window)
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let dims = input.dims();
+        assert_eq!(dims.len(), 4, "AvgPool2d expects NCHW input");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        if mode == Mode::Train {
+            self.cached_in_shape = Some(dims.to_vec());
+        }
+        let x = input.as_slice();
+        let norm = 1.0 / (self.window * self.window) as f32;
+        let mut out = Tensor::zeros([n, c, oh, ow]);
+        let o = out.as_mut_slice();
+        let mut oi = 0usize;
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut s = 0.0;
+                        for ky in 0..self.window {
+                            for kx in 0..self.window {
+                                s += x[base + (oy * self.window + ky) * w + ox * self.window + kx];
+                            }
+                        }
+                        o[oi] = s * norm;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let in_shape = self
+            .cached_in_shape
+            .as_ref()
+            .expect("backward called without a training-mode forward");
+        let (n, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let norm = 1.0 / (self.window * self.window) as f32;
+        let g = grad.as_slice();
+        let mut dx = Tensor::zeros(in_shape.clone());
+        let d = dx.as_mut_slice();
+        let mut gi = 0usize;
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let spread = g[gi] * norm;
+                        gi += 1;
+                        for ky in 0..self.window {
+                            for kx in 0..self.window {
+                                d[base + (oy * self.window + ky) * w + ox * self.window + kx] +=
+                                    spread;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        let (oh, ow) = self.out_hw(in_shape[1], in_shape[2]);
+        vec![in_shape[0], oh, ow]
+    }
+}
+
+/// Global average pooling: `N×C×H×W → N×C`.
+#[derive(Debug, Clone, Default)]
+pub struct GlobalAvgPool {
+    cached_in_shape: Option<Vec<usize>>,
+}
+
+impl GlobalAvgPool {
+    /// Creates a global average pool.
+    pub fn new() -> Self {
+        GlobalAvgPool { cached_in_shape: None }
+    }
+}
+
+impl Layer for GlobalAvgPool {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> String {
+        "gap".into()
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let dims = input.dims();
+        assert_eq!(dims.len(), 4, "GlobalAvgPool expects NCHW input");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let plane = h * w;
+        if mode == Mode::Train {
+            self.cached_in_shape = Some(dims.to_vec());
+        }
+        let x = input.as_slice();
+        Tensor::from_fn([n, c], |i| {
+            let base = i * plane;
+            x[base..base + plane].iter().sum::<f32>() / plane as f32
+        })
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let in_shape = self
+            .cached_in_shape
+            .as_ref()
+            .expect("backward called without a training-mode forward");
+        let (h, w) = (in_shape[2], in_shape[3]);
+        let plane = (h * w) as f32;
+        let mut dx = Tensor::zeros(in_shape.clone());
+        let dxv = dx.as_mut_slice();
+        for (i, &g) in grad.as_slice().iter().enumerate() {
+            let spread = g / plane;
+            for v in dxv[i * h * w..(i + 1) * h * w].iter_mut() {
+                *v = spread;
+            }
+        }
+        dx
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        vec![in_shape[0]]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn maxpool_picks_window_maxima() {
+        let mut mp = MaxPool2d::new(2);
+        let x = Tensor::from_vec(
+            vec![
+                1.0, 2.0, 3.0, 4.0, //
+                5.0, 6.0, 7.0, 8.0, //
+                9.0, 1.0, 2.0, 3.0, //
+                4.0, 5.0, 6.0, 7.0,
+            ],
+            [1, 1, 4, 4],
+        )
+        .unwrap();
+        let y = mp.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[6.0, 8.0, 9.0, 7.0]);
+    }
+
+    #[test]
+    fn maxpool_backward_routes_to_argmax() {
+        let mut mp = MaxPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 2, 2]).unwrap();
+        let _ = mp.forward(&x, Mode::Train);
+        let dx = mp.backward(&Tensor::from_vec(vec![10.0], [1, 1, 1, 1]).unwrap());
+        assert_eq!(dx.as_slice(), &[0.0, 0.0, 0.0, 10.0]);
+    }
+
+    #[test]
+    fn maxpool_with_stride_one_overlaps() {
+        let mut mp = MaxPool2d::with_stride(2, 1);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0, 7.0, 8.0, 9.0], [1, 1, 3, 3])
+            .unwrap();
+        let y = mp.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[1, 1, 2, 2]);
+        assert_eq!(y.as_slice(), &[5.0, 6.0, 8.0, 9.0]);
+    }
+
+    #[test]
+    fn gap_averages_each_plane() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::from_fn([2, 3, 2, 2], |i| i as f32);
+        let y = gap.forward(&x, Mode::Eval);
+        assert_eq!(y.dims(), &[2, 3]);
+        assert_eq!(y.at(&[0, 0]), 1.5); // mean of 0,1,2,3
+        assert_eq!(y.at(&[1, 2]), 21.5); // mean of 20..=23
+    }
+
+    #[test]
+    fn gap_backward_spreads_uniformly() {
+        let mut gap = GlobalAvgPool::new();
+        let x = Tensor::zeros([1, 1, 2, 2]);
+        let _ = gap.forward(&x, Mode::Train);
+        let dx = gap.backward(&Tensor::from_vec(vec![8.0], [1, 1]).unwrap());
+        assert_eq!(dx.as_slice(), &[2.0, 2.0, 2.0, 2.0]);
+    }
+
+    #[test]
+    fn shapes_and_macs() {
+        let mp = MaxPool2d::new(2);
+        assert_eq!(mp.out_shape(&[8, 16, 16]), vec![8, 8, 8]);
+        assert_eq!(mp.macs(&[8, 16, 16]), 0);
+        let gap = GlobalAvgPool::new();
+        assert_eq!(gap.out_shape(&[8, 4, 4]), vec![8]);
+    }
+
+    #[test]
+    #[should_panic(expected = "larger than input")]
+    fn oversized_window_panics() {
+        MaxPool2d::new(4).forward(&Tensor::zeros([1, 1, 2, 2]), Mode::Eval);
+    }
+
+    #[test]
+    fn avgpool_averages_windows() {
+        let mut ap = AvgPool2d::new(2);
+        let x = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [1, 1, 2, 2]).unwrap();
+        let y = ap.forward(&x, Mode::Eval);
+        assert_eq!(y.as_slice(), &[2.5]);
+        assert_eq!(ap.out_shape(&[3, 8, 8]), vec![3, 4, 4]);
+    }
+
+    #[test]
+    fn avgpool_backward_spreads_uniformly() {
+        let mut ap = AvgPool2d::new(2);
+        let x = Tensor::from_fn([1, 1, 4, 4], |i| i as f32);
+        let _ = ap.forward(&x, Mode::Train);
+        let dx = ap.backward(&Tensor::ones([1, 1, 2, 2]));
+        assert!(dx.as_slice().iter().all(|&v| (v - 0.25).abs() < 1e-6));
+        // Gradient mass is conserved.
+        assert!((dx.sum() - 4.0).abs() < 1e-5);
+    }
+
+    #[test]
+    fn avgpool_matches_finite_differences() {
+        let mut ap = AvgPool2d::new(2);
+        let x = Tensor::from_fn([1, 2, 4, 4], |i| (i as f32 * 0.37).sin());
+        let y = ap.forward(&x, Mode::Train);
+        let gy = Tensor::from_fn(y.shape().clone(), |i| 0.3 * (i as f32 + 1.0));
+        let dx = ap.backward(&gy);
+        let loss = |xin: &Tensor| {
+            let mut ap2 = AvgPool2d::new(2);
+            ap2.forward(xin, Mode::Eval)
+                .as_slice()
+                .iter()
+                .zip(gy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        let eps = 1e-3;
+        for idx in [0usize, 7, 19, 31] {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let numeric = (loss(&xp) - loss(&xm)) / (2.0 * eps);
+            assert!((numeric - dx.as_slice()[idx]).abs() < 1e-2);
+        }
+    }
+}

@@ -1,0 +1,318 @@
+//! Squeeze-and-excite channel attention, used by EfficientNet's MBConv
+//! blocks.
+
+use crate::init::he_normal;
+use crate::layer::{Layer, Mode};
+use crate::param::Param;
+use nshd_tensor::{matvec, Rng, Tensor};
+
+/// Squeeze-and-excite: gates each channel by a learned function of the
+/// globally-pooled channel descriptor.
+///
+/// `y = x · σ(W₂ · relu(W₁ · gap(x)))`, with the gate broadcast over each
+/// channel's spatial plane.
+#[derive(Debug, Clone)]
+pub struct SqueezeExcite {
+    channels: usize,
+    reduced: usize,
+    w1: Param,
+    b1: Param,
+    w2: Param,
+    b2: Param,
+    cache: Option<SeCache>,
+}
+
+#[derive(Debug, Clone)]
+struct SeCache {
+    input: Tensor,
+    pooled: Vec<Vec<f32>>,
+    pre1: Vec<Vec<f32>>,
+    hidden: Vec<Vec<f32>>,
+    gate: Vec<Vec<f32>>,
+}
+
+impl SqueezeExcite {
+    /// Creates a squeeze-and-excite block with the given reduction ratio
+    /// (EfficientNet uses 4 relative to the block's input channels; we
+    /// take the reduced width directly for flexibility).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `channels == 0` or `reduced == 0`.
+    pub fn new(channels: usize, reduced: usize, rng: &mut Rng) -> Self {
+        assert!(channels > 0 && reduced > 0);
+        SqueezeExcite {
+            channels,
+            reduced,
+            w1: Param::new(he_normal(rng, &[reduced, channels], channels)),
+            b1: Param::new_no_decay(Tensor::zeros([reduced])),
+            w2: Param::new(he_normal(rng, &[channels, reduced], reduced)),
+            b2: Param::new_no_decay(Tensor::zeros([channels])),
+            cache: None,
+        }
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Layer for SqueezeExcite {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> String {
+        format!("se(c{}→{})", self.channels, self.reduced)
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let dims = input.dims();
+        assert_eq!(dims.len(), 4, "SqueezeExcite expects NCHW input");
+        assert_eq!(dims[1], self.channels, "channel mismatch in {}", self.name());
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let plane = h * w;
+        let x = input.as_slice();
+        let mut out = Tensor::zeros(input.shape().clone());
+        let mut cache = SeCache {
+            input: input.clone(),
+            pooled: Vec::with_capacity(n),
+            pre1: Vec::with_capacity(n),
+            hidden: Vec::with_capacity(n),
+            gate: Vec::with_capacity(n),
+        };
+        for b in 0..n {
+            let pooled: Vec<f32> = (0..c)
+                .map(|ch| {
+                    let base = (b * c + ch) * plane;
+                    x[base..base + plane].iter().sum::<f32>() / plane as f32
+                })
+                .collect();
+            let mut pre1 = matvec(&self.w1.value, &pooled);
+            for (a, &bias) in pre1.iter_mut().zip(self.b1.value.as_slice()) {
+                *a += bias;
+            }
+            let hidden: Vec<f32> = pre1.iter().map(|&v| v.max(0.0)).collect();
+            let mut pre2 = matvec(&self.w2.value, &hidden);
+            for (a, &bias) in pre2.iter_mut().zip(self.b2.value.as_slice()) {
+                *a += bias;
+            }
+            let gate: Vec<f32> = pre2.iter().map(|&v| sigmoid(v)).collect();
+            let o = out.as_mut_slice();
+            for ch in 0..c {
+                let base = (b * c + ch) * plane;
+                let g = gate[ch];
+                for i in 0..plane {
+                    o[base + i] = x[base + i] * g;
+                }
+            }
+            cache.pooled.push(pooled);
+            cache.pre1.push(pre1);
+            cache.hidden.push(hidden);
+            cache.gate.push(gate);
+        }
+        if mode == Mode::Train {
+            self.cache = Some(cache);
+        }
+        out
+    }
+
+    fn backward(&mut self, grad: &Tensor) -> Tensor {
+        let cache = self
+            .cache
+            .take()
+            .expect("backward called without a training-mode forward");
+        let dims = cache.input.dims().to_vec();
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let plane = h * w;
+        let x = cache.input.as_slice();
+        let g = grad.as_slice();
+        let mut dx = Tensor::zeros(dims.clone());
+        for b in 0..n {
+            let gate = &cache.gate[b];
+            // d(gate)_ch = Σ_plane grad · x ; dx = grad · gate (direct path).
+            let mut dgate = vec![0.0f32; c];
+            {
+                let dxv = dx.as_mut_slice();
+                for ch in 0..c {
+                    let base = (b * c + ch) * plane;
+                    let mut s = 0.0;
+                    for i in 0..plane {
+                        s += g[base + i] * x[base + i];
+                        dxv[base + i] += g[base + i] * gate[ch];
+                    }
+                    dgate[ch] = s;
+                }
+            }
+            // Through the sigmoid.
+            let dpre2: Vec<f32> = dgate
+                .iter()
+                .zip(gate.iter())
+                .map(|(&d, &s)| d * s * (1.0 - s))
+                .collect();
+            // dW2 += dpre2 ⊗ hidden ; db2 += dpre2 ; dhidden = W2ᵀ·dpre2.
+            let hidden = &cache.hidden[b];
+            {
+                let dw2 = self.w2.grad.as_mut_slice();
+                for ch in 0..c {
+                    for r in 0..self.reduced {
+                        dw2[ch * self.reduced + r] += dpre2[ch] * hidden[r];
+                    }
+                    self.b2.grad.as_mut_slice()[ch] += dpre2[ch];
+                }
+            }
+            let mut dhidden = vec![0.0f32; self.reduced];
+            {
+                let w2 = self.w2.value.as_slice();
+                for ch in 0..c {
+                    for r in 0..self.reduced {
+                        dhidden[r] += w2[ch * self.reduced + r] * dpre2[ch];
+                    }
+                }
+            }
+            // Through the ReLU.
+            let pre1 = &cache.pre1[b];
+            let dpre1: Vec<f32> = dhidden
+                .iter()
+                .zip(pre1.iter())
+                .map(|(&d, &a)| if a > 0.0 { d } else { 0.0 })
+                .collect();
+            // dW1 += dpre1 ⊗ pooled ; db1 += dpre1 ; dpooled = W1ᵀ·dpre1.
+            let pooled = &cache.pooled[b];
+            {
+                let dw1 = self.w1.grad.as_mut_slice();
+                for r in 0..self.reduced {
+                    for ch in 0..c {
+                        dw1[r * c + ch] += dpre1[r] * pooled[ch];
+                    }
+                    self.b1.grad.as_mut_slice()[r] += dpre1[r];
+                }
+            }
+            let mut dpooled = vec![0.0f32; c];
+            {
+                let w1 = self.w1.value.as_slice();
+                for r in 0..self.reduced {
+                    for ch in 0..c {
+                        dpooled[ch] += w1[r * c + ch] * dpre1[r];
+                    }
+                }
+            }
+            // Through the global average pool.
+            {
+                let dxv = dx.as_mut_slice();
+                for ch in 0..c {
+                    let base = (b * c + ch) * plane;
+                    let spread = dpooled[ch] / plane as f32;
+                    for i in 0..plane {
+                        dxv[base + i] += spread;
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn params(&self) -> Vec<&Param> {
+        vec![&self.w1, &self.b1, &self.w2, &self.b2]
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2]
+    }
+
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        in_shape.to_vec()
+    }
+
+    fn macs(&self, _in_shape: &[usize]) -> u64 {
+        2 * (self.channels * self.reduced) as u64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn output_is_gated_input() {
+        let mut rng = Rng::new(1);
+        let mut se = SqueezeExcite::new(3, 2, &mut rng);
+        let x = Tensor::from_fn([1, 3, 2, 2], |i| (i as f32 * 0.4).sin());
+        let y = se.forward(&x, Mode::Eval);
+        // Each channel plane must be a scalar multiple of the input plane,
+        // with the scalar in (0, 1).
+        for ch in 0..3 {
+            let xs = &x.as_slice()[ch * 4..(ch + 1) * 4];
+            let ys = &y.as_slice()[ch * 4..(ch + 1) * 4];
+            let (mut ratio, mut seen) = (0.0, false);
+            for (a, b) in xs.iter().zip(ys) {
+                if a.abs() > 1e-6 {
+                    let r = b / a;
+                    if seen {
+                        assert!((r - ratio).abs() < 1e-5, "plane not uniformly gated");
+                    }
+                    ratio = r;
+                    seen = true;
+                }
+            }
+            assert!(seen && ratio > 0.0 && ratio < 1.0, "gate {ratio} outside (0,1)");
+        }
+    }
+
+    #[test]
+    fn gradients_match_finite_differences() {
+        let mut rng = Rng::new(2);
+        let mut se = SqueezeExcite::new(2, 2, &mut rng);
+        let x = Tensor::from_fn([1, 2, 2, 2], |i| (i as f32 * 0.7).cos());
+        let gy = Tensor::from_fn([1, 2, 2, 2], |i| 0.2 * (i as f32 + 1.0));
+        let y = se.forward(&x, Mode::Train);
+        let _ = y;
+        let dx = se.backward(&gy);
+        let loss = |se: &mut SqueezeExcite, xin: &Tensor| {
+            se.forward(xin, Mode::Eval)
+                .as_slice()
+                .iter()
+                .zip(gy.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        let eps = 1e-3;
+        for idx in 0..x.len() {
+            let mut xp = x.clone();
+            xp.as_mut_slice()[idx] += eps;
+            let mut xm = x.clone();
+            xm.as_mut_slice()[idx] -= eps;
+            let numeric = (loss(&mut se, &xp) - loss(&mut se, &xm)) / (2.0 * eps);
+            assert!(
+                (numeric - dx.as_slice()[idx]).abs() < 1e-2,
+                "dx[{idx}]: {} vs {numeric}",
+                dx.as_slice()[idx]
+            );
+        }
+        // Weight gradients for both matrices.
+        for (pi, len) in [(0usize, 4usize), (2, 4)] {
+            for idx in 0..len {
+                let orig = se.params()[pi].value.as_slice()[idx];
+                se.params_mut()[pi].value.as_mut_slice()[idx] = orig + eps;
+                let fp = loss(&mut se, &x);
+                se.params_mut()[pi].value.as_mut_slice()[idx] = orig - eps;
+                let fm = loss(&mut se, &x);
+                se.params_mut()[pi].value.as_mut_slice()[idx] = orig;
+                let numeric = (fp - fm) / (2.0 * eps);
+                let analytic = se.params()[pi].grad.as_slice()[idx];
+                assert!(
+                    (numeric - analytic).abs() < 1e-2,
+                    "param {pi}[{idx}]: {analytic} vs {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn shape_and_params() {
+        let mut rng = Rng::new(3);
+        let se = SqueezeExcite::new(8, 2, &mut rng);
+        assert_eq!(se.out_shape(&[8, 4, 4]), vec![8, 4, 4]);
+        assert_eq!(se.param_count(), 8 * 2 + 2 + 2 * 8 + 8);
+    }
+}

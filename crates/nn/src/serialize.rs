@@ -1,0 +1,249 @@
+//! Binary save/load of trained model weights.
+//!
+//! Architectures rebuild deterministically from code, so only the learned
+//! numbers are persisted: every parameter tensor (in the stable
+//! `params_mut` order) plus non-parameter state (batch-norm running
+//! statistics) collected through [`Layer::collect_state`]. The format is
+//! a small little-endian container — versioned, checksummed by length
+//! discipline, and free of external dependencies.
+//!
+//! [`Layer::collect_state`]: crate::Layer::collect_state
+
+use crate::layer::Layer;
+use crate::model::Model;
+use std::io::{self, Read, Write};
+
+const MAGIC: &[u8; 8] = b"NSHDMDL1";
+
+/// Saves a model's learned weights and state.
+///
+/// The `writer` can be a `File`, a `Vec<u8>` cursor, or anything
+/// implementing [`Write`]; pass `&mut writer` to keep ownership.
+///
+/// # Errors
+///
+/// Returns any underlying I/O error.
+pub fn save_model<W: Write>(model: &mut Model, mut writer: W) -> io::Result<()> {
+    writer.write_all(MAGIC)?;
+    write_str(&mut writer, &model.name)?;
+    // Parameters.
+    let params = model.params_mut();
+    write_u64(&mut writer, params.len() as u64)?;
+    for p in &params {
+        let dims = p.value.dims();
+        write_u64(&mut writer, dims.len() as u64)?;
+        for &d in dims {
+            write_u64(&mut writer, d as u64)?;
+        }
+        write_f32s(&mut writer, p.value.as_slice())?;
+    }
+    // Non-parameter state.
+    let mut state = Vec::new();
+    model.features.collect_state(&mut state);
+    model.classifier.collect_state(&mut state);
+    write_u64(&mut writer, state.len() as u64)?;
+    for block in &state {
+        write_f32s(&mut writer, block)?;
+    }
+    Ok(())
+}
+
+/// Loads weights saved by [`save_model`] into an already-built model of
+/// the *same architecture*.
+///
+/// # Errors
+///
+/// Returns an error when the magic/version is wrong, the architecture
+/// name or any tensor shape disagrees, or on I/O failure.
+pub fn load_model<R: Read>(model: &mut Model, mut reader: R) -> io::Result<()> {
+    let mut magic = [0u8; 8];
+    reader.read_exact(&mut magic)?;
+    if &magic != MAGIC {
+        return Err(bad_data("not an NSHD model file (bad magic)"));
+    }
+    let name = read_str(&mut reader)?;
+    if name != model.name {
+        return Err(bad_data(format!(
+            "architecture mismatch: file holds '{name}', model is '{}'",
+            model.name
+        )));
+    }
+    let n_params = read_u64(&mut reader)? as usize;
+    let mut params = model.params_mut();
+    if n_params != params.len() {
+        return Err(bad_data(format!(
+            "parameter count mismatch: file {n_params}, model {}",
+            params.len()
+        )));
+    }
+    for p in params.iter_mut() {
+        let rank = read_u64(&mut reader)? as usize;
+        if rank > 8 {
+            return Err(bad_data("implausible tensor rank"));
+        }
+        let mut dims = Vec::with_capacity(rank);
+        for _ in 0..rank {
+            dims.push(read_u64(&mut reader)? as usize);
+        }
+        if dims != p.value.dims() {
+            return Err(bad_data(format!(
+                "tensor shape mismatch: file {dims:?}, model {:?}",
+                p.value.dims()
+            )));
+        }
+        read_f32s_into(&mut reader, p.value.as_mut_slice())?;
+    }
+    let n_state = read_u64(&mut reader)? as usize;
+    let mut state = Vec::with_capacity(n_state);
+    for _ in 0..n_state {
+        let len = read_u64(&mut reader)? as usize;
+        let mut block = vec![0.0f32; len];
+        read_f32s_body(&mut reader, &mut block)?;
+        state.push(block);
+    }
+    let mut cursor = state.into_iter();
+    model.features.restore_state(&mut cursor);
+    model.classifier.restore_state(&mut cursor);
+    if cursor.next().is_some() {
+        return Err(bad_data("trailing state blocks: architecture mismatch"));
+    }
+    Ok(())
+}
+
+fn bad_data(msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+}
+
+fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
+    w.write_all(&v.to_le_bytes())
+}
+
+fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+    let mut buf = [0u8; 8];
+    r.read_exact(&mut buf)?;
+    Ok(u64::from_le_bytes(buf))
+}
+
+fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
+    write_u64(w, s.len() as u64)?;
+    w.write_all(s.as_bytes())
+}
+
+fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
+    let len = read_u64(r)? as usize;
+    if len > 4096 {
+        return Err(bad_data("implausible string length"));
+    }
+    let mut buf = vec![0u8; len];
+    r.read_exact(&mut buf)?;
+    String::from_utf8(buf).map_err(|_| bad_data("invalid utf-8 in model name"))
+}
+
+fn write_f32s<W: Write>(w: &mut W, vals: &[f32]) -> io::Result<()> {
+    write_u64(w, vals.len() as u64)?;
+    for v in vals {
+        w.write_all(&v.to_le_bytes())?;
+    }
+    Ok(())
+}
+
+fn read_f32s_into<R: Read>(r: &mut R, out: &mut [f32]) -> io::Result<()> {
+    let len = read_u64(r)? as usize;
+    if len != out.len() {
+        return Err(bad_data(format!("tensor length mismatch: file {len}, model {}", out.len())));
+    }
+    read_f32s_body(r, out)
+}
+
+fn read_f32s_body<R: Read>(r: &mut R, out: &mut [f32]) -> io::Result<()> {
+    let mut buf = [0u8; 4];
+    for v in out.iter_mut() {
+        r.read_exact(&mut buf)?;
+        *v = f32::from_le_bytes(buf);
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layer::Mode;
+    use crate::models::Architecture;
+    use crate::optim::{Adam, Optimizer};
+    use crate::{cross_entropy, Layer as _};
+    use nshd_tensor::{Rng, Tensor};
+
+    /// Trains a couple of steps so weights *and* batch-norm running
+    /// statistics diverge from initialisation.
+    fn touched_model(seed: u64) -> Model {
+        let mut rng = Rng::new(seed);
+        let mut m = Architecture::MobileNetV2.build(4, &mut rng);
+        let x = Tensor::from_fn([8, 3, 32, 32], |i| ((i * 29 % 61) as f32 - 30.0) / 30.0);
+        let labels = [0usize, 1, 2, 3, 0, 1, 2, 3];
+        let mut opt = Adam::new(1e-3, 0.0);
+        for _ in 0..2 {
+            m.zero_grad();
+            let logits = m.forward(&x, Mode::Train);
+            let out = cross_entropy(&logits, &labels);
+            m.backward(&out.grad);
+            let mut params = m.params_mut();
+            opt.step(&mut params);
+        }
+        m
+    }
+
+    #[test]
+    fn save_load_round_trips_exactly() {
+        let mut original = touched_model(1);
+        let mut bytes = Vec::new();
+        save_model(&mut original, &mut bytes).expect("save");
+        assert!(!bytes.is_empty());
+
+        // Fresh model with different seed: different weights and state.
+        let mut restored = Architecture::MobileNetV2.build(4, &mut Rng::new(99));
+        load_model(&mut restored, bytes.as_slice()).expect("load");
+
+        // Evaluation outputs must match bit-for-bit (weights AND batch
+        // norm running stats restored).
+        let x = Tensor::from_fn([2, 3, 32, 32], |i| (i as f32 * 0.017).sin());
+        let a = original.forward(&x, Mode::Eval);
+        let b = restored.forward(&x, Mode::Eval);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn wrong_architecture_is_rejected() {
+        let mut m = touched_model(2);
+        let mut bytes = Vec::new();
+        save_model(&mut m, &mut bytes).expect("save");
+        let mut other = Architecture::EfficientNetB0.build(4, &mut Rng::new(3));
+        let err = load_model(&mut other, bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("mismatch"), "{err}");
+    }
+
+    #[test]
+    fn wrong_class_count_is_rejected() {
+        let mut m = touched_model(4);
+        let mut bytes = Vec::new();
+        save_model(&mut m, &mut bytes).expect("save");
+        let mut other = Architecture::MobileNetV2.build(7, &mut Rng::new(5));
+        assert!(load_model(&mut other, bytes.as_slice()).is_err());
+    }
+
+    #[test]
+    fn garbage_is_rejected_up_front() {
+        let mut m = touched_model(6);
+        let err = load_model(&mut m, &b"definitely not a model"[..]).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn truncated_file_errors_cleanly() {
+        let mut m = touched_model(7);
+        let mut bytes = Vec::new();
+        save_model(&mut m, &mut bytes).expect("save");
+        bytes.truncate(bytes.len() / 2);
+        let mut other = Architecture::MobileNetV2.build(4, &mut Rng::new(8));
+        assert!(load_model(&mut other, bytes.as_slice()).is_err());
+    }
+}

@@ -1,0 +1,484 @@
+//! Analytical architecture specifications at *reference* scale.
+//!
+//! The efficiency experiments (Figs. 4–6, Table II) depend on the ratio
+//! between CNN cost and the fixed-size HD stage. Our trainable analogs
+//! are width-reduced to fit one CPU core, which distorts that ratio, so
+//! cost experiments instead use these analytically-computed statistics of
+//! the *reference* architectures — full torchvision widths at the
+//! 224×224 resolution the paper resizes CIFAR to (its "VGG16 layer 27
+//! outputs 25,088 features" implies exactly that). No weights are
+//! allocated; only geometry is evaluated.
+//!
+//! Each spec mirrors the layer-index conventions of the corresponding
+//! builder in [`crate::models`], and the unit tests cross-check the spec
+//! formulas against [`crate::stats::model_stats`] on the real analog
+//! models.
+
+use crate::models::Architecture;
+use crate::stats::{LayerStat, ModelStats};
+
+/// Which scale a spec describes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SpecVariant {
+    /// The width-reduced 32×32 models this workspace trains.
+    Analog,
+    /// The paper's full-width models at 224×224 input.
+    Reference,
+}
+
+/// Computes the per-layer statistics of an architecture at the given
+/// scale, without building the model.
+pub fn arch_stats(arch: Architecture, variant: SpecVariant, num_classes: usize) -> ModelStats {
+    match arch {
+        Architecture::Vgg16 => vgg16_spec(variant, num_classes),
+        Architecture::MobileNetV2 => mobilenet_spec(variant, num_classes),
+        Architecture::EfficientNetB0 => efficientnet_spec(variant, false, num_classes),
+        Architecture::EfficientNetB7 => efficientnet_spec(variant, true, num_classes),
+    }
+}
+
+/// Flattened feature count after `cut` feature layers of a spec.
+pub fn feature_len_at(stats: &ModelStats, cut: usize) -> usize {
+    stats.feature_len_at(cut)
+}
+
+/// Feature-map shape (CHW) after `cut` feature layers of a spec.
+///
+/// # Panics
+///
+/// Panics if `cut` is 0 or out of range.
+pub fn feature_shape_at(stats: &ModelStats, cut: usize) -> Vec<usize> {
+    assert!(cut >= 1 && cut <= stats.features.len());
+    stats.features[cut - 1].out_shape.clone()
+}
+
+// ---------------------------------------------------------------------
+// Spec builder
+// ---------------------------------------------------------------------
+
+struct SpecBuilder {
+    shape: (usize, usize, usize),
+    stats: Vec<LayerStat>,
+    /// When set, primitive stats accumulate into one pending block entry.
+    block: Option<LayerStat>,
+}
+
+impl SpecBuilder {
+    fn new(c: usize, h: usize, w: usize) -> Self {
+        SpecBuilder { shape: (c, h, w), stats: Vec::new(), block: None }
+    }
+
+    fn emit(&mut self, name: String, macs: u64, params: usize) {
+        let out_shape = vec![self.shape.0, self.shape.1, self.shape.2];
+        let activation_elems = out_shape.iter().product();
+        match &mut self.block {
+            Some(block) => {
+                block.macs += macs;
+                block.params += params;
+                block.out_shape = out_shape;
+                block.activation_elems = activation_elems;
+            }
+            None => {
+                self.stats.push(LayerStat {
+                    index: self.stats.len(),
+                    name,
+                    out_shape,
+                    macs,
+                    params,
+                    activation_elems,
+                });
+            }
+        }
+    }
+
+    fn begin_block(&mut self, name: &str) {
+        assert!(self.block.is_none(), "nested blocks are not supported");
+        self.block = Some(LayerStat {
+            index: self.stats.len(),
+            name: name.to_string(),
+            out_shape: vec![self.shape.0, self.shape.1, self.shape.2],
+            macs: 0,
+            params: 0,
+            activation_elems: 0,
+        });
+    }
+
+    fn end_block(&mut self) {
+        let block = self.block.take().expect("end_block without begin_block");
+        self.stats.push(block);
+    }
+
+    fn conv(&mut self, cout: usize, k: usize, s: usize, p: usize) {
+        let (cin, h, w) = self.shape;
+        let oh = (h + 2 * p - k) / s + 1;
+        let ow = (w + 2 * p - k) / s + 1;
+        let macs = (cout * cin * k * k * oh * ow) as u64;
+        let params = cout * cin * k * k + cout;
+        self.shape = (cout, oh, ow);
+        self.emit(format!("conv{k}x{k}({cin}→{cout},s{s})"), macs, params);
+    }
+
+    fn dwconv(&mut self, k: usize, s: usize, p: usize) {
+        let (c, h, w) = self.shape;
+        let oh = (h + 2 * p - k) / s + 1;
+        let ow = (w + 2 * p - k) / s + 1;
+        let macs = (c * k * k * oh * ow) as u64;
+        let params = c * k * k + c;
+        self.shape = (c, oh, ow);
+        self.emit(format!("dwconv{k}x{k}(c{c},s{s})"), macs, params);
+    }
+
+    fn bn(&mut self) {
+        let params = 2 * self.shape.0;
+        self.emit(format!("bn(c{})", self.shape.0), 0, params);
+    }
+
+    fn act(&mut self, name: &str) {
+        self.emit(name.to_string(), 0, 0);
+    }
+
+    fn se(&mut self, reduced: usize) {
+        let c = self.shape.0;
+        let macs = 2 * (c * reduced) as u64;
+        let params = c * reduced + reduced + reduced * c + c;
+        self.emit(format!("se(c{c}→{reduced})"), macs, params);
+    }
+
+    fn maxpool(&mut self, window: usize) {
+        let (c, h, w) = self.shape;
+        self.shape = (c, (h - window) / window + 1, (w - window) / window + 1);
+        self.emit(format!("maxpool{window}"), 0, 0);
+    }
+
+    fn gap(&mut self) {
+        self.shape = (self.shape.0, 1, 1);
+        self.emit("gap".into(), 0, 0);
+    }
+
+    fn flatten(&mut self) {
+        let f = self.shape.0 * self.shape.1 * self.shape.2;
+        self.shape = (f, 1, 1);
+        self.emit("flatten".into(), 0, 0);
+    }
+
+    fn linear(&mut self, out: usize) {
+        let fin = self.shape.0 * self.shape.1 * self.shape.2;
+        let macs = (fin * out) as u64;
+        let params = fin * out + out;
+        self.shape = (out, 1, 1);
+        self.emit(format!("linear({fin}→{out})"), macs, params);
+    }
+
+    fn take(self) -> Vec<LayerStat> {
+        assert!(self.block.is_none(), "unterminated block");
+        self.stats
+    }
+}
+
+fn finish(features: Vec<LayerStat>, classifier: Vec<LayerStat>) -> ModelStats {
+    // Re-index the classifier entries from zero.
+    let classifier: Vec<LayerStat> = classifier
+        .into_iter()
+        .enumerate()
+        .map(|(index, mut s)| {
+            s.index = index;
+            s
+        })
+        .collect();
+    let total_macs = features.iter().map(|s| s.macs).sum::<u64>()
+        + classifier.iter().map(|s| s.macs).sum::<u64>();
+    let total_params = features.iter().map(|s| s.params).sum::<usize>()
+        + classifier.iter().map(|s| s.params).sum::<usize>();
+    ModelStats { features, classifier, total_macs, total_params }
+}
+
+// ---------------------------------------------------------------------
+// VGG16
+// ---------------------------------------------------------------------
+
+fn vgg16_spec(variant: SpecVariant, num_classes: usize) -> ModelStats {
+    let (base, input, hidden) = match variant {
+        SpecVariant::Analog => (8usize, 32usize, 64usize),
+        SpecVariant::Reference => (64, 224, 4096),
+    };
+    let cfg: [&[usize]; 5] = [
+        &[base, base],
+        &[2 * base, 2 * base],
+        &[4 * base, 4 * base, 4 * base],
+        &[8 * base, 8 * base, 8 * base],
+        &[8 * base, 8 * base, 8 * base],
+    ];
+    let mut b = SpecBuilder::new(3, input, input);
+    for stage in cfg {
+        for &cout in stage {
+            b.conv(cout, 3, 1, 1);
+            b.act("relu");
+        }
+        b.maxpool(2);
+    }
+    let features = b.take();
+    let mut c = SpecBuilder::new(
+        features.last().expect("features").out_shape[0],
+        features.last().expect("features").out_shape[1],
+        features.last().expect("features").out_shape[2],
+    );
+    c.flatten();
+    c.linear(hidden);
+    c.act("relu");
+    if variant == SpecVariant::Reference {
+        // Torchvision VGG16 has two 4096-wide hidden layers.
+        c.linear(hidden);
+        c.act("relu");
+    }
+    c.linear(num_classes);
+    finish(features, c.take())
+}
+
+// ---------------------------------------------------------------------
+// MobileNetV2
+// ---------------------------------------------------------------------
+
+fn mobilenet_spec(variant: SpecVariant, num_classes: usize) -> ModelStats {
+    // (expand, channels, repeats, first stride) per reference stage.
+    let reference_stages: [(usize, usize, usize, usize); 7] = [
+        (1, 16, 1, 1),
+        (6, 24, 2, 2),
+        (6, 32, 3, 2),
+        (6, 64, 4, 2),
+        (6, 96, 3, 1),
+        (6, 160, 3, 2),
+        (6, 320, 1, 1),
+    ];
+    let (scale, input, stem_stride, stage2_stride): (fn(usize) -> usize, usize, usize, usize) =
+        match variant {
+            SpecVariant::Analog => (|c| (c / 5).max(8), 32, 1, 1),
+            SpecVariant::Reference => (|c| c, 224, 2, 2),
+        };
+    let stem = scale(32);
+    let head = scale(1280);
+    let mut b = SpecBuilder::new(3, input, input);
+    b.begin_block("stem");
+    b.conv(stem, 3, stem_stride, 1);
+    b.bn();
+    b.act("relu6");
+    b.end_block();
+    let mut cin = stem;
+    for (stage_idx, (t, c, n, s)) in reference_stages.into_iter().enumerate() {
+        let cout = scale(c);
+        let s = if stage_idx == 1 { stage2_stride } else { s };
+        for i in 0..n {
+            let stride = if i == 0 { s } else { 1 };
+            b.begin_block("inverted_residual");
+            let hidden = cin * t;
+            if t != 1 {
+                b.conv(hidden, 1, 1, 0);
+                b.bn();
+                b.act("relu6");
+            }
+            b.dwconv(3, stride, 1);
+            b.bn();
+            b.act("relu6");
+            b.conv(cout, 1, 1, 0);
+            b.bn();
+            b.end_block();
+            cin = cout;
+        }
+    }
+    b.begin_block("head");
+    b.conv(head, 1, 1, 0);
+    b.bn();
+    b.act("relu6");
+    b.end_block();
+    let features = b.take();
+    let last = features.last().expect("features").out_shape.clone();
+    let mut c = SpecBuilder::new(last[0], last[1], last[2]);
+    c.gap();
+    c.linear(num_classes);
+    finish(features, c.take())
+}
+
+// ---------------------------------------------------------------------
+// EfficientNet
+// ---------------------------------------------------------------------
+
+fn efficientnet_spec(variant: SpecVariant, b7: bool, num_classes: usize) -> ModelStats {
+    // (expand, channels, repeats, first stride, kernel) per stage.
+    type Stage = (usize, usize, usize, usize, usize);
+    let (stem, head, stages, input): (usize, usize, [Stage; 7], usize) = match (variant, b7) {
+        (SpecVariant::Analog, false) => (
+            8,
+            192,
+            [
+                (1, 8, 1, 1, 3),
+                (6, 8, 2, 1, 3),
+                (6, 12, 2, 2, 5),
+                (6, 16, 3, 2, 3),
+                (6, 22, 3, 1, 5),
+                (6, 38, 4, 2, 5),
+                (6, 64, 1, 1, 3),
+            ],
+            32,
+        ),
+        (SpecVariant::Analog, true) => (
+            12,
+            384,
+            [
+                (1, 12, 2, 1, 3),
+                (6, 16, 3, 1, 3),
+                (6, 24, 3, 2, 5),
+                (6, 32, 4, 2, 3),
+                (6, 44, 4, 1, 5),
+                (6, 76, 5, 2, 5),
+                (6, 128, 2, 1, 3),
+            ],
+            32,
+        ),
+        (SpecVariant::Reference, false) => (
+            32,
+            1280,
+            [
+                (1, 16, 1, 1, 3),
+                (6, 24, 2, 2, 3),
+                (6, 40, 2, 2, 5),
+                (6, 80, 3, 2, 3),
+                (6, 112, 3, 1, 5),
+                (6, 192, 4, 2, 5),
+                (6, 320, 1, 1, 3),
+            ],
+            224,
+        ),
+        (SpecVariant::Reference, true) => (
+            // Compound scaling: width ×2.0, depth ×3.1 over B0.
+            64,
+            2560,
+            [
+                (1, 32, 4, 1, 3),
+                (6, 48, 7, 2, 3),
+                (6, 80, 7, 2, 5),
+                (6, 160, 10, 2, 3),
+                (6, 224, 10, 1, 5),
+                (6, 384, 13, 2, 5),
+                (6, 640, 4, 1, 3),
+            ],
+            224,
+        ),
+    };
+    let stem_stride = if variant == SpecVariant::Reference { 2 } else { 1 };
+    let mut b = SpecBuilder::new(3, input, input);
+    b.begin_block("stem");
+    b.conv(stem, 3, stem_stride, 1);
+    b.bn();
+    b.act("silu");
+    b.end_block();
+    let mut cin = stem;
+    for (expand, cout, repeats, stride, kernel) in stages {
+        b.begin_block("mbconv_stage");
+        for i in 0..repeats {
+            let s = if i == 0 { stride } else { 1 };
+            let hidden = cin * expand;
+            if expand != 1 {
+                b.conv(hidden, 1, 1, 0);
+                b.bn();
+                b.act("silu");
+            }
+            b.dwconv(kernel, s, kernel / 2);
+            b.bn();
+            b.act("silu");
+            b.se((cin / 4).max(1));
+            b.conv(cout, 1, 1, 0);
+            b.bn();
+            cin = cout;
+        }
+        b.end_block();
+    }
+    b.begin_block("head");
+    b.conv(head, 1, 1, 0);
+    b.bn();
+    b.act("silu");
+    b.end_block();
+    let features = b.take();
+    let last = features.last().expect("features").out_shape.clone();
+    let mut c = SpecBuilder::new(last[0], last[1], last[2]);
+    c.gap();
+    c.linear(num_classes);
+    finish(features, c.take())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::stats::model_stats;
+    use nshd_tensor::Rng;
+
+    /// The analog spec must agree exactly with the stats of the real
+    /// analog models — the strongest possible validation of the spec
+    /// formulas.
+    #[test]
+    fn analog_spec_matches_built_models() {
+        for arch in Architecture::ALL {
+            let mut rng = Rng::new(1);
+            let model = arch.build(10, &mut rng);
+            let built = model_stats(&model);
+            let spec = arch_stats(arch, SpecVariant::Analog, 10);
+            assert_eq!(spec.features.len(), built.features.len(), "{arch} feature count");
+            for (s, m) in spec.features.iter().zip(&built.features) {
+                assert_eq!(s.macs, m.macs, "{arch} layer {} ({}) macs", s.index, m.name);
+                assert_eq!(s.params, m.params, "{arch} layer {} params", s.index);
+                assert_eq!(s.out_shape, m.out_shape, "{arch} layer {} shape", s.index);
+            }
+            assert_eq!(spec.total_macs, built.total_macs, "{arch} total macs");
+            assert_eq!(spec.total_params, built.total_params, "{arch} total params");
+        }
+    }
+
+    #[test]
+    fn reference_vgg16_matches_published_size() {
+        let spec = arch_stats(Architecture::Vgg16, SpecVariant::Reference, 1000);
+        // Torchvision VGG16: 138.36M parameters.
+        let millions = spec.total_params as f64 / 1e6;
+        assert!((millions - 138.36).abs() < 1.5, "VGG16 params {millions}M");
+        // Layer 27 (cut 28) flattened features: the paper's 25,088 comes
+        // from the 512×7×7 tensor *after* the final pool; at the ReLU-27
+        // cut the map is 512×14×14.
+        assert_eq!(feature_shape_at(&spec, 28), vec![512, 14, 14]);
+        assert_eq!(feature_len_at(&spec, 31), 512 * 7 * 7);
+    }
+
+    #[test]
+    fn reference_mobilenet_and_efficientnet_sizes() {
+        let mnet = arch_stats(Architecture::MobileNetV2, SpecVariant::Reference, 1000);
+        let m = mnet.total_params as f64 / 1e6;
+        assert!((m - 3.5).abs() < 0.5, "MobileNetV2 params {m}M");
+        let b0 = arch_stats(Architecture::EfficientNetB0, SpecVariant::Reference, 1000);
+        let m0 = b0.total_params as f64 / 1e6;
+        assert!((m0 - 5.3).abs() < 1.0, "EfficientNet-B0 params {m0}M");
+        let b7 = arch_stats(Architecture::EfficientNetB7, SpecVariant::Reference, 1000);
+        let m7 = b7.total_params as f64 / 1e6;
+        assert!((55.0..85.0).contains(&m7), "EfficientNet-B7 params {m7}M");
+        assert!(b7.total_macs > 10 * b0.total_macs);
+    }
+
+    #[test]
+    fn reference_feature_counts_are_paper_scale() {
+        // Reference intermediate layers expose tens of thousands of
+        // features — the explosion the manifold learner exists to tame.
+        let b0 = arch_stats(Architecture::EfficientNetB0, SpecVariant::Reference, 10);
+        for cut in [6usize, 7, 8, 9] {
+            assert!(
+                feature_len_at(&b0, cut) > 5_000,
+                "cut {cut}: {}",
+                feature_len_at(&b0, cut)
+            );
+        }
+    }
+
+    #[test]
+    fn block_indexing_matches_analog_builders() {
+        let spec = arch_stats(Architecture::MobileNetV2, SpecVariant::Analog, 10);
+        assert_eq!(spec.features.len(), crate::models::MOBILENET_FEATURE_COUNT);
+        let spec = arch_stats(Architecture::EfficientNetB0, SpecVariant::Analog, 10);
+        assert_eq!(spec.features.len(), crate::models::EFFICIENTNET_FEATURE_COUNT);
+        let spec = arch_stats(Architecture::Vgg16, SpecVariant::Analog, 10);
+        assert_eq!(spec.features.len(), crate::models::VGG16_FEATURE_COUNT);
+    }
+}

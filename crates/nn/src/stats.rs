@@ -1,0 +1,153 @@
+//! Per-layer cost statistics: MACs, parameters, and activation footprints.
+//!
+//! These numbers drive the paper's efficiency results: Fig. 4 (energy),
+//! Fig. 5 (MAC reduction), Fig. 6 (FPGA throughput), and Table II (model
+//! size).
+
+use crate::layer::Layer;
+use crate::model::Model;
+use crate::sequential::Sequential;
+
+/// Cost statistics for one layer of a feature stack.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LayerStat {
+    /// Layer index within the stack.
+    pub index: usize,
+    /// Layer name.
+    pub name: String,
+    /// Output shape (excluding batch).
+    pub out_shape: Vec<usize>,
+    /// Multiply–accumulates for one sample.
+    pub macs: u64,
+    /// Scalar parameter count.
+    pub params: usize,
+    /// Output activation element count.
+    pub activation_elems: usize,
+}
+
+/// Computes per-layer statistics for a sequential stack on a given input
+/// shape (excluding batch).
+pub fn sequential_stats(seq: &Sequential, in_shape: &[usize]) -> Vec<LayerStat> {
+    let mut shape = in_shape.to_vec();
+    let mut stats = Vec::with_capacity(seq.len());
+    for index in 0..seq.len() {
+        let layer = seq.layer(index);
+        let macs = layer.macs(&shape);
+        shape = layer.out_shape(&shape);
+        stats.push(LayerStat {
+            index,
+            name: layer.name(),
+            out_shape: shape.clone(),
+            macs,
+            params: layer.param_count(),
+            activation_elems: shape.iter().product(),
+        });
+    }
+    stats
+}
+
+/// Aggregate cost summary of a whole model.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ModelStats {
+    /// Per-layer stats of the feature stack.
+    pub features: Vec<LayerStat>,
+    /// Per-layer stats of the classifier head.
+    pub classifier: Vec<LayerStat>,
+    /// Total MACs for one forward pass of one sample.
+    pub total_macs: u64,
+    /// Total parameter count.
+    pub total_params: usize,
+}
+
+/// Computes a [`ModelStats`] summary for a model.
+pub fn model_stats(model: &Model) -> ModelStats {
+    let features = sequential_stats(&model.features, &model.input_shape);
+    let feat_out = model.features.out_shape(&model.input_shape);
+    let classifier = sequential_stats(&model.classifier, &feat_out);
+    let total_macs =
+        features.iter().map(|s| s.macs).sum::<u64>() + classifier.iter().map(|s| s.macs).sum::<u64>();
+    let total_params = features.iter().map(|s| s.params).sum::<usize>()
+        + classifier.iter().map(|s| s.params).sum::<usize>();
+    ModelStats { features, classifier, total_macs, total_params }
+}
+
+impl ModelStats {
+    /// Parameters in the first `cut` feature layers.
+    pub fn feature_params_to(&self, cut: usize) -> usize {
+        self.features[..cut].iter().map(|s| s.params).sum()
+    }
+
+    /// MACs in the first `cut` feature layers.
+    pub fn feature_macs_to(&self, cut: usize) -> u64 {
+        self.features[..cut].iter().map(|s| s.macs).sum()
+    }
+
+    /// Flattened feature count after `cut` layers (0 → input is
+    /// unavailable here; `cut` must be ≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut` is 0 or exceeds the number of feature layers.
+    pub fn feature_len_at(&self, cut: usize) -> usize {
+        assert!(cut >= 1 && cut <= self.features.len());
+        self.features[cut - 1].activation_elems
+    }
+}
+
+/// Model size in bytes assuming 4-byte (f32) parameters, the convention
+/// Table II uses.
+pub fn params_to_bytes(params: usize) -> u64 {
+    params as u64 * 4
+}
+
+/// Formats a byte count the way the paper's Table II prints sizes (MB with
+/// two decimals).
+pub fn format_mb(bytes: u64) -> String {
+    format!("{:.2}MB", bytes as f64 / (1024.0 * 1024.0))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::{vgg16, Architecture};
+    use nshd_tensor::Rng;
+
+    #[test]
+    fn stats_shapes_chain_correctly() {
+        let mut rng = Rng::new(1);
+        let m = vgg16(10, &mut rng);
+        let stats = model_stats(&m);
+        assert_eq!(stats.features.len(), 31);
+        // First conv: 3→8 channels at 32×32.
+        assert_eq!(stats.features[0].out_shape, vec![8, 32, 32]);
+        assert_eq!(stats.features[0].macs, 8 * 27 * 1024);
+        // Activations shrink after each pool.
+        assert_eq!(stats.features[4].out_shape, vec![8, 16, 16]);
+        // Totals match Model accessors.
+        assert_eq!(stats.total_macs, m.total_macs());
+        assert_eq!(stats.total_params, m.param_count());
+        assert_eq!(stats.feature_macs_to(28), m.macs_to_cut(28));
+        assert_eq!(stats.feature_params_to(28), m.param_count_to_cut(28));
+        assert_eq!(stats.feature_len_at(28), m.feature_len_at(28));
+    }
+
+    #[test]
+    fn all_architectures_produce_monotone_cumulative_macs() {
+        for arch in Architecture::ALL {
+            let mut rng = Rng::new(2);
+            let m = arch.build(10, &mut rng);
+            let stats = model_stats(&m);
+            let mut cum = 0u64;
+            for (i, s) in stats.features.iter().enumerate() {
+                cum += s.macs;
+                assert_eq!(stats.feature_macs_to(i + 1), cum, "{arch}");
+            }
+        }
+    }
+
+    #[test]
+    fn byte_formatting() {
+        assert_eq!(params_to_bytes(1024 * 1024), 4 * 1024 * 1024);
+        assert_eq!(format_mb(537_200_000), format!("{:.2}MB", 537_200_000f64 / 1048576.0));
+    }
+}

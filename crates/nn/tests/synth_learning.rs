@@ -1,0 +1,24 @@
+//! Cross-crate smoke test: the CNN analogs must genuinely learn the
+//! synthetic datasets, since they serve as NSHD's pretrained teachers.
+
+use nshd_data::{normalize_pair, SynthSpec};
+use nshd_nn::{evaluate, fit, Adam, Architecture, TrainConfig};
+use nshd_tensor::Rng;
+
+#[test]
+fn vgg_analog_learns_synth10_above_chance() {
+    let (mut train, mut test) = SynthSpec::synth10(11).with_sizes(500, 100).generate();
+    normalize_pair(&mut train, &mut test);
+    let mut rng = Rng::new(1);
+    let mut model = Architecture::Vgg16.build(10, &mut rng);
+    let mut opt = Adam::new(2e-3, 1e-5);
+    fit(
+        &mut model,
+        train.images(),
+        train.labels(),
+        &mut opt,
+        &TrainConfig { epochs: 10, batch_size: 32, seed: 2, ..TrainConfig::default() },
+    );
+    let acc = evaluate(&mut model, test.images(), test.labels(), 50);
+    assert!(acc > 0.5, "VGG16 analog reached only {acc} on Synth10");
+}

@@ -1,0 +1,80 @@
+//! Error types for tensor operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Error raised by fallible tensor operations.
+///
+/// Most tensor methods in this crate panic on programmer errors (shape
+/// mismatches discovered at call sites that are statically avoidable), but
+/// operations whose validity depends on runtime data — parsing, reshaping to
+/// user-supplied dimensions, building tensors from external buffers — return
+/// `Result<_, TensorError>` instead.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TensorError {
+    /// The number of elements implied by a requested shape does not match the
+    /// number of elements in the underlying buffer.
+    ShapeMismatch {
+        /// Number of elements the buffer actually holds.
+        expected: usize,
+        /// Number of elements the requested shape implies.
+        got: usize,
+    },
+    /// Two tensors that were required to have identical shapes did not.
+    IncompatibleShapes {
+        /// Shape of the left-hand operand.
+        lhs: Vec<usize>,
+        /// Shape of the right-hand operand.
+        rhs: Vec<usize>,
+    },
+    /// A dimension index was out of range for the tensor's rank.
+    AxisOutOfRange {
+        /// The offending axis.
+        axis: usize,
+        /// The tensor's rank.
+        rank: usize,
+    },
+    /// An operation that requires a non-empty tensor received an empty one.
+    EmptyTensor,
+}
+
+impl fmt::Display for TensorError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TensorError::ShapeMismatch { expected, got } => {
+                write!(f, "shape implies {got} elements but buffer holds {expected}")
+            }
+            TensorError::IncompatibleShapes { lhs, rhs } => {
+                write!(f, "incompatible shapes {lhs:?} and {rhs:?}")
+            }
+            TensorError::AxisOutOfRange { axis, rank } => {
+                write!(f, "axis {axis} out of range for rank-{rank} tensor")
+            }
+            TensorError::EmptyTensor => write!(f, "operation requires a non-empty tensor"),
+        }
+    }
+}
+
+impl Error for TensorError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_lowercase_and_informative() {
+        let e = TensorError::ShapeMismatch { expected: 4, got: 6 };
+        assert_eq!(e.to_string(), "shape implies 6 elements but buffer holds 4");
+        let e = TensorError::IncompatibleShapes { lhs: vec![2, 3], rhs: vec![3, 2] };
+        assert!(e.to_string().contains("[2, 3]"));
+        let e = TensorError::AxisOutOfRange { axis: 5, rank: 2 };
+        assert!(e.to_string().contains("axis 5"));
+        assert!(TensorError::EmptyTensor.to_string().contains("non-empty"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<TensorError>();
+    }
+}

@@ -1,0 +1,274 @@
+//! Blocked single-precision matrix multiplication.
+//!
+//! Convolution in [`nshd-nn`] lowers to GEMM via im2col, so this kernel is
+//! the hot path of the entire workspace. The implementation is a classic
+//! cache-blocked ikj loop; it is not BLAS, but on a single core with
+//! `opt-level >= 2` it sustains a healthy fraction of scalar peak and, more
+//! importantly, is simple enough to audit.
+//!
+//! [`nshd-nn`]: ../../nshd_nn/index.html
+
+use crate::tensor::Tensor;
+
+/// Cache block edge, chosen so three `BLOCK×BLOCK` f32 tiles fit in L1.
+const BLOCK: usize = 64;
+
+/// Computes `C = A · B` for row-major matrices.
+///
+/// `a` is `m×k`, `b` is `k×n`, and the result is `m×n`.
+///
+/// # Panics
+///
+/// Panics if the operand shapes are not rank-2 or the inner dimensions
+/// disagree.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_tensor::{matmul, Tensor};
+///
+/// let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+/// let i = Tensor::from_vec(vec![1.0, 0.0, 0.0, 1.0], [2, 2])?;
+/// assert_eq!(matmul(&a, &i), a);
+/// # Ok::<(), nshd_tensor::TensorError>(())
+/// ```
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul lhs");
+    let (k2, n) = dims2(b, "matmul rhs");
+    assert_eq!(k, k2, "matmul inner dimensions disagree: {k} vs {k2}");
+    let mut c = Tensor::zeros([m, n]);
+    gemm(
+        m,
+        k,
+        n,
+        a.as_slice(),
+        b.as_slice(),
+        c.as_mut_slice(),
+    );
+    c
+}
+
+/// Computes `C = A · Bᵀ` without materialising the transpose.
+///
+/// `a` is `m×k`, `b` is `n×k`, and the result is `m×n`. This variant is the
+/// natural layout for similarity search (query rows against memory rows) and
+/// for the backward pass of linear layers.
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2 or `k` dimensions disagree.
+pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = dims2(a, "matmul_bt lhs");
+    let (n, k2) = dims2(b, "matmul_bt rhs");
+    assert_eq!(k, k2, "matmul_bt inner dimensions disagree: {k} vs {k2}");
+    let mut c = Tensor::zeros([m, n]);
+    let (av, bv, cv) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let crow = &mut cv[i * n..(i + 1) * n];
+        for (j, cj) in crow.iter_mut().enumerate() {
+            *cj = crate::ops::dot(arow, &bv[j * k..(j + 1) * k]);
+        }
+    }
+    c
+}
+
+/// Computes `C = Aᵀ · B` without materialising the transpose.
+///
+/// `a` is `k×m`, `b` is `k×n`, and the result is `m×n`. Used by weight
+/// gradients (`dW = Xᵀ·dY`).
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2 or `k` dimensions disagree.
+pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = dims2(a, "matmul_at lhs");
+    let (k2, n) = dims2(b, "matmul_at rhs");
+    assert_eq!(k, k2, "matmul_at inner dimensions disagree: {k} vs {k2}");
+    let mut c = Tensor::zeros([m, n]);
+    let (av, bv, cv) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
+    // Accumulate rank-1 updates row by row of A/B; cache-friendly on C.
+    for p in 0..k {
+        let arow = &av[p * m..(p + 1) * m];
+        let brow = &bv[p * n..(p + 1) * n];
+        for (i, &aip) in arow.iter().enumerate() {
+            if aip == 0.0 {
+                continue;
+            }
+            let crow = &mut cv[i * n..(i + 1) * n];
+            for (c_el, &b_el) in crow.iter_mut().zip(brow) {
+                *c_el += aip * b_el;
+            }
+        }
+    }
+    c
+}
+
+/// Matrix–vector product `y = A·x` for a row-major `m×k` matrix.
+///
+/// # Panics
+///
+/// Panics if `a` is not rank-2 or `x.len() != k`.
+pub fn matvec(a: &Tensor, x: &[f32]) -> Vec<f32> {
+    let (m, k) = dims2(a, "matvec lhs");
+    assert_eq!(x.len(), k, "matvec expects a vector of length {k}");
+    let av = a.as_slice();
+    (0..m)
+        .map(|i| crate::ops::dot(&av[i * k..(i + 1) * k], x))
+        .collect()
+}
+
+/// Vector–matrix product `y = xᵀ·A` for a row-major `k×n` matrix.
+///
+/// # Panics
+///
+/// Panics if `a` is not rank-2 or `x.len() != k`.
+pub fn vecmat(x: &[f32], a: &Tensor) -> Vec<f32> {
+    let (k, n) = dims2(a, "vecmat rhs");
+    assert_eq!(x.len(), k, "vecmat expects a vector of length {k}");
+    let av = a.as_slice();
+    let mut y = vec![0.0f32; n];
+    for (p, &xp) in x.iter().enumerate() {
+        if xp == 0.0 {
+            continue;
+        }
+        let arow = &av[p * n..(p + 1) * n];
+        for (yj, &aj) in y.iter_mut().zip(arow) {
+            *yj += xp * aj;
+        }
+    }
+    y
+}
+
+fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
+    assert_eq!(
+        t.shape().rank(),
+        2,
+        "{what} must be rank-2, got shape {}",
+        t.shape()
+    );
+    (t.shape().dim(0), t.shape().dim(1))
+}
+
+/// The blocked GEMM kernel: `c += a · b` over raw slices.
+fn gemm(m: usize, k: usize, n: usize, a: &[f32], b: &[f32], c: &mut [f32]) {
+    for ib in (0..m).step_by(BLOCK) {
+        let i_end = (ib + BLOCK).min(m);
+        for pb in (0..k).step_by(BLOCK) {
+            let p_end = (pb + BLOCK).min(k);
+            for jb in (0..n).step_by(BLOCK) {
+                let j_end = (jb + BLOCK).min(n);
+                for i in ib..i_end {
+                    for p in pb..p_end {
+                        let aip = a[i * k + p];
+                        if aip == 0.0 {
+                            continue;
+                        }
+                        let brow = &b[p * n + jb..p * n + j_end];
+                        let crow = &mut c[i * n + jb..i * n + j_end];
+                        for (c_el, &b_el) in crow.iter_mut().zip(brow) {
+                            *c_el += aip * b_el;
+                        }
+                    }
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn naive(a: &Tensor, b: &Tensor) -> Tensor {
+        let (m, k) = (a.dims()[0], a.dims()[1]);
+        let n = b.dims()[1];
+        let mut c = Tensor::zeros([m, n]);
+        for i in 0..m {
+            for j in 0..n {
+                let mut s = 0.0;
+                for p in 0..k {
+                    s += a.at(&[i, p]) * b.at(&[p, j]);
+                }
+                *c.at_mut(&[i, j]) = s;
+            }
+        }
+        c
+    }
+
+    fn rand_tensor(shape: [usize; 2], seed: u64) -> Tensor {
+        // Small deterministic LCG; avoids a dev-dependency here.
+        let mut state = seed.wrapping_mul(6364136223846793005).wrapping_add(1);
+        Tensor::from_fn(shape, |_| {
+            state = state.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            ((state >> 33) as f32 / (1u64 << 31) as f32) - 1.0
+        })
+    }
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.shape(), b.shape());
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            assert!((x - y).abs() < tol, "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn known_product() {
+        let a = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        let b = Tensor::from_vec(vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0], [3, 2]).unwrap();
+        let c = matmul(&a, &b);
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let a = rand_tensor([5, 5], 1);
+        let i = Tensor::from_fn([5, 5], |idx| if idx % 6 == 0 { 1.0 } else { 0.0 });
+        assert_close(&matmul(&a, &i), &a, 1e-6);
+        assert_close(&matmul(&i, &a), &a, 1e-6);
+    }
+
+    #[test]
+    fn blocked_matches_naive_past_block_edge() {
+        // Sizes straddling the 64-wide block boundary exercise tail logic.
+        for &(m, k, n) in &[(3, 70, 5), (65, 64, 66), (1, 1, 1), (7, 129, 3)] {
+            let a = rand_tensor([m, k], (m * k) as u64);
+            let b = rand_tensor([k, n], (k * n + 7) as u64);
+            assert_close(&matmul(&a, &b), &naive(&a, &b), 1e-3);
+        }
+    }
+
+    #[test]
+    fn bt_and_at_agree_with_explicit_transpose() {
+        let a = rand_tensor([6, 9], 3);
+        let b = rand_tensor([4, 9], 4);
+        assert_close(&matmul_bt(&a, &b), &matmul(&a, &b.transposed()), 1e-4);
+        let c = rand_tensor([9, 5], 5);
+        let d = rand_tensor([9, 4], 6);
+        assert_close(&matmul_at(&c, &d), &matmul(&c.transposed(), &d), 1e-4);
+    }
+
+    #[test]
+    fn matvec_vecmat_agree_with_matmul() {
+        let a = rand_tensor([4, 7], 10);
+        let x: Vec<f32> = (0..7).map(|i| i as f32 * 0.5 - 1.0).collect();
+        let xv = Tensor::from_vec(x.clone(), [7, 1]).unwrap();
+        let y = matvec(&a, &x);
+        let y2 = matmul(&a, &xv);
+        for (u, v) in y.iter().zip(y2.as_slice()) {
+            assert!((u - v).abs() < 1e-5);
+        }
+        let b = rand_tensor([7, 3], 11);
+        let z = vecmat(&x, &b);
+        let z2 = matmul(&xv.transposed(), &b);
+        for (u, v) in z.iter().zip(z2.as_slice()) {
+            assert!((u - v).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions disagree")]
+    fn mismatched_inner_dims_panic() {
+        matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
+    }
+}

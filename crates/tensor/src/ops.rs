@@ -1,0 +1,280 @@
+//! Elementwise arithmetic, reductions, and the numerically-stable softmax.
+
+use crate::tensor::Tensor;
+
+impl Tensor {
+    /// Elementwise sum of two same-shaped tensors.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn add(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a + b)
+    }
+
+    /// Elementwise difference.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn sub(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a - b)
+    }
+
+    /// Elementwise (Hadamard) product.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn mul(&self, other: &Tensor) -> Tensor {
+        self.zip_with(other, |a, b| a * b)
+    }
+
+    /// Multiplies every element by a scalar.
+    pub fn scale(&self, k: f32) -> Tensor {
+        self.map(|x| x * k)
+    }
+
+    /// Adds a scalar to every element.
+    pub fn shift(&self, k: f32) -> Tensor {
+        self.map(|x| x + k)
+    }
+
+    /// In-place `self += alpha * other` (AXPY). The workhorse of every
+    /// gradient-descent update in the workspace.
+    ///
+    /// # Panics
+    ///
+    /// Panics on shape mismatch.
+    pub fn axpy(&mut self, alpha: f32, other: &Tensor) {
+        assert_eq!(
+            self.shape(),
+            other.shape(),
+            "axpy requires identical shapes ({} vs {})",
+            self.shape(),
+            other.shape()
+        );
+        for (a, &b) in self.as_mut_slice().iter_mut().zip(other.as_slice()) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Sum of all elements.
+    pub fn sum(&self) -> f32 {
+        self.as_slice().iter().sum()
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.is_empty() {
+            0.0
+        } else {
+            self.sum() / self.len() as f32
+        }
+    }
+
+    /// Maximum element, or `None` for an empty tensor.
+    pub fn max(&self) -> Option<f32> {
+        self.as_slice().iter().copied().reduce(f32::max)
+    }
+
+    /// Minimum element, or `None` for an empty tensor.
+    pub fn min(&self) -> Option<f32> {
+        self.as_slice().iter().copied().reduce(f32::min)
+    }
+
+    /// Index of the maximum element (first occurrence), or `None` if empty.
+    pub fn argmax(&self) -> Option<usize> {
+        let mut best: Option<(usize, f32)> = None;
+        for (i, &v) in self.as_slice().iter().enumerate() {
+            match best {
+                Some((_, bv)) if v <= bv => {}
+                _ => best = Some((i, v)),
+            }
+        }
+        best.map(|(i, _)| i)
+    }
+
+    /// Dot product with another tensor of identical length.
+    ///
+    /// Shapes need not match, only element counts — callers frequently dot a
+    /// flattened activation against a weight row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the lengths differ.
+    pub fn dot(&self, other: &Tensor) -> f32 {
+        assert_eq!(self.len(), other.len(), "dot requires equal lengths");
+        dot(self.as_slice(), other.as_slice())
+    }
+
+    /// Euclidean (L2) norm.
+    pub fn norm(&self) -> f32 {
+        dot(self.as_slice(), self.as_slice()).sqrt()
+    }
+
+    /// Numerically-stable softmax over the last axis.
+    ///
+    /// For a rank-2 `(batch, classes)` tensor this is the per-row softmax;
+    /// rank-1 tensors are treated as a single row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is rank-0 or the last axis is empty.
+    pub fn softmax(&self) -> Tensor {
+        assert!(self.shape().rank() >= 1, "softmax requires rank >= 1");
+        let cols = self.shape().dim(self.shape().rank() - 1);
+        assert!(cols > 0, "softmax requires a non-empty last axis");
+        let mut out = self.clone();
+        for row in out.as_mut_slice().chunks_mut(cols) {
+            softmax_row(row);
+        }
+        out
+    }
+
+    /// Softmax over the last axis with a temperature divisor, as used in
+    /// knowledge distillation: `softmax(x / t)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `t <= 0` or the tensor is rank-0.
+    pub fn softmax_with_temperature(&self, t: f32) -> Tensor {
+        assert!(t > 0.0, "temperature must be positive, got {t}");
+        self.scale(1.0 / t).softmax()
+    }
+}
+
+/// Plain dot product of two equal-length slices, 4-way unrolled.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    assert_eq!(a.len(), b.len(), "dot requires equal lengths");
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let j = i * 4;
+        acc[0] += a[j] * b[j];
+        acc[1] += a[j + 1] * b[j + 1];
+        acc[2] += a[j + 2] * b[j + 2];
+        acc[3] += a[j + 3] * b[j + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for j in chunks * 4..a.len() {
+        s += a[j] * b[j];
+    }
+    s
+}
+
+/// In-place numerically-stable softmax of one row.
+fn softmax_row(row: &mut [f32]) {
+    let max = row.iter().copied().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0;
+    for v in row.iter_mut() {
+        *v = (*v - max).exp();
+        sum += *v;
+    }
+    if sum > 0.0 {
+        for v in row.iter_mut() {
+            *v /= sum;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn close(a: f32, b: f32) -> bool {
+        (a - b).abs() < 1e-5
+    }
+
+    #[test]
+    fn elementwise_arithmetic() {
+        let a = Tensor::from_slice(&[1.0, 2.0, 3.0]);
+        let b = Tensor::from_slice(&[4.0, 5.0, 6.0]);
+        assert_eq!(a.add(&b).as_slice(), &[5.0, 7.0, 9.0]);
+        assert_eq!(b.sub(&a).as_slice(), &[3.0, 3.0, 3.0]);
+        assert_eq!(a.mul(&b).as_slice(), &[4.0, 10.0, 18.0]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        assert_eq!(a.shift(1.0).as_slice(), &[2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn axpy_accumulates() {
+        let mut a = Tensor::from_slice(&[1.0, 1.0]);
+        let g = Tensor::from_slice(&[2.0, 4.0]);
+        a.axpy(-0.5, &g);
+        assert_eq!(a.as_slice(), &[0.0, -1.0]);
+    }
+
+    #[test]
+    fn reductions() {
+        let t = Tensor::from_slice(&[3.0, -1.0, 2.0]);
+        assert_eq!(t.sum(), 4.0);
+        assert!(close(t.mean(), 4.0 / 3.0));
+        assert_eq!(t.max(), Some(3.0));
+        assert_eq!(t.min(), Some(-1.0));
+        assert_eq!(t.argmax(), Some(0));
+        let empty = Tensor::zeros([0]);
+        assert_eq!(empty.max(), None);
+        assert_eq!(empty.argmax(), None);
+        assert_eq!(empty.mean(), 0.0);
+    }
+
+    #[test]
+    fn argmax_ties_take_first() {
+        let t = Tensor::from_slice(&[1.0, 5.0, 5.0]);
+        assert_eq!(t.argmax(), Some(1));
+    }
+
+    #[test]
+    fn dot_and_norm() {
+        let a = Tensor::from_slice(&[3.0, 4.0]);
+        assert_eq!(a.dot(&a), 25.0);
+        assert!(close(a.norm(), 5.0));
+        // Unrolled path: length not divisible by 4.
+        let long: Vec<f32> = (0..11).map(|i| i as f32).collect();
+        let t = Tensor::from_slice(&long);
+        let expected: f32 = long.iter().map(|v| v * v).sum();
+        assert!(close(t.dot(&t), expected));
+    }
+
+    #[test]
+    fn softmax_rows_sum_to_one() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 1.0, 1.0, 1.0], [2, 3]).unwrap();
+        let s = t.softmax();
+        for row in s.as_slice().chunks(3) {
+            let sum: f32 = row.iter().sum();
+            assert!(close(sum, 1.0));
+        }
+        // Uniform logits -> uniform probabilities.
+        assert!(close(s.at(&[1, 0]), 1.0 / 3.0));
+        // Monotone in logits.
+        assert!(s.at(&[0, 2]) > s.at(&[0, 1]));
+    }
+
+    #[test]
+    fn softmax_is_stable_for_large_logits() {
+        let t = Tensor::from_slice(&[1000.0, 1001.0]);
+        let s = t.softmax();
+        assert!(s.as_slice().iter().all(|v| v.is_finite()));
+        assert!(close(s.as_slice().iter().sum::<f32>(), 1.0));
+    }
+
+    #[test]
+    fn temperature_flattens_distribution() {
+        let t = Tensor::from_slice(&[0.0, 4.0]);
+        let sharp = t.softmax();
+        let soft = t.softmax_with_temperature(8.0);
+        assert!(soft.at(&[0]) > sharp.at(&[0]));
+        assert!(soft.at(&[1]) < sharp.at(&[1]));
+    }
+
+    #[test]
+    #[should_panic(expected = "temperature must be positive")]
+    fn zero_temperature_panics() {
+        Tensor::from_slice(&[1.0]).softmax_with_temperature(0.0);
+    }
+}

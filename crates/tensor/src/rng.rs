@@ -1,0 +1,188 @@
+//! A small deterministic random number generator.
+//!
+//! Every stochastic component in the workspace — weight initialisation,
+//! dataset synthesis, projection matrices — is seeded through this
+//! generator so that experiments are exactly reproducible. The core is
+//! SplitMix64 (public-domain, Steele et al.), which passes BigCrush and is
+//! trivially portable; we layer uniform/normal/bipolar helpers on top.
+
+/// Deterministic SplitMix64 generator with convenience samplers.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_tensor::Rng;
+///
+/// let mut a = Rng::new(42);
+/// let mut b = Rng::new(42);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Rng {
+    state: u64,
+}
+
+impl Rng {
+    /// Creates a generator from a seed.
+    pub fn new(seed: u64) -> Self {
+        Rng { state: seed }
+    }
+
+    /// Derives an independent child generator; used to give each component
+    /// (projection matrix, dataset split, layer init) its own stream.
+    pub fn fork(&mut self, stream: u64) -> Rng {
+        Rng::new(self.next_u64() ^ stream.wrapping_mul(0x9E3779B97F4A7C15))
+    }
+
+    /// Next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E3779B97F4A7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform `f32` in `[0, 1)`.
+    pub fn uniform(&mut self) -> f32 {
+        (self.next_u64() >> 40) as f32 / (1u64 << 24) as f32
+    }
+
+    /// Uniform `f32` in `[lo, hi)`.
+    pub fn uniform_in(&mut self, lo: f32, hi: f32) -> f32 {
+        lo + (hi - lo) * self.uniform()
+    }
+
+    /// Uniform integer in `[0, n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0`.
+    pub fn below(&mut self, n: usize) -> usize {
+        assert!(n > 0, "below(0) is meaningless");
+        (self.next_u64() % n as u64) as usize
+    }
+
+    /// Standard normal sample (Box–Muller).
+    pub fn normal(&mut self) -> f32 {
+        // Avoid ln(0) by nudging u1 away from zero.
+        let u1 = self.uniform().max(1e-7);
+        let u2 = self.uniform();
+        (-2.0 * u1.ln()).sqrt() * (2.0 * std::f32::consts::PI * u2).cos()
+    }
+
+    /// Normal sample with the given mean and standard deviation.
+    pub fn normal_with(&mut self, mean: f32, std: f32) -> f32 {
+        mean + std * self.normal()
+    }
+
+    /// Random sign: `+1.0` or `-1.0` with equal probability.
+    pub fn bipolar(&mut self) -> f32 {
+        if self.next_u64() & 1 == 0 {
+            1.0
+        } else {
+            -1.0
+        }
+    }
+
+    /// `true` with probability `p`.
+    pub fn chance(&mut self, p: f32) -> bool {
+        self.uniform() < p
+    }
+
+    /// Fisher–Yates shuffle of a slice.
+    pub fn shuffle<T>(&mut self, items: &mut [T]) {
+        for i in (1..items.len()).rev() {
+            let j = self.below(i + 1);
+            items.swap(i, j);
+        }
+    }
+
+    /// A random permutation of `0..n`.
+    pub fn permutation(&mut self, n: usize) -> Vec<usize> {
+        let mut idx: Vec<usize> = (0..n).collect();
+        self.shuffle(&mut idx);
+        idx
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_streams() {
+        let mut a = Rng::new(7);
+        let mut b = Rng::new(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng::new(8);
+        assert_ne!(Rng::new(7).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn forked_streams_differ_from_parent() {
+        let mut parent = Rng::new(1);
+        let mut child = parent.fork(0);
+        let mut child2 = parent.fork(1);
+        let a: Vec<u64> = (0..8).map(|_| child.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| child2.next_u64()).collect();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn uniform_bounds_and_mean() {
+        let mut rng = Rng::new(3);
+        let mut sum = 0.0;
+        for _ in 0..10_000 {
+            let u = rng.uniform();
+            assert!((0.0..1.0).contains(&u));
+            sum += u;
+        }
+        let mean = sum / 10_000.0;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean}");
+    }
+
+    #[test]
+    fn normal_moments() {
+        let mut rng = Rng::new(4);
+        let n = 20_000;
+        let samples: Vec<f32> = (0..n).map(|_| rng.normal()).collect();
+        let mean: f32 = samples.iter().sum::<f32>() / n as f32;
+        let var: f32 = samples.iter().map(|x| (x - mean).powi(2)).sum::<f32>() / n as f32;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+
+    #[test]
+    fn bipolar_is_balanced() {
+        let mut rng = Rng::new(5);
+        let pos = (0..10_000).filter(|_| rng.bipolar() > 0.0).count();
+        assert!((4_700..5_300).contains(&pos), "positives {pos}");
+    }
+
+    #[test]
+    fn permutation_is_a_permutation() {
+        let mut rng = Rng::new(6);
+        let p = rng.permutation(100);
+        let mut sorted = p.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn below_stays_in_range() {
+        let mut rng = Rng::new(9);
+        for _ in 0..1_000 {
+            assert!(rng.below(7) < 7);
+        }
+    }
+
+    #[test]
+    fn chance_extremes() {
+        let mut rng = Rng::new(10);
+        assert!(!(0..100).any(|_| rng.chance(0.0)));
+        assert!((0..100).all(|_| rng.chance(1.0)));
+    }
+}

@@ -1,0 +1,215 @@
+//! Shapes and index arithmetic for row-major (C-order) tensors.
+
+use crate::error::TensorError;
+use std::fmt;
+
+/// The shape of a tensor: an ordered list of dimension sizes.
+///
+/// Shapes are row-major: the last dimension varies fastest in memory. The
+/// crate convention for image tensors is NCHW (batch, channel, height,
+/// width).
+///
+/// # Examples
+///
+/// ```
+/// use nshd_tensor::Shape;
+///
+/// let s = Shape::new(vec![2, 3, 4]);
+/// assert_eq!(s.len(), 24);
+/// assert_eq!(s.rank(), 3);
+/// assert_eq!(s.strides(), vec![12, 4, 1]);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Shape {
+    dims: Vec<usize>,
+}
+
+impl Shape {
+    /// Creates a shape from dimension sizes.
+    ///
+    /// A rank-0 shape (scalar) is permitted and has one element.
+    pub fn new(dims: Vec<usize>) -> Self {
+        Shape { dims }
+    }
+
+    /// The dimension sizes.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.dims.len()
+    }
+
+    /// Total number of elements (product of dimensions; 1 for scalars).
+    pub fn len(&self) -> usize {
+        self.dims.iter().product()
+    }
+
+    /// Whether the shape contains zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Size of dimension `axis`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `axis >= self.rank()`.
+    pub fn dim(&self, axis: usize) -> usize {
+        self.dims[axis]
+    }
+
+    /// Row-major strides (in elements) for this shape.
+    ///
+    /// The stride of the last axis is always 1; a scalar has no strides.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1; self.dims.len()];
+        for i in (0..self.dims.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.dims[i + 1];
+        }
+        strides
+    }
+
+    /// Converts a multi-dimensional index into a flat offset.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index.len() != self.rank()` or any coordinate is out of
+    /// bounds.
+    pub fn offset(&self, index: &[usize]) -> usize {
+        assert_eq!(
+            index.len(),
+            self.rank(),
+            "index rank {} does not match shape rank {}",
+            index.len(),
+            self.rank()
+        );
+        let mut off = 0;
+        let strides = self.strides();
+        for (axis, (&i, &s)) in index.iter().zip(strides.iter()).enumerate() {
+            assert!(
+                i < self.dims[axis],
+                "index {i} out of bounds for axis {axis} with size {}",
+                self.dims[axis]
+            );
+            off += i * s;
+        }
+        off
+    }
+
+    /// Checks that `self` and `other` are identical, returning a descriptive
+    /// error otherwise.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::IncompatibleShapes`] when the shapes differ.
+    pub fn ensure_same(&self, other: &Shape) -> Result<(), TensorError> {
+        if self == other {
+            Ok(())
+        } else {
+            Err(TensorError::IncompatibleShapes {
+                lhs: self.dims.clone(),
+                rhs: other.dims.clone(),
+            })
+        }
+    }
+}
+
+impl From<Vec<usize>> for Shape {
+    fn from(dims: Vec<usize>) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape::new(dims.to_vec())
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, d) in self.dims.iter().enumerate() {
+            if i > 0 {
+                write!(f, "×")?;
+            }
+            write!(f, "{d}")?;
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn strides_row_major() {
+        assert_eq!(Shape::from([2, 3, 4]).strides(), vec![12, 4, 1]);
+        assert_eq!(Shape::from([5]).strides(), vec![1]);
+        assert_eq!(Shape::new(vec![]).strides(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn offset_round_trip() {
+        let s = Shape::from([2, 3, 4]);
+        let mut seen = vec![false; s.len()];
+        for i in 0..2 {
+            for j in 0..3 {
+                for k in 0..4 {
+                    let off = s.offset(&[i, j, k]);
+                    assert!(!seen[off], "offset {off} visited twice");
+                    seen[off] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&v| v));
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(vec![]);
+        assert_eq!(s.len(), 1);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.offset(&[]), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn offset_out_of_bounds_panics() {
+        Shape::from([2, 2]).offset(&[2, 0]);
+    }
+
+    #[test]
+    fn ensure_same_reports_both_shapes() {
+        let a = Shape::from([2, 3]);
+        let b = Shape::from([3, 2]);
+        let err = a.ensure_same(&b).unwrap_err();
+        assert_eq!(
+            err,
+            TensorError::IncompatibleShapes { lhs: vec![2, 3], rhs: vec![3, 2] }
+        );
+        assert!(a.ensure_same(&a.clone()).is_ok());
+    }
+
+    #[test]
+    fn display_format() {
+        assert_eq!(Shape::from([2, 3]).to_string(), "(2×3)");
+    }
+
+    #[test]
+    fn zero_sized_dimension_is_empty() {
+        let s = Shape::from([2, 0, 3]);
+        assert_eq!(s.len(), 0);
+        assert!(s.is_empty());
+    }
+}

@@ -1,0 +1,397 @@
+//! The dense `f32` tensor type used throughout the workspace.
+
+use crate::error::TensorError;
+use crate::shape::Shape;
+use std::fmt;
+
+/// A dense, owned, row-major `f32` tensor.
+///
+/// This is the single numeric container shared by the CNN substrate
+/// ([`nshd-nn`]), the HD computing crate, and the NSHD pipeline. It favours
+/// simplicity and predictable performance on a single CPU core: contiguous
+/// storage, no views-with-strides, explicit copies.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_tensor::Tensor;
+///
+/// let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2])?;
+/// assert_eq!(t.at(&[1, 0]), 3.0);
+/// assert_eq!(t.sum(), 10.0);
+/// # Ok::<(), nshd_tensor::TensorError>(())
+/// ```
+///
+/// [`nshd-nn`]: https://example.invalid/nshd
+#[derive(Clone, PartialEq)]
+pub struct Tensor {
+    data: Vec<f32>,
+    shape: Shape,
+}
+
+impl Tensor {
+    /// Creates a tensor of zeros with the given shape.
+    pub fn zeros(shape: impl Into<Shape>) -> Self {
+        let shape = shape.into();
+        Tensor { data: vec![0.0; shape.len()], shape }
+    }
+
+    /// Creates a tensor filled with `value`.
+    pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
+        let shape = shape.into();
+        Tensor { data: vec![value; shape.len()], shape }
+    }
+
+    /// Creates a tensor of ones with the given shape.
+    pub fn ones(shape: impl Into<Shape>) -> Self {
+        Tensor::full(shape, 1.0)
+    }
+
+    /// Creates a tensor that wraps `data` with the given shape.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if `data.len()` differs from
+    /// the number of elements implied by `shape`.
+    pub fn from_vec(data: Vec<f32>, shape: impl Into<Shape>) -> Result<Self, TensorError> {
+        let shape = shape.into();
+        if data.len() != shape.len() {
+            return Err(TensorError::ShapeMismatch { expected: data.len(), got: shape.len() });
+        }
+        Ok(Tensor { data, shape })
+    }
+
+    /// Creates a 1-D tensor from a slice.
+    pub fn from_slice(data: &[f32]) -> Self {
+        Tensor { data: data.to_vec(), shape: Shape::new(vec![data.len()]) }
+    }
+
+    /// Creates a tensor by evaluating `f` at each flat index.
+    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(usize) -> f32) -> Self {
+        let shape = shape.into();
+        let data = (0..shape.len()).map(|i| f(i)).collect();
+        Tensor { data, shape }
+    }
+
+    /// The tensor's shape.
+    pub fn shape(&self) -> &Shape {
+        &self.shape
+    }
+
+    /// The dimension sizes, as a slice.
+    pub fn dims(&self) -> &[usize] {
+        self.shape.dims()
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Whether the tensor holds zero elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// The underlying storage, in row-major order.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Mutable access to the underlying storage.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn at(&self, index: &[usize]) -> f32 {
+        self.data[self.shape.offset(index)]
+    }
+
+    /// Mutable element at a multi-dimensional index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index rank or any coordinate is out of bounds.
+    pub fn at_mut(&mut self, index: &[usize]) -> &mut f32 {
+        let off = self.shape.offset(index);
+        &mut self.data[off]
+    }
+
+    /// Returns a copy of this tensor with a new shape over the same data.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the element counts differ.
+    pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor, TensorError> {
+        let shape = shape.into();
+        if shape.len() != self.data.len() {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.data.len(),
+                got: shape.len(),
+            });
+        }
+        Ok(Tensor { data: self.data.clone(), shape })
+    }
+
+    /// Reinterprets the shape in place (no copy).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::ShapeMismatch`] if the element counts differ.
+    pub fn reshaped(mut self, shape: impl Into<Shape>) -> Result<Tensor, TensorError> {
+        let shape = shape.into();
+        if shape.len() != self.data.len() {
+            return Err(TensorError::ShapeMismatch {
+                expected: self.data.len(),
+                got: shape.len(),
+            });
+        }
+        self.shape = shape;
+        Ok(self)
+    }
+
+    /// Flattens into a rank-1 tensor (no copy).
+    pub fn flattened(self) -> Tensor {
+        let n = self.data.len();
+        Tensor { data: self.data, shape: Shape::new(vec![n]) }
+    }
+
+    /// Applies `f` to every element, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
+        Tensor {
+            data: self.data.iter().map(|&x| f(x)).collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Applies `f` to every element in place.
+    pub fn map_inplace(&mut self, f: impl Fn(f32) -> f32) {
+        for x in &mut self.data {
+            *x = f(*x);
+        }
+    }
+
+    /// Combines two same-shaped tensors elementwise with `f`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ; use [`Shape::ensure_same`] to check
+    /// first when shapes come from untrusted input.
+    pub fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
+        assert_eq!(
+            self.shape, other.shape,
+            "zip_with requires identical shapes ({} vs {})",
+            self.shape, other.shape
+        );
+        Tensor {
+            data: self
+                .data
+                .iter()
+                .zip(other.data.iter())
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
+            shape: self.shape.clone(),
+        }
+    }
+
+    /// Copies `src` into this tensor starting at flat offset `offset`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `offset + src.len()` exceeds the tensor length.
+    pub fn write_slice(&mut self, offset: usize, src: &[f32]) {
+        self.data[offset..offset + src.len()].copy_from_slice(src);
+    }
+
+    /// Extracts batch element `n` from an NCHW (or generally N-leading)
+    /// tensor as a tensor of the remaining shape.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is rank-0 or `n` is out of bounds.
+    pub fn batch_item(&self, n: usize) -> Tensor {
+        assert!(self.shape.rank() >= 1, "batch_item requires rank >= 1");
+        let batch = self.shape.dim(0);
+        assert!(n < batch, "batch index {n} out of bounds for {batch}");
+        let inner: Vec<usize> = self.shape.dims()[1..].to_vec();
+        let inner_len: usize = inner.iter().product();
+        let start = n * inner_len;
+        Tensor {
+            data: self.data[start..start + inner_len].to_vec(),
+            shape: Shape::new(inner),
+        }
+    }
+
+    /// Stacks same-shaped tensors along a new leading axis.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] when `items` is empty and
+    /// [`TensorError::IncompatibleShapes`] when shapes disagree.
+    pub fn stack(items: &[Tensor]) -> Result<Tensor, TensorError> {
+        let first = items.first().ok_or(TensorError::EmptyTensor)?;
+        let mut data = Vec::with_capacity(first.len() * items.len());
+        for item in items {
+            first.shape.ensure_same(&item.shape)?;
+            data.extend_from_slice(&item.data);
+        }
+        let mut dims = vec![items.len()];
+        dims.extend_from_slice(first.shape.dims());
+        Ok(Tensor { data, shape: Shape::new(dims) })
+    }
+
+    /// Returns the transpose of a rank-2 tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank-2.
+    pub fn transposed(&self) -> Tensor {
+        assert_eq!(self.shape.rank(), 2, "transpose requires a rank-2 tensor");
+        let (r, c) = (self.shape.dim(0), self.shape.dim(1));
+        let mut out = vec![0.0f32; r * c];
+        for i in 0..r {
+            for j in 0..c {
+                out[j * r + i] = self.data[i * c + j];
+            }
+        }
+        Tensor { data: out, shape: Shape::from([c, r]) }
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        const PREVIEW: usize = 8;
+        write!(f, "Tensor{} [", self.shape)?;
+        for (i, v) in self.data.iter().take(PREVIEW).enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{v:.4}")?;
+        }
+        if self.data.len() > PREVIEW {
+            write!(f, ", … {} more", self.data.len() - PREVIEW)?;
+        }
+        write!(f, "]")
+    }
+}
+
+impl fmt::Display for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn constructors() {
+        let z = Tensor::zeros([2, 3]);
+        assert_eq!(z.len(), 6);
+        assert!(z.as_slice().iter().all(|&v| v == 0.0));
+        let o = Tensor::ones([3]);
+        assert!(o.as_slice().iter().all(|&v| v == 1.0));
+        let f = Tensor::full([2], 7.5);
+        assert_eq!(f.as_slice(), &[7.5, 7.5]);
+        let g = Tensor::from_fn([4], |i| i as f32);
+        assert_eq!(g.as_slice(), &[0.0, 1.0, 2.0, 3.0]);
+    }
+
+    #[test]
+    fn from_vec_validates_length() {
+        assert!(Tensor::from_vec(vec![1.0; 6], [2, 3]).is_ok());
+        let err = Tensor::from_vec(vec![1.0; 5], [2, 3]).unwrap_err();
+        assert_eq!(err, TensorError::ShapeMismatch { expected: 5, got: 6 });
+    }
+
+    #[test]
+    fn indexing_row_major() {
+        let t = Tensor::from_vec((0..24).map(|x| x as f32).collect(), [2, 3, 4]).unwrap();
+        assert_eq!(t.at(&[0, 0, 0]), 0.0);
+        assert_eq!(t.at(&[1, 2, 3]), 23.0);
+        assert_eq!(t.at(&[1, 0, 0]), 12.0);
+    }
+
+    #[test]
+    fn at_mut_writes() {
+        let mut t = Tensor::zeros([2, 2]);
+        *t.at_mut(&[1, 1]) = 5.0;
+        assert_eq!(t.at(&[1, 1]), 5.0);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0], [2, 2]).unwrap();
+        let r = t.reshape([4]).unwrap();
+        assert_eq!(r.as_slice(), t.as_slice());
+        assert!(t.reshape([3]).is_err());
+    }
+
+    #[test]
+    fn flattened_is_rank_one() {
+        let t = Tensor::zeros([2, 3, 4]).flattened();
+        assert_eq!(t.dims(), &[24]);
+    }
+
+    #[test]
+    fn map_and_zip() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[10.0, 20.0]);
+        assert_eq!(a.map(|x| x * 2.0).as_slice(), &[2.0, 4.0]);
+        assert_eq!(a.zip_with(&b, |x, y| x + y).as_slice(), &[11.0, 22.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical shapes")]
+    fn zip_shape_mismatch_panics() {
+        let a = Tensor::zeros([2]);
+        let b = Tensor::zeros([3]);
+        a.zip_with(&b, |x, _| x);
+    }
+
+    #[test]
+    fn batch_item_extracts_inner() {
+        let t = Tensor::from_vec((0..12).map(|x| x as f32).collect(), [3, 2, 2]).unwrap();
+        let item = t.batch_item(1);
+        assert_eq!(item.dims(), &[2, 2]);
+        assert_eq!(item.as_slice(), &[4.0, 5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn stack_round_trips_batch_item() {
+        let a = Tensor::from_slice(&[1.0, 2.0]);
+        let b = Tensor::from_slice(&[3.0, 4.0]);
+        let s = Tensor::stack(&[a.clone(), b]).unwrap();
+        assert_eq!(s.dims(), &[2, 2]);
+        assert_eq!(s.batch_item(0).as_slice(), a.as_slice());
+        assert!(Tensor::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn transpose_rank2() {
+        let t = Tensor::from_vec(vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0], [2, 3]).unwrap();
+        let tt = t.transposed();
+        assert_eq!(tt.dims(), &[3, 2]);
+        assert_eq!(tt.at(&[2, 1]), t.at(&[1, 2]));
+        assert_eq!(tt.transposed(), t);
+    }
+
+    #[test]
+    fn debug_preview_truncates() {
+        let t = Tensor::zeros([100]);
+        let s = format!("{t:?}");
+        assert!(s.contains("more"));
+        assert!(s.len() < 200);
+    }
+}

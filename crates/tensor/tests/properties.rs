@@ -1,0 +1,125 @@
+//! Property-based tests for the tensor substrate.
+
+use nshd_tensor::{col2im, im2col, matmul, matmul_at, matmul_bt, ConvGeometry, Shape, Tensor};
+use proptest::prelude::*;
+
+fn small_matrix(max: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max, 1..=max).prop_flat_map(|(r, c)| {
+        proptest::collection::vec(-10.0f32..10.0, r * c)
+            .prop_map(move |v| Tensor::from_vec(v, [r, c]).expect("sized to shape"))
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn reshape_preserves_elements(v in proptest::collection::vec(-1e3f32..1e3, 1..64)) {
+        let n = v.len();
+        let t = Tensor::from_vec(v.clone(), [n]).unwrap();
+        let r = t.reshape([1, n]).unwrap();
+        prop_assert_eq!(r.as_slice(), v.as_slice());
+    }
+
+    #[test]
+    fn add_commutes(a in small_matrix(6)) {
+        let b = a.map(|x| x * 0.5 + 1.0);
+        prop_assert_eq!(a.add(&b), b.add(&a));
+    }
+
+    #[test]
+    fn sub_then_add_round_trips(a in small_matrix(6)) {
+        let b = a.map(|x| -x + 2.0);
+        let back = a.sub(&b).add(&b);
+        for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
+            prop_assert!((x - y).abs() <= 1e-3_f32.max(y.abs() * 1e-5));
+        }
+    }
+
+    #[test]
+    fn softmax_is_a_distribution(v in proptest::collection::vec(-50.0f32..50.0, 1..16)) {
+        let n = v.len();
+        let s = Tensor::from_vec(v, [n]).unwrap().softmax();
+        let sum: f32 = s.as_slice().iter().sum();
+        prop_assert!((sum - 1.0).abs() < 1e-4);
+        prop_assert!(s.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+    }
+
+    #[test]
+    fn softmax_invariant_to_constant_shift(v in proptest::collection::vec(-5.0f32..5.0, 2..8), c in -20.0f32..20.0) {
+        let n = v.len();
+        let t = Tensor::from_vec(v, [n]).unwrap();
+        let a = t.softmax();
+        let b = t.shift(c).softmax();
+        for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_distributes_over_addition(a in small_matrix(5)) {
+        // (A + A') · B == A·B + A'·B
+        let a2 = a.map(|x| 0.3 * x - 1.0);
+        let k = a.dims()[1];
+        let b = Tensor::from_fn([k, 3], |i| (i as f32 * 0.7).sin());
+        let lhs = matmul(&a.add(&a2), &b);
+        let rhs = matmul(&a, &b).add(&matmul(&a2, &b));
+        for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-2);
+        }
+    }
+
+    #[test]
+    fn transpose_variants_agree(a in small_matrix(5)) {
+        let k = a.dims()[1];
+        let b = Tensor::from_fn([4, k], |i| (i as f32 * 0.3).cos());
+        let via_bt = matmul_bt(&a, &b);
+        let via_plain = matmul(&a, &b.transposed());
+        for (x, y) in via_bt.as_slice().iter().zip(via_plain.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+        let c = Tensor::from_fn([a.dims()[0], 3], |i| (i as f32 * 0.9).sin());
+        let via_at = matmul_at(&a, &c);
+        let via_plain = matmul(&a.transposed(), &c);
+        for (x, y) in via_at.as_slice().iter().zip(via_plain.as_slice()) {
+            prop_assert!((x - y).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn im2col_col2im_adjoint(
+        h in 3usize..8, w in 3usize..8, k in 1usize..4, s in 1usize..3, p in 0usize..2,
+    ) {
+        prop_assume!(h + 2 * p >= k && w + 2 * p >= k);
+        let g = ConvGeometry { channels: 2, height: h, width: w, kernel_h: k, kernel_w: k, stride: s, padding: p };
+        let x: Vec<f32> = (0..2 * h * w).map(|i| ((i * 37 % 97) as f32 - 48.0) / 48.0).collect();
+        let y = Tensor::from_fn([g.patch_len(), g.out_positions()], |i| ((i * 13 % 89) as f32 - 44.0) / 44.0);
+        let lhs: f32 = im2col(&x, &g).as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
+        let rhs: f32 = x.iter().zip(col2im(&y, &g).iter()).map(|(a, b)| a * b).sum();
+        prop_assert!((lhs - rhs).abs() < 1e-2, "{} vs {}", lhs, rhs);
+    }
+
+    #[test]
+    fn shape_offset_is_bijective(dims in proptest::collection::vec(1usize..5, 1..4)) {
+        let s = Shape::new(dims.clone());
+        let mut seen = vec![false; s.len()];
+        let mut idx = vec![0usize; dims.len()];
+        loop {
+            let off = s.offset(&idx);
+            prop_assert!(!seen[off]);
+            seen[off] = true;
+            // Odometer increment.
+            let mut axis = dims.len();
+            loop {
+                if axis == 0 { break; }
+                axis -= 1;
+                idx[axis] += 1;
+                if idx[axis] < dims[axis] { break; }
+                idx[axis] = 0;
+                if axis == 0 { break; }
+            }
+            if idx.iter().all(|&i| i == 0) { break; }
+        }
+        prop_assert!(seen.iter().all(|&v| v));
+    }
+}

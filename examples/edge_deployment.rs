@@ -1,0 +1,71 @@
+//! Edge-deployment planning: use the hardware cost models to choose a
+//! cut layer for a target platform, then verify the accuracy cost of the
+//! chosen tradeoff — the workflow the paper's Figs. 4, 6 and 10 motivate.
+//!
+//! ```sh
+//! cargo run --release --example edge_deployment
+//! ```
+
+use nshd::core::{
+    nshd_size_from_stats, nshd_workload_from_stats, NshdConfig, NshdModel,
+};
+use nshd::data::{normalize_pair, SynthSpec};
+use nshd::hwmodel::{cnn_workload_from_stats, DpuModel, EnergyProfile};
+use nshd::nn::specs::{arch_stats, SpecVariant};
+use nshd::nn::{evaluate, fit, Adam, Architecture, TrainConfig};
+use nshd::tensor::Rng;
+
+fn main() {
+    let arch = Architecture::EfficientNetB0;
+    println!("## Deployment study: {arch} on a ZCU104-class DPU and a Xavier-class GPU\n");
+
+    // --- Plan on the reference-scale architecture (no training needed).
+    let stats = arch_stats(arch, SpecVariant::Reference, 10);
+    let dpu = DpuModel::zcu104();
+    let gpu = EnergyProfile::xavier();
+    let cnn = cnn_workload_from_stats(&stats, arch.display_name());
+    println!("full CNN: {:.0} FPS on DPU, {:.1} µJ/inference on GPU",
+        dpu.fps(&cnn), gpu.workload_energy_uj(&cnn));
+    println!("\ncut  FPS(DPU)  energy µJ(GPU)  model size MB");
+    let mut chosen = None;
+    for &cut in arch.paper_cuts() {
+        let cfg = NshdConfig::new(cut);
+        let w = nshd_workload_from_stats(&stats, arch.display_name(), &cfg, 10);
+        let fps = dpu.fps(&w);
+        let uj = gpu.workload_energy_uj(&w);
+        let mb = nshd_size_from_stats(&stats, &cfg, 10).total_mb();
+        println!("{:>3}  {:>8.0}  {:>14.1}  {:>13.2}", cut - 1, fps, uj, mb);
+        // Deployment rule of thumb from the paper: pick the earliest cut
+        // whose accuracy loss stays under 10%; we start from the earliest
+        // and validate below.
+        if chosen.is_none() {
+            chosen = Some(cut);
+        }
+    }
+    let cut = chosen.expect("at least one cut");
+    println!("\nchosen cut: layer {} (earliest → cheapest)\n", cut - 1);
+
+    // --- Validate accuracy at analog scale.
+    let (mut train, mut test) = SynthSpec::synth10(7).with_sizes(400, 150).generate();
+    normalize_pair(&mut train, &mut test);
+    let mut teacher = arch.build(10, &mut Rng::new(1));
+    let mut opt = Adam::new(2e-3, 1e-5);
+    fit(
+        &mut teacher,
+        train.images(),
+        train.labels(),
+        &mut opt,
+        &TrainConfig { epochs: 8, batch_size: 32, seed: 2, ..TrainConfig::default() },
+    );
+    let cnn_acc = evaluate(&mut teacher, test.images(), test.labels(), 50);
+    let cfg = NshdConfig::new(cut).with_retrain_epochs(8).with_seed(3);
+    let mut nshd = NshdModel::train(teacher, &train, cfg);
+    let nshd_acc = nshd.evaluate(&test);
+    println!("accuracy check: CNN {cnn_acc:.3} vs NSHD@{} {nshd_acc:.3} (loss {:+.3})",
+        cut - 1, nshd_acc - cnn_acc);
+    if cnn_acc - nshd_acc < 0.10 {
+        println!("→ within the paper's 10% accuracy-loss budget: deploy the truncated model.");
+    } else {
+        println!("→ over the 10% budget: move the cut one layer deeper and re-plan.");
+    }
+}

@@ -1,0 +1,85 @@
+//! Explainability: inspect what the symbolic side of NSHD learns — class
+//! similarity profiles for individual queries, hypervector algebra on
+//! class prototypes, and quantitative cluster structure (the paper's
+//! Fig. 11 argument, in interactive form).
+//!
+//! ```sh
+//! cargo run --release --example explainability
+//! ```
+
+use nshd::analyze::{fisher_ratio, knn_agreement, tsne, TsneConfig};
+use nshd::core::{NshdConfig, NshdModel};
+use nshd::data::{normalize_pair, SynthSpec};
+use nshd::hdc::cosine_dense_bipolar;
+use nshd::nn::{fit, Adam, Architecture, TrainConfig};
+use nshd::tensor::{Rng, Tensor};
+
+fn main() {
+    let (mut train, mut test) = SynthSpec::synth10(9).with_sizes(300, 120).generate();
+    normalize_pair(&mut train, &mut test);
+    let mut teacher = Architecture::EfficientNetB0.build(10, &mut Rng::new(1));
+    let mut opt = Adam::new(2e-3, 1e-5);
+    fit(
+        &mut teacher,
+        train.images(),
+        train.labels(),
+        &mut opt,
+        &TrainConfig { epochs: 8, batch_size: 32, seed: 2, ..TrainConfig::default() },
+    );
+    let cfg = NshdConfig::new(8).with_retrain_epochs(8).with_seed(3);
+    let mut nshd = NshdModel::train(teacher, &train, cfg);
+    println!("NSHD test accuracy: {:.3}\n", nshd.evaluate(&test));
+
+    // 1. Per-query similarity profile: unlike a CNN's opaque logits, the
+    //    HD prediction is literally "which stored concept is my query
+    //    closest to", and every alternative is scored on the same scale.
+    let (image, label) = test.sample(3);
+    let hv = nshd.symbolize(&image);
+    let mut sims: Vec<(usize, f32)> =
+        nshd.memory().similarities(&hv).into_iter().enumerate().collect();
+    sims.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("finite"));
+    println!("query (true class {label}) — top-3 concept matches:");
+    for (class, sim) in sims.iter().take(3) {
+        println!("  class {class}: similarity {sim:+.3}");
+    }
+
+    // 2. Class-prototype algebra: class hypervectors live in one metric
+    //    space, so inter-concept relations are directly measurable.
+    println!("\nclass-prototype similarity matrix (cosine):");
+    let classes = nshd.memory().num_classes();
+    for a in 0..classes {
+        let ca = nshd.memory().class(a).to_vec();
+        let row: Vec<String> = (0..classes)
+            .map(|b| {
+                let cb = nshd.memory().class(b);
+                let norm_a: f32 = ca.iter().map(|v| v * v).sum::<f32>().sqrt();
+                let sim = if norm_a == 0.0 {
+                    0.0
+                } else {
+                    // Cosine between two dense prototypes via a bipolar
+                    // binarisation of one side.
+                    let hb = nshd::hdc::BipolarHv::from_signs(cb);
+                    cosine_dense_bipolar(&ca, &hb)
+                };
+                format!("{sim:+.2}")
+            })
+            .collect();
+        println!("  c{a}: {}", row.join(" "));
+    }
+
+    // 3. Quantitative Fig. 11: embed test hypervectors with t-SNE and
+    //    score the class clustering.
+    let samples = nshd.symbolize_dataset(&test);
+    let n = samples.len().min(120);
+    let d = samples[0].0.dim();
+    let mut data = Tensor::zeros([n, d]);
+    let mut labels = Vec::with_capacity(n);
+    for (i, (hv, l)) in samples.iter().take(n).enumerate() {
+        data.write_slice(i * d, &hv.to_f32());
+        labels.push(*l);
+    }
+    let emb = tsne(&data, &TsneConfig { iterations: 200, perplexity: 12.0, ..TsneConfig::default() });
+    println!("\nembedding cluster quality: fisher ratio {:.2}, 5-NN agreement {:.2}",
+        fisher_ratio(&emb, &labels), knn_agreement(&emb, &labels, 5));
+    println!("(compare against an untrained model — see the fig11_tsne experiment)");
+}

@@ -1,0 +1,79 @@
+//! Pure hyperdimensional symbolic computing, no neural network involved:
+//! item memories, record binding, sequence encoding, and cleanup — the
+//! algebra the NSHD pipeline's hypervectors plug into.
+//!
+//! ```sh
+//! cargo run --release --example hd_symbolic_basics
+//! ```
+
+use nshd::hdc::{
+    bundle_majority, cosine_packed, encode_record, encode_sequence, query_record, ItemMemory,
+};
+
+fn main() {
+    let dim = 10_000;
+    let mut items = ItemMemory::new(dim, 42);
+
+    // --- Records: bind roles to fillers, bundle into one hypervector.
+    println!("## Records\n");
+    let name_k = items.get("role:name").clone();
+    let capital_k = items.get("role:capital").clone();
+    let currency_k = items.get("role:currency").clone();
+    let france = items.get("france").clone();
+    let paris = items.get("paris").clone();
+    let euro = items.get("euro").clone();
+    let country = encode_record(&[
+        (&name_k, &france),
+        (&capital_k, &paris),
+        (&currency_k, &euro),
+    ]);
+    // One 10k-bit vector now holds the whole record. Query any role:
+    for (role, key) in [("name", &name_k), ("capital", &capital_k), ("currency", &currency_k)] {
+        let noisy = query_record(&country, key);
+        let (best, cos) = items.cleanup(&noisy).expect("items registered");
+        println!("  {role:>9} → {best} (cosine {cos:.2})");
+    }
+
+    // --- Analogy by substitution: "what is the 'paris' of mexico?"
+    //     Bind the record with (paris ⊗ peso-city…) — the classic
+    //     "dollar of mexico" trick, here via role re-query.
+    println!("\n## Sequences\n");
+    let words: Vec<_> = ["the", "cat", "sat", "on", "the", "mat"]
+        .iter()
+        .map(|w| items.get(w).clone())
+        .collect();
+    let refs: Vec<&_> = words.iter().collect();
+    let trigrams = encode_sequence(&refs, 3);
+    // A near-identical sentence shares most trigrams…
+    let words2: Vec<_> = ["the", "cat", "sat", "on", "a", "mat"]
+        .iter()
+        .map(|w| items.get(w).clone())
+        .collect();
+    let refs2: Vec<&_> = words2.iter().collect();
+    let trigrams2 = encode_sequence(&refs2, 3);
+    // …while the reversed sentence shares none.
+    let refs3: Vec<&_> = words.iter().rev().collect();
+    let trigrams3 = encode_sequence(&refs3, 3);
+    println!(
+        "  similar sentence: cosine {:.2}",
+        cosine_packed(&trigrams.to_packed(), &trigrams2.to_packed())
+    );
+    println!(
+        "  reversed sentence: cosine {:.2}",
+        cosine_packed(&trigrams.to_packed(), &trigrams3.to_packed())
+    );
+
+    // --- Bundling as set membership.
+    println!("\n## Bundles as sets\n");
+    let fruit: Vec<_> = ["apple", "pear", "plum", "fig", "quince"]
+        .iter()
+        .map(|w| items.get(w).clone())
+        .collect();
+    let frefs: Vec<&_> = fruit.iter().collect();
+    let fruit_set = bundle_majority(&frefs);
+    for probe in ["apple", "fig", "granite"] {
+        let hv = items.get(probe).clone();
+        let cos = cosine_packed(&fruit_set.to_packed(), &hv.to_packed());
+        println!("  '{probe}' ∈ fruit-set? cosine {cos:+.2}");
+    }
+}

@@ -1,0 +1,61 @@
+//! Quickstart: train a CNN teacher on the synthetic dataset, distil it
+//! into an NSHD model, and compare their accuracies.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use nshd::core::{NshdConfig, NshdModel};
+use nshd::data::{normalize_pair, SynthSpec};
+use nshd::nn::{evaluate, fit, Adam, Architecture, TrainConfig};
+use nshd::tensor::Rng;
+
+fn main() {
+    // 1. Data: Synth10, the CIFAR-10 substitute (32×32 RGB, 10 classes).
+    let (mut train, mut test) = SynthSpec::synth10(42).with_sizes(400, 150).generate();
+    normalize_pair(&mut train, &mut test);
+    println!("dataset: {} train / {} test samples, {} classes",
+        train.len(), test.len(), train.num_classes());
+
+    // 2. Teacher: an EfficientNet-B0 analog trained with Adam. The paper
+    //    downloads pretrained weights; we train in-repo (DESIGN.md §3).
+    let mut teacher = Architecture::EfficientNetB0.build(10, &mut Rng::new(1));
+    let mut opt = Adam::new(2e-3, 1e-5);
+    fit(
+        &mut teacher,
+        train.images(),
+        train.labels(),
+        &mut opt,
+        &TrainConfig { epochs: 8, batch_size: 32, seed: 2, verbose: true, ..TrainConfig::default() },
+    );
+    let cnn_acc = evaluate(&mut teacher, test.images(), test.labels(), 50);
+    println!("CNN accuracy: {cnn_acc:.3}");
+
+    // 3. NSHD: truncate the teacher after block 7 (the paper's layer 7),
+    //    learn the manifold compression to F̂ = 100 features, encode into
+    //    D = 3,000-dimensional hypervectors, and retrain the class memory
+    //    with knowledge distillation from the uncut teacher.
+    let config = NshdConfig::new(8) // keep feature blocks 0..8
+        .with_hv_dim(3_000)
+        .with_manifold_features(100)
+        .with_retrain_epochs(8)
+        .with_seed(3);
+    let mut nshd = NshdModel::train(teacher, &train, config);
+    for epoch in nshd.history() {
+        println!("  retrain epoch {:>2}: train accuracy {:.3}", epoch.epoch, epoch.train_accuracy);
+    }
+    let nshd_acc = nshd.evaluate(&test);
+    println!("NSHD accuracy: {nshd_acc:.3} (CNN: {cnn_acc:.3})");
+
+    // 4. Symbolic inference: one image → one query hypervector → nearest
+    //    class hypervector.
+    let (image, label) = test.sample(0);
+    let hv = nshd.symbolize(&image);
+    let sims = nshd.memory().similarities(&hv);
+    println!("\nquery sample (true class {label}): class similarities");
+    for (class, sim) in sims.iter().enumerate() {
+        let marker = if class == label { " ← true" } else { "" };
+        println!("  class {class}: {sim:+.3}{marker}");
+    }
+    println!("predicted: {}", nshd.predict(&image));
+}

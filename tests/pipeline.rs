@@ -1,0 +1,139 @@
+//! Cross-crate integration tests: the full NSHD stack, trained
+//! end-to-end on the synthetic dataset, must reproduce the paper's
+//! qualitative orderings.
+
+use nshd::core::{
+    baselinehd_size_from_stats, nshd_size_from_stats, nshd_workload_from_stats, BaselineHd,
+    Classifier, NshdConfig, NshdModel, VanillaHd,
+};
+use nshd::data::{normalize_pair, ImageDataset, SynthSpec};
+use nshd::hwmodel::{cnn_workload_from_stats, DpuModel, EnergyProfile};
+use nshd::nn::specs::{arch_stats, SpecVariant};
+use nshd::nn::{evaluate, fit, Adam, Architecture, Model, TrainConfig};
+use nshd::tensor::Rng;
+use std::sync::OnceLock;
+
+/// One shared trained teacher + datasets for every integration test.
+fn setup() -> (Model, f32, ImageDataset, ImageDataset) {
+    static SETUP: OnceLock<(Model, f32, ImageDataset, ImageDataset)> = OnceLock::new();
+    SETUP
+        .get_or_init(|| {
+            let (mut train, mut test) = SynthSpec::synth10(77).with_sizes(300, 120).generate();
+            normalize_pair(&mut train, &mut test);
+            let mut teacher = Architecture::EfficientNetB0.build(10, &mut Rng::new(5));
+            let mut opt = Adam::new(2e-3, 1e-5);
+            fit(
+                &mut teacher,
+                train.images(),
+                train.labels(),
+                &mut opt,
+                &TrainConfig { epochs: 8, batch_size: 32, seed: 3, ..TrainConfig::default() },
+            );
+            let acc = evaluate(&mut teacher, test.images(), test.labels(), 50);
+            (teacher, acc, train, test)
+        })
+        .clone()
+}
+
+#[test]
+fn nshd_beats_vanilla_hd_by_a_wide_margin() {
+    let (teacher, _, train, test) = setup();
+    let mut vanilla = VanillaHd::train(&train, 1_000, 4, 1);
+    let vanilla_acc = vanilla.evaluate(&test);
+    let cfg = NshdConfig::new(8).with_hv_dim(1_000).with_retrain_epochs(6).with_seed(2);
+    let mut nshd = NshdModel::train(teacher, &train, cfg);
+    let nshd_acc = Classifier::evaluate(&mut nshd, &test);
+    assert!(
+        nshd_acc > vanilla_acc + 0.10,
+        "NSHD {nshd_acc} vs VanillaHD {vanilla_acc}: neuro-symbolic integration must dominate raw-pixel HD"
+    );
+}
+
+#[test]
+fn nshd_is_competitive_with_its_teacher() {
+    let (teacher, cnn_acc, train, test) = setup();
+    let cfg = NshdConfig::new(8).with_hv_dim(2_000).with_retrain_epochs(8).with_seed(3);
+    let mut nshd = NshdModel::train(teacher, &train, cfg);
+    let nshd_acc = Classifier::evaluate(&mut nshd, &test);
+    assert!(
+        nshd_acc > cnn_acc - 0.10,
+        "NSHD {nshd_acc} fell more than 10% below the CNN {cnn_acc}"
+    );
+}
+
+#[test]
+fn baseline_hd_sits_between_vanilla_and_nshd_scale() {
+    let (teacher, _, train, test) = setup();
+    let mut baseline = BaselineHd::train(teacher, &train, 8, 1_000, 6, 4);
+    let acc = baseline.evaluate(&test);
+    assert!(acc > 0.3, "BaselineHD accuracy {acc} too weak");
+}
+
+#[test]
+fn training_is_deterministic_per_seed() {
+    let (teacher, _, train, test) = setup();
+    let cfg = NshdConfig::new(8).with_hv_dim(500).with_retrain_epochs(3).with_seed(9);
+    let mut a = NshdModel::train(teacher.clone(), &train, cfg.clone());
+    let mut b = NshdModel::train(teacher, &train, cfg);
+    assert_eq!(
+        Classifier::evaluate(&mut a, &test),
+        Classifier::evaluate(&mut b, &test),
+        "same seed must give identical models"
+    );
+}
+
+#[test]
+fn energy_model_prefers_nshd_at_reference_scale() {
+    // Fig. 4's ordering: at reference scale, truncation + binary HD beats
+    // the full CNN for the paper's early cuts, on every architecture.
+    let profile = EnergyProfile::xavier();
+    for arch in Architecture::ALL {
+        let stats = arch_stats(arch, SpecVariant::Reference, 10);
+        let cnn = cnn_workload_from_stats(&stats, arch.display_name());
+        let cut = arch.paper_cuts()[0];
+        let nshd = nshd_workload_from_stats(&stats, arch.display_name(), &NshdConfig::new(cut), 10);
+        let imp = profile.improvement_percent(&cnn, &nshd);
+        assert!(imp > 0.0, "{arch}: improvement {imp} not positive");
+    }
+}
+
+#[test]
+fn dpu_model_prefers_nshd_throughput() {
+    // Fig. 6's ordering.
+    let dpu = DpuModel::zcu104();
+    for arch in Architecture::ALL {
+        let stats = arch_stats(arch, SpecVariant::Reference, 10);
+        let cnn_fps = dpu.fps(&cnn_workload_from_stats(&stats, arch.display_name()));
+        let cut = arch.paper_cuts()[0];
+        let nshd_fps =
+            dpu.fps(&nshd_workload_from_stats(&stats, arch.display_name(), &NshdConfig::new(cut), 10));
+        assert!(nshd_fps > cnn_fps, "{arch}: {nshd_fps} vs {cnn_fps}");
+    }
+}
+
+#[test]
+fn model_sizes_reproduce_table_two_ordering() {
+    // Table II's ordering: NSHD < BaselineHD at every paper cut.
+    for arch in Architecture::ALL {
+        let stats = arch_stats(arch, SpecVariant::Reference, 10);
+        for &cut in arch.paper_cuts() {
+            let cfg = NshdConfig::new(cut);
+            let nshd = nshd_size_from_stats(&stats, &cfg, 10).total();
+            let base = baselinehd_size_from_stats(&stats, cut, cfg.hv_dim, 10).total();
+            assert!(nshd < base, "{arch}@{cut}: NSHD {nshd} vs BaselineHD {base}");
+        }
+    }
+}
+
+#[test]
+fn symbolize_round_trip_predicts_consistently() {
+    let (teacher, _, train, test) = setup();
+    let cfg = NshdConfig::new(8).with_hv_dim(500).with_retrain_epochs(2).with_seed(6);
+    let mut nshd = NshdModel::train(teacher, &train, cfg);
+    for i in 0..5 {
+        let (img, _) = test.sample(i);
+        let hv = nshd.symbolize(&img);
+        assert_eq!(nshd.predict(&img), nshd.memory().predict(&hv));
+        assert_eq!(hv.dim(), 500);
+    }
+}
