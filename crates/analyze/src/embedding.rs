@@ -57,11 +57,8 @@ pub fn fisher_ratio(embedding: &Tensor, labels: &[usize]) -> f32 {
     }
     let mut within = 0.0f64;
     for (row, &label) in x.chunks(d).zip(labels) {
-        within += row
-            .iter()
-            .zip(&centroids[label])
-            .map(|(&v, &c)| (v as f64 - c).powi(2))
-            .sum::<f64>();
+        within +=
+            row.iter().zip(&centroids[label]).map(|(&v, &c)| (v as f64 - c).powi(2)).sum::<f64>();
     }
     if within < 1e-12 {
         return f32::INFINITY;

@@ -209,31 +209,24 @@ mod tests {
             (n_per..2 * n_per).map(|i| (y.at(&[i, 0]), y.at(&[i, 1]))).collect();
         let centroid = |pts: &[(f32, f32)]| {
             let n = pts.len() as f32;
-            (
-                pts.iter().map(|p| p.0).sum::<f32>() / n,
-                pts.iter().map(|p| p.1).sum::<f32>() / n,
-            )
+            (pts.iter().map(|p| p.0).sum::<f32>() / n, pts.iter().map(|p| p.1).sum::<f32>() / n)
         };
         let (ax, ay) = centroid(&a);
         let (bx, by) = centroid(&b);
         let between = ((ax - bx).powi(2) + (ay - by).powi(2)).sqrt();
         let spread = |pts: &[(f32, f32)], c: (f32, f32)| {
-            pts.iter()
-                .map(|p| ((p.0 - c.0).powi(2) + (p.1 - c.1).powi(2)).sqrt())
-                .sum::<f32>()
+            pts.iter().map(|p| ((p.0 - c.0).powi(2) + (p.1 - c.1).powi(2)).sqrt()).sum::<f32>()
                 / pts.len() as f32
         };
         let within = spread(&a, (ax, ay)) + spread(&b, (bx, by));
-        assert!(
-            between > within,
-            "blobs not separated: between {between}, within {within}"
-        );
+        assert!(between > within, "blobs not separated: between {between}, within {within}");
     }
 
     #[test]
     fn output_shape_and_centering() {
         let data = Tensor::from_fn([12, 4], |i| ((i * 31 % 23) as f32) / 23.0);
-        let y = tsne(&data, &TsneConfig { iterations: 50, perplexity: 5.0, ..TsneConfig::default() });
+        let y =
+            tsne(&data, &TsneConfig { iterations: 50, perplexity: 5.0, ..TsneConfig::default() });
         assert_eq!(y.dims(), &[12, 2]);
         for j in 0..2 {
             let mean: f32 = (0..12).map(|i| y.at(&[i, j])).sum::<f32>() / 12.0;

@@ -1,28 +1,20 @@
-//! Criterion benches for the analysis tooling (t-SNE iterations, PCA),
+//! Benches for the analysis tooling (t-SNE iterations, PCA),
 //! sized to the paper's Fig. 11 workload.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use nshd_analyze::{pca_project, tsne, TsneConfig};
+use nshd_bench::timing::Group;
 use nshd_tensor::{Rng, Tensor};
 use std::hint::black_box;
 
-fn bench_tsne(c: &mut Criterion) {
+fn bench_tsne() {
     let mut rng = Rng::new(21);
     let data = Tensor::from_fn([200, 100], |_| rng.normal());
-    let mut group = c.benchmark_group("analysis");
-    group.bench_function("tsne_200x100_50iter", |b| {
-        let cfg = TsneConfig { iterations: 50, perplexity: 15.0, ..TsneConfig::default() };
-        b.iter(|| black_box(tsne(black_box(&data), &cfg)))
-    });
-    group.bench_function("pca_200x100_top2", |b| {
-        b.iter(|| black_box(pca_project(black_box(&data), 2, 3)))
-    });
-    group.finish();
+    let group = Group::new("analysis");
+    let cfg = TsneConfig { iterations: 50, perplexity: 15.0, ..TsneConfig::default() };
+    group.bench("tsne_200x100_50iter", || black_box(tsne(black_box(&data), &cfg)));
+    group.bench("pca_200x100_top2", || black_box(pca_project(black_box(&data), 2, 3)));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_tsne
+fn main() {
+    bench_tsne();
 }
-criterion_main!(benches);

@@ -1,8 +1,8 @@
-//! Criterion benches for HD encoding throughput — the operation the paper
+//! Benches for HD encoding throughput — the operation the paper
 //! identifies as HD learning's main bottleneck, and the reason the
 //! manifold learner exists.
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use nshd_bench::timing::Group;
 use nshd_hdc::{LshEncoder, NonlinearEncoder, RandomProjection};
 use nshd_tensor::Rng;
 use std::hint::black_box;
@@ -14,37 +14,33 @@ fn feature_vec(n: usize, seed: u64) -> Vec<f32> {
 
 /// Random-projection encode at the manifold width (F̂ = 100) vs the raw
 /// extracted width (F = 2048) — the Fig. 5 contrast, in wall-clock form.
-fn bench_projection(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encode/projection");
+fn bench_projection() {
+    let group = Group::new("encode/projection");
     for &(features, label) in &[(100usize, "manifold_100"), (2048, "raw_2048")] {
         let proj = RandomProjection::new(features, 3_000, 7);
         let v = feature_vec(features, 1);
-        group.bench_function(BenchmarkId::from_parameter(label), |b| {
-            b.iter(|| black_box(proj.encode(black_box(&v))))
-        });
+        group.bench(label, || black_box(proj.encode(black_box(&v))));
     }
-    group.finish();
 }
 
 /// The three encoder families at a common width.
-fn bench_encoder_families(c: &mut Criterion) {
-    let mut group = c.benchmark_group("encode/families");
+fn bench_encoder_families() {
+    let group = Group::new("encode/families");
     let features = 256;
     let dim = 3_000;
     let v = feature_vec(features, 2);
     let proj = RandomProjection::new(features, dim, 3);
-    group.bench_function("random_projection", |b| b.iter(|| black_box(proj.encode(black_box(&v)))));
+    group.bench("random_projection", || black_box(proj.encode(black_box(&v))));
     let nonlin = NonlinearEncoder::new(features, dim, 32, -3.0, 3.0, 4);
-    group.bench_function("nonlinear_id_level", |b| b.iter(|| black_box(nonlin.encode(black_box(&v)))));
+    group.bench("nonlinear_id_level", || black_box(nonlin.encode(black_box(&v))));
     let lsh = LshEncoder::new(features, dim, 5);
-    group.bench_function("lsh_hyperplane", |b| b.iter(|| black_box(lsh.encode(black_box(&v)))));
-    group.finish();
+    group.bench("lsh_hyperplane", || black_box(lsh.encode(black_box(&v))));
 }
 
 /// Packed (popcount) vs dense similarity — the paper's binary-kernel
 /// optimisation, realised on CPU.
-fn bench_similarity(c: &mut Criterion) {
-    let mut group = c.benchmark_group("similarity");
+fn bench_similarity() {
+    let group = Group::new("similarity");
     let dim = 10_000;
     let mut rng = Rng::new(9);
     let signs_a: Vec<f32> = (0..dim).map(|_| rng.bipolar()).collect();
@@ -54,18 +50,14 @@ fn bench_similarity(c: &mut Criterion) {
     let dense_a = a.to_f32();
     let pa = a.to_packed();
     let pb = b_hv.to_packed();
-    group.bench_function("dense_dot_10k", |bch| {
-        bch.iter(|| black_box(nshd_hdc::dot_dense_bipolar(black_box(&dense_a), black_box(&b_hv))))
+    group.bench("dense_dot_10k", || {
+        black_box(nshd_hdc::dot_dense_bipolar(black_box(&dense_a), black_box(&b_hv)))
     });
-    group.bench_function("packed_popcount_10k", |bch| {
-        bch.iter(|| black_box(black_box(&pa).dot(black_box(&pb))))
-    });
-    group.finish();
+    group.bench("packed_popcount_10k", || black_box(black_box(&pa).dot(black_box(&pb))));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(20);
-    targets = bench_projection, bench_encoder_families, bench_similarity
+fn main() {
+    bench_projection();
+    bench_encoder_families();
+    bench_similarity();
 }
-criterion_main!(benches);

@@ -1,15 +1,15 @@
-//! Criterion benches for end-to-end inference: the full CNN vs NSHD with
+//! Benches for end-to-end inference: the full CNN vs NSHD with
 //! a truncated extractor — the wall-clock form of the paper's
 //! execution-time-reduction claim, on our analog models.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nshd_bench::timing::Group;
 use nshd_core::{NshdConfig, NshdModel};
 use nshd_data::{normalize_pair, SynthSpec};
 use nshd_nn::{fit, Adam, Architecture, Mode, TrainConfig};
 use nshd_tensor::{Rng, Tensor};
 use std::hint::black_box;
 
-fn bench_inference(c: &mut Criterion) {
+fn bench_inference() {
     // One small trained pipeline (training cost paid once, outside the
     // timing loops).
     let (mut train, mut test) = SynthSpec::synth10(71).with_sizes(120, 20).generate();
@@ -31,32 +31,22 @@ fn bench_inference(c: &mut Criterion) {
     let (image, _) = test.sample(0);
     let batched = image.reshape([1, 3, 32, 32]).expect("CHW image");
 
-    let mut group = c.benchmark_group("inference/efficientnetb0");
-    group.bench_function("cnn_full", |b| {
-        b.iter(|| black_box(cnn.forward(black_box(&batched), Mode::Eval)))
-    });
-    group.bench_function("nshd_cut5", |b| {
-        b.iter(|| black_box(nshd.predict(black_box(&image))))
-    });
-    group.finish();
+    let group = Group::new("inference/efficientnetb0");
+    group.bench("cnn_full", || black_box(cnn.forward(black_box(&batched), Mode::Eval)));
+    group.bench("nshd_cut5", || black_box(nshd.predict(black_box(&image))));
 }
 
-fn bench_cnn_forward_per_arch(c: &mut Criterion) {
-    let mut group = c.benchmark_group("cnn_forward");
+fn bench_cnn_forward_per_arch() {
+    let group = Group::new("cnn_forward");
     let x = Tensor::zeros([1, 3, 32, 32]);
     for arch in [Architecture::MobileNetV2, Architecture::EfficientNetB0, Architecture::Vgg16] {
         let mut rng = Rng::new(4);
         let mut model = arch.build(10, &mut rng);
-        group.bench_function(arch.display_name(), |b| {
-            b.iter(|| black_box(model.forward(black_box(&x), Mode::Eval)))
-        });
+        group.bench(arch.display_name(), || black_box(model.forward(black_box(&x), Mode::Eval)));
     }
-    group.finish();
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(10);
-    targets = bench_inference, bench_cnn_forward_per_arch
+fn main() {
+    bench_inference();
+    bench_cnn_forward_per_arch();
 }
-criterion_main!(benches);

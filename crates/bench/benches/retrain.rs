@@ -1,7 +1,7 @@
-//! Criterion benches for the HD retraining rules: plain MASS vs the
+//! Benches for the HD retraining rules: plain MASS vs the
 //! distillation-extended update of Algorithm 1.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use nshd_bench::timing::Group;
 use nshd_hdc::{
     bundle_init, AssociativeMemory, BipolarHv, DistillConfig, DistillTrainer, MassTrainer,
     OnlineTrainer,
@@ -25,7 +25,7 @@ fn make_samples(n: usize, classes: usize, dim: usize) -> Vec<(BipolarHv, usize, 
         .collect()
 }
 
-fn bench_retraining(c: &mut Criterion) {
+fn bench_retraining() {
     let dim = 3_000;
     let classes = 10;
     let samples = make_samples(200, classes, dim);
@@ -33,32 +33,25 @@ fn bench_retraining(c: &mut Criterion) {
         samples.iter().map(|(h, l, _)| (h.clone(), *l)).collect();
     let init = bundle_init(classes, dim, &mass_samples);
 
-    let mut group = c.benchmark_group("retrain_epoch_200x3000");
-    group.bench_function("mass", |b| {
-        let trainer = MassTrainer::new(0.2);
-        b.iter(|| {
-            let mut memory = init.clone();
-            black_box(trainer.epoch(&mut memory, black_box(&mass_samples)))
-        })
+    let group = Group::new("retrain_epoch_200x3000");
+    let mass = MassTrainer::new(0.2);
+    group.bench("mass", || {
+        let mut memory = init.clone();
+        black_box(mass.epoch(&mut memory, black_box(&mass_samples)))
     });
-    group.bench_function("distillation", |b| {
-        let trainer = DistillTrainer::new(DistillConfig::default());
-        b.iter(|| {
-            let mut memory = init.clone();
-            black_box(trainer.epoch(&mut memory, black_box(&samples)))
-        })
+    let distill = DistillTrainer::new(DistillConfig::default());
+    group.bench("distillation", || {
+        let mut memory = init.clone();
+        black_box(distill.epoch(&mut memory, black_box(&samples)))
     });
-    group.bench_function("online_adaptive", |b| {
-        let trainer = OnlineTrainer::new(0.2);
-        b.iter(|| {
-            let mut memory = init.clone();
-            black_box(trainer.epoch(&mut memory, black_box(&mass_samples)))
-        })
+    let online = OnlineTrainer::new(0.2);
+    group.bench("online_adaptive", || {
+        let mut memory = init.clone();
+        black_box(online.epoch(&mut memory, black_box(&mass_samples)))
     });
-    group.finish();
 }
 
-fn bench_memory_ops(c: &mut Criterion) {
+fn bench_memory_ops() {
     let dim = 3_000;
     let mut rng = Rng::new(13);
     let hv = random_hv(dim, &mut rng);
@@ -66,19 +59,13 @@ fn bench_memory_ops(c: &mut Criterion) {
     for i in 0..100 {
         memory.bundle(i % 100, &random_hv(dim, &mut rng));
     }
-    let mut group = c.benchmark_group("memory");
-    group.bench_function("similarities_100x3000", |b| {
-        b.iter(|| black_box(memory.similarities(black_box(&hv))))
-    });
-    group.bench_function("bundle_3000", |b| {
-        b.iter(|| memory.add_scaled(0, black_box(&hv), 0.1))
-    });
-    group.finish();
+    let group = Group::new("memory");
+    group.bench("similarities_100x3000", || black_box(memory.similarities(black_box(&hv))));
+    let mut write_memory = memory.clone();
+    group.bench("bundle_3000", || write_memory.add_scaled(0, black_box(&hv), 0.1));
 }
 
-criterion_group! {
-    name = benches;
-    config = Criterion::default().sample_size(15);
-    targets = bench_retraining, bench_memory_ops
+fn main() {
+    bench_retraining();
+    bench_memory_ops();
 }
-criterion_main!(benches);

@@ -6,7 +6,9 @@
 //! 1.64% accuracy for a further 20% parameter saving.
 
 use nshd_bench::{print_header, print_row, Bench};
-use nshd_core::{nshd_size_from_stats, nshd_workload_from_stats, Classifier, NshdConfig, NshdModel};
+use nshd_core::{
+    nshd_size_from_stats, nshd_workload_from_stats, Classifier, NshdConfig, NshdModel,
+};
 use nshd_hwmodel::DpuModel;
 use nshd_nn::specs::{arch_stats, SpecVariant};
 use nshd_nn::Architecture;

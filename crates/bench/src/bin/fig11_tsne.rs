@@ -37,8 +37,8 @@ fn embed_and_score(name: &str, samples: &[(BipolarHv, usize)]) -> std::io::Resul
     let path = format!("target/fig11_{name}.csv");
     let mut file = std::fs::File::create(&path)?;
     writeln!(file, "x,y,label")?;
-    for i in 0..labels.len() {
-        writeln!(file, "{},{},{}", emb.at(&[i, 0]), emb.at(&[i, 1]), labels[i])?;
+    for (i, label) in labels.iter().enumerate() {
+        writeln!(file, "{},{},{label}", emb.at(&[i, 0]), emb.at(&[i, 1]))?;
     }
     println!("  embedding written to {path}");
     Ok(())

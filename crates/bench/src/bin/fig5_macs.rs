@@ -16,8 +16,14 @@ fn main() {
     let widths = [15usize, 7, 14, 14, 10, 14, 14, 10];
     print_header(
         &[
-            "model", "layer", "base 3K MACs", "NSHD 3K MACs", "Δ3K %", "base 10K MACs",
-            "NSHD 10K MACs", "Δ10K %",
+            "model",
+            "layer",
+            "base 3K MACs",
+            "NSHD 3K MACs",
+            "Δ3K %",
+            "base 10K MACs",
+            "NSHD 10K MACs",
+            "Δ10K %",
         ],
         &widths,
     );

@@ -12,8 +12,14 @@ use nshd_core::{BaselineHd, Classifier, NshdConfig, NshdModel, VanillaHd};
 use nshd_nn::Architecture;
 
 fn main() {
-    for (dataset_name, bench) in [("Synth10", Bench::synth10(101)), ("Synth100", Bench::synth100(102))] {
-        println!("\n## Fig. 7 — accuracy on {dataset_name} (train {}, test {})", bench.train.len(), bench.test.len());
+    for (dataset_name, bench) in
+        [("Synth10", Bench::synth10(101)), ("Synth100", Bench::synth100(102))]
+    {
+        println!(
+            "\n## Fig. 7 — accuracy on {dataset_name} (train {}, test {})",
+            bench.train.len(),
+            bench.test.len()
+        );
         // VanillaHD: no feature extractor at all — one row per dataset.
         let mut vanilla = VanillaHd::train(&bench.train, 3_000, bench.scale.retrain_epochs(), 1);
         let vanilla_acc = vanilla.evaluate(&bench.test);
@@ -21,11 +27,7 @@ fn main() {
 
         let widths = [15usize, 7, 9, 12, 9, 9];
         print_header(&["model", "layer", "CNN", "BaselineHD", "NSHD", "Δ(N−C)"], &widths);
-        for arch in [
-            Architecture::MobileNetV2,
-            Architecture::EfficientNetB0,
-            Architecture::Vgg16,
-        ] {
+        for arch in [Architecture::MobileNetV2, Architecture::EfficientNetB0, Architecture::Vgg16] {
             let (teacher, cnn_acc) = bench.train_teacher(arch, 7);
             for &cut in arch.paper_cuts() {
                 let mut baseline = BaselineHd::train(
@@ -67,9 +69,18 @@ fn main() {
         let widths = [15usize, 7, 9, 12, 9, 9];
         print_header(&["model", "layer", "CNN", "BaselineHD", "NSHD", "Δ(N−C)"], &widths);
         for &cut in arch.paper_cuts() {
-            let mut baseline = BaselineHd::train(teacher.clone(), &bench.train, cut, 3_000, bench.scale.retrain_epochs(), 11);
+            let mut baseline = BaselineHd::train(
+                teacher.clone(),
+                &bench.train,
+                cut,
+                3_000,
+                bench.scale.retrain_epochs(),
+                11,
+            );
             let base_acc = baseline.evaluate(&bench.test);
-            let cfg = NshdConfig::new(cut).with_retrain_epochs(bench.scale.retrain_epochs()).with_seed(13);
+            let cfg = NshdConfig::new(cut)
+                .with_retrain_epochs(bench.scale.retrain_epochs())
+                .with_seed(13);
             let mut nshd = NshdModel::train(teacher.clone(), &bench.train, cfg);
             let nshd_acc = Classifier::evaluate(&mut nshd, &bench.test);
             print_row(

@@ -9,20 +9,13 @@ use nshd_bench::{print_header, print_row, Bench};
 use nshd_core::{Classifier, NshdConfig, NshdModel};
 use nshd_nn::Architecture;
 
-fn train_pair(
-    bench: &Bench,
-    teacher: &nshd_nn::Model,
-    cut: usize,
-) -> (f32, f32) {
+fn train_pair(bench: &Bench, teacher: &nshd_nn::Model, cut: usize) -> (f32, f32) {
     let epochs = bench.scale.retrain_epochs();
     let with_kd = NshdConfig::new(cut).with_retrain_epochs(epochs).with_seed(23);
     let without = with_kd.clone().without_distillation();
     let mut kd = NshdModel::train(teacher.clone(), &bench.train, with_kd);
     let mut plain = NshdModel::train(teacher.clone(), &bench.train, without);
-    (
-        Classifier::evaluate(&mut plain, &bench.test),
-        Classifier::evaluate(&mut kd, &bench.test),
-    )
+    (Classifier::evaluate(&mut plain, &bench.test), Classifier::evaluate(&mut kd, &bench.test))
 }
 
 fn main() {

@@ -11,10 +11,7 @@ fn main() {
     print_header(&["", "Total", "Available", "Utilization"], &widths);
     for (name, used, avail, pct) in dpu.resource_table() {
         let (u, a) = (format_k(used), format_k(avail));
-        print_row(
-            &[name.to_string(), u, a, format!("{pct:.2}%")],
-            &widths,
-        );
+        print_row(&[name.to_string(), u, a, format!("{pct:.2}%")], &widths);
     }
     println!();
     println!("Frequency: {} MHz", dpu.frequency_hz / 1e6);

@@ -6,7 +6,9 @@
 //! CNN only at the deepest EfficientNet cuts where the HD stage dominates.
 
 use nshd_bench::{print_header, print_row};
-use nshd_core::{baselinehd_size_from_stats, cnn_size_from_stats, nshd_size_from_stats, NshdConfig};
+use nshd_core::{
+    baselinehd_size_from_stats, cnn_size_from_stats, nshd_size_from_stats, NshdConfig,
+};
 use nshd_nn::specs::{arch_stats, SpecVariant};
 use nshd_nn::Architecture;
 

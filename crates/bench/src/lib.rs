@@ -24,6 +24,8 @@
 
 #![warn(missing_docs)]
 
+pub mod timing;
+
 use nshd_data::{normalize_pair, ImageDataset, SynthSpec};
 use nshd_nn::{evaluate, fit, load_model, save_model, Adam, Architecture, Model, TrainConfig};
 use nshd_tensor::Rng;
@@ -103,8 +105,8 @@ impl Bench {
     /// a usable number of samples.
     pub fn synth100(seed: u64) -> Bench {
         let scale = Scale::from_env();
-        let spec = SynthSpec::synth100(seed)
-            .with_sizes(scale.train_size() * 5 / 2, scale.test_size() * 2);
+        let spec =
+            SynthSpec::synth100(seed).with_sizes(scale.train_size() * 5 / 2, scale.test_size() * 2);
         let (mut train, mut test) = spec.generate();
         normalize_pair(&mut train, &mut test);
         Bench { scale, train, test, tag: format!("synth100-{seed}") }
@@ -173,11 +175,8 @@ impl Bench {
 
 /// Prints a table row with aligned columns.
 pub fn print_row(cols: &[String], widths: &[usize]) {
-    let cells: Vec<String> = cols
-        .iter()
-        .zip(widths)
-        .map(|(c, w)| format!("{c:<w$}", w = w))
-        .collect();
+    let cells: Vec<String> =
+        cols.iter().zip(widths).map(|(c, w)| format!("{c:<w$}", w = w)).collect();
     println!("| {} |", cells.join(" | "));
 }
 

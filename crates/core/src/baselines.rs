@@ -3,7 +3,9 @@
 
 use crate::scaler::FeatureScaler;
 use nshd_data::ImageDataset;
-use nshd_hdc::{bundle_init, AssociativeMemory, BipolarHv, MassTrainer, NonlinearEncoder, RandomProjection};
+use nshd_hdc::{
+    bundle_init, AssociativeMemory, BipolarHv, MassTrainer, NonlinearEncoder, RandomProjection,
+};
 use nshd_nn::{evaluate as nn_evaluate, Mode, Model};
 use nshd_tensor::Tensor;
 

@@ -84,7 +84,12 @@ pub fn baselinehd_macs_from_stats(
 
 /// Fig. 5: BaselineHD's per-sample MACs — no manifold, so the projection
 /// runs on the full extracted feature width.
-pub fn baselinehd_macs(model: &Model, cut: usize, hv_dim: usize, num_classes: usize) -> MacBreakdown {
+pub fn baselinehd_macs(
+    model: &Model,
+    cut: usize,
+    hv_dim: usize,
+    num_classes: usize,
+) -> MacBreakdown {
     baselinehd_macs_from_stats(&model_stats(model), cut, hv_dim, num_classes)
 }
 
@@ -155,7 +160,12 @@ pub fn baselinehd_size_from_stats(
 
 /// Table II: BaselineHD's size at a cut (projection over the full feature
 /// width, no manifold).
-pub fn baselinehd_size(model: &Model, cut: usize, hv_dim: usize, num_classes: usize) -> SizeBreakdown {
+pub fn baselinehd_size(
+    model: &Model,
+    cut: usize,
+    hv_dim: usize,
+    num_classes: usize,
+) -> SizeBreakdown {
     baselinehd_size_from_stats(&model_stats(model), cut, hv_dim, num_classes)
 }
 
@@ -233,7 +243,12 @@ pub fn baselinehd_workload_from_stats(
 }
 
 /// Builds the BaselineHD workload (projection over full features).
-pub fn baselinehd_workload(model: &Model, cut: usize, hv_dim: usize, num_classes: usize) -> Workload {
+pub fn baselinehd_workload(
+    model: &Model,
+    cut: usize,
+    hv_dim: usize,
+    num_classes: usize,
+) -> Workload {
     baselinehd_workload_from_stats(&model_stats(model), &model.name, cut, hv_dim, num_classes)
 }
 
@@ -298,11 +313,7 @@ mod tests {
         // Without the manifold, encode width grows.
         let base = baselinehd_workload(&m, 7, cfg.hv_dim, 10);
         let enc = |w: &Workload| {
-            w.phases
-                .iter()
-                .find(|p| p.name == "hd:encode")
-                .map(|p| p.ops)
-                .expect("encode phase")
+            w.phases.iter().find(|p| p.name == "hd:encode").map(|p| p.ops).expect("encode phase")
         };
         assert!(enc(&base) > enc(&w));
     }

@@ -43,6 +43,7 @@ mod config;
 mod cost;
 mod manifold;
 mod model;
+mod robust;
 mod scaler;
 mod serialize;
 
@@ -55,6 +56,7 @@ pub use cost::{
     nshd_workload_from_stats, MacBreakdown, SizeBreakdown,
 };
 pub use manifold::ManifoldLearner;
-pub use scaler::FeatureScaler;
 pub use model::{NshdModel, NshdTrainer, RetrainEpoch};
+pub use robust::{DivergenceGuard, GuardVerdict, PipelineError, RollbackReason};
+pub use scaler::FeatureScaler;
 pub use serialize::load_pipeline;

@@ -129,7 +129,11 @@ impl ManifoldLearner {
             ));
         }
         if bias.len() != self.out_features {
-            return Err(format!("manifold bias length {} does not match F̂ {}", bias.len(), self.out_features));
+            return Err(format!(
+                "manifold bias length {} does not match F̂ {}",
+                bias.len(),
+                self.out_features
+            ));
         }
         self.weight = Tensor::from_vec(weight, [self.out_features, self.pooled_len])
             .expect("length checked above");

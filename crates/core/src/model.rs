@@ -11,9 +11,7 @@ use crate::config::NshdConfig;
 use crate::manifold::ManifoldLearner;
 use crate::scaler::FeatureScaler;
 use nshd_data::ImageDataset;
-use nshd_hdc::{
-    feature_gradient, AssociativeMemory, BipolarHv, DistillTrainer, RandomProjection,
-};
+use nshd_hdc::{feature_gradient, AssociativeMemory, BipolarHv, DistillTrainer, RandomProjection};
 use nshd_nn::{Mode, Model};
 use nshd_tensor::{Rng, Tensor};
 
@@ -49,7 +47,11 @@ impl NshdModel {
         self.scaler.raw()
     }
 
-    pub(crate) fn set_scaler_raw(&mut self, mean: Vec<f32>, inv_std: Vec<f32>) -> Result<(), String> {
+    pub(crate) fn set_scaler_raw(
+        &mut self,
+        mean: Vec<f32>,
+        inv_std: Vec<f32>,
+    ) -> Result<(), String> {
         self.scaler = FeatureScaler::from_raw(mean, inv_std)?;
         Ok(())
     }
@@ -58,7 +60,11 @@ impl NshdModel {
         self.manifold.as_ref().map(|m| m.weights_raw())
     }
 
-    pub(crate) fn set_manifold_raw(&mut self, weight: Vec<f32>, bias: Vec<f32>) -> Result<(), String> {
+    pub(crate) fn set_manifold_raw(
+        &mut self,
+        weight: Vec<f32>,
+        bias: Vec<f32>,
+    ) -> Result<(), String> {
         match &mut self.manifold {
             Some(m) => m.set_weights_raw(weight, bias),
             None => Err("model has no manifold layer".into()),
@@ -105,6 +111,13 @@ impl NshdModel {
     /// The class memory.
     pub fn memory(&self) -> &AssociativeMemory {
         &self.memory
+    }
+
+    /// Mutable class memory — the hook fault-injection experiments and
+    /// the [`DivergenceGuard`](crate::DivergenceGuard) tests use to
+    /// manipulate deployed state directly.
+    pub fn memory_mut(&mut self) -> &mut AssociativeMemory {
+        &mut self.memory
     }
 
     /// The projection encoder.
@@ -369,12 +382,7 @@ impl NshdTrainer {
                 correct += 1;
             }
             // Algorithm 1 lines 3–9.
-            let u = self.distill.step(
-                &mut self.model.memory,
-                &hv,
-                label,
-                &self.teacher_logits[i],
-            );
+            let u = self.distill.step(&mut self.model.memory, &hv, label, &self.teacher_logits[i]);
             // §V-C: decode the class-error hypervectors through the
             // encoder (STE across sign) and update the manifold layer.
             if let (Some(manifold), Some(pooled)) = (&mut self.model.manifold, pooled) {
@@ -415,8 +423,7 @@ mod tests {
         static SETUP: OnceLock<(Model, ImageDataset, ImageDataset)> = OnceLock::new();
         SETUP
             .get_or_init(|| {
-                let (mut train, mut test) =
-                    SynthSpec::synth10(21).with_sizes(300, 100).generate();
+                let (mut train, mut test) = SynthSpec::synth10(21).with_sizes(300, 100).generate();
                 normalize_pair(&mut train, &mut test);
                 let mut rng = Rng::new(5);
                 let mut teacher = Architecture::EfficientNetB0.build(10, &mut rng);
@@ -447,11 +454,7 @@ mod tests {
         assert_eq!(model.history().len(), 5);
         // Training accuracy generally improves from epoch 0 to the best.
         let first = model.history()[0].train_accuracy;
-        let best = model
-            .history()
-            .iter()
-            .map(|e| e.train_accuracy)
-            .fold(0.0f32, f32::max);
+        let best = model.history().iter().map(|e| e.train_accuracy).fold(0.0f32, f32::max);
         assert!(best >= first);
     }
 
@@ -470,11 +473,7 @@ mod tests {
         }
         let after = trainer.symbolize_training_set();
         // The manifold moved, so at least some hypervectors changed.
-        let changed = before
-            .iter()
-            .zip(&after)
-            .filter(|((a, _), (b, _))| a != b)
-            .count();
+        let changed = before.iter().zip(&after).filter(|((a, _), (b, _))| a != b).count();
         assert!(changed > 0, "manifold updates left all hypervectors unchanged");
     }
 
@@ -501,7 +500,11 @@ mod tests {
             .with_hv_dim(400)
             .with_manifold_features(20)
             .with_retrain_epochs(1)
-            .with_distill(DistillConfig { alpha: 0.3, temperature: 12.0, ..DistillConfig::default() });
+            .with_distill(DistillConfig {
+                alpha: 0.3,
+                temperature: 12.0,
+                ..DistillConfig::default()
+            });
         let model = NshdModel::train(teacher, &train, cfg);
         assert!((model.config().distill.alpha - 0.3).abs() < 1e-6);
     }

@@ -74,12 +74,7 @@ impl FeatureScaler {
     /// Panics if the length differs from the fitted length.
     pub fn apply(&self, features: &mut Tensor) {
         assert_eq!(features.len(), self.mean.len(), "feature length mismatch");
-        for ((v, &m), &s) in features
-            .as_mut_slice()
-            .iter_mut()
-            .zip(&self.mean)
-            .zip(&self.inv_std)
-        {
+        for ((v, &m), &s) in features.as_mut_slice().iter_mut().zip(&self.mean).zip(&self.inv_std) {
             *v = (*v - m) * s;
         }
     }

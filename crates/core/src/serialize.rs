@@ -4,11 +4,18 @@
 //! manifold layer, the class memory, and the configuration. The random
 //! projection is *not* stored — it is reconstructed from the persisted
 //! seed, one of the practical perks of seeded HD encodings.
+//!
+//! Loading is defensive: the stream is wrapped in a byte-counting reader
+//! so truncation, garbage, and non-finite payload values surface as
+//! descriptive errors carrying the byte offset — never panics. The
+//! typed variant ([`NshdModel::load_into_checked`]) reports failures as
+//! [`PipelineError::CorruptCheckpoint`].
 
 use crate::config::NshdConfig;
 use crate::model::NshdModel;
+use crate::robust::PipelineError;
 use nshd_data::ImageDataset;
-use nshd_nn::{load_model, save_model, Model};
+use nshd_nn::{load_model, save_model, CountingReader, Model};
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"NSHDPIP1";
@@ -62,19 +69,45 @@ impl NshdModel {
     ///
     /// # Errors
     ///
-    /// Returns an error on magic/shape mismatch or I/O failure.
-    pub fn load_into<R: Read>(&mut self, mut reader: R) -> io::Result<()> {
+    /// Returns an error — never panics — on magic/shape/seed mismatch,
+    /// truncated or bit-corrupted streams, non-finite payload values, or
+    /// I/O failure; messages carry the byte offset of the failure.
+    pub fn load_into<R: Read>(&mut self, reader: R) -> io::Result<()> {
+        self.load_into_checked(reader).map_err(|e| match e {
+            PipelineError::CorruptCheckpoint { offset, detail } => {
+                io::Error::new(io::ErrorKind::InvalidData, format!("at byte {offset}: {detail}"))
+            }
+            other => io::Error::new(io::ErrorKind::InvalidData, other.to_string()),
+        })
+    }
+
+    /// Typed variant of [`load_into`](NshdModel::load_into): failures are
+    /// reported as [`PipelineError::CorruptCheckpoint`] with the byte
+    /// offset where the problem was detected.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::CorruptCheckpoint`] on any load failure.
+    pub fn load_into_checked<R: Read>(&mut self, reader: R) -> Result<(), PipelineError> {
+        let mut r = CountingReader::new(reader);
+        self.load_impl(&mut r).map_err(|e| PipelineError::CorruptCheckpoint {
+            offset: r.offset(),
+            detail: e.to_string(),
+        })
+    }
+
+    fn load_impl<R: Read>(&mut self, reader: &mut CountingReader<R>) -> io::Result<()> {
         let mut magic = [0u8; 8];
-        reader.read_exact(&mut magic)?;
+        reader.read_exact(&mut magic).map_err(truncated("pipeline magic"))?;
         if &magic != MAGIC {
-            return Err(bad("not an NSHD pipeline file"));
+            return Err(bad("not an NSHD pipeline file (bad magic)"));
         }
-        let cut = read_u64(&mut reader)? as usize;
-        let hv_dim = read_u64(&mut reader)? as usize;
-        let f_hat = read_u64(&mut reader)? as usize;
-        let use_manifold = read_u64(&mut reader)? != 0;
-        let seed = read_u64(&mut reader)?;
-        let proj_seed = read_u64(&mut reader)?;
+        let cut = read_u64(reader)? as usize;
+        let hv_dim = read_u64(reader)? as usize;
+        let f_hat = read_u64(reader)? as usize;
+        let use_manifold = read_u64(reader)? != 0;
+        let seed = read_u64(reader)?;
+        let proj_seed = read_u64(reader)?;
         {
             let cfg = self.config();
             if cut != cfg.cut
@@ -82,42 +115,57 @@ impl NshdModel {
                 || f_hat != cfg.manifold_features
                 || use_manifold != cfg.use_manifold
             {
-                return Err(bad("pipeline configuration mismatch"));
+                return Err(bad(format!(
+                    "pipeline configuration mismatch: file (cut {cut}, hv_dim {hv_dim}, \
+                     F̂ {f_hat}, manifold {use_manifold}), model (cut {}, hv_dim {}, F̂ {}, \
+                     manifold {})",
+                    cfg.cut, cfg.hv_dim, cfg.manifold_features, cfg.use_manifold
+                )));
             }
             if seed != cfg.seed || proj_seed != self.projection_seed() {
                 return Err(bad("pipeline seed mismatch (projection not reproducible)"));
             }
         }
         // Class memory.
-        let k = read_u64(&mut reader)? as usize;
-        let d = read_u64(&mut reader)? as usize;
+        let k = read_u64(reader)? as usize;
+        let d = read_u64(reader)? as usize;
         if k != self.memory().num_classes() || d != self.memory().dim() {
-            return Err(bad("class-memory shape mismatch"));
+            return Err(bad(format!(
+                "class-memory shape mismatch: file {k}×{d}, model {}×{}",
+                self.memory().num_classes(),
+                self.memory().dim()
+            )));
         }
         let mut classes = Vec::with_capacity(k);
-        for _ in 0..k {
-            let row = read_f32s(&mut reader)?;
+        for c in 0..k {
+            let row = read_f32s(reader)?;
             if row.len() != d {
-                return Err(bad("class hypervector length mismatch"));
+                return Err(bad(format!(
+                    "class {c} hypervector length mismatch: file {}, expected {d}",
+                    row.len()
+                )));
+            }
+            if let Some(v) = row.iter().find(|v| !v.is_finite()) {
+                return Err(bad(format!("non-finite value {v} in class {c} hypervector")));
             }
             classes.push(row);
         }
         self.set_memory_raw(classes);
         // Scaler.
-        let mean = read_f32s(&mut reader)?;
-        let inv_std = read_f32s(&mut reader)?;
+        let mean = read_finite_f32s(reader, "scaler mean")?;
+        let inv_std = read_finite_f32s(reader, "scaler inverse std")?;
         self.set_scaler_raw(mean, inv_std).map_err(bad)?;
         // Manifold.
-        let has_manifold = read_u64(&mut reader)? != 0;
+        let has_manifold = read_u64(reader)? != 0;
         if has_manifold != use_manifold {
             return Err(bad("manifold presence mismatch"));
         }
         if has_manifold {
-            let weight = read_f32s(&mut reader)?;
-            let bias = read_f32s(&mut reader)?;
+            let weight = read_finite_f32s(reader, "manifold weight")?;
+            let bias = read_finite_f32s(reader, "manifold bias")?;
             self.set_manifold_raw(weight, bias).map_err(bad)?;
         }
-        load_model(self.teacher_mut(), &mut reader)
+        load_model(self.teacher_mut(), reader)
     }
 
     /// Mutable teacher access (serialization needs `&mut` for the shared
@@ -131,13 +179,17 @@ fn bad(msg: impl Into<String>) -> io::Error {
     io::Error::new(io::ErrorKind::InvalidData, msg.into())
 }
 
+fn truncated(what: &str) -> impl Fn(io::Error) -> io::Error + '_ {
+    move |e| io::Error::new(e.kind(), format!("truncated reading {what}"))
+}
+
 fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
 fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
     let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
+    r.read_exact(&mut buf).map_err(truncated("u64 field"))?;
     Ok(u64::from_le_bytes(buf))
 }
 
@@ -151,14 +203,22 @@ fn write_f32s<W: Write>(w: &mut W, vals: &[f32]) -> io::Result<()> {
 
 fn read_f32s<R: Read>(r: &mut R) -> io::Result<Vec<f32>> {
     let len = read_u64(r)? as usize;
-    if len > (1 << 31) {
-        return Err(bad("implausible vector length"));
+    if len > (1 << 28) {
+        return Err(bad(format!("implausible vector length {len}")));
     }
     let mut out = vec![0.0f32; len];
     let mut buf = [0u8; 4];
     for v in out.iter_mut() {
-        r.read_exact(&mut buf)?;
+        r.read_exact(&mut buf).map_err(truncated("f32 vector"))?;
         *v = f32::from_le_bytes(buf);
+    }
+    Ok(out)
+}
+
+fn read_finite_f32s<R: Read>(r: &mut R, what: &str) -> io::Result<Vec<f32>> {
+    let out = read_f32s(r)?;
+    if let Some(v) = out.iter().find(|v| !v.is_finite()) {
+        return Err(bad(format!("non-finite value {v} in {what}")));
     }
     Ok(out)
 }
@@ -211,8 +271,7 @@ mod tests {
         let mut bytes = Vec::new();
         original.save(&mut bytes).expect("save");
 
-        let mut restored =
-            load_pipeline(teacher, &train, cfg, bytes.as_slice()).expect("load");
+        let mut restored = load_pipeline(teacher, &train, cfg, bytes.as_slice()).expect("load");
         for i in 0..test.len() {
             let (img, _) = test.sample(i);
             assert_eq!(original.predict(&img), restored.predict(&img), "sample {i}");
@@ -237,5 +296,67 @@ mod tests {
         let cfg = NshdConfig::new(15).with_hv_dim(300).with_retrain_epochs(0).with_seed(5);
         let err = load_pipeline(teacher, &train, cfg, &b"nonsense"[..]).unwrap_err();
         assert!(err.to_string().contains("pipeline") || err.kind() == io::ErrorKind::UnexpectedEof);
+    }
+
+    #[test]
+    fn truncations_error_with_offset_never_panic() {
+        let (teacher, train, _) = setup();
+        let cfg = NshdConfig::new(15).with_hv_dim(300).with_retrain_epochs(1).with_seed(5);
+        let mut original = NshdModel::train(teacher.clone(), &train, cfg.clone());
+        let mut bytes = Vec::new();
+        original.save(&mut bytes).expect("save");
+        // One reusable skeleton: a failed load may leave it partially
+        // overwritten, which is fine for error-path testing.
+        let mut skeleton = NshdModel::train(teacher, &train, cfg.with_retrain_epochs(0));
+        let step = (bytes.len() / 37).max(1);
+        for cut in (0..bytes.len()).step_by(step) {
+            let err = skeleton.load_into_checked(&bytes[..cut]).unwrap_err();
+            let PipelineError::CorruptCheckpoint { offset, .. } = err else {
+                panic!("cut {cut}: unexpected error {err:?}");
+            };
+            assert!(offset <= cut as u64, "cut {cut}: offset {offset} beyond stream");
+        }
+    }
+
+    #[test]
+    fn bit_flips_error_or_load_but_never_panic() {
+        let (teacher, train, _) = setup();
+        let cfg = NshdConfig::new(15).with_hv_dim(300).with_retrain_epochs(1).with_seed(5);
+        let mut original = NshdModel::train(teacher.clone(), &train, cfg.clone());
+        let mut bytes = Vec::new();
+        original.save(&mut bytes).expect("save");
+        let mut skeleton = NshdModel::train(teacher, &train, cfg.with_retrain_epochs(0));
+        let step = (bytes.len() / 43).max(1);
+        for pos in (0..bytes.len()).step_by(step) {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x80;
+            // Either a clean typed error or a value-corrupted load —
+            // never a panic.
+            let _ = skeleton.load_into_checked(corrupt.as_slice());
+        }
+        // The header is fully validated: any flip there must error.
+        for pos in 0..8 {
+            let mut corrupt = bytes.clone();
+            corrupt[pos] ^= 0x01;
+            let err = skeleton.load_into_checked(corrupt.as_slice()).unwrap_err();
+            assert!(matches!(err, PipelineError::CorruptCheckpoint { .. }), "pos {pos}: {err:?}");
+        }
+    }
+
+    #[test]
+    fn non_finite_class_memory_is_rejected() {
+        let (teacher, train, _) = setup();
+        let cfg = NshdConfig::new(15).with_hv_dim(300).with_retrain_epochs(1).with_seed(5);
+        let mut original = NshdModel::train(teacher.clone(), &train, cfg.clone());
+        let mut bytes = Vec::new();
+        original.save(&mut bytes).expect("save");
+        // First class-memory f32: magic (8) + six config u64s (48) + k and
+        // d (16) + the row-length prefix (8).
+        let first_f32 = 8 + 48 + 16 + 8;
+        bytes[first_f32..first_f32 + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        let mut skeleton = NshdModel::train(teacher, &train, cfg.with_retrain_epochs(0));
+        let err = skeleton.load_into(bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        assert!(err.to_string().contains("at byte"), "{err}");
     }
 }

@@ -1,4 +1,6 @@
-//! Light training-time augmentation: horizontal flips and integer shifts.
+//! Light training-time augmentation (horizontal flips and integer
+//! shifts) and input corruption for robustness evaluation (gaussian
+//! noise, salt-and-pepper, channel dropout).
 
 use crate::dataset::ImageDataset;
 use crate::image::{CHANNELS, IMAGE_SIZE};
@@ -55,6 +57,116 @@ impl Augment {
     }
 }
 
+/// Input-corruption policy for robustness evaluation: models sensor
+/// noise and partial input failure at inference time, the input-side
+/// counterpart of the memory fault injection in `nshd-hdc`.
+///
+/// All three corruptions are applied per sample, in the order gaussian →
+/// salt-and-pepper → channel dropout. A policy with every field zero is
+/// the identity.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Corruption {
+    /// Standard deviation of additive gaussian noise (0 disables).
+    pub gaussian_std: f32,
+    /// Per-pixel probability of being forced to the image's minimum or
+    /// maximum value ("pepper" / "salt", equally likely).
+    pub salt_pepper_prob: f32,
+    /// Per-channel probability of the whole channel being zeroed
+    /// (a dead sensor plane).
+    pub channel_dropout_prob: f32,
+}
+
+impl Default for Corruption {
+    /// A mild corruption level useful as a smoke-test default.
+    fn default() -> Self {
+        Corruption { gaussian_std: 0.1, salt_pepper_prob: 0.01, channel_dropout_prob: 0.0 }
+    }
+}
+
+impl Corruption {
+    /// The identity policy (no corruption).
+    pub fn none() -> Self {
+        Corruption { gaussian_std: 0.0, salt_pepper_prob: 0.0, channel_dropout_prob: 0.0 }
+    }
+
+    fn validate(&self) {
+        assert!(
+            self.gaussian_std >= 0.0,
+            "gaussian_std must be non-negative, got {}",
+            self.gaussian_std
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.salt_pepper_prob),
+            "salt_pepper_prob must be in [0, 1], got {}",
+            self.salt_pepper_prob
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.channel_dropout_prob),
+            "channel_dropout_prob must be in [0, 1], got {}",
+            self.channel_dropout_prob
+        );
+    }
+
+    /// Returns a corrupted copy of one CHW image.
+    ///
+    /// Salt and pepper levels are the image's own value range, so the
+    /// policy behaves identically on raw `[0, 1]` and normalised data.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is out of range.
+    pub fn apply_image(&self, image: &Tensor, rng: &mut Rng) -> Tensor {
+        self.validate();
+        let mut out = image.clone();
+        let dims = out.dims().to_vec();
+        assert_eq!(dims.len(), 3, "expected a CHW image, got {dims:?}");
+        let (lo, hi) = image
+            .as_slice()
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let plane = dims[1] * dims[2];
+        let data = out.as_mut_slice();
+        if self.gaussian_std > 0.0 {
+            for v in data.iter_mut() {
+                *v += rng.normal_with(0.0, self.gaussian_std);
+            }
+        }
+        if self.salt_pepper_prob > 0.0 {
+            for v in data.iter_mut() {
+                if rng.chance(self.salt_pepper_prob) {
+                    *v = if rng.chance(0.5) { hi } else { lo };
+                }
+            }
+        }
+        if self.channel_dropout_prob > 0.0 {
+            for c in 0..dims[0] {
+                if rng.chance(self.channel_dropout_prob) {
+                    data[c * plane..(c + 1) * plane].fill(0.0);
+                }
+            }
+        }
+        out
+    }
+
+    /// Returns a corrupted copy of the dataset (labels unchanged).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any field is out of range.
+    pub fn apply(&self, dataset: &ImageDataset, rng: &mut Rng) -> ImageDataset {
+        self.validate();
+        let n = dataset.len();
+        let mut out = Tensor::zeros([n, CHANNELS, IMAGE_SIZE, IMAGE_SIZE]);
+        let plane = CHANNELS * IMAGE_SIZE * IMAGE_SIZE;
+        for b in 0..n {
+            let (img, _) = dataset.sample(b);
+            let corrupted = self.apply_image(&img, rng);
+            out.as_mut_slice()[b * plane..(b + 1) * plane].copy_from_slice(corrupted.as_slice());
+        }
+        ImageDataset::new(out, dataset.labels().to_vec(), dataset.num_classes())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -87,6 +199,72 @@ mod tests {
                 }
             }
         }
+    }
+
+    #[test]
+    fn no_corruption_is_identity() {
+        let (train, _) = SynthSpec::synth10(4).with_sizes(6, 2).generate();
+        let out = Corruption::none().apply(&train, &mut Rng::new(4));
+        assert_eq!(out.images().as_slice(), train.images().as_slice());
+        assert_eq!(out.labels(), train.labels());
+    }
+
+    #[test]
+    fn salt_pepper_at_full_rate_pins_every_pixel_to_the_range() {
+        let (train, _) = SynthSpec::synth10(5).with_sizes(2, 2).generate();
+        let (img, _) = train.sample(0);
+        let (lo, hi) = img
+            .as_slice()
+            .iter()
+            .fold((f32::INFINITY, f32::NEG_INFINITY), |(lo, hi), &v| (lo.min(v), hi.max(v)));
+        let policy = Corruption { salt_pepper_prob: 1.0, ..Corruption::none() };
+        let out = policy.apply_image(&img, &mut Rng::new(5));
+        assert!(out.as_slice().iter().all(|&v| v == lo || v == hi));
+        // Both extremes appear (probability ~2^-3072 otherwise).
+        assert!(out.as_slice().contains(&lo) && out.as_slice().contains(&hi));
+    }
+
+    #[test]
+    fn channel_dropout_at_full_rate_zeroes_everything() {
+        let (train, _) = SynthSpec::synth10(6).with_sizes(2, 2).generate();
+        let (img, _) = train.sample(0);
+        let policy = Corruption { channel_dropout_prob: 1.0, ..Corruption::none() };
+        let out = policy.apply_image(&img, &mut Rng::new(6));
+        assert!(out.as_slice().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn gaussian_noise_perturbs_with_bounded_magnitude() {
+        let (train, _) = SynthSpec::synth10(7).with_sizes(2, 2).generate();
+        let (img, _) = train.sample(0);
+        let policy = Corruption { gaussian_std: 0.05, ..Corruption::none() };
+        let out = policy.apply_image(&img, &mut Rng::new(7));
+        let diffs: Vec<f32> =
+            out.as_slice().iter().zip(img.as_slice()).map(|(a, b)| a - b).collect();
+        assert!(diffs.iter().any(|&d| d != 0.0), "noise changed nothing");
+        let mean_abs = diffs.iter().map(|d| d.abs()).sum::<f32>() / diffs.len() as f32;
+        // E|N(0, 0.05)| ≈ 0.04; allow generous slack.
+        assert!(mean_abs > 0.01 && mean_abs < 0.15, "mean |noise| = {mean_abs}");
+    }
+
+    #[test]
+    fn corruption_is_deterministic_per_seed() {
+        let (train, _) = SynthSpec::synth10(8).with_sizes(4, 2).generate();
+        let policy =
+            Corruption { gaussian_std: 0.1, salt_pepper_prob: 0.05, channel_dropout_prob: 0.2 };
+        let a = policy.apply(&train, &mut Rng::new(9));
+        let b = policy.apply(&train, &mut Rng::new(9));
+        assert_eq!(a.images().as_slice(), b.images().as_slice());
+        let c = policy.apply(&train, &mut Rng::new(10));
+        assert_ne!(a.images().as_slice(), c.images().as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "salt_pepper_prob")]
+    fn out_of_range_probability_panics() {
+        let (train, _) = SynthSpec::synth10(11).with_sizes(1, 1).generate();
+        let policy = Corruption { salt_pepper_prob: 1.5, ..Corruption::none() };
+        policy.apply(&train, &mut Rng::new(11));
     }
 
     #[test]

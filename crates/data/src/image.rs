@@ -24,9 +24,10 @@ impl Image {
     /// Creates an image filled with an RGB colour.
     pub fn filled(rgb: [f32; 3]) -> Self {
         let mut img = Image::new();
-        for c in 0..CHANNELS {
-            let plane = &mut img.pixels[c * IMAGE_SIZE * IMAGE_SIZE..(c + 1) * IMAGE_SIZE * IMAGE_SIZE];
-            plane.fill(rgb[c]);
+        for (c, &v) in rgb.iter().enumerate() {
+            let plane =
+                &mut img.pixels[c * IMAGE_SIZE * IMAGE_SIZE..(c + 1) * IMAGE_SIZE * IMAGE_SIZE];
+            plane.fill(v);
         }
         img
     }
@@ -55,9 +56,9 @@ impl Image {
     /// `alpha ∈ [0, 1]`.
     pub fn blend(&mut self, y: usize, x: usize, rgb: [f32; 3], alpha: f32) {
         let a = alpha.clamp(0.0, 1.0);
-        for c in 0..CHANNELS {
+        for (c, &v) in rgb.iter().enumerate() {
             let old = self.get(c, y, x);
-            self.set(c, y, x, old * (1.0 - a) + rgb[c] * a);
+            self.set(c, y, x, old * (1.0 - a) + v * a);
         }
     }
 

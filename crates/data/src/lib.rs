@@ -29,7 +29,7 @@ mod image;
 mod normalize;
 mod synth;
 
-pub use augment::Augment;
+pub use augment::{Augment, Corruption};
 pub use dataset::{ImageDataset, SynthSpec};
 pub use image::{Image, CHANNELS, IMAGE_SIZE};
 pub use normalize::{normalize_pair, Normalizer};

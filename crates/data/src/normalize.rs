@@ -26,15 +26,15 @@ impl Normalizer {
         let mut mean = [0.0f32; CHANNELS];
         let mut std = [0.0f32; CHANNELS];
         let count = (n * plane) as f32;
-        for c in 0..CHANNELS {
+        for (c, m) in mean.iter_mut().enumerate() {
             let mut s = 0.0f64;
             for b in 0..n {
                 let base = (b * CHANNELS + c) * plane;
                 s += x[base..base + plane].iter().map(|&v| v as f64).sum::<f64>();
             }
-            mean[c] = (s / count as f64) as f32;
+            *m = (s / count as f64) as f32;
         }
-        for c in 0..CHANNELS {
+        for (c, sd) in std.iter_mut().enumerate() {
             let mut s = 0.0f64;
             for b in 0..n {
                 let base = (b * CHANNELS + c) * plane;
@@ -43,7 +43,7 @@ impl Normalizer {
                     .map(|&v| ((v - mean[c]) as f64).powi(2))
                     .sum::<f64>();
             }
-            std[c] = ((s / count as f64).sqrt() as f32).max(1e-6);
+            *sd = ((s / count as f64).sqrt() as f32).max(1e-6);
         }
         Normalizer { mean, std }
     }

@@ -197,7 +197,12 @@ fn coverage(kind: ShapeKind, u: f32, v: f32) -> f32 {
 /// # Panics
 ///
 /// Panics if `class >= num_classes` or `num_classes == 0`.
-pub fn render_sample(class: usize, num_classes: usize, params: &SynthParams, rng: &mut Rng) -> Image {
+pub fn render_sample(
+    class: usize,
+    num_classes: usize,
+    params: &SynthParams,
+    rng: &mut Rng,
+) -> Image {
     assert!(num_classes > 0 && class < num_classes, "class {class} of {num_classes}");
     let (shape_idx, palette_idx) = if num_classes <= 10 {
         let palette = if rng.chance(params.palette_fidelity) {

@@ -31,19 +31,14 @@ impl BipolarHv {
     ///
     /// Panics if any component is not `-1` or `+1`.
     pub fn new(comps: Vec<i8>) -> Self {
-        assert!(
-            comps.iter().all(|&c| c == 1 || c == -1),
-            "bipolar components must be ±1"
-        );
+        assert!(comps.iter().all(|&c| c == 1 || c == -1), "bipolar components must be ±1");
         BipolarHv { comps }
     }
 
     /// Creates a hypervector by taking the sign of each value (`sign(0)`
     /// maps to `+1`, a fixed tie-break that keeps encoding deterministic).
     pub fn from_signs(values: &[f32]) -> Self {
-        BipolarHv {
-            comps: values.iter().map(|&v| if v < 0.0 { -1i8 } else { 1 }).collect(),
-        }
+        BipolarHv { comps: values.iter().map(|&v| if v < 0.0 { -1i8 } else { 1 }).collect() }
     }
 
     /// Dimensionality `D`.
@@ -65,6 +60,16 @@ impl BipolarHv {
     /// vectors).
     pub fn to_f32(&self) -> Vec<f32> {
         self.comps.iter().map(|&c| c as f32).collect()
+    }
+
+    /// Flips the sign of component `index` — the dense-side bit-flip used
+    /// by fault injection ([`crate::FaultPlan`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim`.
+    pub fn flip(&mut self, index: usize) {
+        self.comps[index] = -self.comps[index];
     }
 
     /// Packs into the binary representation (`+1 → 1`, `-1 → 0`).
@@ -116,7 +121,7 @@ impl PackedHv {
     /// bits beyond `dim` are set.
     pub fn new(words: Vec<u64>, dim: usize) -> Self {
         assert_eq!(words.len(), dim.div_ceil(64), "word count must match dimension");
-        if dim % 64 != 0 {
+        if !dim.is_multiple_of(64) {
             let mask = !0u64 << (dim % 64);
             assert_eq!(
                 words.last().copied().unwrap_or(0) & mask,
@@ -151,11 +156,21 @@ impl PackedHv {
         }
     }
 
+    /// Flips the bit at `index` — the packed-word single-event-upset used
+    /// by fault injection ([`crate::FaultPlan`]). Padding bits beyond
+    /// `dim` are unreachable, so the class invariant is preserved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index >= dim`.
+    pub fn flip_bit(&mut self, index: usize) {
+        assert!(index < self.dim, "bit index out of range");
+        self.words[index / 64] ^= 1u64 << (index % 64);
+    }
+
     /// Unpacks to the dense bipolar representation.
     pub fn to_bipolar(&self) -> BipolarHv {
-        BipolarHv {
-            comps: (0..self.dim).map(|i| self.sign_at(i)).collect(),
-        }
+        BipolarHv { comps: (0..self.dim).map(|i| self.sign_at(i)).collect() }
     }
 
     /// Hamming distance to another packed hypervector.
@@ -165,11 +180,7 @@ impl PackedHv {
     /// Panics if dimensions differ.
     pub fn hamming(&self, other: &PackedHv) -> u32 {
         assert_eq!(self.dim, other.dim, "dimension mismatch");
-        self.words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| (a ^ b).count_ones())
-            .sum()
+        self.words.iter().zip(other.words.iter()).map(|(a, b)| (a ^ b).count_ones()).sum()
     }
 
     /// Bipolar dot product computed via popcount: `D − 2·hamming`.
@@ -190,13 +201,9 @@ impl PackedHv {
     pub fn bind(&self, other: &PackedHv) -> PackedHv {
         assert_eq!(self.dim, other.dim, "dimension mismatch");
         // XNOR preserves the +1·+1 = +1 convention: equal bits → 1.
-        let mut words: Vec<u64> = self
-            .words
-            .iter()
-            .zip(other.words.iter())
-            .map(|(a, b)| !(a ^ b))
-            .collect();
-        if self.dim % 64 != 0 {
+        let mut words: Vec<u64> =
+            self.words.iter().zip(other.words.iter()).map(|(a, b)| !(a ^ b)).collect();
+        if !self.dim.is_multiple_of(64) {
             let last = words.len() - 1;
             words[last] &= (1u64 << (self.dim % 64)) - 1;
         }
@@ -237,14 +244,14 @@ mod tests {
 
     #[test]
     fn packed_dot_equals_dense_dot() {
-        let a = BipolarHv::from_signs(&(0..100).map(|i| ((i * 7 % 5) as f32) - 2.0).collect::<Vec<_>>());
-        let b = BipolarHv::from_signs(&(0..100).map(|i| ((i * 3 % 7) as f32) - 3.0).collect::<Vec<_>>());
-        let dense_dot: i64 = a
-            .components()
-            .iter()
-            .zip(b.components())
-            .map(|(&x, &y)| (x as i64) * (y as i64))
-            .sum();
+        let a = BipolarHv::from_signs(
+            &(0..100).map(|i| ((i * 7 % 5) as f32) - 2.0).collect::<Vec<_>>(),
+        );
+        let b = BipolarHv::from_signs(
+            &(0..100).map(|i| ((i * 3 % 7) as f32) - 3.0).collect::<Vec<_>>(),
+        );
+        let dense_dot: i64 =
+            a.components().iter().zip(b.components()).map(|(&x, &y)| (x as i64) * (y as i64)).sum();
         assert_eq!(a.to_packed().dot(&b.to_packed()), dense_dot);
     }
 
@@ -272,8 +279,12 @@ mod tests {
 
     #[test]
     fn bind_is_self_inverse() {
-        let a = BipolarHv::from_signs(&(0..64).map(|i| ((i * 13 % 3) as f32) - 1.0).collect::<Vec<_>>());
-        let b = BipolarHv::from_signs(&(0..64).map(|i| ((i * 11 % 5) as f32) - 2.0).collect::<Vec<_>>());
+        let a = BipolarHv::from_signs(
+            &(0..64).map(|i| ((i * 13 % 3) as f32) - 1.0).collect::<Vec<_>>(),
+        );
+        let b = BipolarHv::from_signs(
+            &(0..64).map(|i| ((i * 11 % 5) as f32) - 2.0).collect::<Vec<_>>(),
+        );
         let pa = a.to_packed();
         let pb = b.to_packed();
         assert_eq!(pa.bind(&pb).bind(&pb), pa);

@@ -35,6 +35,7 @@
 #![warn(missing_docs)]
 
 mod distill;
+mod fault;
 mod hypervector;
 mod lsh;
 mod mass;
@@ -49,6 +50,7 @@ mod ste;
 mod symbolic;
 
 pub use distill::{DistillConfig, DistillTrainer, TemperatureMode};
+pub use fault::{FaultPlan, FaultReport};
 pub use hypervector::{BipolarHv, PackedHv};
 pub use lsh::LshEncoder;
 pub use mass::{bundle_init, MassTrainer};

@@ -106,14 +106,8 @@ mod tests {
     #[test]
     fn deterministic_per_seed() {
         let v = [1.0, -1.0, 0.5];
-        assert_eq!(
-            LshEncoder::new(3, 64, 4).encode(&v),
-            LshEncoder::new(3, 64, 4).encode(&v)
-        );
-        assert_ne!(
-            LshEncoder::new(3, 64, 4).encode(&v),
-            LshEncoder::new(3, 64, 5).encode(&v)
-        );
+        assert_eq!(LshEncoder::new(3, 64, 4).encode(&v), LshEncoder::new(3, 64, 4).encode(&v));
+        assert_ne!(LshEncoder::new(3, 64, 4).encode(&v), LshEncoder::new(3, 64, 5).encode(&v));
     }
 
     #[test]

@@ -56,12 +56,7 @@ impl MassTrainer {
     }
 
     /// Applies one sample's update: `M ← M + λ·Uᵀ H`. Returns `U`.
-    pub fn step(
-        &self,
-        memory: &mut AssociativeMemory,
-        hv: &BipolarHv,
-        label: usize,
-    ) -> Vec<f32> {
+    pub fn step(&self, memory: &mut AssociativeMemory, hv: &BipolarHv, label: usize) -> Vec<f32> {
         let u = self.update_vector(memory, hv, label);
         for (c, &uc) in u.iter().enumerate() {
             memory.add_scaled(c, hv, self.learning_rate * uc);
@@ -88,7 +83,11 @@ impl MassTrainer {
 
 /// Initialises a memory by bundling every sample into its class — the
 /// classic single-pass HD training that retraining then refines.
-pub fn bundle_init(num_classes: usize, dim: usize, samples: &[(BipolarHv, usize)]) -> AssociativeMemory {
+pub fn bundle_init(
+    num_classes: usize,
+    dim: usize,
+    samples: &[(BipolarHv, usize)],
+) -> AssociativeMemory {
     let mut memory = AssociativeMemory::new(num_classes, dim);
     for (hv, label) in samples {
         memory.bundle(*label, hv);
@@ -115,10 +114,10 @@ mod tests {
     ) -> Vec<(BipolarHv, usize)> {
         let prototypes: Vec<BipolarHv> = (0..classes).map(|_| random_hv(dim, rng)).collect();
         let mut out = Vec::new();
-        for c in 0..classes {
+        for (c, proto) in prototypes.iter().enumerate() {
             for _ in 0..per_class {
                 let noisy = BipolarHv::new(
-                    prototypes[c]
+                    proto
                         .components()
                         .iter()
                         .map(|&s| if rng.chance(flip) { -s } else { s })
@@ -168,10 +167,7 @@ mod tests {
             trainer.epoch(&mut mem, &train);
         }
         let after = mem.accuracy(&test);
-        assert!(
-            after >= before,
-            "retraining must not reduce accuracy: {before} → {after}"
-        );
+        assert!(after >= before, "retraining must not reduce accuracy: {before} → {after}");
         assert!(after > 0.8, "retrained accuracy {after}");
     }
 

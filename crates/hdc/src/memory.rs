@@ -70,6 +70,24 @@ impl AssociativeMemory {
         &self.classes[class]
     }
 
+    /// Mutable access to the accumulated class hypervector for `class` —
+    /// the hook fault injection ([`crate::FaultPlan`]) and rollback
+    /// guards use to manipulate memory state directly.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn class_mut(&mut self, class: usize) -> &mut [f32] {
+        &mut self.classes[class]
+    }
+
+    /// Whether every accumulated component is finite — the post-epoch /
+    /// post-fault health check. A memory with NaN or ±∞ components makes
+    /// `predict` panic on `partial_cmp`, so guards call this first.
+    pub fn is_finite(&self) -> bool {
+        self.classes.iter().all(|c| c.iter().all(|v| v.is_finite()))
+    }
+
     /// Bundles a sample into a class: `C_c += H`.
     ///
     /// # Panics
@@ -105,10 +123,7 @@ impl AssociativeMemory {
     ///
     /// Panics if dimensions disagree.
     pub fn similarities(&self, hv: &BipolarHv) -> Vec<f32> {
-        self.classes
-            .iter()
-            .map(|c| cosine_dense_bipolar(c, hv))
-            .collect()
+        self.classes.iter().map(|c| cosine_dense_bipolar(c, hv)).collect()
     }
 
     /// Predicted class: `argmax δ(M, H)`.
@@ -134,10 +149,7 @@ impl AssociativeMemory {
         if samples.is_empty() {
             return 0.0;
         }
-        let correct = samples
-            .iter()
-            .filter(|(hv, label)| self.predict(hv) == *label)
-            .count();
+        let correct = samples.iter().filter(|(hv, label)| self.predict(hv) == *label).count();
         correct as f32 / samples.len() as f32
     }
 
@@ -178,11 +190,7 @@ mod tests {
         // Fresh noisy queries retrieve the right class.
         for (c, proto) in prototypes.iter().enumerate() {
             let query = BipolarHv::new(
-                proto
-                    .components()
-                    .iter()
-                    .map(|&s| if rng.chance(0.15) { -s } else { s })
-                    .collect(),
+                proto.components().iter().map(|&s| if rng.chance(0.15) { -s } else { s }).collect(),
             );
             assert_eq!(mem.predict(&query), c);
         }

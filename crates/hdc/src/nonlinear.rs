@@ -35,9 +35,7 @@ impl NonlinearEncoder {
         assert!(features > 0 && dim > 0 && levels > 0);
         assert!(lo < hi, "invalid quantisation range [{lo}, {hi}]");
         let mut rng = Rng::new(seed);
-        let ids: Vec<BipolarHv> = (0..features)
-            .map(|_| random_hv(dim, &mut rng))
-            .collect();
+        let ids: Vec<BipolarHv> = (0..features).map(|_| random_hv(dim, &mut rng)).collect();
         // Correlated level chain: flip disjoint segments of a random
         // permutation, so consecutive levels differ in exactly
         // D/(2·(levels−1)) components and the chain ends with exactly D/2

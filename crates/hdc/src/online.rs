@@ -64,10 +64,7 @@ impl OnlineTrainer {
         if samples.is_empty() {
             return 0.0;
         }
-        let correct = samples
-            .iter()
-            .filter(|(hv, label)| self.step(memory, hv, *label))
-            .count();
+        let correct = samples.iter().filter(|(hv, label)| self.step(memory, hv, *label)).count();
         correct as f32 / samples.len() as f32
     }
 }
@@ -82,6 +79,7 @@ mod tests {
         BipolarHv::new((0..dim).map(|_| if rng.bipolar() > 0.0 { 1 } else { -1 }).collect())
     }
 
+    #[allow(clippy::type_complexity)]
     fn noisy_task(
         classes: usize,
         per_class: usize,
@@ -90,7 +88,7 @@ mod tests {
         rng: &mut Rng,
     ) -> (Vec<(BipolarHv, usize)>, Vec<(BipolarHv, usize)>) {
         let prototypes: Vec<BipolarHv> = (0..classes).map(|_| random_hv(dim, rng)).collect();
-        let mut noisy = |c: usize, rng: &mut Rng| {
+        let noisy = |c: usize, rng: &mut Rng| {
             BipolarHv::new(
                 prototypes[c]
                     .components()
@@ -135,13 +133,9 @@ mod tests {
         let before: Vec<f32> = memory.class(0).to_vec();
         let trainer = OnlineTrainer::new(1.0);
         assert!(trainer.step(&mut memory, &h, 0));
-        let moved: f32 = memory
-            .class(0)
-            .iter()
-            .zip(&before)
-            .map(|(a, b)| (a - b).abs())
-            .sum::<f32>()
-            / dim as f32;
+        let moved: f32 =
+            memory.class(0).iter().zip(&before).map(|(a, b)| (a - b).abs()).sum::<f32>()
+                / dim as f32;
         assert!(moved < 0.05, "confident sample moved memory by {moved}");
     }
 

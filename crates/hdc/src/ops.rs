@@ -73,13 +73,7 @@ pub fn sign_with_tiebreak(acc: &[f32]) -> BipolarHv {
 /// Panics if dimensions disagree.
 pub fn bind(a: &BipolarHv, b: &BipolarHv) -> BipolarHv {
     assert_eq!(a.dim(), b.dim(), "dimension mismatch in bind");
-    BipolarHv::new(
-        a.components()
-            .iter()
-            .zip(b.components())
-            .map(|(&x, &y)| x * y)
-            .collect(),
-    )
+    BipolarHv::new(a.components().iter().zip(b.components()).map(|(&x, &y)| x * y).collect())
 }
 
 /// Cyclically permutes (rotates) a hypervector by `shift` positions — the
@@ -136,12 +130,8 @@ mod tests {
         let a = random_hv(4000, &mut rng);
         let b = random_hv(4000, &mut rng);
         let c = bind(&a, &b);
-        let dot_ca: i64 = c
-            .components()
-            .iter()
-            .zip(a.components())
-            .map(|(&x, &y)| (x as i64) * (y as i64))
-            .sum();
+        let dot_ca: i64 =
+            c.components().iter().zip(a.components()).map(|(&x, &y)| (x as i64) * (y as i64)).sum();
         // |dot| should be O(√D) ≈ 63; allow 4σ.
         assert!(dot_ca.abs() < 260, "bind result not orthogonal to input: {dot_ca}");
     }

@@ -94,11 +94,11 @@ impl RandomProjection {
                 let base = w * 64;
                 let end = (base + 64).min(self.dim);
                 let mut bits = *word;
-                for d in base..end {
+                for a in &mut acc[base..end] {
                     if bits & 1 == 1 {
-                        acc[d] += v;
+                        *a += v;
                     } else {
-                        acc[d] -= v;
+                        *a -= v;
                     }
                     bits >>= 1;
                 }
@@ -182,12 +182,12 @@ mod tests {
         let proj = RandomProjection::new(5, 130, 1);
         let v = [0.7, -1.2, 0.0, 2.0, -0.4];
         let raw = proj.encode_raw(&v);
-        for d in 0..130 {
+        for (d, &r) in raw.iter().enumerate() {
             let mut expect = 0.0;
-            for f in 0..5 {
-                expect += v[f] * proj.base(f).sign_at(d) as f32;
+            for (f, &vf) in v.iter().enumerate() {
+                expect += vf * proj.base(f).sign_at(d) as f32;
             }
-            assert!((raw[d] - expect).abs() < 1e-5, "dim {d}");
+            assert!((r - expect).abs() < 1e-5, "dim {d}");
         }
     }
 

@@ -33,10 +33,7 @@ impl QuantizedMemory {
             let max = class.iter().fold(0.0f32, |m, v| m.max(v.abs()));
             let scale = if max > 0.0 { max / 127.0 } else { 1.0 };
             classes.push(
-                class
-                    .iter()
-                    .map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8)
-                    .collect(),
+                class.iter().map(|&v| (v / scale).round().clamp(-127.0, 127.0) as i8).collect(),
             );
             scales.push(scale);
         }
@@ -51,6 +48,25 @@ impl QuantizedMemory {
     /// Hypervector dimensionality.
     pub fn dim(&self) -> usize {
         self.dim
+    }
+
+    /// The quantised cells of one class (fault injection and tests).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn class(&self, class: usize) -> &[i8] {
+        &self.classes[class]
+    }
+
+    /// Mutable INT8 cells of one class — the hook [`crate::FaultPlan`]
+    /// uses to model DPU weight-memory upsets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn class_mut(&mut self, class: usize) -> &mut [i8] {
+        &mut self.classes[class]
     }
 
     /// Cosine similarities of a bipolar query against each quantised
@@ -146,6 +162,25 @@ impl BinaryMemory {
         self.dim
     }
 
+    /// The packed class hypervector for `class`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn class(&self, class: usize) -> &PackedHv {
+        &self.classes[class]
+    }
+
+    /// Mutable packed class hypervector — the hook [`crate::FaultPlan`]
+    /// uses to model bit upsets in the FPGA's binary class memory.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `class` is out of range.
+    pub fn class_mut(&mut self, class: usize) -> &mut PackedHv {
+        &mut self.classes[class]
+    }
+
     /// Hamming-based cosine similarities against each binary class.
     ///
     /// # Panics
@@ -175,10 +210,7 @@ impl BinaryMemory {
         if samples.is_empty() {
             return 0.0;
         }
-        let correct = samples
-            .iter()
-            .filter(|(h, l)| self.predict(&h.to_packed()) == *l)
-            .count();
+        let correct = samples.iter().filter(|(h, l)| self.predict(&h.to_packed()) == *l).count();
         correct as f32 / samples.len() as f32
     }
 
@@ -199,27 +231,21 @@ mod tests {
     }
 
     /// A trained memory on a noisy prototype task plus held-out queries.
-    fn trained_task(
-        dim: usize,
-    ) -> (AssociativeMemory, Vec<(BipolarHv, usize)>) {
+    fn trained_task(dim: usize) -> (AssociativeMemory, Vec<(BipolarHv, usize)>) {
         let mut rng = Rng::new(3);
         let classes = 6;
         let prototypes: Vec<BipolarHv> = (0..classes).map(|_| random_hv(dim, &mut rng)).collect();
         let noisy = |proto: &BipolarHv, rng: &mut Rng| {
             BipolarHv::new(
-                proto
-                    .components()
-                    .iter()
-                    .map(|&s| if rng.chance(0.25) { -s } else { s })
-                    .collect(),
+                proto.components().iter().map(|&s| if rng.chance(0.25) { -s } else { s }).collect(),
             )
         };
         let mut train = Vec::new();
         let mut test = Vec::new();
-        for c in 0..classes {
+        for (c, proto) in prototypes.iter().enumerate() {
             for _ in 0..10 {
-                train.push((noisy(&prototypes[c], &mut rng), c));
-                test.push((noisy(&prototypes[c], &mut rng), c));
+                train.push((noisy(proto, &mut rng), c));
+                test.push((noisy(proto, &mut rng), c));
             }
         }
         let mut memory = bundle_init(classes, dim, &train);
@@ -250,10 +276,7 @@ mod tests {
         let float_acc = memory.accuracy(&test);
         let binary = BinaryMemory::from_memory(&memory);
         let bin_acc = binary.accuracy(&test);
-        assert!(
-            bin_acc > float_acc - 0.1,
-            "binarisation lost too much: {float_acc} → {bin_acc}"
-        );
+        assert!(bin_acc > float_acc - 0.1, "binarisation lost too much: {float_acc} → {bin_acc}");
     }
 
     #[test]
@@ -286,5 +309,55 @@ mod tests {
         let (memory, _) = trained_task(256);
         assert_eq!(QuantizedMemory::from_memory(&memory).accuracy(&[]), 0.0);
         assert_eq!(BinaryMemory::from_memory(&memory).accuracy(&[]), 0.0);
+    }
+
+    #[test]
+    fn all_zero_class_quantises_to_zero_without_panicking() {
+        // Class 1 never receives a sample: its accumulator stays all
+        // zeros and quantisation must fall back to scale 1.0 instead of
+        // dividing by zero.
+        let mut rng = Rng::new(31);
+        let dim = 512;
+        let mut memory = AssociativeMemory::new(3, dim);
+        let a = random_hv(dim, &mut rng);
+        let c = random_hv(dim, &mut rng);
+        memory.bundle(0, &a);
+        memory.bundle(2, &c);
+        let quant = QuantizedMemory::from_memory(&memory);
+        assert!(quant.class(1).iter().all(|&v| v == 0), "zero class must stay zero");
+        let sims = quant.similarities(&a);
+        assert!(sims.iter().all(|v| v.is_finite()), "{sims:?}");
+        assert_eq!(sims[1], 0.0, "empty class similarity {sims:?}");
+        assert_eq!(quant.predict(&a), 0);
+        // The binary deployment of the same memory stays usable too.
+        let binary = BinaryMemory::from_memory(&memory);
+        assert_eq!(binary.predict(&a.to_packed()), 0);
+    }
+
+    #[test]
+    fn single_component_classes_round_trip() {
+        let memory = AssociativeMemory::from_classes(vec![vec![3.0], vec![-2.0]]);
+        let quant = QuantizedMemory::from_memory(&memory);
+        assert_eq!(quant.dim(), 1);
+        assert_eq!(quant.class(0), &[127]);
+        assert_eq!(quant.class(1), &[-127]);
+        let plus = BipolarHv::new(vec![1]);
+        let minus = BipolarHv::new(vec![-1]);
+        assert_eq!(quant.predict(&plus), memory.predict(&plus));
+        assert_eq!(quant.predict(&minus), memory.predict(&minus));
+    }
+
+    #[test]
+    fn quantised_predictions_agree_with_float_memory() {
+        let (memory, test) = trained_task(2_048);
+        let quant = QuantizedMemory::from_memory(&memory);
+        let agree = test.iter().filter(|(hv, _)| quant.predict(hv) == memory.predict(hv)).count();
+        // INT8 is a faithful deployment: sample-level decisions match on
+        // (almost) every query, not just in aggregate accuracy.
+        assert!(
+            agree as f32 / test.len() as f32 > 0.95,
+            "only {agree}/{} predictions agree",
+            test.len()
+        );
     }
 }

@@ -68,11 +68,7 @@ pub fn apply_ste(error: &[f32], pre_activation: &[f32], config: &SteConfig) -> V
     let mean_abs: f32 =
         pre_activation.iter().map(|p| p.abs()).sum::<f32>() / pre_activation.len() as f32;
     let clip = config.clip_factor * mean_abs;
-    error
-        .iter()
-        .zip(pre_activation)
-        .map(|(&e, &p)| if p.abs() <= clip { e } else { 0.0 })
-        .collect()
+    error.iter().zip(pre_activation).map(|(&e, &p)| if p.abs() <= clip { e } else { 0.0 }).collect()
 }
 
 /// Full decoded feature-space gradient for one sample: STE through the

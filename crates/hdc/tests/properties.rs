@@ -1,99 +1,136 @@
 //! Property-based tests for HD computing invariants.
+//!
+//! Cases are generated with the in-repo seeded [`Rng`] (no external
+//! property-testing framework — the workspace builds offline). Failure
+//! messages carry the case index, which reproduces the exact inputs.
 
 use nshd_hdc::{
     bind, bundle, cosine_dense_bipolar, cosine_packed, permute, AssociativeMemory, BipolarHv,
     MassTrainer, RandomProjection,
 };
-use proptest::prelude::*;
+use nshd_tensor::Rng;
 
-fn bipolar_hv(dim: usize) -> impl Strategy<Value = BipolarHv> {
-    proptest::collection::vec(proptest::bool::ANY, dim)
-        .prop_map(|bits| BipolarHv::new(bits.into_iter().map(|b| if b { 1 } else { -1 }).collect()))
+const CASES: u64 = 48;
+
+fn bipolar_hv(dim: usize, rng: &mut Rng) -> BipolarHv {
+    BipolarHv::new((0..dim).map(|_| if rng.chance(0.5) { 1 } else { -1 }).collect())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn pack_round_trip(hv in bipolar_hv(130)) {
-        prop_assert_eq!(hv.to_packed().to_bipolar(), hv);
+#[test]
+fn pack_round_trip() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xa000 + case);
+        let hv = bipolar_hv(130, &mut rng);
+        assert_eq!(hv.to_packed().to_bipolar(), hv, "case {case}");
     }
+}
 
-    #[test]
-    fn packed_dot_equals_dense(a in bipolar_hv(100), b in bipolar_hv(100)) {
-        let dense: i64 = a.components().iter().zip(b.components())
-            .map(|(&x, &y)| x as i64 * y as i64).sum();
-        prop_assert_eq!(a.to_packed().dot(&b.to_packed()), dense);
+#[test]
+fn packed_dot_equals_dense() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xb000 + case);
+        let a = bipolar_hv(100, &mut rng);
+        let b = bipolar_hv(100, &mut rng);
+        let dense: i64 =
+            a.components().iter().zip(b.components()).map(|(&x, &y)| x as i64 * y as i64).sum();
+        assert_eq!(a.to_packed().dot(&b.to_packed()), dense, "case {case}");
         let cd = cosine_dense_bipolar(&a.to_f32(), &b);
         let cp = cosine_packed(&a.to_packed(), &b.to_packed());
-        prop_assert!((cd - cp).abs() < 1e-5);
+        assert!((cd - cp).abs() < 1e-5, "case {case}: {cd} vs {cp}");
     }
+}
 
-    #[test]
-    fn bind_commutes_and_inverts(a in bipolar_hv(96), b in bipolar_hv(96)) {
-        prop_assert_eq!(bind(&a, &b), bind(&b, &a));
-        prop_assert_eq!(bind(&bind(&a, &b), &b), a.clone());
+#[test]
+fn bind_commutes_and_inverts() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xc000 + case);
+        let a = bipolar_hv(96, &mut rng);
+        let b = bipolar_hv(96, &mut rng);
+        assert_eq!(bind(&a, &b), bind(&b, &a), "case {case}");
+        assert_eq!(bind(&bind(&a, &b), &b), a, "case {case}");
         // Packed bind agrees with dense bind.
-        prop_assert_eq!(
-            a.to_packed().bind(&b.to_packed()),
-            bind(&a, &b).to_packed()
-        );
+        assert_eq!(a.to_packed().bind(&b.to_packed()), bind(&a, &b).to_packed(), "case {case}");
     }
+}
 
-    #[test]
-    fn bundle_commutes(a in bipolar_hv(64), b in bipolar_hv(64), c in bipolar_hv(64)) {
-        prop_assert_eq!(bundle(&[&a, &b, &c]), bundle(&[&c, &a, &b]));
+#[test]
+fn bundle_commutes() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xd000 + case);
+        let a = bipolar_hv(64, &mut rng);
+        let b = bipolar_hv(64, &mut rng);
+        let c = bipolar_hv(64, &mut rng);
+        assert_eq!(bundle(&[&a, &b, &c]), bundle(&[&c, &a, &b]), "case {case}");
     }
+}
 
-    #[test]
-    fn permute_composes(hv in bipolar_hv(50), s1 in 0usize..100, s2 in 0usize..100) {
-        prop_assert_eq!(permute(&permute(&hv, s1), s2), permute(&hv, s1 + s2));
-        prop_assert_eq!(permute(&hv, 50), hv.clone());
+#[test]
+fn permute_composes() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xe000 + case);
+        let hv = bipolar_hv(50, &mut rng);
+        let s1 = rng.below(100);
+        let s2 = rng.below(100);
+        assert_eq!(permute(&permute(&hv, s1), s2), permute(&hv, s1 + s2), "case {case}");
+        assert_eq!(permute(&hv, 50), hv, "case {case}");
     }
+}
 
-    #[test]
-    fn projection_preserves_scaling_direction(
-        v in proptest::collection::vec(-3.0f32..3.0, 6),
-        k in 0.1f32..5.0,
-    ) {
+#[test]
+fn projection_preserves_scaling_direction() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0xf000 + case);
         // Positive scaling never changes the encoded hypervector: signs of
         // P·(k·v) equal signs of P·v.
+        let v: Vec<f32> = (0..6).map(|_| rng.uniform_in(-3.0, 3.0)).collect();
+        let k = rng.uniform_in(0.1, 5.0);
         let proj = RandomProjection::new(6, 512, 11);
         let scaled: Vec<f32> = v.iter().map(|x| x * k).collect();
-        prop_assert_eq!(proj.encode(&v), proj.encode(&scaled));
+        assert_eq!(proj.encode(&v), proj.encode(&scaled), "case {case}");
     }
+}
 
-    #[test]
-    fn decode_is_adjoint(
-        v in proptest::collection::vec(-2.0f32..2.0, 5),
-        seed in 0u64..32,
-    ) {
+#[test]
+fn decode_is_adjoint() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x1_0000 + case);
+        let v: Vec<f32> = (0..5).map(|_| rng.uniform_in(-2.0, 2.0)).collect();
+        let seed = rng.below(32) as u64;
         let d = 256;
         let proj = RandomProjection::new(5, d, seed);
         let e: Vec<f32> = (0..d).map(|i| ((i as f32) * 0.17).sin()).collect();
         let lhs: f32 = proj.encode_raw(&v).iter().zip(&e).map(|(a, b)| a * b).sum();
         let rhs: f32 = v.iter().zip(proj.decode(&e)).map(|(a, b)| a * b).sum::<f32>() * d as f32;
-        prop_assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0));
+        assert!((lhs - rhs).abs() < 1e-2 * lhs.abs().max(1.0), "case {case}: {lhs} vs {rhs}");
     }
+}
 
-    #[test]
-    fn mass_update_is_zero_for_perfect_memory(hv in bipolar_hv(256)) {
+#[test]
+fn mass_update_is_zero_for_perfect_memory() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x2_0000 + case);
         // If the memory already holds exactly the sample in its class and
         // nothing anywhere else, U[label] ≈ 0 and other entries are ≈ 0.
+        let hv = bipolar_hv(256, &mut rng);
         let mut mem = AssociativeMemory::new(2, 256);
         mem.bundle(0, &hv);
         let u = MassTrainer::new(0.1).update_vector(&mem, &hv, 0);
-        prop_assert!(u[0].abs() < 1e-4, "{:?}", u);
-        prop_assert!(u[1].abs() < 1e-4, "{:?}", u);
+        assert!(u[0].abs() < 1e-4, "case {case}: {u:?}");
+        assert!(u[1].abs() < 1e-4, "case {case}: {u:?}");
     }
+}
 
-    #[test]
-    fn mass_step_moves_similarity_toward_label(hv in bipolar_hv(512), other in bipolar_hv(512)) {
+#[test]
+fn mass_step_moves_similarity_toward_label() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x3_0000 + case);
+        let hv = bipolar_hv(512, &mut rng);
+        let other = bipolar_hv(512, &mut rng);
         let mut mem = AssociativeMemory::new(2, 512);
         mem.bundle(1, &other);
         let before = mem.similarities(&hv);
         MassTrainer::new(0.5).step(&mut mem, &hv, 0);
         let after = mem.similarities(&hv);
-        prop_assert!(after[0] >= before[0] - 1e-5);
+        assert!(after[0] >= before[0] - 1e-5, "case {case}: {before:?} -> {after:?}");
     }
 }

@@ -142,8 +142,7 @@ impl DpuModel {
             OpKind::BinaryOp => phase.ops as f64 / self.binary_ops_per_cycle,
             OpKind::Elementwise => phase.activation_bytes as f64 / self.bytes_per_cycle,
         };
-        let memory =
-            (phase.param_bytes + phase.activation_bytes) as f64 / self.bytes_per_cycle;
+        let memory = (phase.param_bytes + phase.activation_bytes) as f64 / self.bytes_per_cycle;
         compute.max(memory)
     }
 
@@ -229,8 +228,15 @@ mod tests {
     #[test]
     fn fewer_macs_means_more_fps() {
         let dpu = DpuModel::zcu104();
-        let heavy = Workload::new("h").with(Phase::new("c", OpKind::MacInt8, 50_000_000, 1_000_000, 100_000));
-        let light = Workload::new("l").with(Phase::new("c", OpKind::MacInt8, 10_000_000, 500_000, 100_000));
+        let heavy = Workload::new("h").with(Phase::new(
+            "c",
+            OpKind::MacInt8,
+            50_000_000,
+            1_000_000,
+            100_000,
+        ));
+        let light =
+            Workload::new("l").with(Phase::new("c", OpKind::MacInt8, 10_000_000, 500_000, 100_000));
         assert!(dpu.fps(&light) > dpu.fps(&heavy));
     }
 
@@ -253,7 +259,8 @@ mod tests {
 
     #[test]
     fn smaller_cores_are_slower_but_cheaper() {
-        let w = Workload::new("w").with(Phase::new("c", OpKind::MacInt8, 100_000_000, 1_000_000, 0));
+        let w =
+            Workload::new("w").with(Phase::new("c", OpKind::MacInt8, 100_000_000, 1_000_000, 0));
         let mut prev_fps = 0.0;
         let mut prev_dsp = 0;
         for size in DpuSize::ALL {

@@ -71,12 +71,7 @@ impl EnergyProfile {
 
     /// Energy of a whole per-inference workload, in microjoules.
     pub fn workload_energy_uj(&self, workload: &Workload) -> f64 {
-        workload
-            .phases
-            .iter()
-            .map(|p| self.phase_energy_pj(p))
-            .sum::<f64>()
-            / 1e6
+        workload.phases.iter().map(|p| self.phase_energy_pj(p)).sum::<f64>() / 1e6
     }
 
     /// Percentage energy improvement of `candidate` over `baseline`
@@ -133,9 +128,8 @@ mod tests {
     #[test]
     fn workload_energy_sums_phases() {
         let p = EnergyProfile::xavier();
-        let w = Workload::new("w")
-            .with(phase(OpKind::MacInt8, 100))
-            .with(phase(OpKind::BinaryOp, 100));
+        let w =
+            Workload::new("w").with(phase(OpKind::MacInt8, 100)).with(phase(OpKind::BinaryOp, 100));
         let expect = (100.0 * 0.25 + 100.0 * 0.1) / 1e6;
         assert!((p.workload_energy_uj(&w) - expect).abs() < 1e-12);
     }

@@ -114,10 +114,8 @@ impl Layer for Activation {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward called without a training-mode forward");
+        let input =
+            self.cached_input.as_ref().expect("backward called without a training-mode forward");
         grad.zip_with(input, |g, x| g * self.kind.derivative(x))
     }
 
@@ -135,10 +133,7 @@ mod tests {
         for &x in xs {
             let analytic = kind.derivative(x);
             let numeric = (kind.apply(x + eps) - kind.apply(x - eps)) / (2.0 * eps);
-            assert!(
-                (analytic - numeric).abs() < 1e-2,
-                "{kind:?} at {x}: {analytic} vs {numeric}"
-            );
+            assert!((analytic - numeric).abs() < 1e-2, "{kind:?} at {x}: {analytic} vs {numeric}");
         }
     }
 

@@ -146,7 +146,8 @@ impl Layer for Conv2d {
             let bias_k = bv[k];
             for b in 0..n {
                 let src = &yv[k * n * p + b * p..k * n * p + (b + 1) * p];
-                let dst = &mut ov[(b * self.out_channels + k) * p..(b * self.out_channels + k + 1) * p];
+                let dst =
+                    &mut ov[(b * self.out_channels + k) * p..(b * self.out_channels + k + 1) * p];
                 for (d, &s) in dst.iter_mut().zip(src) {
                     *d = s + bias_k;
                 }
@@ -156,10 +157,8 @@ impl Layer for Conv2d {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let cols = self
-            .cached_cols
-            .as_ref()
-            .expect("backward called without a training-mode forward");
+        let cols =
+            self.cached_cols.as_ref().expect("backward called without a training-mode forward");
         let dims = grad.dims();
         let (n, k) = (dims[0], dims[1]);
         assert_eq!(k, self.out_channels);
@@ -234,6 +233,7 @@ impl Layer for Conv2d {
 mod tests {
     use super::*;
 
+    #[allow(clippy::too_many_arguments, clippy::needless_range_loop)]
     fn naive_conv(
         x: &Tensor,
         w: &Tensor,
@@ -258,10 +258,7 @@ mod tests {
                                 for kx in 0..k {
                                     let iy = (oy * stride + ky) as isize - pad as isize;
                                     let ix = (ox * stride + kx) as isize - pad as isize;
-                                    if iy >= 0
-                                        && ix >= 0
-                                        && (iy as usize) < h
-                                        && (ix as usize) < wd
+                                    if iy >= 0 && ix >= 0 && (iy as usize) < h && (ix as usize) < wd
                                     {
                                         acc += x.at(&[b, ci, iy as usize, ix as usize])
                                             * w.at(&[co, ci * k * k + ky * k + kx]);
@@ -283,16 +280,8 @@ mod tests {
         let mut conv = Conv2d::new(2, 3, 3, 2, 1, &mut rng);
         let x = Tensor::from_fn([2, 2, 5, 6], |i| ((i * 31 % 17) as f32 - 8.0) / 8.0);
         let y = conv.forward(&x, Mode::Eval);
-        let expected = naive_conv(
-            &x,
-            &conv.weight.value,
-            conv.bias.value.as_slice(),
-            2,
-            3,
-            3,
-            2,
-            1,
-        );
+        let expected =
+            naive_conv(&x, &conv.weight.value, conv.bias.value.as_slice(), 2, 3, 3, 2, 1);
         assert_eq!(y.shape(), expected.shape());
         for (a, b) in y.as_slice().iter().zip(expected.as_slice()) {
             assert!((a - b).abs() < 1e-4, "{a} vs {b}");
@@ -319,10 +308,7 @@ mod tests {
             let fm = conv.forward(&xm, Mode::Eval).sum();
             let numeric = (fp - fm) / (2.0 * eps);
             let analytic = dx.as_slice()[idx];
-            assert!(
-                (numeric - analytic).abs() < 2e-2,
-                "dx[{idx}]: {analytic} vs {numeric}"
-            );
+            assert!((numeric - analytic).abs() < 2e-2, "dx[{idx}]: {analytic} vs {numeric}");
         }
         for &idx in &[0usize, 3, 8] {
             let orig = conv.weight.value.as_slice()[idx];
@@ -333,10 +319,7 @@ mod tests {
             conv.weight.value.as_mut_slice()[idx] = orig;
             let numeric = (fp - fm) / (2.0 * eps);
             let analytic = conv.weight.grad.as_slice()[idx];
-            assert!(
-                (numeric - analytic).abs() < 4e-2,
-                "dw[{idx}]: {analytic} vs {numeric}"
-            );
+            assert!((numeric - analytic).abs() < 4e-2, "dw[{idx}]: {analytic} vs {numeric}");
         }
         // Bias gradient: dL/db_k = batch × output positions.
         let plane = 2.0 * 16.0;

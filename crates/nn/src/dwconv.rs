@@ -38,7 +38,13 @@ impl DepthwiseConv2d {
     /// # Panics
     ///
     /// Panics if any dimension is zero.
-    pub fn new(channels: usize, kernel: usize, stride: usize, padding: usize, rng: &mut Rng) -> Self {
+    pub fn new(
+        channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut Rng,
+    ) -> Self {
         assert!(channels > 0 && kernel > 0 && stride > 0);
         let fan_in = kernel * kernel;
         let weight = Param::new(he_normal(rng, &[channels, fan_in], fan_in));
@@ -79,10 +85,11 @@ impl Layer for DepthwiseConv2d {
         let k = self.kernel;
         for b in 0..n {
             for c in 0..self.channels {
-                let plane = &x[(b * self.channels + c) * h * w..(b * self.channels + c + 1) * h * w];
+                let plane =
+                    &x[(b * self.channels + c) * h * w..(b * self.channels + c + 1) * h * w];
                 let filt = &wv[c * k * k..(c + 1) * k * k];
-                let dst =
-                    &mut ov[(b * self.channels + c) * oh * ow..(b * self.channels + c + 1) * oh * ow];
+                let dst = &mut ov
+                    [(b * self.channels + c) * oh * ow..(b * self.channels + c + 1) * oh * ow];
                 for oy in 0..oh {
                     let y0 = (oy * self.stride) as isize - self.padding as isize;
                     let y_interior = y0 >= 0 && (y0 as usize) + k <= h;
@@ -108,8 +115,8 @@ impl Layer for DepthwiseConv2d {
                                 for kx in 0..k {
                                     let ix = x0 + kx as isize;
                                     if ix >= 0 && (ix as usize) < w {
-                                        acc +=
-                                            plane[iy as usize * w + ix as usize] * filt[ky * k + kx];
+                                        acc += plane[iy as usize * w + ix as usize]
+                                            * filt[ky * k + kx];
                                     }
                                 }
                             }
@@ -253,8 +260,8 @@ mod tests {
             xp.as_mut_slice()[idx] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[idx] -= eps;
-            let numeric =
-                (dw.forward(&xp, Mode::Eval).sum() - dw.forward(&xm, Mode::Eval).sum()) / (2.0 * eps);
+            let numeric = (dw.forward(&xp, Mode::Eval).sum() - dw.forward(&xm, Mode::Eval).sum())
+                / (2.0 * eps);
             assert!((numeric - dx.as_slice()[idx]).abs() < 1e-2);
         }
         for &idx in &[0usize, 4, 8] {

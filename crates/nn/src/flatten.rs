@@ -35,10 +35,8 @@ impl Layer for Flatten {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let shape = self
-            .cached_in_shape
-            .as_ref()
-            .expect("backward called without a training-mode forward");
+        let shape =
+            self.cached_in_shape.as_ref().expect("backward called without a training-mode forward");
         grad.reshape(shape.clone()).expect("flatten preserves element count")
     }
 
@@ -98,10 +96,7 @@ impl Layer for Dropout {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let mask = self
-            .mask
-            .as_ref()
-            .expect("backward called without a training-mode forward");
+        let mask = self.mask.as_ref().expect("backward called without a training-mode forward");
         grad.mul(mask)
     }
 

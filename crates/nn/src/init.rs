@@ -27,10 +27,7 @@ mod tests {
         let w = he_normal(&mut rng, &[n], 128);
         let var: f32 = w.as_slice().iter().map(|x| x * x).sum::<f32>() / n as f32;
         let expected = 2.0 / 128.0;
-        assert!(
-            (var - expected).abs() < expected * 0.2,
-            "var {var} expected {expected}"
-        );
+        assert!((var - expected).abs() < expected * 0.2, "var {var} expected {expected}");
     }
 
     #[test]

@@ -66,5 +66,5 @@ pub use param::Param;
 pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
 pub use se::SqueezeExcite;
 pub use sequential::{Residual, Sequential};
-pub use serialize::{load_model, save_model};
+pub use serialize::{load_model, save_model, CountingReader};
 pub use trainer::{evaluate, fit, EpochReport, TrainConfig};

@@ -100,10 +100,8 @@ impl Layer for Linear {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let input = self
-            .cached_input
-            .as_ref()
-            .expect("backward called without a training-mode forward");
+        let input =
+            self.cached_input.as_ref().expect("backward called without a training-mode forward");
         let n = grad.dims()[0];
         assert_eq!(grad.dims(), &[n, self.out_features]);
         // dW += gradᵀ · x  ((out×n)·(n×in))
@@ -181,11 +179,7 @@ mod tests {
         let dx = fc.backward(&gy);
         let loss = |fc: &mut Linear, x: &Tensor| {
             let out = fc.forward(x, Mode::Eval);
-            out.as_slice()
-                .iter()
-                .enumerate()
-                .map(|(i, v)| v * (i as f32 + 1.0) * 0.5)
-                .sum::<f32>()
+            out.as_slice().iter().enumerate().map(|(i, v)| v * (i as f32 + 1.0) * 0.5).sum::<f32>()
         };
         let eps = 1e-2;
         for idx in 0..x.len() {

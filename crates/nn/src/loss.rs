@@ -58,7 +58,11 @@ pub fn cross_entropy(logits: &Tensor, labels: &[usize]) -> LossOutput {
 /// # Panics
 ///
 /// Panics if shapes disagree or `temperature <= 0`.
-pub fn distillation_loss(student_logits: &Tensor, teacher_logits: &Tensor, temperature: f32) -> LossOutput {
+pub fn distillation_loss(
+    student_logits: &Tensor,
+    teacher_logits: &Tensor,
+    temperature: f32,
+) -> LossOutput {
     assert!(temperature > 0.0, "temperature must be positive");
     assert_eq!(student_logits.shape(), teacher_logits.shape());
     let (n, _k) = (student_logits.dims()[0], student_logits.dims()[1]);
@@ -72,9 +76,7 @@ pub fn distillation_loss(student_logits: &Tensor, teacher_logits: &Tensor, tempe
     }
     // d/d(student logits) of T²·KL = T · (p_student - p_teacher); averaged
     // over batch.
-    let grad = p_student
-        .sub(&p_teacher)
-        .scale(temperature / n as f32);
+    let grad = p_student.sub(&p_teacher).scale(temperature / n as f32);
     LossOutput { loss: loss * temperature * temperature / n as f32, grad }
 }
 

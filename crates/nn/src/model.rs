@@ -137,9 +137,8 @@ mod tests {
             .with(Conv2d::new(1, 4, 3, 1, 1, &mut rng))
             .with(Activation::new(ActKind::Relu))
             .with(MaxPool2d::new(2));
-        let classifier = Sequential::new()
-            .with(Flatten::new())
-            .with(Linear::new(4 * 4 * 4, 3, &mut rng));
+        let classifier =
+            Sequential::new().with(Flatten::new()).with(Linear::new(4 * 4 * 4, 3, &mut rng));
         Model {
             name: "tiny".into(),
             features,

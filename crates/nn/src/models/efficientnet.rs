@@ -17,7 +17,15 @@ use nshd_tensor::Rng;
 pub const EFFICIENTNET_FEATURE_COUNT: usize = 9;
 
 /// conv + BN + SiLU helper.
-fn conv_bn_silu(seq: &mut Sequential, cin: usize, cout: usize, k: usize, s: usize, p: usize, rng: &mut Rng) {
+fn conv_bn_silu(
+    seq: &mut Sequential,
+    cin: usize,
+    cout: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+    rng: &mut Rng,
+) {
     seq.push(Box::new(Conv2d::new(cin, cout, k, s, p, rng)));
     seq.push(Box::new(BatchNorm2d::new(cout)));
     seq.push(Box::new(Activation::new(ActKind::Silu)));
@@ -25,7 +33,14 @@ fn conv_bn_silu(seq: &mut Sequential, cin: usize, cout: usize, k: usize, s: usiz
 
 /// One MBConv block: expand (1×1) → depthwise → squeeze-and-excite →
 /// project (1×1, linear), with a skip connection when shape-preserving.
-fn mbconv(cin: usize, cout: usize, stride: usize, expand: usize, kernel: usize, rng: &mut Rng) -> Box<dyn crate::Layer> {
+fn mbconv(
+    cin: usize,
+    cout: usize,
+    stride: usize,
+    expand: usize,
+    kernel: usize,
+    rng: &mut Rng,
+) -> Box<dyn crate::Layer> {
     let hidden = cin * expand;
     let mut body = Sequential::new();
     if expand != 1 {
@@ -80,9 +95,8 @@ fn build(plan: &Plan, num_classes: usize, rng: &mut Rng) -> Model {
         features.push(Box::new(op));
     }
     debug_assert_eq!(features.len(), EFFICIENTNET_FEATURE_COUNT);
-    let classifier = Sequential::new()
-        .with(GlobalAvgPool::new())
-        .with(Linear::new(plan.head, num_classes, rng));
+    let classifier =
+        Sequential::new().with(GlobalAvgPool::new()).with(Linear::new(plan.head, num_classes, rng));
     Model {
         name: plan.name.into(),
         features,

@@ -26,7 +26,15 @@ fn scaled(c: usize) -> usize {
 }
 
 /// conv1x1 + BN + ReLU6 helper.
-fn conv_bn_act(seq: &mut Sequential, cin: usize, cout: usize, k: usize, s: usize, p: usize, rng: &mut Rng) {
+fn conv_bn_act(
+    seq: &mut Sequential,
+    cin: usize,
+    cout: usize,
+    k: usize,
+    s: usize,
+    p: usize,
+    rng: &mut Rng,
+) {
     seq.push(Box::new(Conv2d::new(cin, cout, k, s, p, rng)));
     seq.push(Box::new(BatchNorm2d::new(cout)));
     seq.push(Box::new(Activation::new(ActKind::Relu6)));
@@ -35,7 +43,13 @@ fn conv_bn_act(seq: &mut Sequential, cin: usize, cout: usize, k: usize, s: usize
 /// One inverted-residual operator: expand (1×1), depthwise (3×3), project
 /// (1×1, linear). Wrapped in a skip connection when stride is 1 and the
 /// channel count is preserved, exactly like the reference block.
-fn inverted_residual(cin: usize, cout: usize, stride: usize, expand: usize, rng: &mut Rng) -> Box<dyn crate::Layer> {
+fn inverted_residual(
+    cin: usize,
+    cout: usize,
+    stride: usize,
+    expand: usize,
+    rng: &mut Rng,
+) -> Box<dyn crate::Layer> {
     let hidden = cin * expand;
     let mut body = Sequential::new();
     if expand != 1 {
@@ -96,9 +110,8 @@ pub fn mobilenet_v2(num_classes: usize, rng: &mut Rng) -> Model {
         features.push(Box::new(op));
     }
     debug_assert_eq!(features.len(), MOBILENET_FEATURE_COUNT);
-    let classifier = Sequential::new()
-        .with(GlobalAvgPool::new())
-        .with(Linear::new(head, num_classes, rng));
+    let classifier =
+        Sequential::new().with(GlobalAvgPool::new()).with(Linear::new(head, num_classes, rng));
     Model {
         name: "mobilenet_v2".into(),
         features,

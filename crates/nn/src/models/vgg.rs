@@ -57,13 +57,7 @@ pub fn vgg16(num_classes: usize, rng: &mut Rng) -> Model {
         .with(Linear::new(flat, hidden, rng))
         .with(Activation::new(ActKind::Relu))
         .with(Linear::new(hidden, num_classes, rng));
-    Model {
-        name: "vgg16".into(),
-        features,
-        classifier,
-        input_shape: vec![3, 32, 32],
-        num_classes,
-    }
+    Model { name: "vgg16".into(), features, classifier, input_shape: vec![3, 32, 32], num_classes }
 }
 
 #[cfg(test)]

@@ -134,10 +134,7 @@ impl Layer for BatchNorm2d {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .as_ref()
-            .expect("backward called without a training-mode forward");
+        let cache = self.cache.as_ref().expect("backward called without a training-mode forward");
         let dims = grad.dims();
         let (n, h, w) = (dims[0], dims[2], dims[3]);
         let plane = h * w;
@@ -170,10 +167,8 @@ impl Layer for BatchNorm2d {
                     let base = (b * self.channels + c) * plane;
                     let k = gamma[c] * cache.inv_std[c] / m;
                     for i in 0..plane {
-                        dxv[base + i] = k
-                            * (m * g[base + i]
-                                - sum_dy[c]
-                                - xh[base + i] * sum_dy_xhat[c]);
+                        dxv[base + i] =
+                            k * (m * g[base + i] - sum_dy[c] - xh[base + i] * sum_dy_xhat[c]);
                     }
                 }
             }
@@ -268,11 +263,7 @@ mod tests {
             bn2.gamma.value.as_mut_slice()[0] = 1.3;
             bn2.beta.value.as_mut_slice()[0] = -0.2;
             let out = bn2.forward(xin, Mode::Train);
-            out.as_slice()
-                .iter()
-                .zip(gy.as_slice())
-                .map(|(a, b)| a * b)
-                .sum::<f32>()
+            out.as_slice().iter().zip(gy.as_slice()).map(|(a, b)| a * b).sum::<f32>()
         };
         let eps = 1e-3;
         for idx in 0..x.len() {
@@ -293,11 +284,7 @@ mod tests {
             bn2.gamma.value.as_mut_slice()[0] = gamma;
             bn2.beta.value.as_mut_slice()[0] = beta;
             let out = bn2.forward(&x, Mode::Train);
-            out.as_slice()
-                .iter()
-                .zip(gy.as_slice())
-                .map(|(a, b)| a * b)
-                .sum::<f32>()
+            out.as_slice().iter().zip(gy.as_slice()).map(|(a, b)| a * b).sum::<f32>()
         };
         let num_dgamma = (loss_gb(1.3 + eps, -0.2) - loss_gb(1.3 - eps, -0.2)) / (2.0 * eps);
         let num_dbeta = (loss_gb(1.3, -0.2 + eps) - loss_gb(1.3, -0.2 - eps)) / (2.0 * eps);

@@ -105,10 +105,7 @@ impl Layer for MaxPool2d {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let cache = self
-            .cached
-            .as_ref()
-            .expect("backward called without a training-mode forward");
+        let cache = self.cached.as_ref().expect("backward called without a training-mode forward");
         let mut dx = Tensor::zeros(cache.in_shape.clone());
         let dxv = dx.as_mut_slice();
         for (g, &src) in grad.as_slice().iter().zip(cache.argmax.iter()) {
@@ -195,10 +192,8 @@ impl Layer for AvgPool2d {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let in_shape = self
-            .cached_in_shape
-            .as_ref()
-            .expect("backward called without a training-mode forward");
+        let in_shape =
+            self.cached_in_shape.as_ref().expect("backward called without a training-mode forward");
         let (n, c, h, w) = (in_shape[0], in_shape[1], in_shape[2], in_shape[3]);
         let (oh, ow) = self.out_hw(h, w);
         let norm = 1.0 / (self.window * self.window) as f32;
@@ -270,10 +265,8 @@ impl Layer for GlobalAvgPool {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let in_shape = self
-            .cached_in_shape
-            .as_ref()
-            .expect("backward called without a training-mode forward");
+        let in_shape =
+            self.cached_in_shape.as_ref().expect("backward called without a training-mode forward");
         let (h, w) = (in_shape[2], in_shape[3]);
         let plane = (h * w) as f32;
         let mut dx = Tensor::zeros(in_shape.clone());

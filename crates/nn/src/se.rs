@@ -99,9 +99,8 @@ impl Layer for SqueezeExcite {
             }
             let gate: Vec<f32> = pre2.iter().map(|&v| sigmoid(v)).collect();
             let o = out.as_mut_slice();
-            for ch in 0..c {
+            for (ch, &g) in gate.iter().enumerate() {
                 let base = (b * c + ch) * plane;
-                let g = gate[ch];
                 for i in 0..plane {
                     o[base + i] = x[base + i] * g;
                 }
@@ -118,10 +117,7 @@ impl Layer for SqueezeExcite {
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
-        let cache = self
-            .cache
-            .take()
-            .expect("backward called without a training-mode forward");
+        let cache = self.cache.take().expect("backward called without a training-mode forward");
         let dims = cache.input.dims().to_vec();
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let plane = h * w;
@@ -145,11 +141,8 @@ impl Layer for SqueezeExcite {
                 }
             }
             // Through the sigmoid.
-            let dpre2: Vec<f32> = dgate
-                .iter()
-                .zip(gate.iter())
-                .map(|(&d, &s)| d * s * (1.0 - s))
-                .collect();
+            let dpre2: Vec<f32> =
+                dgate.iter().zip(gate.iter()).map(|(&d, &s)| d * s * (1.0 - s)).collect();
             // dW2 += dpre2 ⊗ hidden ; db2 += dpre2 ; dhidden = W2ᵀ·dpre2.
             let hidden = &cache.hidden[b];
             {
@@ -200,9 +193,9 @@ impl Layer for SqueezeExcite {
             // Through the global average pool.
             {
                 let dxv = dx.as_mut_slice();
-                for ch in 0..c {
+                for (ch, &dp) in dpooled.iter().enumerate() {
                     let base = (b * c + ch) * plane;
-                    let spread = dpooled[ch] / plane as f32;
+                    let spread = dp / plane as f32;
                     for i in 0..plane {
                         dxv[base + i] += spread;
                     }

@@ -202,9 +202,7 @@ impl Layer for Sequential {
 
 impl std::fmt::Debug for Sequential {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        f.debug_list()
-            .entries(self.layers.iter().map(|l| l.name()))
-            .finish()
+        f.debug_list().entries(self.layers.iter().map(|l| l.name())).finish()
     }
 }
 
@@ -325,9 +323,9 @@ mod tests {
             xp.as_mut_slice()[idx] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[idx] -= eps;
-            let numeric =
-                (seq.forward_all(&xp, Mode::Eval).sum() - seq.forward_all(&xm, Mode::Eval).sum())
-                    / (2.0 * eps);
+            let numeric = (seq.forward_all(&xp, Mode::Eval).sum()
+                - seq.forward_all(&xm, Mode::Eval).sum())
+                / (2.0 * eps);
             assert!((numeric - dx.as_slice()[idx]).abs() < 1e-2);
         }
     }
@@ -373,8 +371,7 @@ mod tests {
             xp.as_mut_slice()[idx] += eps;
             let mut xm = x.clone();
             xm.as_mut_slice()[idx] -= eps;
-            let numeric = (res.forward(&xp, Mode::Eval).sum()
-                - res.forward(&xm, Mode::Eval).sum())
+            let numeric = (res.forward(&xp, Mode::Eval).sum() - res.forward(&xm, Mode::Eval).sum())
                 / (2.0 * eps);
             assert!((numeric - dx.as_slice()[idx]).abs() < 1e-2);
         }

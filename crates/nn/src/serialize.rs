@@ -7,6 +7,11 @@
 //! a small little-endian container — versioned, checksummed by length
 //! discipline, and free of external dependencies.
 //!
+//! Loading is defensive: the reader is wrapped in a [`CountingReader`] so
+//! every failure — truncation, implausible lengths, shape disagreement,
+//! non-finite payload values — reports the byte offset where it was
+//! detected instead of panicking or silently accepting garbage.
+//!
 //! [`Layer::collect_state`]: crate::Layer::collect_state
 
 use crate::layer::Layer;
@@ -14,6 +19,34 @@ use crate::model::Model;
 use std::io::{self, Read, Write};
 
 const MAGIC: &[u8; 8] = b"NSHDMDL1";
+
+/// A reader adapter that counts consumed bytes, so checkpoint-load errors
+/// can point at the offending offset.
+#[derive(Debug)]
+pub struct CountingReader<R> {
+    inner: R,
+    offset: u64,
+}
+
+impl<R: Read> CountingReader<R> {
+    /// Wraps a reader, starting the byte count at zero.
+    pub fn new(inner: R) -> Self {
+        CountingReader { inner, offset: 0 }
+    }
+
+    /// Bytes consumed so far.
+    pub fn offset(&self) -> u64 {
+        self.offset
+    }
+}
+
+impl<R: Read> Read for CountingReader<R> {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        let n = self.inner.read(buf)?;
+        self.offset += n as u64;
+        Ok(n)
+    }
+}
 
 /// Saves a model's learned weights and state.
 ///
@@ -53,74 +86,98 @@ pub fn save_model<W: Write>(model: &mut Model, mut writer: W) -> io::Result<()> 
 ///
 /// # Errors
 ///
-/// Returns an error when the magic/version is wrong, the architecture
-/// name or any tensor shape disagrees, or on I/O failure.
-pub fn load_model<R: Read>(model: &mut Model, mut reader: R) -> io::Result<()> {
+/// Returns an error — never panics — when the magic/version is wrong,
+/// the architecture name or any tensor shape disagrees, the payload
+/// contains non-finite values (corruption: trained weights and batch-norm
+/// state are always finite), or the stream is truncated. Error messages
+/// carry the byte offset where the problem was detected.
+pub fn load_model<R: Read>(model: &mut Model, reader: R) -> io::Result<()> {
+    let mut r = CountingReader::new(reader);
+    load_model_counted(model, &mut r)
+}
+
+fn load_model_counted<R: Read>(model: &mut Model, r: &mut CountingReader<R>) -> io::Result<()> {
     let mut magic = [0u8; 8];
-    reader.read_exact(&mut magic)?;
+    read_exact_at(r, &mut magic, "file magic")?;
     if &magic != MAGIC {
-        return Err(bad_data("not an NSHD model file (bad magic)"));
+        return Err(bad_at(0, "not an NSHD model file (bad magic)"));
     }
-    let name = read_str(&mut reader)?;
+    let name = read_str(r)?;
     if name != model.name {
-        return Err(bad_data(format!(
-            "architecture mismatch: file holds '{name}', model is '{}'",
-            model.name
-        )));
+        return Err(bad_at(
+            r.offset(),
+            format!("architecture mismatch: file holds '{name}', model is '{}'", model.name),
+        ));
     }
-    let n_params = read_u64(&mut reader)? as usize;
+    let n_params = read_u64(r, "parameter count")? as usize;
     let mut params = model.params_mut();
     if n_params != params.len() {
-        return Err(bad_data(format!(
-            "parameter count mismatch: file {n_params}, model {}",
-            params.len()
-        )));
+        return Err(bad_at(
+            r.offset(),
+            format!("parameter count mismatch: file {n_params}, model {}", params.len()),
+        ));
     }
-    for p in params.iter_mut() {
-        let rank = read_u64(&mut reader)? as usize;
+    for (i, p) in params.iter_mut().enumerate() {
+        let rank = read_u64(r, "tensor rank")? as usize;
         if rank > 8 {
-            return Err(bad_data("implausible tensor rank"));
+            return Err(bad_at(r.offset(), format!("implausible rank {rank} for tensor {i}")));
         }
         let mut dims = Vec::with_capacity(rank);
         for _ in 0..rank {
-            dims.push(read_u64(&mut reader)? as usize);
+            dims.push(read_u64(r, "tensor dimension")? as usize);
         }
         if dims != p.value.dims() {
-            return Err(bad_data(format!(
-                "tensor shape mismatch: file {dims:?}, model {:?}",
-                p.value.dims()
-            )));
+            return Err(bad_at(
+                r.offset(),
+                format!("tensor {i} shape mismatch: file {dims:?}, model {:?}", p.value.dims()),
+            ));
         }
-        read_f32s_into(&mut reader, p.value.as_mut_slice())?;
+        read_f32s_into(r, p.value.as_mut_slice(), "tensor data")?;
     }
-    let n_state = read_u64(&mut reader)? as usize;
+    let n_state = read_u64(r, "state block count")? as usize;
+    if n_state > 1 << 20 {
+        return Err(bad_at(r.offset(), format!("implausible state block count {n_state}")));
+    }
     let mut state = Vec::with_capacity(n_state);
-    for _ in 0..n_state {
-        let len = read_u64(&mut reader)? as usize;
+    for i in 0..n_state {
+        let at = r.offset();
+        let len = read_u64(r, "state block length")? as usize;
+        if len > 1 << 28 {
+            return Err(bad_at(at, format!("implausible state block length {len}")));
+        }
         let mut block = vec![0.0f32; len];
-        read_f32s_body(&mut reader, &mut block)?;
+        read_f32s_body(r, &mut block, "state data")?;
+        if let Some(bad) = block.iter().find(|v| !v.is_finite()) {
+            return Err(bad_at(r.offset(), format!("non-finite value {bad} in state block {i}")));
+        }
         state.push(block);
     }
     let mut cursor = state.into_iter();
     model.features.restore_state(&mut cursor);
     model.classifier.restore_state(&mut cursor);
     if cursor.next().is_some() {
-        return Err(bad_data("trailing state blocks: architecture mismatch"));
+        return Err(bad_at(r.offset(), "trailing state blocks: architecture mismatch"));
     }
     Ok(())
 }
 
-fn bad_data(msg: impl Into<String>) -> io::Error {
-    io::Error::new(io::ErrorKind::InvalidData, msg.into())
+fn bad_at(offset: u64, msg: impl Into<String>) -> io::Error {
+    io::Error::new(io::ErrorKind::InvalidData, format!("at byte {offset}: {}", msg.into()))
+}
+
+fn read_exact_at<R: Read>(r: &mut CountingReader<R>, buf: &mut [u8], what: &str) -> io::Result<()> {
+    let at = r.offset();
+    r.read_exact(buf)
+        .map_err(|e| io::Error::new(e.kind(), format!("at byte {at}: truncated reading {what}")))
 }
 
 fn write_u64<W: Write>(w: &mut W, v: u64) -> io::Result<()> {
     w.write_all(&v.to_le_bytes())
 }
 
-fn read_u64<R: Read>(r: &mut R) -> io::Result<u64> {
+fn read_u64<R: Read>(r: &mut CountingReader<R>, what: &str) -> io::Result<u64> {
     let mut buf = [0u8; 8];
-    r.read_exact(&mut buf)?;
+    read_exact_at(r, &mut buf, what)?;
     Ok(u64::from_le_bytes(buf))
 }
 
@@ -129,14 +186,15 @@ fn write_str<W: Write>(w: &mut W, s: &str) -> io::Result<()> {
     w.write_all(s.as_bytes())
 }
 
-fn read_str<R: Read>(r: &mut R) -> io::Result<String> {
-    let len = read_u64(r)? as usize;
+fn read_str<R: Read>(r: &mut CountingReader<R>) -> io::Result<String> {
+    let at = r.offset();
+    let len = read_u64(r, "string length")? as usize;
     if len > 4096 {
-        return Err(bad_data("implausible string length"));
+        return Err(bad_at(at, format!("implausible string length {len}")));
     }
     let mut buf = vec![0u8; len];
-    r.read_exact(&mut buf)?;
-    String::from_utf8(buf).map_err(|_| bad_data("invalid utf-8 in model name"))
+    read_exact_at(r, &mut buf, "string bytes")?;
+    String::from_utf8(buf).map_err(|_| bad_at(at, "invalid utf-8 in model name"))
 }
 
 fn write_f32s<W: Write>(w: &mut W, vals: &[f32]) -> io::Result<()> {
@@ -147,18 +205,31 @@ fn write_f32s<W: Write>(w: &mut W, vals: &[f32]) -> io::Result<()> {
     Ok(())
 }
 
-fn read_f32s_into<R: Read>(r: &mut R, out: &mut [f32]) -> io::Result<()> {
-    let len = read_u64(r)? as usize;
+fn read_f32s_into<R: Read>(
+    r: &mut CountingReader<R>,
+    out: &mut [f32],
+    what: &str,
+) -> io::Result<()> {
+    let at = r.offset();
+    let len = read_u64(r, what)? as usize;
     if len != out.len() {
-        return Err(bad_data(format!("tensor length mismatch: file {len}, model {}", out.len())));
+        return Err(bad_at(at, format!("{what} length mismatch: file {len}, model {}", out.len())));
     }
-    read_f32s_body(r, out)
+    read_f32s_body(r, out, what)?;
+    if let Some(bad) = out.iter().find(|v| !v.is_finite()) {
+        return Err(bad_at(r.offset(), format!("non-finite value {bad} in {what}")));
+    }
+    Ok(())
 }
 
-fn read_f32s_body<R: Read>(r: &mut R, out: &mut [f32]) -> io::Result<()> {
+fn read_f32s_body<R: Read>(
+    r: &mut CountingReader<R>,
+    out: &mut [f32],
+    what: &str,
+) -> io::Result<()> {
     let mut buf = [0u8; 4];
     for v in out.iter_mut() {
-        r.read_exact(&mut buf)?;
+        read_exact_at(r, &mut buf, what)?;
         *v = f32::from_le_bytes(buf);
     }
     Ok(())
@@ -167,10 +238,10 @@ fn read_f32s_body<R: Read>(r: &mut R, out: &mut [f32]) -> io::Result<()> {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::cross_entropy;
     use crate::layer::Mode;
     use crate::models::Architecture;
     use crate::optim::{Adam, Optimizer};
-    use crate::{cross_entropy, Layer as _};
     use nshd_tensor::{Rng, Tensor};
 
     /// Trains a couple of steps so weights *and* batch-norm running
@@ -235,15 +306,74 @@ mod tests {
         let mut m = touched_model(6);
         let err = load_model(&mut m, &b"definitely not a model"[..]).unwrap_err();
         assert!(err.to_string().contains("magic"), "{err}");
+        assert!(err.to_string().contains("byte 0"), "{err}");
     }
 
     #[test]
-    fn truncated_file_errors_cleanly() {
+    fn every_truncation_errors_cleanly_with_offset() {
         let mut m = touched_model(7);
         let mut bytes = Vec::new();
         save_model(&mut m, &mut bytes).expect("save");
-        bytes.truncate(bytes.len() / 2);
-        let mut other = Architecture::MobileNetV2.build(4, &mut Rng::new(8));
-        assert!(load_model(&mut other, bytes.as_slice()).is_err());
+        // Sweep truncation points across the whole file, including the
+        // header and both payload sections.
+        let step = (bytes.len() / 41).max(1);
+        for cut in (0..bytes.len()).step_by(step) {
+            let mut other = Architecture::MobileNetV2.build(4, &mut Rng::new(8));
+            let err = load_model(&mut other, &bytes[..cut]).unwrap_err();
+            assert!(err.to_string().contains("at byte"), "cut {cut}: {err}");
+        }
+    }
+
+    #[test]
+    fn bit_flips_error_or_load_but_never_panic() {
+        let mut m = touched_model(9);
+        let mut bytes = Vec::new();
+        save_model(&mut m, &mut bytes).expect("save");
+        let step = (bytes.len() / 53).max(1);
+        for pos in (0..bytes.len()).step_by(step) {
+            for bit in [0u8, 7] {
+                let mut corrupt = bytes.clone();
+                corrupt[pos] ^= 1 << bit;
+                let mut other = Architecture::MobileNetV2.build(4, &mut Rng::new(10));
+                // Either a clean error or a (value-corrupted but
+                // structurally valid) load — never a panic.
+                let _ = load_model(&mut other, corrupt.as_slice());
+            }
+        }
+        // A flip inside the 8-byte magic must always be caught.
+        let mut corrupt = bytes.clone();
+        corrupt[3] ^= 0x10;
+        let mut other = Architecture::MobileNetV2.build(4, &mut Rng::new(11));
+        let err = load_model(&mut other, corrupt.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("magic"), "{err}");
+    }
+
+    #[test]
+    fn non_finite_payload_is_rejected() {
+        let mut m = touched_model(12);
+        let mut bytes = Vec::new();
+        save_model(&mut m, &mut bytes).expect("save");
+        // Compute the offset of the first f32 of the first parameter
+        // tensor: magic, name (len + bytes), param count, rank, dims,
+        // vector length.
+        let rank = m.params_mut()[0].value.dims().len();
+        let first_f32 = 8 + 8 + m.name.len() + 8 + 8 + rank * 8 + 8;
+        bytes[first_f32..first_f32 + 4].copy_from_slice(&f32::NAN.to_le_bytes());
+        let mut other = Architecture::MobileNetV2.build(4, &mut Rng::new(13));
+        let err = load_model(&mut other, bytes.as_slice()).unwrap_err();
+        assert!(err.to_string().contains("non-finite"), "{err}");
+        assert!(err.to_string().contains("at byte"), "{err}");
+    }
+
+    #[test]
+    fn counting_reader_tracks_offsets() {
+        let data = [1u8, 2, 3, 4, 5];
+        let mut r = CountingReader::new(&data[..]);
+        let mut buf = [0u8; 3];
+        r.read_exact(&mut buf).unwrap();
+        assert_eq!(r.offset(), 3);
+        let mut rest = Vec::new();
+        r.read_to_end(&mut rest).unwrap();
+        assert_eq!(r.offset(), 5);
     }
 }

@@ -464,11 +464,7 @@ mod tests {
         // features — the explosion the manifold learner exists to tame.
         let b0 = arch_stats(Architecture::EfficientNetB0, SpecVariant::Reference, 10);
         for cut in [6usize, 7, 8, 9] {
-            assert!(
-                feature_len_at(&b0, cut) > 5_000,
-                "cut {cut}: {}",
-                feature_len_at(&b0, cut)
-            );
+            assert!(feature_len_at(&b0, cut) > 5_000, "cut {cut}: {}", feature_len_at(&b0, cut));
         }
     }
 

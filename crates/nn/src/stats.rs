@@ -64,8 +64,8 @@ pub fn model_stats(model: &Model) -> ModelStats {
     let features = sequential_stats(&model.features, &model.input_shape);
     let feat_out = model.features.out_shape(&model.input_shape);
     let classifier = sequential_stats(&model.classifier, &feat_out);
-    let total_macs =
-        features.iter().map(|s| s.macs).sum::<u64>() + classifier.iter().map(|s| s.macs).sum::<u64>();
+    let total_macs = features.iter().map(|s| s.macs).sum::<u64>()
+        + classifier.iter().map(|s| s.macs).sum::<u64>();
     let total_params = features.iter().map(|s| s.params).sum::<usize>()
         + classifier.iter().map(|s| s.params).sum::<usize>();
     ModelStats { features, classifier, total_macs, total_params }

@@ -63,14 +63,17 @@ pub fn fit(
     assert!(n > 0, "cannot train on an empty dataset");
     let mut rng = Rng::new(config.seed);
     let mut reports = Vec::with_capacity(config.epochs);
+    let batch_size = config.batch_size.max(1);
     for epoch in 0..config.epochs {
         let order = rng.permutation(n);
         let mut loss_sum = 0.0;
         let mut acc_sum = 0.0;
         let mut batches = 0usize;
-        for chunk in order.chunks(config.batch_size) {
+        for chunk in order.chunks(batch_size) {
             let batch_imgs: Vec<Tensor> = chunk.iter().map(|&i| images.batch_item(i)).collect();
-            let batch = Tensor::stack(&batch_imgs).expect("non-empty batch");
+            // An empty tail chunk cannot be stacked; skip it rather than
+            // aborting the whole run.
+            let Ok(batch) = Tensor::stack(&batch_imgs) else { continue };
             let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
             model.zero_grad();
             let logits = model.forward(&batch, Mode::Train);
@@ -83,11 +86,8 @@ pub fn fit(
             batches += 1;
         }
         optimizer.set_learning_rate(optimizer.learning_rate() * config.lr_decay);
-        let report = EpochReport {
-            epoch,
-            loss: loss_sum / batches as f32,
-            accuracy: acc_sum / batches as f32,
-        };
+        let batches = batches.max(1) as f32;
+        let report = EpochReport { epoch, loss: loss_sum / batches, accuracy: acc_sum / batches };
         if config.verbose {
             eprintln!(
                 "[{}] epoch {:>2}: loss {:.4}, acc {:.3}",
@@ -115,7 +115,9 @@ pub fn evaluate(model: &mut Model, images: &Tensor, labels: &[usize], batch_size
     let indices: Vec<usize> = (0..n).collect();
     for chunk in indices.chunks(batch_size.max(1)) {
         let batch_imgs: Vec<Tensor> = chunk.iter().map(|&i| images.batch_item(i)).collect();
-        let batch = Tensor::stack(&batch_imgs).expect("non-empty batch");
+        // An empty tail chunk cannot be stacked; skip it rather than
+        // aborting the evaluation.
+        let Ok(batch) = Tensor::stack(&batch_imgs) else { continue };
         let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
         let logits = model.forward(&batch, Mode::Eval);
         correct += accuracy(&logits, &batch_labels) * chunk.len() as f32;
@@ -163,9 +165,11 @@ mod tests {
                 .with(Conv2d::new(1, 4, 3, 1, 1, &mut rng))
                 .with(Activation::new(ActKind::Relu))
                 .with(MaxPool2d::new(2)),
-            classifier: Sequential::new()
-                .with(Flatten::new())
-                .with(Linear::new(4 * 4 * 4, 2, &mut rng)),
+            classifier: Sequential::new().with(Flatten::new()).with(Linear::new(
+                4 * 4 * 4,
+                2,
+                &mut rng,
+            )),
             input_shape: vec![1, 8, 8],
             num_classes: 2,
         }
@@ -197,7 +201,13 @@ mod tests {
         let run = |model_seed| {
             let mut m = toy_model(model_seed);
             let mut opt = Sgd::new(0.05, 0.0, 0.0);
-            fit(&mut m, &x, &y, &mut opt, &TrainConfig { epochs: 2, batch_size: 8, ..TrainConfig::default() })
+            fit(
+                &mut m,
+                &x,
+                &y,
+                &mut opt,
+                &TrainConfig { epochs: 2, batch_size: 8, ..TrainConfig::default() },
+            )
         };
         assert_eq!(run(7), run(7));
     }
@@ -206,5 +216,42 @@ mod tests {
     fn evaluate_empty_returns_zero() {
         let mut m = toy_model(9);
         assert_eq!(evaluate(&mut m, &Tensor::zeros([0, 1, 8, 8]), &[], 4), 0.0);
+    }
+
+    #[test]
+    fn oversized_batch_trains_on_one_full_batch() {
+        let (x, y) = toy_dataset(12, 11);
+        let mut m = toy_model(12);
+        let mut opt = Sgd::new(0.05, 0.0, 0.0);
+        // batch_size far beyond the dataset: the single (tail) batch is
+        // the whole set, and the run completes without panicking.
+        let reports = fit(
+            &mut m,
+            &x,
+            &y,
+            &mut opt,
+            &TrainConfig { epochs: 2, batch_size: 500, ..TrainConfig::default() },
+        );
+        assert_eq!(reports.len(), 2);
+        assert!(reports.iter().all(|r| r.loss.is_finite()));
+    }
+
+    #[test]
+    fn zero_batch_size_is_clamped_not_panicking() {
+        let (x, y) = toy_dataset(8, 13);
+        let mut m = toy_model(14);
+        let mut opt = Sgd::new(0.05, 0.0, 0.0);
+        let reports = fit(
+            &mut m,
+            &x,
+            &y,
+            &mut opt,
+            &TrainConfig { epochs: 1, batch_size: 0, ..TrainConfig::default() },
+        );
+        assert_eq!(reports.len(), 1);
+        assert!(reports[0].loss.is_finite());
+        // Same clamp on the evaluation path.
+        let acc = evaluate(&mut m, &x, &y, 0);
+        assert!((0.0..=1.0).contains(&acc));
     }
 }

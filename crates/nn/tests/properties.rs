@@ -1,59 +1,83 @@
 //! Property-based tests for the CNN substrate.
+//!
+//! Cases are generated with the in-repo seeded [`Rng`] (no external
+//! property-testing framework — the workspace builds offline). Failure
+//! messages carry the case index, which reproduces the exact inputs.
 
 use nshd_nn::{
-    cross_entropy, ActKind, Activation, BatchNorm2d, Conv2d, DepthwiseConv2d, GlobalAvgPool,
-    Layer, Linear, MaxPool2d, Mode,
+    cross_entropy, ActKind, Activation, BatchNorm2d, Conv2d, DepthwiseConv2d, GlobalAvgPool, Layer,
+    Linear, MaxPool2d, Mode,
 };
 use nshd_tensor::{Rng, Tensor};
-use proptest::prelude::*;
+
+const CASES: u64 = 24;
 
 fn input(n: usize, c: usize, h: usize, w: usize, seed: u64) -> Tensor {
     let mut rng = Rng::new(seed);
     Tensor::from_fn([n, c, h, w], |_| rng.normal())
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
-
-    /// Conv output shape follows the padding formula for any geometry.
-    #[test]
-    fn conv_shapes_follow_formula(
-        cin in 1usize..4, cout in 1usize..5, k in 1usize..4,
-        s in 1usize..3, h in 4usize..10, w in 4usize..10, seed in 0u64..100,
-    ) {
+/// Conv output shape follows the padding formula for any geometry.
+#[test]
+fn conv_shapes_follow_formula() {
+    let mut tried = 0u64;
+    let mut case = 0u64;
+    while tried < CASES {
+        case += 1;
+        let mut rng = Rng::new(0x10_0000 + case);
+        let cin = 1 + rng.below(3);
+        let cout = 1 + rng.below(4);
+        let k = 1 + rng.below(3);
+        let s = 1 + rng.below(2);
+        let h = 4 + rng.below(6);
+        let w = 4 + rng.below(6);
+        let seed = rng.below(100) as u64;
         let p = k / 2;
-        prop_assume!(h + 2 * p >= k && w + 2 * p >= k);
+        if h + 2 * p < k || w + 2 * p < k {
+            continue;
+        }
+        tried += 1;
         let mut conv = Conv2d::new(cin, cout, k, s, p, &mut Rng::new(seed));
         let x = input(2, cin, h, w, seed);
         let y = conv.forward(&x, Mode::Eval);
         let oh = (h + 2 * p - k) / s + 1;
         let ow = (w + 2 * p - k) / s + 1;
-        prop_assert_eq!(y.dims(), &[2, cout, oh, ow]);
-        prop_assert_eq!(conv.out_shape(&[cin, h, w]), vec![cout, oh, ow]);
-        prop_assert!(y.as_slice().iter().all(|v| v.is_finite()));
+        assert_eq!(y.dims(), &[2, cout, oh, ow], "case {case}");
+        assert_eq!(conv.out_shape(&[cin, h, w]), vec![cout, oh, ow], "case {case}");
+        assert!(y.as_slice().iter().all(|v| v.is_finite()), "case {case}");
     }
+}
 
-    /// Convolution is linear: conv(a·x) == a·conv(x) + (1−a)·bias-term.
-    /// With zero bias it is exactly homogeneous.
-    #[test]
-    fn conv_is_homogeneous_with_zero_bias(seed in 0u64..50, scale in 0.1f32..3.0) {
+/// Convolution is linear: conv(a·x) == a·conv(x) + (1−a)·bias-term.
+/// With zero bias it is exactly homogeneous.
+#[test]
+fn conv_is_homogeneous_with_zero_bias() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x20_0000 + case);
+        let seed = rng.below(50) as u64;
+        let scale = rng.uniform_in(0.1, 3.0);
         let mut conv = Conv2d::new(2, 3, 3, 1, 1, &mut Rng::new(seed));
         for p in conv.params_mut() {
             if p.value.dims() == [3] {
-                for v in p.value.as_mut_slice() { *v = 0.0; }
+                for v in p.value.as_mut_slice() {
+                    *v = 0.0;
+                }
             }
         }
         let x = input(1, 2, 5, 5, seed + 1);
         let y1 = conv.forward(&x.scale(scale), Mode::Eval);
         let y2 = conv.forward(&x, Mode::Eval).scale(scale);
         for (a, b) in y1.as_slice().iter().zip(y2.as_slice()) {
-            prop_assert!((a - b).abs() < 1e-3 * b.abs().max(1.0));
+            assert!((a - b).abs() < 1e-3 * b.abs().max(1.0), "case {case}: {a} vs {b}");
         }
     }
+}
 
-    /// Backward shape always matches the forward input shape.
-    #[test]
-    fn backward_shapes_match_input(seed in 0u64..50) {
+/// Backward shape always matches the forward input shape.
+#[test]
+fn backward_shapes_match_input() {
+    for case in 0..CASES {
+        let seed = case;
         let mut rng = Rng::new(seed);
         let x = input(2, 3, 8, 8, seed);
         let layers: Vec<Box<dyn Layer>> = vec![
@@ -67,26 +91,34 @@ proptest! {
         for mut layer in layers {
             let y = layer.forward(&x, Mode::Train);
             let dx = layer.backward(&Tensor::ones(y.shape().clone()));
-            prop_assert_eq!(dx.dims(), x.dims(), "{}", layer.name());
+            assert_eq!(dx.dims(), x.dims(), "case {case}: {}", layer.name());
         }
     }
+}
 
-    /// ReLU-family activations are idempotent (f(f(x)) == f(x)).
-    #[test]
-    fn relu_family_idempotent(vals in proptest::collection::vec(-10.0f32..10.0, 1..32)) {
+/// ReLU-family activations are idempotent (f(f(x)) == f(x)).
+#[test]
+fn relu_family_idempotent() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x30_0000 + case);
+        let n = 1 + rng.below(31);
+        let vals: Vec<f32> = (0..n).map(|_| rng.uniform_in(-10.0, 10.0)).collect();
         for kind in [ActKind::Relu, ActKind::Relu6] {
             let mut act = Activation::new(kind);
             let x = Tensor::from_slice(&vals);
             let once = act.forward(&x, Mode::Eval);
             let twice = act.forward(&once, Mode::Eval);
-            prop_assert_eq!(once, twice);
+            assert_eq!(once, twice, "case {case}");
         }
     }
+}
 
-    /// Linear layers preserve batch independence: permuting the batch
-    /// permutes the outputs.
-    #[test]
-    fn linear_is_batch_independent(seed in 0u64..50) {
+/// Linear layers preserve batch independence: permuting the batch
+/// permutes the outputs.
+#[test]
+fn linear_is_batch_independent() {
+    for case in 0..CASES {
+        let seed = case;
         let mut fc = Linear::new(6, 4, &mut Rng::new(seed));
         let a = input(1, 1, 1, 6, seed + 1).reshaped([1, 6]).unwrap();
         let b = input(1, 1, 1, 6, seed + 2).reshaped([1, 6]).unwrap();
@@ -94,34 +126,39 @@ proptest! {
         let ba = Tensor::stack(&[b.batch_item(0), a.batch_item(0)]).unwrap();
         let y_ab = fc.forward(&ab, Mode::Eval);
         let y_ba = fc.forward(&ba, Mode::Eval);
-        prop_assert_eq!(y_ab.batch_item(0), y_ba.batch_item(1));
-        prop_assert_eq!(y_ab.batch_item(1), y_ba.batch_item(0));
+        assert_eq!(y_ab.batch_item(0), y_ba.batch_item(1), "case {case}");
+        assert_eq!(y_ab.batch_item(1), y_ba.batch_item(0), "case {case}");
     }
+}
 
-    /// Cross-entropy is non-negative and zero only at a perfect
-    /// prediction.
-    #[test]
-    fn cross_entropy_nonnegative(
-        logits in proptest::collection::vec(-8.0f32..8.0, 3),
-        label in 0usize..3,
-    ) {
+/// Cross-entropy is non-negative and zero only at a perfect
+/// prediction.
+#[test]
+fn cross_entropy_nonnegative() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x40_0000 + case);
+        let logits: Vec<f32> = (0..3).map(|_| rng.uniform_in(-8.0, 8.0)).collect();
+        let label = rng.below(3);
         let t = Tensor::from_vec(logits, [1, 3]).unwrap();
         let out = cross_entropy(&t, &[label]);
-        prop_assert!(out.loss >= 0.0);
-        prop_assert!(out.loss.is_finite());
+        assert!(out.loss >= 0.0, "case {case}");
+        assert!(out.loss.is_finite(), "case {case}");
         // Gradient rows sum to ~0.
         let s: f32 = out.grad.as_slice().iter().sum();
-        prop_assert!(s.abs() < 1e-5);
+        assert!(s.abs() < 1e-5, "case {case}: {s}");
     }
+}
 
-    /// MaxPool never increases the maximum and never decreases the
-    /// per-window maximum.
-    #[test]
-    fn maxpool_bounds(seed in 0u64..50) {
+/// MaxPool never increases the maximum and never decreases the
+/// per-window maximum.
+#[test]
+fn maxpool_bounds() {
+    for case in 0..CASES {
+        let seed = case;
         let mut mp = MaxPool2d::new(2);
         let x = input(1, 2, 6, 6, seed);
         let y = mp.forward(&x, Mode::Eval);
-        prop_assert!(y.max().unwrap() <= x.max().unwrap() + 1e-6);
-        prop_assert!(y.min().unwrap() >= x.min().unwrap() - 1e-6);
+        assert!(y.max().unwrap() <= x.max().unwrap() + 1e-6, "case {case}");
+        assert!(y.min().unwrap() >= x.min().unwrap() - 1e-6, "case {case}");
     }
 }

@@ -59,10 +59,7 @@ impl ConvGeometry {
 
 fn out_extent(input: usize, kernel: usize, stride: usize, padding: usize) -> usize {
     let padded = input + 2 * padding;
-    assert!(
-        padded >= kernel,
-        "kernel {kernel} larger than padded input {padded}"
-    );
+    assert!(padded >= kernel, "kernel {kernel} larger than padded input {padded}");
     assert!(stride > 0, "stride must be positive");
     (padded - kernel) / stride + 1
 }

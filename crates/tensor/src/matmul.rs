@@ -37,14 +37,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (k2, n) = dims2(b, "matmul rhs");
     assert_eq!(k, k2, "matmul inner dimensions disagree: {k} vs {k2}");
     let mut c = Tensor::zeros([m, n]);
-    gemm(
-        m,
-        k,
-        n,
-        a.as_slice(),
-        b.as_slice(),
-        c.as_mut_slice(),
-    );
+    gemm(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice());
     c
 }
 
@@ -113,9 +106,7 @@ pub fn matvec(a: &Tensor, x: &[f32]) -> Vec<f32> {
     let (m, k) = dims2(a, "matvec lhs");
     assert_eq!(x.len(), k, "matvec expects a vector of length {k}");
     let av = a.as_slice();
-    (0..m)
-        .map(|i| crate::ops::dot(&av[i * k..(i + 1) * k], x))
-        .collect()
+    (0..m).map(|i| crate::ops::dot(&av[i * k..(i + 1) * k], x)).collect()
 }
 
 /// Vector–matrix product `y = xᵀ·A` for a row-major `k×n` matrix.
@@ -141,12 +132,7 @@ pub fn vecmat(x: &[f32], a: &Tensor) -> Vec<f32> {
 }
 
 fn dims2(t: &Tensor, what: &str) -> (usize, usize) {
-    assert_eq!(
-        t.shape().rank(),
-        2,
-        "{what} must be rank-2, got shape {}",
-        t.shape()
-    );
+    assert_eq!(t.shape().rank(), 2, "{what} must be rank-2, got shape {}", t.shape());
     (t.shape().dim(0), t.shape().dim(1))
 }
 

@@ -109,10 +109,7 @@ impl Shape {
         if self == other {
             Ok(())
         } else {
-            Err(TensorError::IncompatibleShapes {
-                lhs: self.dims.clone(),
-                rhs: other.dims.clone(),
-            })
+            Err(TensorError::IncompatibleShapes { lhs: self.dims.clone(), rhs: other.dims.clone() })
         }
     }
 }
@@ -194,10 +191,7 @@ mod tests {
         let a = Shape::from([2, 3]);
         let b = Shape::from([3, 2]);
         let err = a.ensure_same(&b).unwrap_err();
-        assert_eq!(
-            err,
-            TensorError::IncompatibleShapes { lhs: vec![2, 3], rhs: vec![3, 2] }
-        );
+        assert_eq!(err, TensorError::IncompatibleShapes { lhs: vec![2, 3], rhs: vec![3, 2] });
         assert!(a.ensure_same(&a.clone()).is_ok());
     }
 

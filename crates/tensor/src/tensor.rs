@@ -67,9 +67,9 @@ impl Tensor {
     }
 
     /// Creates a tensor by evaluating `f` at each flat index.
-    pub fn from_fn(shape: impl Into<Shape>, mut f: impl FnMut(usize) -> f32) -> Self {
+    pub fn from_fn(shape: impl Into<Shape>, f: impl FnMut(usize) -> f32) -> Self {
         let shape = shape.into();
-        let data = (0..shape.len()).map(|i| f(i)).collect();
+        let data = (0..shape.len()).map(f).collect();
         Tensor { data, shape }
     }
 
@@ -135,10 +135,7 @@ impl Tensor {
     pub fn reshape(&self, shape: impl Into<Shape>) -> Result<Tensor, TensorError> {
         let shape = shape.into();
         if shape.len() != self.data.len() {
-            return Err(TensorError::ShapeMismatch {
-                expected: self.data.len(),
-                got: shape.len(),
-            });
+            return Err(TensorError::ShapeMismatch { expected: self.data.len(), got: shape.len() });
         }
         Ok(Tensor { data: self.data.clone(), shape })
     }
@@ -151,10 +148,7 @@ impl Tensor {
     pub fn reshaped(mut self, shape: impl Into<Shape>) -> Result<Tensor, TensorError> {
         let shape = shape.into();
         if shape.len() != self.data.len() {
-            return Err(TensorError::ShapeMismatch {
-                expected: self.data.len(),
-                got: shape.len(),
-            });
+            return Err(TensorError::ShapeMismatch { expected: self.data.len(), got: shape.len() });
         }
         self.shape = shape;
         Ok(self)
@@ -168,10 +162,7 @@ impl Tensor {
 
     /// Applies `f` to every element, returning a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor {
-            data: self.data.iter().map(|&x| f(x)).collect(),
-            shape: self.shape.clone(),
-        }
+        Tensor { data: self.data.iter().map(|&x| f(x)).collect(), shape: self.shape.clone() }
     }
 
     /// Applies `f` to every element in place.
@@ -194,12 +185,7 @@ impl Tensor {
             self.shape, other.shape
         );
         Tensor {
-            data: self
-                .data
-                .iter()
-                .zip(other.data.iter())
-                .map(|(&a, &b)| f(a, b))
-                .collect(),
+            data: self.data.iter().zip(other.data.iter()).map(|(&a, &b)| f(a, b)).collect(),
             shape: self.shape.clone(),
         }
     }
@@ -226,10 +212,7 @@ impl Tensor {
         let inner: Vec<usize> = self.shape.dims()[1..].to_vec();
         let inner_len: usize = inner.iter().product();
         let start = n * inner_len;
-        Tensor {
-            data: self.data[start..start + inner_len].to_vec(),
-            shape: Shape::new(inner),
-        }
+        Tensor { data: self.data[start..start + inner_len].to_vec(), shape: Shape::new(inner) }
     }
 
     /// Stacks same-shaped tensors along a new leading axis.

@@ -1,125 +1,195 @@
 //! Property-based tests for the tensor substrate.
+//!
+//! The properties are exercised over many seeded-random cases generated
+//! with the in-repo [`Rng`] (the workspace builds fully offline, so no
+//! external property-testing framework is used). Each failure message
+//! carries the case seed, which reproduces the exact inputs.
 
-use nshd_tensor::{col2im, im2col, matmul, matmul_at, matmul_bt, ConvGeometry, Shape, Tensor};
-use proptest::prelude::*;
+use nshd_tensor::{col2im, im2col, matmul, matmul_at, matmul_bt, ConvGeometry, Rng, Shape, Tensor};
 
-fn small_matrix(max: usize) -> impl Strategy<Value = Tensor> {
-    (1..=max, 1..=max).prop_flat_map(|(r, c)| {
-        proptest::collection::vec(-10.0f32..10.0, r * c)
-            .prop_map(move |v| Tensor::from_vec(v, [r, c]).expect("sized to shape"))
-    })
+const CASES: u64 = 64;
+
+fn random_matrix(rng: &mut Rng, max: usize) -> Tensor {
+    let r = rng.below(max) + 1;
+    let c = rng.below(max) + 1;
+    Tensor::from_fn([r, c], |_| rng.uniform_in(-10.0, 10.0))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn random_vec(rng: &mut Rng, lo: f32, hi: f32, min_len: usize, max_len: usize) -> Vec<f32> {
+    let n = min_len + rng.below(max_len - min_len + 1);
+    (0..n).map(|_| rng.uniform_in(lo, hi)).collect()
+}
 
-    #[test]
-    fn reshape_preserves_elements(v in proptest::collection::vec(-1e3f32..1e3, 1..64)) {
+#[test]
+fn reshape_preserves_elements() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x1000 + case);
+        let v = random_vec(&mut rng, -1e3, 1e3, 1, 63);
         let n = v.len();
         let t = Tensor::from_vec(v.clone(), [n]).unwrap();
         let r = t.reshape([1, n]).unwrap();
-        prop_assert_eq!(r.as_slice(), v.as_slice());
+        assert_eq!(r.as_slice(), v.as_slice(), "case {case}");
     }
+}
 
-    #[test]
-    fn add_commutes(a in small_matrix(6)) {
+#[test]
+fn add_commutes() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x2000 + case);
+        let a = random_matrix(&mut rng, 6);
         let b = a.map(|x| x * 0.5 + 1.0);
-        prop_assert_eq!(a.add(&b), b.add(&a));
+        assert_eq!(a.add(&b), b.add(&a), "case {case}");
     }
+}
 
-    #[test]
-    fn sub_then_add_round_trips(a in small_matrix(6)) {
+#[test]
+fn sub_then_add_round_trips() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x3000 + case);
+        let a = random_matrix(&mut rng, 6);
         let b = a.map(|x| -x + 2.0);
         let back = a.sub(&b).add(&b);
         for (x, y) in back.as_slice().iter().zip(a.as_slice()) {
-            prop_assert!((x - y).abs() <= 1e-3_f32.max(y.abs() * 1e-5));
+            assert!((x - y).abs() <= 1e-3_f32.max(y.abs() * 1e-5), "case {case}: {x} vs {y}");
         }
     }
+}
 
-    #[test]
-    fn softmax_is_a_distribution(v in proptest::collection::vec(-50.0f32..50.0, 1..16)) {
+#[test]
+fn softmax_is_a_distribution() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x4000 + case);
+        let v = random_vec(&mut rng, -50.0, 50.0, 1, 15);
         let n = v.len();
         let s = Tensor::from_vec(v, [n]).unwrap().softmax();
         let sum: f32 = s.as_slice().iter().sum();
-        prop_assert!((sum - 1.0).abs() < 1e-4);
-        prop_assert!(s.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)));
+        assert!((sum - 1.0).abs() < 1e-4, "case {case}: sum {sum}");
+        assert!(s.as_slice().iter().all(|&p| (0.0..=1.0).contains(&p)), "case {case}");
     }
+}
 
-    #[test]
-    fn softmax_invariant_to_constant_shift(v in proptest::collection::vec(-5.0f32..5.0, 2..8), c in -20.0f32..20.0) {
+#[test]
+fn softmax_invariant_to_constant_shift() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x5000 + case);
+        let v = random_vec(&mut rng, -5.0, 5.0, 2, 7);
+        let c = rng.uniform_in(-20.0, 20.0);
         let n = v.len();
         let t = Tensor::from_vec(v, [n]).unwrap();
         let a = t.softmax();
         let b = t.shift(c).softmax();
         for (x, y) in a.as_slice().iter().zip(b.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-4);
+            assert!((x - y).abs() < 1e-4, "case {case}: {x} vs {y}");
         }
     }
+}
 
-    #[test]
-    fn matmul_distributes_over_addition(a in small_matrix(5)) {
+#[test]
+fn matmul_distributes_over_addition() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x6000 + case);
         // (A + A') · B == A·B + A'·B
+        let a = random_matrix(&mut rng, 5);
         let a2 = a.map(|x| 0.3 * x - 1.0);
         let k = a.dims()[1];
         let b = Tensor::from_fn([k, 3], |i| (i as f32 * 0.7).sin());
         let lhs = matmul(&a.add(&a2), &b);
         let rhs = matmul(&a, &b).add(&matmul(&a2, &b));
         for (x, y) in lhs.as_slice().iter().zip(rhs.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-2);
+            assert!((x - y).abs() < 1e-2, "case {case}: {x} vs {y}");
         }
     }
+}
 
-    #[test]
-    fn transpose_variants_agree(a in small_matrix(5)) {
+#[test]
+fn transpose_variants_agree() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x7000 + case);
+        let a = random_matrix(&mut rng, 5);
         let k = a.dims()[1];
         let b = Tensor::from_fn([4, k], |i| (i as f32 * 0.3).cos());
         let via_bt = matmul_bt(&a, &b);
         let via_plain = matmul(&a, &b.transposed());
         for (x, y) in via_bt.as_slice().iter().zip(via_plain.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-3);
+            assert!((x - y).abs() < 1e-3, "case {case}: {x} vs {y}");
         }
         let c = Tensor::from_fn([a.dims()[0], 3], |i| (i as f32 * 0.9).sin());
         let via_at = matmul_at(&a, &c);
         let via_plain = matmul(&a.transposed(), &c);
         for (x, y) in via_at.as_slice().iter().zip(via_plain.as_slice()) {
-            prop_assert!((x - y).abs() < 1e-3);
+            assert!((x - y).abs() < 1e-3, "case {case}: {x} vs {y}");
         }
     }
+}
 
-    #[test]
-    fn im2col_col2im_adjoint(
-        h in 3usize..8, w in 3usize..8, k in 1usize..4, s in 1usize..3, p in 0usize..2,
-    ) {
-        prop_assume!(h + 2 * p >= k && w + 2 * p >= k);
-        let g = ConvGeometry { channels: 2, height: h, width: w, kernel_h: k, kernel_w: k, stride: s, padding: p };
+#[test]
+fn im2col_col2im_adjoint() {
+    let mut tried = 0u64;
+    let mut case = 0u64;
+    while tried < CASES {
+        case += 1;
+        let mut rng = Rng::new(0x8000 + case);
+        let h = 3 + rng.below(5);
+        let w = 3 + rng.below(5);
+        let k = 1 + rng.below(3);
+        let s = 1 + rng.below(2);
+        let p = rng.below(2);
+        if h + 2 * p < k || w + 2 * p < k {
+            continue;
+        }
+        tried += 1;
+        let g = ConvGeometry {
+            channels: 2,
+            height: h,
+            width: w,
+            kernel_h: k,
+            kernel_w: k,
+            stride: s,
+            padding: p,
+        };
         let x: Vec<f32> = (0..2 * h * w).map(|i| ((i * 37 % 97) as f32 - 48.0) / 48.0).collect();
-        let y = Tensor::from_fn([g.patch_len(), g.out_positions()], |i| ((i * 13 % 89) as f32 - 44.0) / 44.0);
+        let y = Tensor::from_fn([g.patch_len(), g.out_positions()], |i| {
+            ((i * 13 % 89) as f32 - 44.0) / 44.0
+        });
         let lhs: f32 = im2col(&x, &g).as_slice().iter().zip(y.as_slice()).map(|(a, b)| a * b).sum();
         let rhs: f32 = x.iter().zip(col2im(&y, &g).iter()).map(|(a, b)| a * b).sum();
-        prop_assert!((lhs - rhs).abs() < 1e-2, "{} vs {}", lhs, rhs);
+        assert!((lhs - rhs).abs() < 1e-2, "case {case}: {lhs} vs {rhs}");
     }
+}
 
-    #[test]
-    fn shape_offset_is_bijective(dims in proptest::collection::vec(1usize..5, 1..4)) {
+#[test]
+fn shape_offset_is_bijective() {
+    for case in 0..CASES {
+        let mut rng = Rng::new(0x9000 + case);
+        let rank = 1 + rng.below(3);
+        let dims: Vec<usize> = (0..rank).map(|_| 1 + rng.below(4)).collect();
         let s = Shape::new(dims.clone());
         let mut seen = vec![false; s.len()];
         let mut idx = vec![0usize; dims.len()];
         loop {
             let off = s.offset(&idx);
-            prop_assert!(!seen[off]);
+            assert!(!seen[off], "case {case}: offset {off} repeated");
             seen[off] = true;
             // Odometer increment.
             let mut axis = dims.len();
             loop {
-                if axis == 0 { break; }
+                if axis == 0 {
+                    break;
+                }
                 axis -= 1;
                 idx[axis] += 1;
-                if idx[axis] < dims[axis] { break; }
+                if idx[axis] < dims[axis] {
+                    break;
+                }
                 idx[axis] = 0;
-                if axis == 0 { break; }
+                if axis == 0 {
+                    break;
+                }
             }
-            if idx.iter().all(|&i| i == 0) { break; }
+            if idx.iter().all(|&i| i == 0) {
+                break;
+            }
         }
-        prop_assert!(seen.iter().all(|&v| v));
+        assert!(seen.iter().all(|&v| v), "case {case}: offsets not exhaustive");
     }
 }

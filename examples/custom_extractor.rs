@@ -49,15 +49,24 @@ fn main() {
 
     let mut rng = Rng::new(1);
     let mut teacher = build_custom(10, &mut rng);
-    println!("custom CNN: {} parameters, {} MACs/sample",
-        teacher.param_count(), teacher.total_macs());
+    println!(
+        "custom CNN: {} parameters, {} MACs/sample",
+        teacher.param_count(),
+        teacher.total_macs()
+    );
     let mut opt = Adam::new(2e-3, 1e-5);
     fit(
         &mut teacher,
         train.images(),
         train.labels(),
         &mut opt,
-        &TrainConfig { epochs: 10, batch_size: 32, seed: 2, verbose: true, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 10,
+            batch_size: 32,
+            seed: 2,
+            verbose: true,
+            ..TrainConfig::default()
+        },
     );
     let cnn_acc = evaluate(&mut teacher, test.images(), test.labels(), 50);
     println!("custom CNN accuracy: {cnn_acc:.3}");
@@ -66,10 +75,8 @@ fn main() {
     // classifier still teach the HD model through distillation.
     for cut in [8usize, 12] {
         let feat_len = teacher.feature_len_at(cut);
-        let cfg = NshdConfig::new(cut)
-            .with_manifold_features(64)
-            .with_retrain_epochs(8)
-            .with_seed(3);
+        let cfg =
+            NshdConfig::new(cut).with_manifold_features(64).with_retrain_epochs(8).with_seed(3);
         let mut nshd = NshdModel::train(teacher.clone(), &train, cfg);
         let acc = nshd.evaluate(&test);
         println!(

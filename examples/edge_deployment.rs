@@ -6,9 +6,7 @@
 //! cargo run --release --example edge_deployment
 //! ```
 
-use nshd::core::{
-    nshd_size_from_stats, nshd_workload_from_stats, NshdConfig, NshdModel,
-};
+use nshd::core::{nshd_size_from_stats, nshd_workload_from_stats, NshdConfig, NshdModel};
 use nshd::data::{normalize_pair, SynthSpec};
 use nshd::hwmodel::{cnn_workload_from_stats, DpuModel, EnergyProfile};
 use nshd::nn::specs::{arch_stats, SpecVariant};
@@ -24,8 +22,11 @@ fn main() {
     let dpu = DpuModel::zcu104();
     let gpu = EnergyProfile::xavier();
     let cnn = cnn_workload_from_stats(&stats, arch.display_name());
-    println!("full CNN: {:.0} FPS on DPU, {:.1} µJ/inference on GPU",
-        dpu.fps(&cnn), gpu.workload_energy_uj(&cnn));
+    println!(
+        "full CNN: {:.0} FPS on DPU, {:.1} µJ/inference on GPU",
+        dpu.fps(&cnn),
+        gpu.workload_energy_uj(&cnn)
+    );
     println!("\ncut  FPS(DPU)  energy µJ(GPU)  model size MB");
     let mut chosen = None;
     for &cut in arch.paper_cuts() {
@@ -61,8 +62,11 @@ fn main() {
     let cfg = NshdConfig::new(cut).with_retrain_epochs(8).with_seed(3);
     let mut nshd = NshdModel::train(teacher, &train, cfg);
     let nshd_acc = nshd.evaluate(&test);
-    println!("accuracy check: CNN {cnn_acc:.3} vs NSHD@{} {nshd_acc:.3} (loss {:+.3})",
-        cut - 1, nshd_acc - cnn_acc);
+    println!(
+        "accuracy check: CNN {cnn_acc:.3} vs NSHD@{} {nshd_acc:.3} (loss {:+.3})",
+        cut - 1,
+        nshd_acc - cnn_acc
+    );
     if cnn_acc - nshd_acc < 0.10 {
         println!("→ within the paper's 10% accuracy-loss budget: deploy the truncated model.");
     } else {

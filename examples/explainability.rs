@@ -78,8 +78,12 @@ fn main() {
         data.write_slice(i * d, &hv.to_f32());
         labels.push(*l);
     }
-    let emb = tsne(&data, &TsneConfig { iterations: 200, perplexity: 12.0, ..TsneConfig::default() });
-    println!("\nembedding cluster quality: fisher ratio {:.2}, 5-NN agreement {:.2}",
-        fisher_ratio(&emb, &labels), knn_agreement(&emb, &labels, 5));
+    let emb =
+        tsne(&data, &TsneConfig { iterations: 200, perplexity: 12.0, ..TsneConfig::default() });
+    println!(
+        "\nembedding cluster quality: fisher ratio {:.2}, 5-NN agreement {:.2}",
+        fisher_ratio(&emb, &labels),
+        knn_agreement(&emb, &labels, 5)
+    );
     println!("(compare against an untrained model — see the fig11_tsne experiment)");
 }

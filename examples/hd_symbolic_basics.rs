@@ -22,11 +22,7 @@ fn main() {
     let france = items.get("france").clone();
     let paris = items.get("paris").clone();
     let euro = items.get("euro").clone();
-    let country = encode_record(&[
-        (&name_k, &france),
-        (&capital_k, &paris),
-        (&currency_k, &euro),
-    ]);
+    let country = encode_record(&[(&name_k, &france), (&capital_k, &paris), (&currency_k, &euro)]);
     // One 10k-bit vector now holds the whole record. Query any role:
     for (role, key) in [("name", &name_k), ("capital", &capital_k), ("currency", &currency_k)] {
         let noisy = query_record(&country, key);
@@ -38,17 +34,13 @@ fn main() {
     //     Bind the record with (paris ⊗ peso-city…) — the classic
     //     "dollar of mexico" trick, here via role re-query.
     println!("\n## Sequences\n");
-    let words: Vec<_> = ["the", "cat", "sat", "on", "the", "mat"]
-        .iter()
-        .map(|w| items.get(w).clone())
-        .collect();
+    let words: Vec<_> =
+        ["the", "cat", "sat", "on", "the", "mat"].iter().map(|w| items.get(w).clone()).collect();
     let refs: Vec<&_> = words.iter().collect();
     let trigrams = encode_sequence(&refs, 3);
     // A near-identical sentence shares most trigrams…
-    let words2: Vec<_> = ["the", "cat", "sat", "on", "a", "mat"]
-        .iter()
-        .map(|w| items.get(w).clone())
-        .collect();
+    let words2: Vec<_> =
+        ["the", "cat", "sat", "on", "a", "mat"].iter().map(|w| items.get(w).clone()).collect();
     let refs2: Vec<&_> = words2.iter().collect();
     let trigrams2 = encode_sequence(&refs2, 3);
     // …while the reversed sentence shares none.
@@ -65,10 +57,8 @@ fn main() {
 
     // --- Bundling as set membership.
     println!("\n## Bundles as sets\n");
-    let fruit: Vec<_> = ["apple", "pear", "plum", "fig", "quince"]
-        .iter()
-        .map(|w| items.get(w).clone())
-        .collect();
+    let fruit: Vec<_> =
+        ["apple", "pear", "plum", "fig", "quince"].iter().map(|w| items.get(w).clone()).collect();
     let frefs: Vec<&_> = fruit.iter().collect();
     let fruit_set = bundle_majority(&frefs);
     for probe in ["apple", "fig", "granite"] {

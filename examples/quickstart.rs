@@ -14,8 +14,12 @@ fn main() {
     // 1. Data: Synth10, the CIFAR-10 substitute (32×32 RGB, 10 classes).
     let (mut train, mut test) = SynthSpec::synth10(42).with_sizes(400, 150).generate();
     normalize_pair(&mut train, &mut test);
-    println!("dataset: {} train / {} test samples, {} classes",
-        train.len(), test.len(), train.num_classes());
+    println!(
+        "dataset: {} train / {} test samples, {} classes",
+        train.len(),
+        test.len(),
+        train.num_classes()
+    );
 
     // 2. Teacher: an EfficientNet-B0 analog trained with Adam. The paper
     //    downloads pretrained weights; we train in-repo (DESIGN.md §3).
@@ -26,7 +30,13 @@ fn main() {
         train.images(),
         train.labels(),
         &mut opt,
-        &TrainConfig { epochs: 8, batch_size: 32, seed: 2, verbose: true, ..TrainConfig::default() },
+        &TrainConfig {
+            epochs: 8,
+            batch_size: 32,
+            seed: 2,
+            verbose: true,
+            ..TrainConfig::default()
+        },
     );
     let cnn_acc = evaluate(&mut teacher, test.images(), test.labels(), 50);
     println!("CNN accuracy: {cnn_acc:.3}");

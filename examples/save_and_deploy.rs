@@ -51,12 +51,12 @@ fn main() -> Result<(), Box<dyn Error>> {
     let int8 = QuantizedMemory::from_memory(restored.memory());
     let binary = BinaryMemory::from_memory(restored.memory());
     println!("\nclass-memory deployment options:");
-    println!(
-        "  f32    {:>8} bytes  accuracy {:.3}",
-        restored.memory().param_count() * 4,
-        f32_acc
-    );
+    println!("  f32    {:>8} bytes  accuracy {:.3}", restored.memory().param_count() * 4, f32_acc);
     println!("  int8   {:>8} bytes  accuracy {:.3}", int8.size_bytes(), int8.accuracy(&samples));
-    println!("  binary {:>8} bytes  accuracy {:.3}", binary.size_bytes(), binary.accuracy(&samples));
+    println!(
+        "  binary {:>8} bytes  accuracy {:.3}",
+        binary.size_bytes(),
+        binary.accuracy(&samples)
+    );
     Ok(())
 }

@@ -105,8 +105,12 @@ fn dpu_model_prefers_nshd_throughput() {
         let stats = arch_stats(arch, SpecVariant::Reference, 10);
         let cnn_fps = dpu.fps(&cnn_workload_from_stats(&stats, arch.display_name()));
         let cut = arch.paper_cuts()[0];
-        let nshd_fps =
-            dpu.fps(&nshd_workload_from_stats(&stats, arch.display_name(), &NshdConfig::new(cut), 10));
+        let nshd_fps = dpu.fps(&nshd_workload_from_stats(
+            &stats,
+            arch.display_name(),
+            &NshdConfig::new(cut),
+            10,
+        ));
         assert!(nshd_fps > cnn_fps, "{arch}: {nshd_fps} vs {cnn_fps}");
     }
 }

@@ -4,9 +4,7 @@
 
 use nshd::core::{NshdConfig, NshdModel};
 use nshd::data::{normalize_pair, SynthSpec};
-use nshd::hdc::{
-    bind, cosine_dense_bipolar, encode_record, query_record, BipolarHv, ItemMemory,
-};
+use nshd::hdc::{bind, cosine_dense_bipolar, encode_record, query_record, BipolarHv, ItemMemory};
 use nshd::nn::{fit, Adam, Architecture, TrainConfig};
 use nshd::tensor::Rng;
 
