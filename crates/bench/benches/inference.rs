@@ -27,7 +27,7 @@ fn bench_inference() {
     let cut = 6; // the earliest paper cut: largest truncation saving
     let cfg = NshdConfig::new(cut).with_hv_dim(3_000).with_retrain_epochs(2).with_seed(5);
     let mut cnn = teacher.clone();
-    let mut nshd = NshdModel::train(teacher, &train, cfg);
+    let nshd = NshdModel::train(teacher, &train, cfg);
     let (image, _) = test.sample(0);
     let batched = image.reshape([1, 3, 32, 32]).expect("CHW image");
 

@@ -17,7 +17,7 @@ fn main() {
     println!("CNN (teacher) accuracy: {cnn_acc:.4}\n");
 
     let cfg = NshdConfig::new(cut).with_retrain_epochs(bench.scale.retrain_epochs()).with_seed(72);
-    let mut model = NshdModel::train(teacher, &bench.train, cfg);
+    let model = NshdModel::train(teacher, &bench.train, cfg);
     let samples = model.symbolize_dataset(&bench.test);
 
     let f32_acc = model.memory().accuracy(&samples);

@@ -54,7 +54,7 @@ fn main() {
             for _ in 0..epochs {
                 trainer.epoch();
             }
-            let mut model = trainer.finish();
+            let model = trainer.finish();
             let acc = model.evaluate(&bench.test);
             if acc > best.0 {
                 best = (acc, t, alpha);

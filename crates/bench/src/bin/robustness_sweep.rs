@@ -43,7 +43,7 @@ fn main() {
 
     let cut = arch.paper_cuts()[0];
     let cfg = NshdConfig::new(cut).with_retrain_epochs(bench.scale.retrain_epochs()).with_seed(13);
-    let mut model = NshdModel::train(teacher, &bench.train, cfg);
+    let model = NshdModel::train(teacher, &bench.train, cfg);
 
     // Symbolise the held-out set once; memory-side fault injection reuses
     // the same queries for every (rate, form, trial) cell.

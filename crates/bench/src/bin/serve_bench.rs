@@ -1,0 +1,211 @@
+//! Serving-runtime benchmark: batched multi-worker inference through
+//! `nshd-runtime` versus a single-threaded per-sample baseline.
+//!
+//! Trains a small NSHD model on Synth10, then serves the same request
+//! stream two ways:
+//!
+//! 1. **baseline** — one image at a time through `NshdModel::predict`
+//!    on the calling thread (bit-serial HD encode, scalar scoring);
+//! 2. **batched** — every request submitted to an `InferenceRuntime`
+//!    (micro-batching collector + worker pool + GEMM encode + one
+//!    `matmul_bt` score per batch).
+//!
+//! Emits one JSON object on stdout with both throughputs, the batched
+//! latency percentiles and batch-size histogram, and whether the two
+//! paths predicted identically. `--smoke` runs a down-sized
+//! configuration and exits non-zero if the report is malformed or the
+//! predictions diverge — the CI gate.
+//!
+//! Flags: `--workers N` (default 4), `--batch N` (default 32),
+//! `--max-wait-us N` (default 500), `--requests N` (default by
+//! `NSHD_SCALE`), `--smoke`.
+
+use nshd_bench::Scale;
+use nshd_core::{NshdConfig, NshdEngine, NshdModel};
+use nshd_data::{normalize_pair, SynthSpec};
+use nshd_nn::{
+    fit, ActKind, Activation, Adam, Conv2d, Flatten, Linear, MaxPool2d, Model, Sequential,
+    TrainConfig,
+};
+use nshd_runtime::{InferenceRuntime, RuntimeConfig};
+use nshd_tensor::{Rng, Tensor};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+struct Args {
+    workers: usize,
+    max_batch: usize,
+    max_wait_us: u64,
+    requests: usize,
+    smoke: bool,
+}
+
+fn parse_args(scale: Scale) -> Args {
+    let mut args = Args {
+        workers: 4,
+        max_batch: 32,
+        max_wait_us: 500,
+        requests: match scale {
+            Scale::Quick => 512,
+            Scale::Full => 2_048,
+        },
+        smoke: false,
+    };
+    let mut it = std::env::args().skip(1);
+    while let Some(flag) = it.next() {
+        let mut num = |name: &str| -> u64 {
+            it.next()
+                .and_then(|v| v.parse().ok())
+                .unwrap_or_else(|| panic!("{name} expects a number"))
+        };
+        match flag.as_str() {
+            "--workers" => args.workers = num("--workers") as usize,
+            "--batch" => args.max_batch = num("--batch") as usize,
+            "--max-wait-us" => args.max_wait_us = num("--max-wait-us"),
+            "--requests" => args.requests = num("--requests") as usize,
+            "--smoke" => args.smoke = true,
+            other => panic!("unknown flag {other}"),
+        }
+    }
+    if args.smoke {
+        args.workers = 2;
+        args.requests = args.requests.min(96);
+    }
+    args
+}
+
+/// A deliberately early-cut teacher: the serving profile the runtime
+/// targets keeps the CNN prefix cheap and lets HD encoding dominate,
+/// which is where batching pays (GEMM encode vs bit-serial).
+fn tiny_teacher(rng: &mut Rng) -> Model {
+    let features = Sequential::new()
+        .with(Conv2d::new(3, 8, 3, 1, 1, rng))
+        .with(Activation::new(ActKind::Relu))
+        .with(MaxPool2d::new(2));
+    let classifier = Sequential::new().with(Flatten::new()).with(Linear::new(8 * 16 * 16, 10, rng));
+    Model {
+        name: "serve-tiny".into(),
+        features,
+        classifier,
+        input_shape: vec![3, 32, 32],
+        num_classes: 10,
+    }
+}
+
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+fn main() {
+    let scale = Scale::from_env();
+    let args = parse_args(scale);
+    let (train_size, hv_dim, teacher_epochs, retrain_epochs) = if args.smoke {
+        (60, 1_024, 1, 1)
+    } else {
+        match scale {
+            Scale::Quick => (200, 2_048, 3, 2),
+            Scale::Full => (600, 2_048, 6, 4),
+        }
+    };
+
+    eprintln!("[serve_bench] training model (train={train_size}, hv_dim={hv_dim})");
+    let (mut train, mut test) = SynthSpec::synth10(71).with_sizes(train_size, 128).generate();
+    normalize_pair(&mut train, &mut test);
+    let mut teacher = tiny_teacher(&mut Rng::new(7));
+    fit(
+        &mut teacher,
+        train.images(),
+        train.labels(),
+        &mut Adam::new(2e-3, 1e-5),
+        &TrainConfig { epochs: teacher_epochs, batch_size: 32, seed: 9, ..TrainConfig::default() },
+    );
+    let cfg = NshdConfig::new(3)
+        .with_hv_dim(hv_dim)
+        .with_manifold(false)
+        .with_retrain_epochs(retrain_epochs)
+        .with_seed(13);
+    let model = NshdModel::train(teacher, &train, cfg);
+
+    // The request stream cycles the test split.
+    let images: Vec<Tensor> = (0..args.requests).map(|i| test.sample(i % test.len()).0).collect();
+
+    // Baseline: single-threaded, one image at a time.
+    eprintln!("[serve_bench] baseline: {} per-sample predictions", images.len());
+    let mut baseline_preds = Vec::with_capacity(images.len());
+    let mut baseline_lat_us: Vec<f64> = Vec::with_capacity(images.len());
+    let base_start = Instant::now();
+    for img in &images {
+        let t = Instant::now();
+        baseline_preds.push(model.predict(img));
+        baseline_lat_us.push(t.elapsed().as_secs_f64() * 1e6);
+    }
+    let base_elapsed = base_start.elapsed().as_secs_f64();
+    let base_rps = images.len() as f64 / base_elapsed;
+    baseline_lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+
+    // Batched: everything through the serving runtime.
+    eprintln!(
+        "[serve_bench] batched: workers={} max_batch={} max_wait={}us",
+        args.workers, args.max_batch, args.max_wait_us
+    );
+    let engine = Arc::new(NshdEngine::from_model(&model));
+    let runtime = InferenceRuntime::new(
+        engine,
+        RuntimeConfig {
+            workers: args.workers,
+            max_batch: args.max_batch,
+            max_wait: Duration::from_micros(args.max_wait_us),
+        },
+    );
+    let handles: Vec<_> = images.iter().map(|img| runtime.submit(img.clone())).collect();
+    let batched_preds: Vec<usize> = handles.into_iter().map(|h| h.wait()).collect();
+    let metrics = runtime.shutdown();
+
+    let predictions_match = batched_preds == baseline_preds;
+    let speedup = if base_rps > 0.0 { metrics.requests_per_sec / base_rps } else { 0.0 };
+    let json = format!(
+        concat!(
+            "{{\"scale\":\"{}\",\"requests\":{},\"workers\":{},\"max_batch\":{},",
+            "\"max_wait_us\":{},\"hv_dim\":{},",
+            "\"baseline\":{{\"requests_per_sec\":{:.1},\"p50_us\":{:.1},\"p99_us\":{:.1}}},",
+            "\"batched\":{},",
+            "\"speedup\":{:.2},\"predictions_match\":{}}}"
+        ),
+        if args.smoke {
+            "smoke"
+        } else if scale == Scale::Full {
+            "full"
+        } else {
+            "quick"
+        },
+        images.len(),
+        args.workers,
+        args.max_batch,
+        args.max_wait_us,
+        hv_dim,
+        base_rps,
+        percentile(&baseline_lat_us, 0.50),
+        percentile(&baseline_lat_us, 0.99),
+        metrics.to_json(),
+        speedup,
+        predictions_match,
+    );
+    println!("{json}");
+
+    if args.smoke {
+        assert!(!json.is_empty() && json.starts_with('{') && json.ends_with('}'));
+        for key in ["\"batched\":", "\"batch_histogram\":[[", "\"p99\":", "\"speedup\":"] {
+            assert!(json.contains(key), "smoke report missing {key}");
+        }
+        assert!(
+            predictions_match,
+            "smoke: batched predictions diverged from the sequential baseline"
+        );
+        assert_eq!(metrics.requests as usize, images.len());
+        eprintln!("[serve_bench] smoke OK");
+    }
+}

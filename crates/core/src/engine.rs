@@ -1,0 +1,266 @@
+//! The thread-shareable batched inference engine behind the serving
+//! runtime (`nshd-runtime`).
+//!
+//! [`NshdEngine`] snapshots a trained [`NshdModel`] into an immutable,
+//! `Send + Sync` form optimised for batch throughput:
+//!
+//! - images are stacked into one NCHW tensor and pushed through the
+//!   truncated teacher **once per batch** (`&self` inference path);
+//! - HD encoding runs as a single dense GEMM via
+//!   [`nshd_hdc::BatchEncoder`] instead of `N` bit-serial passes;
+//! - associative-memory scoring is one `matmul_bt` against the class
+//!   matrix instead of `N·k` scalar cosine loops.
+//!
+//! The two halves are exposed separately ([`extract_values`] /
+//! [`finish_values`]) so the runtime can data-parallelise the
+//! convolutional half across workers and still finish the whole batch
+//! with one GEMM.
+//!
+//! **Determinism.** The produced hypervectors are bit-identical to
+//! [`NshdModel::symbolize`]: evaluation-mode CNN layers are
+//! batch-size-independent, and the GEMM encoder accumulates features in
+//! the same order (with the same zero-skip) as the bit-serial encoder.
+//! Similarity *scores* may differ from the sequential path in the last
+//! float bits (different dot-product lane structure), so equality is
+//! guaranteed at the argmax/prediction level, not the raw score level.
+//!
+//! [`extract_values`]: NshdEngine::extract_values
+//! [`finish_values`]: NshdEngine::finish_values
+
+use crate::manifold::ManifoldLearner;
+use crate::model::NshdModel;
+use crate::scaler::FeatureScaler;
+use nshd_data::ImageDataset;
+use nshd_hdc::{AssociativeMemory, BatchEncoder, BipolarHv};
+use nshd_nn::Model;
+use nshd_tensor::Tensor;
+
+/// An immutable, `Send + Sync` snapshot of a trained NSHD pipeline,
+/// ready for concurrent batched inference.
+///
+/// # Examples
+///
+/// ```no_run
+/// use nshd_core::{NshdConfig, NshdEngine, NshdModel};
+/// # let model: NshdModel = unimplemented!();
+/// let engine = NshdEngine::from_model(&model);
+/// // `engine` can now be put in an `Arc` and shared across threads.
+/// ```
+#[derive(Clone)]
+pub struct NshdEngine {
+    teacher: Model,
+    cut: usize,
+    scaler: FeatureScaler,
+    manifold: Option<ManifoldLearner>,
+    encoder: BatchEncoder,
+    memory: AssociativeMemory,
+}
+
+// The engine must stay shareable across worker threads; fail the build
+// if a field ever loses `Send + Sync`.
+const _: fn() = || {
+    fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<NshdEngine>();
+};
+
+impl NshdEngine {
+    /// Snapshots a trained model into an engine. The model remains
+    /// usable; the engine holds its own copies (teacher weights, class
+    /// memory) plus the unpacked dense projection basis.
+    pub fn from_model(model: &NshdModel) -> Self {
+        NshdEngine {
+            teacher: model.teacher().clone(),
+            cut: model.config().cut,
+            scaler: model.scaler().clone(),
+            manifold: model.manifold().cloned(),
+            encoder: model.projection().batch_encoder(),
+            memory: model.memory().clone(),
+        }
+    }
+
+    /// Number of classes the engine predicts over.
+    pub fn num_classes(&self) -> usize {
+        self.memory.num_classes()
+    }
+
+    /// The snapshotted associative memory.
+    pub fn memory(&self) -> &AssociativeMemory {
+        &self.memory
+    }
+
+    /// Stage 1 — CNN feature extraction: stacks the CHW images into one
+    /// NCHW batch, runs the truncated teacher once, then standardises
+    /// and (optionally) manifold-compresses each sample. This is the
+    /// compute-heavy half the runtime splits across workers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if images disagree in shape.
+    pub fn extract_values(&self, images: &[Tensor]) -> Vec<Vec<f32>> {
+        if images.is_empty() {
+            return Vec::new();
+        }
+        let batch = Tensor::stack(images).expect("non-empty, equally-shaped image chunk");
+        let feats = self.teacher.infer_features_at(&batch, self.cut);
+        (0..images.len())
+            .map(|b| {
+                let feat = self.scaler.transform(&feats.batch_item(b));
+                match &self.manifold {
+                    Some(m) => m.forward(&feat).1,
+                    None => feat.as_slice().to_vec(),
+                }
+            })
+            .collect()
+    }
+
+    /// Encodes extracted feature values into bipolar hypervectors with
+    /// one dense GEMM. Bit-identical to encoding each row through
+    /// [`NshdModel::symbolize`]'s per-sample path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows differ in length or don't match the projection.
+    pub fn encode_values(&self, values: &[Vec<f32>]) -> Vec<BipolarHv> {
+        if values.is_empty() {
+            return Vec::new();
+        }
+        let matrix = Tensor::from_rows(values).expect("equal-length value rows");
+        self.encoder.encode_batch(&matrix)
+    }
+
+    /// Stage 2 — HD encode + associative scoring for a whole batch of
+    /// extracted values: one GEMM to encode, one `matmul_bt` to score.
+    ///
+    /// # Panics
+    ///
+    /// Panics if rows differ in length or don't match the projection.
+    pub fn finish_values(&self, values: &[Vec<f32>]) -> Vec<usize> {
+        let hvs = self.encode_values(values);
+        self.memory.predict_batch(&hvs)
+    }
+
+    /// Symbolises a batch of CHW images into query hypervectors —
+    /// bit-identical to per-image [`NshdModel::symbolize`].
+    pub fn symbolize_batch(&self, images: &[Tensor]) -> Vec<BipolarHv> {
+        self.encode_values(&self.extract_values(images))
+    }
+
+    /// Predicts classes for a batch of CHW images.
+    pub fn predict_batch(&self, images: &[Tensor]) -> Vec<usize> {
+        self.finish_values(&self.extract_values(images))
+    }
+
+    /// Predicts the class of a single CHW image (a batch of one).
+    pub fn predict(&self, image: &Tensor) -> usize {
+        self.predict_batch(std::slice::from_ref(image))[0]
+    }
+
+    /// Classification accuracy over a dataset through the batched path,
+    /// processed in bounded chunks.
+    pub fn evaluate(&self, dataset: &ImageDataset) -> f32 {
+        if dataset.is_empty() {
+            return 0.0;
+        }
+        const CHUNK: usize = 64;
+        let mut correct = 0usize;
+        let mut index = 0usize;
+        while index < dataset.len() {
+            let end = (index + CHUNK).min(dataset.len());
+            let images: Vec<Tensor> = (index..end).map(|i| dataset.sample(i).0).collect();
+            let preds = self.predict_batch(&images);
+            correct += preds
+                .iter()
+                .enumerate()
+                .filter(|(b, p)| **p == dataset.sample(index + b).1)
+                .count();
+            index = end;
+        }
+        correct as f32 / dataset.len() as f32
+    }
+}
+
+impl std::fmt::Debug for NshdEngine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NshdEngine")
+            .field("teacher", &self.teacher.name)
+            .field("cut", &self.cut)
+            .field("manifold", &self.manifold.is_some())
+            .field("classes", &self.memory.num_classes())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::NshdConfig;
+    use nshd_data::{normalize_pair, SynthSpec};
+    use nshd_nn::{ActKind, Activation, Conv2d, Flatten, Linear, MaxPool2d, Model, Sequential};
+    use nshd_tensor::Rng;
+
+    /// A small untrained teacher — prediction *parity* between the
+    /// batched and per-sample paths doesn't need a good model.
+    fn tiny_teacher(rng: &mut Rng) -> Model {
+        let features = Sequential::new()
+            .with(Conv2d::new(3, 4, 3, 1, 1, rng))
+            .with(Activation::new(ActKind::Relu))
+            .with(MaxPool2d::new(2));
+        let classifier =
+            Sequential::new().with(Flatten::new()).with(Linear::new(4 * 16 * 16, 10, rng));
+        Model {
+            name: "tiny".into(),
+            features,
+            classifier,
+            input_shape: vec![3, 32, 32],
+            num_classes: 10,
+        }
+    }
+
+    fn trained_setup(use_manifold: bool) -> (NshdModel, ImageDataset) {
+        let (mut train, mut test) = SynthSpec::synth10(17).with_sizes(40, 16).generate();
+        normalize_pair(&mut train, &mut test);
+        let teacher = tiny_teacher(&mut Rng::new(2));
+        let cfg = NshdConfig::new(3)
+            .with_hv_dim(512)
+            .with_manifold(use_manifold)
+            .with_manifold_features(24)
+            .with_retrain_epochs(1)
+            .with_seed(9);
+        (NshdModel::train(teacher, &train, cfg), test)
+    }
+
+    #[test]
+    fn batched_engine_matches_per_sample_model() {
+        for use_manifold in [true, false] {
+            let (model, test) = trained_setup(use_manifold);
+            let engine = NshdEngine::from_model(&model);
+            let images: Vec<Tensor> = (0..test.len()).map(|i| test.sample(i).0).collect();
+            // Hypervectors are bit-identical to the per-sample path.
+            let batched_hvs = engine.symbolize_batch(&images);
+            for (img, hv) in images.iter().zip(&batched_hvs) {
+                assert_eq!(*hv, model.symbolize(img), "manifold={use_manifold}");
+            }
+            // Predictions agree for every image and any chunking.
+            let batched = engine.predict_batch(&images);
+            let sequential: Vec<usize> = images.iter().map(|img| model.predict(img)).collect();
+            assert_eq!(batched, sequential, "manifold={use_manifold}");
+            for chunk in images.chunks(5) {
+                let preds = engine.predict_batch(chunk);
+                for (img, p) in chunk.iter().zip(preds) {
+                    assert_eq!(p, engine.predict(img));
+                }
+            }
+            // And dataset-level accuracy matches the model's.
+            assert_eq!(engine.evaluate(&test), model.evaluate(&test));
+        }
+    }
+
+    #[test]
+    fn empty_batches_are_fine() {
+        let (model, _) = trained_setup(false);
+        let engine = NshdEngine::from_model(&model);
+        assert!(engine.extract_values(&[]).is_empty());
+        assert!(engine.predict_batch(&[]).is_empty());
+        assert!(engine.symbolize_batch(&[]).is_empty());
+    }
+}

@@ -41,6 +41,7 @@
 mod baselines;
 mod config;
 mod cost;
+mod engine;
 mod manifold;
 mod model;
 mod robust;
@@ -55,6 +56,7 @@ pub use cost::{
     nshd_macs, nshd_macs_from_stats, nshd_size, nshd_size_from_stats, nshd_workload,
     nshd_workload_from_stats, MacBreakdown, SizeBreakdown,
 };
+pub use engine::NshdEngine;
 pub use manifold::ManifoldLearner;
 pub use model::{NshdModel, NshdTrainer, RetrainEpoch};
 pub use robust::{DivergenceGuard, GuardVerdict, PipelineError, RollbackReason};

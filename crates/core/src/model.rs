@@ -78,6 +78,10 @@ impl NshdModel {
     pub(crate) fn teacher_mut_internal(&mut self) -> &mut Model {
         &mut self.teacher
     }
+
+    pub(crate) fn scaler(&self) -> &FeatureScaler {
+        &self.scaler
+    }
 }
 
 impl NshdModel {
@@ -136,11 +140,14 @@ impl NshdModel {
     }
 
     /// Symbolises one image (CHW) into its query hypervector.
-    pub fn symbolize(&mut self, image: &Tensor) -> BipolarHv {
+    ///
+    /// Runs the evaluation-mode `&self` inference path, so a trained
+    /// model can be shared across threads without cloning its memory.
+    pub fn symbolize(&self, image: &Tensor) -> BipolarHv {
         let batched = image
             .reshape([1, image.dims()[0], image.dims()[1], image.dims()[2]])
             .expect("CHW image");
-        let feats = self.teacher.features_at(&batched, self.config.cut, Mode::Eval);
+        let feats = self.teacher.infer_features_at(&batched, self.config.cut);
         let feat = self.scaler.transform(&feats.batch_item(0));
         let values = match &self.manifold {
             Some(m) => m.forward(&feat).1,
@@ -150,7 +157,7 @@ impl NshdModel {
     }
 
     /// Predicts the class of one image (CHW).
-    pub fn predict(&mut self, image: &Tensor) -> usize {
+    pub fn predict(&self, image: &Tensor) -> usize {
         let hv = self.symbolize(image);
         self.memory.predict(&hv)
     }
@@ -162,7 +169,7 @@ impl NshdModel {
     /// # Panics
     ///
     /// Panics if `k` is zero or exceeds the class count.
-    pub fn predict_top_k(&mut self, image: &Tensor, k: usize) -> Vec<(usize, f32)> {
+    pub fn predict_top_k(&self, image: &Tensor, k: usize) -> Vec<(usize, f32)> {
         assert!(k >= 1 && k <= self.memory.num_classes(), "invalid k = {k}");
         let hv = self.symbolize(image);
         let mut scored: Vec<(usize, f32)> =
@@ -174,7 +181,7 @@ impl NshdModel {
 
     /// Symbolises a whole dataset into `(hypervector, label)` pairs (used
     /// by evaluation and the t-SNE explainability analysis).
-    pub fn symbolize_dataset(&mut self, dataset: &ImageDataset) -> Vec<(BipolarHv, usize)> {
+    pub fn symbolize_dataset(&self, dataset: &ImageDataset) -> Vec<(BipolarHv, usize)> {
         (0..dataset.len())
             .map(|i| {
                 let (img, label) = dataset.sample(i);
@@ -184,7 +191,7 @@ impl NshdModel {
     }
 
     /// Classification accuracy over a dataset.
-    pub fn evaluate(&mut self, dataset: &ImageDataset) -> f32 {
+    pub fn evaluate(&self, dataset: &ImageDataset) -> f32 {
         let samples = self.symbolize_dataset(dataset);
         self.memory.accuracy(&samples)
     }
@@ -448,7 +455,7 @@ mod tests {
             .with_manifold_features(40)
             .with_retrain_epochs(5)
             .with_seed(1);
-        let mut model = NshdModel::train(teacher, &train, cfg);
+        let model = NshdModel::train(teacher, &train, cfg);
         let acc = model.evaluate(&test);
         assert!(acc > 0.35, "NSHD accuracy {acc} not above chance");
         assert_eq!(model.history().len(), 5);
@@ -486,7 +493,7 @@ mod tests {
             .with_retrain_epochs(3)
             .with_seed(3);
         let feat_len = teacher.feature_len_at(8);
-        let mut model = NshdModel::train(teacher, &train, cfg);
+        let model = NshdModel::train(teacher, &train, cfg);
         assert_eq!(model.projection().features(), feat_len);
         assert!(model.manifold().is_none());
         let acc = model.evaluate(&test);

@@ -271,7 +271,7 @@ mod tests {
         let mut bytes = Vec::new();
         original.save(&mut bytes).expect("save");
 
-        let mut restored = load_pipeline(teacher, &train, cfg, bytes.as_slice()).expect("load");
+        let restored = load_pipeline(teacher, &train, cfg, bytes.as_slice()).expect("load");
         for i in 0..test.len() {
             let (img, _) = test.sample(i);
             assert_eq!(original.predict(&img), restored.predict(&img), "sample {i}");

@@ -58,7 +58,7 @@ pub use memory::AssociativeMemory;
 pub use nonlinear::NonlinearEncoder;
 pub use online::OnlineTrainer;
 pub use ops::{bind, bundle, bundle_majority, permute, sign_with_tiebreak};
-pub use projection::RandomProjection;
+pub use projection::{BatchEncoder, RandomProjection};
 pub use quantized::{BinaryMemory, QuantizedMemory};
 pub use similarity::{cosine_dense_bipolar, cosine_packed, dot_dense_bipolar};
 pub use ste::{apply_ste, feature_gradient, hyperspace_error, SteConfig};

@@ -2,6 +2,7 @@
 
 use crate::hypervector::BipolarHv;
 use crate::similarity::cosine_dense_bipolar;
+use nshd_tensor::{matmul_bt, Tensor};
 
 /// An HD associative memory `M = [C_0 … C_{k-1}]` of dense class
 /// hypervectors.
@@ -140,7 +141,86 @@ impl AssociativeMemory {
             .expect("memory has at least one class")
     }
 
-    /// Classification accuracy over a labelled set of hypervectors.
+    /// The class accumulators as a row-major `k×D` matrix, the layout
+    /// batched similarity search scores against.
+    pub fn class_matrix(&self) -> Tensor {
+        let mut data = Vec::with_capacity(self.classes.len() * self.dim);
+        for c in &self.classes {
+            data.extend_from_slice(c);
+        }
+        Tensor::from_vec(data, [self.classes.len(), self.dim]).expect("consistent class dims")
+    }
+
+    fn similarities_refs(&self, hvs: &[&BipolarHv]) -> Tensor {
+        let n = hvs.len();
+        let k = self.classes.len();
+        if n == 0 {
+            return Tensor::zeros([0, k]);
+        }
+        let mut qdata = Vec::with_capacity(n * self.dim);
+        for hv in hvs {
+            assert_eq!(hv.dim(), self.dim, "dimension mismatch");
+            qdata.extend(hv.components().iter().map(|&c| c as f32));
+        }
+        let queries = Tensor::from_vec(qdata, [n, self.dim]).expect("query rows are D long");
+        let mut sims = matmul_bt(&queries, &self.class_matrix());
+        // Per-class normalisation: dot / (‖C_c‖·√D); zero-norm classes
+        // score 0, matching `cosine_dense_bipolar`.
+        let inv_sqrt_d = 1.0 / (self.dim as f32).sqrt();
+        let col_scale: Vec<f32> = self
+            .classes
+            .iter()
+            .map(|c| {
+                let norm: f32 = c.iter().map(|d| d * d).sum::<f32>().sqrt();
+                if norm == 0.0 {
+                    0.0
+                } else {
+                    inv_sqrt_d / norm
+                }
+            })
+            .collect();
+        for row in sims.as_mut_slice().chunks_mut(k) {
+            for (s, &scale) in row.iter_mut().zip(&col_scale) {
+                *s *= scale;
+            }
+        }
+        sims
+    }
+
+    /// Cosine similarities of a whole batch of queries against every
+    /// class, as an `N×k` tensor — one [`matmul_bt`] instead of `N·k`
+    /// scalar dot loops. Row `i` matches
+    /// [`similarities`](AssociativeMemory::similarities) for `hvs[i]` up
+    /// to float summation order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query dimension disagrees with the memory.
+    pub fn similarities_batch(&self, hvs: &[BipolarHv]) -> Tensor {
+        let refs: Vec<&BipolarHv> = hvs.iter().collect();
+        self.similarities_refs(&refs)
+    }
+
+    /// Predicted classes for a whole batch of queries — the batched
+    /// counterpart of [`predict`](AssociativeMemory::predict), with the
+    /// same last-maximum tie-breaking.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any query dimension disagrees with the memory.
+    pub fn predict_batch(&self, hvs: &[BipolarHv]) -> Vec<usize> {
+        let refs: Vec<&BipolarHv> = hvs.iter().collect();
+        self.predict_refs(&refs)
+    }
+
+    fn predict_refs(&self, hvs: &[&BipolarHv]) -> Vec<usize> {
+        let k = self.classes.len();
+        let sims = self.similarities_refs(hvs);
+        sims.as_slice().chunks(k).map(argmax_last).collect()
+    }
+
+    /// Classification accuracy over a labelled set of hypervectors,
+    /// scored through the batched similarity path.
     ///
     /// # Panics
     ///
@@ -149,7 +229,13 @@ impl AssociativeMemory {
         if samples.is_empty() {
             return 0.0;
         }
-        let correct = samples.iter().filter(|(hv, label)| self.predict(hv) == *label).count();
+        // Chunked so the N×D query matrix stays modest for large sets.
+        let mut correct = 0usize;
+        for chunk in samples.chunks(512) {
+            let refs: Vec<&BipolarHv> = chunk.iter().map(|(hv, _)| hv).collect();
+            let preds = self.predict_refs(&refs);
+            correct += preds.iter().zip(chunk).filter(|(p, (_, label))| **p == *label).count();
+        }
         correct as f32 / samples.len() as f32
     }
 
@@ -157,6 +243,18 @@ impl AssociativeMemory {
     pub fn param_count(&self) -> usize {
         self.classes.len() * self.dim
     }
+}
+
+/// Index of the last maximum in a row — the same tie-breaking
+/// `Iterator::max_by` applies in [`AssociativeMemory::predict`].
+fn argmax_last(row: &[f32]) -> usize {
+    let mut best = 0usize;
+    for (i, &v) in row.iter().enumerate() {
+        if v >= row[best] {
+            best = i;
+        }
+    }
+    best
 }
 
 #[cfg(test)]
@@ -238,5 +336,60 @@ mod tests {
     #[test]
     fn param_count_is_k_times_d() {
         assert_eq!(AssociativeMemory::new(10, 3000).param_count(), 30_000);
+    }
+
+    #[test]
+    fn batched_similarities_match_per_sample_path() {
+        let mut rng = Rng::new(5);
+        let dim = 768;
+        let mut mem = AssociativeMemory::new(4, dim);
+        for c in 0..4 {
+            for _ in 0..6 {
+                let hv = random_hv(dim, &mut rng);
+                mem.bundle(c, &hv);
+            }
+        }
+        let queries: Vec<BipolarHv> = (0..9).map(|_| random_hv(dim, &mut rng)).collect();
+        let batch = mem.similarities_batch(&queries);
+        assert_eq!(batch.dims(), &[9, 4]);
+        for (i, q) in queries.iter().enumerate() {
+            let single = mem.similarities(q);
+            for (c, &s) in single.iter().enumerate() {
+                let b = batch.at(&[i, c]);
+                assert!((b - s).abs() < 1e-5, "query {i} class {c}: {b} vs {s}");
+            }
+        }
+        assert_eq!(
+            mem.predict_batch(&queries),
+            queries.iter().map(|q| mem.predict(q)).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn batched_zero_class_scores_zero() {
+        let mut rng = Rng::new(6);
+        let mut mem = AssociativeMemory::new(2, 256);
+        let h = random_hv(256, &mut rng);
+        mem.bundle(0, &h);
+        let sims = mem.similarities_batch(std::slice::from_ref(&h));
+        assert!((sims.at(&[0, 0]) - 1.0).abs() < 1e-5);
+        assert_eq!(sims.at(&[0, 1]), 0.0, "empty class must score exactly 0");
+    }
+
+    #[test]
+    fn batched_empty_query_set() {
+        let mem = AssociativeMemory::new(3, 64);
+        let sims = mem.similarities_batch(&[]);
+        assert_eq!(sims.dims(), &[0, 3]);
+        assert!(mem.predict_batch(&[]).is_empty());
+    }
+
+    #[test]
+    fn class_matrix_is_row_major_accumulators() {
+        let mut mem = AssociativeMemory::new(2, 3);
+        mem.class_mut(1).copy_from_slice(&[1.0, -2.0, 3.0]);
+        let m = mem.class_matrix();
+        assert_eq!(m.dims(), &[2, 3]);
+        assert_eq!(m.as_slice(), &[0.0, 0.0, 0.0, 1.0, -2.0, 3.0]);
     }
 }

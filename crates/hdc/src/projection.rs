@@ -2,7 +2,7 @@
 //! adjoint used by the manifold-learner backward pass.
 
 use crate::hypervector::{BipolarHv, PackedHv};
-use nshd_tensor::Rng;
+use nshd_tensor::{matmul, Rng, Tensor};
 
 /// A seeded bipolar random-projection encoder.
 ///
@@ -150,6 +150,12 @@ impl RandomProjection {
             .collect()
     }
 
+    /// Builds the dense-GEMM batch encoder for this projection — see
+    /// [`BatchEncoder`].
+    pub fn batch_encoder(&self) -> BatchEncoder {
+        BatchEncoder::new(self)
+    }
+
     /// MACs per encoded sample under the paper's Fig. 5 convention
     /// (binding = one multiply–accumulate per feature per dimension).
     pub fn macs_per_encode(&self) -> u64 {
@@ -160,6 +166,97 @@ impl RandomProjection {
     /// Table II counts these as learning parameters).
     pub fn param_count(&self) -> usize {
         self.features * self.dim
+    }
+}
+
+/// The dense-GEMM counterpart of [`RandomProjection`] for batched
+/// encoding: the bit-packed base hypervectors unpacked once into an
+/// `F×D` ±1 matrix, so a whole batch of feature vectors encodes as a
+/// single matrix product instead of `N` bit-serial accumulation passes.
+///
+/// `encode_raw_batch` is **bit-identical** to per-sample
+/// [`RandomProjection::encode_raw`]: the GEMM kernel accumulates the
+/// inner (feature) dimension sequentially and skips exact zeros, the
+/// same summation order and zero-skip as the bit-serial path, and
+/// `±1.0 · v` is exact in IEEE arithmetic. The serving runtime's
+/// determinism guarantee rests on this equality.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_hdc::RandomProjection;
+/// use nshd_tensor::Tensor;
+///
+/// let proj = RandomProjection::new(4, 256, 7);
+/// let batch = proj.batch_encoder();
+/// let values = Tensor::from_fn([3, 4], |i| (i as f32 * 0.3).sin());
+/// let hvs = batch.encode_batch(&values);
+/// assert_eq!(hvs.len(), 3);
+/// assert_eq!(hvs[0], proj.encode(&values.as_slice()[..4]));
+/// ```
+#[derive(Debug, Clone)]
+pub struct BatchEncoder {
+    features: usize,
+    dim: usize,
+    /// Row-major `F×D` matrix of ±1.0, row `f` = unpacked `P_f`.
+    basis: Tensor,
+}
+
+impl BatchEncoder {
+    /// Unpacks `proj`'s base hypervectors into the dense basis matrix.
+    pub fn new(proj: &RandomProjection) -> Self {
+        let (features, dim) = (proj.features, proj.dim);
+        let mut data = Vec::with_capacity(features * dim);
+        for row in &proj.rows {
+            let mut d = 0usize;
+            'row: for word in row.words() {
+                let mut bits = *word;
+                for _ in 0..64 {
+                    if d == dim {
+                        break 'row;
+                    }
+                    data.push(if bits & 1 == 1 { 1.0 } else { -1.0 });
+                    bits >>= 1;
+                    d += 1;
+                }
+            }
+        }
+        let basis = Tensor::from_vec(data, [features, dim]).expect("F·D basis entries");
+        BatchEncoder { features, dim, basis }
+    }
+
+    /// Number of input features `F`.
+    pub fn features(&self) -> usize {
+        self.features
+    }
+
+    /// Hypervector dimensionality `D`.
+    pub fn dim(&self) -> usize {
+        self.dim
+    }
+
+    /// Pre-sign accumulators for a whole batch: `values · P` as an `N×D`
+    /// tensor, row `i` bit-identical to `encode_raw` of row `i`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is not a rank-2 tensor with `F` columns.
+    pub fn encode_raw_batch(&self, values: &Tensor) -> Tensor {
+        let dims = values.dims();
+        assert_eq!(dims.len(), 2, "BatchEncoder expects an N×F value matrix");
+        assert_eq!(dims[1], self.features, "feature count mismatch");
+        matmul(values, &self.basis)
+    }
+
+    /// Encodes a whole batch of feature vectors into bipolar
+    /// hypervectors: `sign(encode_raw_batch(values))` row by row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is not a rank-2 tensor with `F` columns.
+    pub fn encode_batch(&self, values: &Tensor) -> Vec<BipolarHv> {
+        let raw = self.encode_raw_batch(values);
+        raw.as_slice().chunks(self.dim).map(BipolarHv::from_signs).collect()
     }
 }
 
@@ -246,6 +343,39 @@ mod tests {
     #[should_panic(expected = "feature count mismatch")]
     fn wrong_feature_count_panics() {
         RandomProjection::new(4, 64, 0).encode(&[1.0; 5]);
+    }
+
+    #[test]
+    fn batch_encoder_is_bit_identical_to_per_sample_encode() {
+        // 130 dims exercises the partial trailing word; a zero value
+        // exercises the zero-skip paths on both sides.
+        let proj = RandomProjection::new(6, 130, 11);
+        let batch = proj.batch_encoder();
+        assert_eq!(batch.features(), 6);
+        assert_eq!(batch.dim(), 130);
+        let mut rng = Rng::new(12);
+        let mut rows: Vec<Vec<f32>> =
+            (0..5).map(|_| (0..6).map(|_| rng.normal()).collect()).collect();
+        rows[2][3] = 0.0;
+        let values = Tensor::from_vec(rows.concat(), [5, 6]).unwrap();
+        let raw = batch.encode_raw_batch(&values);
+        let hvs = batch.encode_batch(&values);
+        for (i, row) in rows.iter().enumerate() {
+            let expect = proj.encode_raw(row);
+            assert_eq!(
+                &raw.as_slice()[i * 130..(i + 1) * 130],
+                expect.as_slice(),
+                "row {i} raw accumulators must be bit-identical"
+            );
+            assert_eq!(hvs[i], proj.encode(row), "row {i} hypervector");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "feature count mismatch")]
+    fn batch_encoder_wrong_feature_count_panics() {
+        let proj = RandomProjection::new(4, 64, 0);
+        proj.batch_encoder().encode_raw_batch(&Tensor::zeros([2, 5]));
     }
 
     use nshd_tensor::Rng;

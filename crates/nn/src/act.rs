@@ -110,6 +110,10 @@ impl Layer for Activation {
         if mode == Mode::Train {
             self.cached_input = Some(input.clone());
         }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         input.map(|x| self.kind.apply(x))
     }
 

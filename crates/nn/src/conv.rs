@@ -107,21 +107,11 @@ impl Conv2d {
         }
         cols
     }
-}
 
-impl Layer for Conv2d {
-    fn clone_box(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
-    }
-
-    fn name(&self) -> String {
-        format!(
-            "conv{}x{}({}→{},s{})",
-            self.kernel, self.kernel, self.in_channels, self.out_channels, self.stride
-        )
-    }
-
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    /// The full forward computation, shared between [`Layer::forward`] and
+    /// [`Layer::infer`]: returns the patch matrix (for the training cache)
+    /// and the biased output.
+    fn compute(&self, input: &Tensor) -> (Tensor, Tensor) {
         let dims = input.dims();
         assert_eq!(dims.len(), 4, "Conv2d expects NCHW input, got {:?}", dims);
         assert_eq!(dims[1], self.in_channels, "channel mismatch in {}", self.name());
@@ -132,11 +122,6 @@ impl Layer for Conv2d {
         let cols = self.batch_cols(input, &g);
         // One GEMM for the whole batch: K×CRS · CRS×(N·P) = K×(N·P).
         let y = matmul(&self.weight.value, &cols);
-        if mode == Mode::Train {
-            self.cached_cols = Some(cols);
-            self.cached_batch = n;
-            self.cached_in_hw = (h, w);
-        }
         // Scatter K×(N·P) → N×K×P, adding bias.
         let mut out = Tensor::zeros([n, self.out_channels, oh, ow]);
         let yv = y.as_slice();
@@ -153,7 +138,34 @@ impl Layer for Conv2d {
                 }
             }
         }
+        (cols, out)
+    }
+}
+
+impl Layer for Conv2d {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> String {
+        format!(
+            "conv{}x{}({}→{},s{})",
+            self.kernel, self.kernel, self.in_channels, self.out_channels, self.stride
+        )
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (cols, out) = self.compute(input);
+        if mode == Mode::Train {
+            self.cached_batch = input.dims()[0];
+            self.cached_in_hw = (input.dims()[2], input.dims()[3]);
+            self.cached_cols = Some(cols);
+        }
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.compute(input).1
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {

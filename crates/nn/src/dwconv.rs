@@ -69,14 +69,18 @@ impl Layer for DepthwiseConv2d {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Train {
+            self.cached_input = Some(input.clone());
+        }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         let dims = input.dims();
         assert_eq!(dims.len(), 4, "DepthwiseConv2d expects NCHW input");
         assert_eq!(dims[1], self.channels, "channel mismatch in {}", self.name());
         let (n, h, w) = (dims[0], dims[2], dims[3]);
         let (oh, ow) = self.out_hw(h, w);
-        if mode == Mode::Train {
-            self.cached_input = Some(input.clone());
-        }
         let mut out = Tensor::zeros([n, self.channels, oh, ow]);
         let x = input.as_slice();
         let wv = self.weight.value.as_slice();

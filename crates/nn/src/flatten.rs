@@ -29,6 +29,10 @@ impl Layer for Flatten {
         if mode == Mode::Train {
             self.cached_in_shape = Some(input.dims().to_vec());
         }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         let n = input.dims()[0];
         let f: usize = input.dims()[1..].iter().product();
         input.reshape([n, f]).expect("flatten preserves element count")
@@ -77,7 +81,7 @@ impl Layer for Dropout {
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         match mode {
-            Mode::Eval => input.clone(),
+            Mode::Eval => self.infer(input),
             Mode::Train => {
                 let keep = 1.0 - self.p;
                 let scale = 1.0 / keep;
@@ -93,6 +97,10 @@ impl Layer for Dropout {
                 out
             }
         }
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        input.clone()
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {

@@ -31,6 +31,12 @@ pub trait Layer: Send + Sync {
     /// Computes the layer output for a batched input.
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor;
 
+    /// Computes the layer output for a batched input in evaluation mode
+    /// without touching any layer state — the thread-shareable inference
+    /// path (`&self`, so `Send + Sync` layers can serve concurrent
+    /// requests). Must be bit-identical to `forward(input, Mode::Eval)`.
+    fn infer(&self, input: &Tensor) -> Tensor;
+
     /// Propagates `grad` (∂loss/∂output) backwards, accumulating parameter
     /// gradients and returning ∂loss/∂input.
     ///
@@ -114,6 +120,9 @@ mod tests {
         fn forward(&mut self, input: &Tensor, _mode: Mode) -> Tensor {
             input.clone()
         }
+        fn infer(&self, input: &Tensor) -> Tensor {
+            input.clone()
+        }
         fn backward(&mut self, grad: &Tensor) -> Tensor {
             grad.clone()
         }
@@ -134,6 +143,7 @@ mod tests {
         id.zero_grad(); // no-op, must not panic
         let x = Tensor::ones([2, 3]);
         assert_eq!(id.forward(&x, Mode::Train), x);
+        assert_eq!(id.infer(&x), x);
         assert_eq!(id.backward(&x), x);
     }
 

@@ -71,6 +71,21 @@ impl Linear {
     pub fn bias_mut(&mut self) -> &mut Tensor {
         &mut self.bias.value
     }
+
+    /// `y = x·Wᵀ + b` for a pre-flattened `N×F_in` input, shared between
+    /// [`Layer::forward`] and [`Layer::infer`].
+    fn compute(&self, input2: &Tensor) -> Tensor {
+        let mut y = matmul_bt(input2, &self.weight.value);
+        let n = y.dims()[0];
+        let bv = self.bias.value.as_slice().to_vec();
+        for b in 0..n {
+            let row = &mut y.as_mut_slice()[b * self.out_features..(b + 1) * self.out_features];
+            for (o, add) in row.iter_mut().zip(&bv) {
+                *o += add;
+            }
+        }
+        y
+    }
 }
 
 impl Layer for Linear {
@@ -84,19 +99,15 @@ impl Layer for Linear {
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let input2 = flatten_to_2d(input, self.in_features);
+        let y = self.compute(&input2);
         if mode == Mode::Train {
-            self.cached_input = Some(input2.clone());
-        }
-        let mut y = matmul_bt(&input2, &self.weight.value);
-        let n = y.dims()[0];
-        let bv = self.bias.value.as_slice().to_vec();
-        for b in 0..n {
-            let row = &mut y.as_mut_slice()[b * self.out_features..(b + 1) * self.out_features];
-            for (o, add) in row.iter_mut().zip(&bv) {
-                *o += add;
-            }
+            self.cached_input = Some(input2);
         }
         y
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.compute(&flatten_to_2d(input, self.in_features))
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {

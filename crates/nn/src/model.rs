@@ -51,6 +51,26 @@ impl Model {
         self.features.forward_to(input, cut, mode)
     }
 
+    /// Full evaluation-mode forward pass without mutating any layer — the
+    /// `&self` counterpart of [`forward`](Model::forward), usable from a
+    /// shared reference across threads.
+    pub fn infer(&self, input: &Tensor) -> Tensor {
+        let feats = self.features.infer_all(input);
+        self.classifier.infer_all(&feats)
+    }
+
+    /// Activations after the first `cut` feature layers, computed in
+    /// evaluation mode without mutating any layer — the `&self`
+    /// counterpart of [`features_at`](Model::features_at). Bit-identical
+    /// to `features_at(input, cut, Mode::Eval)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cut > self.features.len()`.
+    pub fn infer_features_at(&self, input: &Tensor, cut: usize) -> Tensor {
+        self.features.infer_to(input, cut)
+    }
+
     /// Completes the forward pass from intermediate features: runs
     /// feature layers `cut..` and the classifier. Used to obtain teacher
     /// logits without recomputing the shared prefix.
@@ -165,6 +185,17 @@ mod tests {
         for (a, b) in full.as_slice().iter().zip(rejoined.as_slice()) {
             assert!((a - b).abs() < 1e-5);
         }
+    }
+
+    #[test]
+    fn infer_matches_eval_forward_bitwise() {
+        let mut m = tiny_model();
+        let x = Tensor::from_fn([3, 1, 8, 8], |i| (i as f32 * 0.17).sin());
+        assert_eq!(m.infer(&x).as_slice(), m.forward(&x, Mode::Eval).as_slice());
+        assert_eq!(
+            m.infer_features_at(&x, 2).as_slice(),
+            m.features_at(&x, 2, Mode::Eval).as_slice()
+        );
     }
 
     #[test]

@@ -70,6 +70,9 @@ impl Layer for BatchNorm2d {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Eval {
+            return self.infer(input);
+        }
         let dims = input.dims();
         assert_eq!(dims.len(), 4, "BatchNorm2d expects NCHW input");
         assert_eq!(dims[1], self.channels, "channel mismatch in {}", self.name());
@@ -79,35 +82,26 @@ impl Layer for BatchNorm2d {
         let x = input.as_slice();
         let mut out = Tensor::zeros(input.shape().clone());
 
-        let (mean, var): (Vec<f32>, Vec<f32>) = match mode {
-            Mode::Train => {
-                let mut mean = vec![0.0f32; self.channels];
-                let mut var = vec![0.0f32; self.channels];
-                for c in 0..self.channels {
-                    let mut s = 0.0;
-                    for b in 0..n {
-                        let base = (b * self.channels + c) * plane;
-                        s += x[base..base + plane].iter().sum::<f32>();
-                    }
-                    mean[c] = s / per_channel as f32;
-                    let mut v = 0.0;
-                    for b in 0..n {
-                        let base = (b * self.channels + c) * plane;
-                        v += x[base..base + plane]
-                            .iter()
-                            .map(|&e| (e - mean[c]).powi(2))
-                            .sum::<f32>();
-                    }
-                    var[c] = v / per_channel as f32;
-                    self.running_mean[c] =
-                        (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
-                    self.running_var[c] =
-                        (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
-                }
-                (mean, var)
+        let mut mean = vec![0.0f32; self.channels];
+        let mut var = vec![0.0f32; self.channels];
+        for c in 0..self.channels {
+            let mut s = 0.0;
+            for b in 0..n {
+                let base = (b * self.channels + c) * plane;
+                s += x[base..base + plane].iter().sum::<f32>();
             }
-            Mode::Eval => (self.running_mean.clone(), self.running_var.clone()),
-        };
+            mean[c] = s / per_channel as f32;
+            let mut v = 0.0;
+            for b in 0..n {
+                let base = (b * self.channels + c) * plane;
+                v += x[base..base + plane].iter().map(|&e| (e - mean[c]).powi(2)).sum::<f32>();
+            }
+            var[c] = v / per_channel as f32;
+            self.running_mean[c] =
+                (1.0 - self.momentum) * self.running_mean[c] + self.momentum * mean[c];
+            self.running_var[c] =
+                (1.0 - self.momentum) * self.running_var[c] + self.momentum * var[c];
+        }
 
         let inv_std: Vec<f32> = var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
         let g = self.gamma.value.as_slice();
@@ -127,8 +121,31 @@ impl Layer for BatchNorm2d {
                 }
             }
         }
-        if mode == Mode::Train {
-            self.cache = Some(BnCache { x_hat, inv_std, n_per_channel: per_channel });
+        self.cache = Some(BnCache { x_hat, inv_std, n_per_channel: per_channel });
+        out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let dims = input.dims();
+        assert_eq!(dims.len(), 4, "BatchNorm2d expects NCHW input");
+        assert_eq!(dims[1], self.channels, "channel mismatch in {}", self.name());
+        let (n, h, w) = (dims[0], dims[2], dims[3]);
+        let plane = h * w;
+        let x = input.as_slice();
+        let inv_std: Vec<f32> =
+            self.running_var.iter().map(|&v| 1.0 / (v + self.eps).sqrt()).collect();
+        let g = self.gamma.value.as_slice();
+        let bta = self.beta.value.as_slice();
+        let mut out = Tensor::zeros(input.shape().clone());
+        let o = out.as_mut_slice();
+        for b in 0..n {
+            for c in 0..self.channels {
+                let base = (b * self.channels + c) * plane;
+                for i in 0..plane {
+                    let normalised = (x[base + i] - self.running_mean[c]) * inv_std[c];
+                    o[base + i] = g[c] * normalised + bta[c];
+                }
+            }
         }
         out
     }

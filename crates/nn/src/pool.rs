@@ -50,6 +50,47 @@ impl MaxPool2d {
         );
         ((h - self.window) / self.stride + 1, (w - self.window) / self.stride + 1)
     }
+
+    /// The pooling scan shared between [`Layer::forward`] and
+    /// [`Layer::infer`]: returns the pooled output and per-output argmax
+    /// indices (the latter only cached in training mode).
+    fn compute(&self, input: &Tensor) -> (Tensor, Vec<usize>) {
+        let dims = input.dims();
+        assert_eq!(dims.len(), 4, "MaxPool2d expects NCHW input");
+        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
+        let (oh, ow) = self.out_hw(h, w);
+        let x = input.as_slice();
+        let mut out = Tensor::zeros([n, c, oh, ow]);
+        let mut argmax = vec![0usize; out.len()];
+        let o = out.as_mut_slice();
+        let mut oi = 0usize;
+        for b in 0..n {
+            for ch in 0..c {
+                let base = (b * c + ch) * h * w;
+                for oy in 0..oh {
+                    for ox in 0..ow {
+                        let mut best = f32::NEG_INFINITY;
+                        let mut best_idx = 0usize;
+                        for ky in 0..self.window {
+                            for kx in 0..self.window {
+                                let iy = oy * self.stride + ky;
+                                let ix = ox * self.stride + kx;
+                                let idx = base + iy * w + ix;
+                                if x[idx] > best {
+                                    best = x[idx];
+                                    best_idx = idx;
+                                }
+                            }
+                        }
+                        o[oi] = best;
+                        argmax[oi] = best_idx;
+                        oi += 1;
+                    }
+                }
+            }
+        }
+        (out, argmax)
+    }
 }
 
 impl Layer for MaxPool2d {
@@ -62,46 +103,15 @@ impl Layer for MaxPool2d {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
-        let dims = input.dims();
-        assert_eq!(dims.len(), 4, "MaxPool2d expects NCHW input");
-        let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
-        let (oh, ow) = self.out_hw(h, w);
-        let x = input.as_slice();
-        let mut out = Tensor::zeros([n, c, oh, ow]);
-        let mut argmax = vec![0usize; out.len()];
-        {
-            let o = out.as_mut_slice();
-            let mut oi = 0usize;
-            for b in 0..n {
-                for ch in 0..c {
-                    let base = (b * c + ch) * h * w;
-                    for oy in 0..oh {
-                        for ox in 0..ow {
-                            let mut best = f32::NEG_INFINITY;
-                            let mut best_idx = 0usize;
-                            for ky in 0..self.window {
-                                for kx in 0..self.window {
-                                    let iy = oy * self.stride + ky;
-                                    let ix = ox * self.stride + kx;
-                                    let idx = base + iy * w + ix;
-                                    if x[idx] > best {
-                                        best = x[idx];
-                                        best_idx = idx;
-                                    }
-                                }
-                            }
-                            o[oi] = best;
-                            argmax[oi] = best_idx;
-                            oi += 1;
-                        }
-                    }
-                }
-            }
-        }
+        let (out, argmax) = self.compute(input);
         if mode == Mode::Train {
-            self.cached = Some(MaxCache { in_shape: dims.to_vec(), argmax });
+            self.cached = Some(MaxCache { in_shape: input.dims().to_vec(), argmax });
         }
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.compute(input).0
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {
@@ -159,13 +169,17 @@ impl Layer for AvgPool2d {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Train {
+            self.cached_in_shape = Some(input.dims().to_vec());
+        }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         let dims = input.dims();
         assert_eq!(dims.len(), 4, "AvgPool2d expects NCHW input");
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let (oh, ow) = self.out_hw(h, w);
-        if mode == Mode::Train {
-            self.cached_in_shape = Some(dims.to_vec());
-        }
         let x = input.as_slice();
         let norm = 1.0 / (self.window * self.window) as f32;
         let mut out = Tensor::zeros([n, c, oh, ow]);
@@ -250,13 +264,17 @@ impl Layer for GlobalAvgPool {
     }
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        if mode == Mode::Train {
+            self.cached_in_shape = Some(input.dims().to_vec());
+        }
+        self.infer(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
         let dims = input.dims();
         assert_eq!(dims.len(), 4, "GlobalAvgPool expects NCHW input");
         let (n, c, h, w) = (dims[0], dims[1], dims[2], dims[3]);
         let plane = h * w;
-        if mode == Mode::Train {
-            self.cached_in_shape = Some(dims.to_vec());
-        }
         let x = input.as_slice();
         Tensor::from_fn([n, c], |i| {
             let base = i * plane;

@@ -51,22 +51,11 @@ impl SqueezeExcite {
             cache: None,
         }
     }
-}
 
-fn sigmoid(x: f32) -> f32 {
-    1.0 / (1.0 + (-x).exp())
-}
-
-impl Layer for SqueezeExcite {
-    fn clone_box(&self) -> Box<dyn Layer> {
-        Box::new(self.clone())
-    }
-
-    fn name(&self) -> String {
-        format!("se(c{}→{})", self.channels, self.reduced)
-    }
-
-    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+    /// The gating computation shared between [`Layer::forward`] and
+    /// [`Layer::infer`]; the returned cache is only stored in training
+    /// mode.
+    fn compute(&self, input: &Tensor) -> (Tensor, SeCache) {
         let dims = input.dims();
         assert_eq!(dims.len(), 4, "SqueezeExcite expects NCHW input");
         assert_eq!(dims[1], self.channels, "channel mismatch in {}", self.name());
@@ -110,10 +99,33 @@ impl Layer for SqueezeExcite {
             cache.hidden.push(hidden);
             cache.gate.push(gate);
         }
+        (out, cache)
+    }
+}
+
+fn sigmoid(x: f32) -> f32 {
+    1.0 / (1.0 + (-x).exp())
+}
+
+impl Layer for SqueezeExcite {
+    fn clone_box(&self) -> Box<dyn Layer> {
+        Box::new(self.clone())
+    }
+
+    fn name(&self) -> String {
+        format!("se(c{}→{})", self.channels, self.reduced)
+    }
+
+    fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
+        let (out, cache) = self.compute(input);
         if mode == Mode::Train {
             self.cache = Some(cache);
         }
         out
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.compute(input).0
     }
 
     fn backward(&mut self, grad: &Tensor) -> Tensor {

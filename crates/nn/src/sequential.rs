@@ -99,6 +99,44 @@ impl Sequential {
         x
     }
 
+    /// Runs the full stack in evaluation mode without mutating any layer —
+    /// the `&self` counterpart of [`forward_all`](Sequential::forward_all)
+    /// used by the thread-shared serving path.
+    pub fn infer_all(&self, input: &Tensor) -> Tensor {
+        self.infer_to(input, self.layers.len())
+    }
+
+    /// Runs layers `0..end` in evaluation mode without mutating any layer —
+    /// the `&self` counterpart of [`forward_to`](Sequential::forward_to).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end > self.len()`.
+    pub fn infer_to(&self, input: &Tensor, end: usize) -> Tensor {
+        assert!(end <= self.layers.len(), "end {end} exceeds {} layers", self.layers.len());
+        let mut x = input.clone();
+        for layer in &self.layers[..end] {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
+    /// Runs layers `start..len` in evaluation mode without mutating any
+    /// layer — the `&self` counterpart of
+    /// [`forward_from`](Sequential::forward_from).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > self.len()`.
+    pub fn infer_from(&self, input: &Tensor, start: usize) -> Tensor {
+        assert!(start <= self.layers.len());
+        let mut x = input.clone();
+        for layer in &self.layers[start..] {
+            x = layer.infer(&x);
+        }
+        x
+    }
+
     /// Backwards through the full stack (training-mode forward required).
     pub fn backward_all(&mut self, grad: &Tensor) -> Tensor {
         let mut g = grad.clone();
@@ -167,6 +205,10 @@ impl Layer for Sequential {
         self.forward_all(input, mode)
     }
 
+    fn infer(&self, input: &Tensor) -> Tensor {
+        self.infer_all(input)
+    }
+
     fn backward(&mut self, grad: &Tensor) -> Tensor {
         self.backward_all(grad)
     }
@@ -233,6 +275,18 @@ impl Layer for Residual {
 
     fn forward(&mut self, input: &Tensor, mode: Mode) -> Tensor {
         let y = self.body.forward_all(input, mode);
+        assert_eq!(
+            y.shape(),
+            input.shape(),
+            "residual body must preserve shape ({} vs {})",
+            y.shape(),
+            input.shape()
+        );
+        y.add(input)
+    }
+
+    fn infer(&self, input: &Tensor) -> Tensor {
+        let y = self.body.infer_all(input);
         assert_eq!(
             y.shape(),
             input.shape(),

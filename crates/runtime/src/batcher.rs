@@ -1,0 +1,266 @@
+//! The micro-batching request queue and its collector thread.
+
+use crate::engine::BatchEngine;
+use crate::metrics::{MetricsInner, RuntimeMetrics};
+use crate::pool::WorkerPool;
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Serving-runtime knobs.
+#[derive(Debug, Clone)]
+pub struct RuntimeConfig {
+    /// Worker threads for the data-parallel extract stage. With one
+    /// worker the stage runs on the collector thread itself.
+    pub workers: usize,
+    /// Largest batch the collector will assemble before executing.
+    pub max_batch: usize,
+    /// How long the collector waits for more requests after the first
+    /// of a batch arrives; a shorter wait trades throughput for
+    /// latency. Tail batches flush when this deadline expires.
+    pub max_wait: Duration,
+}
+
+impl Default for RuntimeConfig {
+    fn default() -> Self {
+        RuntimeConfig { workers: 1, max_batch: 16, max_wait: Duration::from_millis(2) }
+    }
+}
+
+/// One queued inference request.
+struct Request<E: BatchEngine> {
+    input: E::Input,
+    enqueued: Instant,
+    reply: Sender<E::Output>,
+}
+
+/// One data-parallel slice of a batch, dispatched to a worker.
+struct Chunk<E: BatchEngine> {
+    index: usize,
+    inputs: Vec<E::Input>,
+    done: Sender<(usize, Vec<E::Partial>)>,
+}
+
+/// The completion handle returned by
+/// [`InferenceRuntime::submit`]: resolves to the request's output once
+/// its batch has executed.
+pub struct PredictionHandle<T> {
+    rx: Receiver<T>,
+}
+
+impl<T> PredictionHandle<T> {
+    /// Blocks until the result is ready.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the runtime was torn down without answering (an engine
+    /// panic) — a drained shutdown always answers first.
+    pub fn wait(self) -> T {
+        self.rx.recv().expect("runtime dropped the request without replying")
+    }
+
+    /// Waits up to `timeout`; `None` if the result isn't ready yet.
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<T> {
+        self.rx.recv_timeout(timeout).ok()
+    }
+}
+
+/// A batched, multi-threaded inference server around a [`BatchEngine`].
+///
+/// Requests submitted from any thread are collected by a dedicated
+/// batcher thread into batches of up to `max_batch`, waiting at most
+/// `max_wait` after the first request of a batch arrives (tail batches
+/// flush on the deadline). Each batch's extract stage is sliced across
+/// the worker pool; the finish stage then runs once over the whole
+/// batch, and every request's result is delivered through its
+/// [`PredictionHandle`] — results always line up with the submitting
+/// request, regardless of worker completion order.
+///
+/// # Examples
+///
+/// ```no_run
+/// use nshd_core::NshdEngine;
+/// use nshd_runtime::{InferenceRuntime, RuntimeConfig};
+/// use std::sync::Arc;
+/// # let engine: Arc<NshdEngine> = unimplemented!();
+/// # let images: Vec<nshd_tensor::Tensor> = vec![];
+/// let runtime = InferenceRuntime::new(engine, RuntimeConfig::default());
+/// let handles: Vec<_> = images.into_iter().map(|img| runtime.submit(img)).collect();
+/// let predictions: Vec<usize> = handles.into_iter().map(|h| h.wait()).collect();
+/// println!("{}", runtime.shutdown().to_json());
+/// ```
+pub struct InferenceRuntime<E: BatchEngine> {
+    submit_tx: Option<Sender<Request<E>>>,
+    collector: Option<JoinHandle<()>>,
+    metrics: Arc<Mutex<MetricsInner>>,
+}
+
+impl<E: BatchEngine> InferenceRuntime<E> {
+    /// Starts the batcher thread and worker pool around a shared engine.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `config.workers == 0` or `config.max_batch == 0`.
+    pub fn new(engine: Arc<E>, config: RuntimeConfig) -> Self {
+        assert!(config.workers >= 1, "need at least one worker");
+        assert!(config.max_batch >= 1, "need a positive batch bound");
+        let metrics = Arc::new(Mutex::new(MetricsInner::default()));
+        let (submit_tx, submit_rx) = channel();
+        let thread_metrics = metrics.clone();
+        let collector = std::thread::Builder::new()
+            .name("nshd-batcher".into())
+            .spawn(move || collector_loop(engine, config, submit_rx, thread_metrics))
+            .expect("failed to spawn batcher thread");
+        InferenceRuntime { submit_tx: Some(submit_tx), collector: Some(collector), metrics }
+    }
+
+    /// Enqueues one request; the returned handle resolves when its
+    /// batch completes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the batcher thread has terminated (engine panic).
+    pub fn submit(&self, input: E::Input) -> PredictionHandle<E::Output> {
+        let (reply, rx) = channel();
+        let now = Instant::now();
+        self.metrics.lock().expect("metrics lock").note_submit(now);
+        self.submit_tx
+            .as_ref()
+            .expect("runtime already shut down")
+            .send(Request { input, enqueued: now, reply })
+            .expect("batcher thread terminated");
+        PredictionHandle { rx }
+    }
+
+    /// A snapshot of the serving statistics so far.
+    pub fn metrics(&self) -> RuntimeMetrics {
+        self.metrics.lock().expect("metrics lock").snapshot()
+    }
+
+    /// Graceful shutdown: closes the queue, lets the batcher execute
+    /// every request already submitted (all handles still resolve),
+    /// joins every thread, and returns the final statistics.
+    pub fn shutdown(mut self) -> RuntimeMetrics {
+        self.teardown();
+        let snapshot = self.metrics.lock().expect("metrics lock").snapshot();
+        snapshot
+    }
+
+    fn teardown(&mut self) {
+        // Dropping the sender disconnects the queue; the collector
+        // drains buffered requests (mpsc delivers them before
+        // reporting disconnection), then exits and joins its workers.
+        self.submit_tx.take();
+        if let Some(handle) = self.collector.take() {
+            let _ = handle.join();
+        }
+    }
+}
+
+impl<E: BatchEngine> Drop for InferenceRuntime<E> {
+    fn drop(&mut self) {
+        self.teardown();
+    }
+}
+
+fn collector_loop<E: BatchEngine>(
+    engine: Arc<E>,
+    config: RuntimeConfig,
+    rx: Receiver<Request<E>>,
+    metrics: Arc<Mutex<MetricsInner>>,
+) {
+    // The pool is owned here so its Drop (join) runs when serving ends.
+    let pool = if config.workers > 1 {
+        let worker_engine = engine.clone();
+        Some(WorkerPool::new(config.workers, move |chunk: Chunk<E>| {
+            let partials = worker_engine.extract(&chunk.inputs);
+            // The collector hanging up mid-batch only happens on panic;
+            // nothing useful to do with the error.
+            let _ = chunk.done.send((chunk.index, partials));
+        }))
+    } else {
+        None
+    };
+
+    loop {
+        // Block for the first request of the next batch. `recv` only
+        // errs once the queue is disconnected AND empty, so every
+        // submitted request is still served before shutdown.
+        let first = match rx.recv() {
+            Ok(request) => request,
+            Err(_) => break,
+        };
+        let mut batch = vec![first];
+        let deadline = Instant::now() + config.max_wait;
+        while batch.len() < config.max_batch {
+            let now = Instant::now();
+            if now >= deadline {
+                break;
+            }
+            match rx.recv_timeout(deadline - now) {
+                Ok(request) => batch.push(request),
+                // Timeout → flush the tail batch; Disconnected implies
+                // the queue is also empty, so flush and let the outer
+                // `recv` terminate the loop.
+                Err(RecvTimeoutError::Timeout) | Err(RecvTimeoutError::Disconnected) => break,
+            }
+        }
+        run_batch(&*engine, pool.as_ref(), batch, &metrics);
+    }
+}
+
+fn run_batch<E: BatchEngine>(
+    engine: &E,
+    pool: Option<&WorkerPool<Chunk<E>>>,
+    batch: Vec<Request<E>>,
+    metrics: &Mutex<MetricsInner>,
+) {
+    let n = batch.len();
+    let mut inputs = Vec::with_capacity(n);
+    let mut enqueued = Vec::with_capacity(n);
+    let mut replies = Vec::with_capacity(n);
+    for request in batch {
+        inputs.push(request.input);
+        enqueued.push(request.enqueued);
+        replies.push(request.reply);
+    }
+
+    let partials = match pool {
+        Some(pool) if n > 1 => {
+            // Contiguous chunks, one per worker, front-loading the
+            // remainder; reassembled by index so partials stay in
+            // submission order no matter which worker finishes first.
+            let chunks = pool.len().min(n);
+            let base = n / chunks;
+            let extra = n % chunks;
+            let (done_tx, done_rx) = channel();
+            let mut iter = inputs.into_iter();
+            for index in 0..chunks {
+                let size = base + usize::from(index < extra);
+                let chunk_inputs: Vec<E::Input> = iter.by_ref().take(size).collect();
+                pool.send(index, Chunk { index, inputs: chunk_inputs, done: done_tx.clone() });
+            }
+            drop(done_tx);
+            let mut parts: Vec<Option<Vec<E::Partial>>> = (0..chunks).map(|_| None).collect();
+            for _ in 0..chunks {
+                let (index, chunk_partials) = done_rx.recv().expect("worker thread died mid-batch");
+                parts[index] = Some(chunk_partials);
+            }
+            parts.into_iter().flat_map(|p| p.expect("every chunk index reports once")).collect()
+        }
+        _ => engine.extract(&inputs),
+    };
+
+    let outputs = engine.finish(partials);
+    assert_eq!(outputs.len(), n, "engine must return one output per request");
+    let done = Instant::now();
+    metrics
+        .lock()
+        .expect("metrics lock")
+        .note_batch(n, enqueued.iter().map(|&t| done.duration_since(t)));
+    for (reply, output) in replies.into_iter().zip(outputs) {
+        // The caller may have dropped its handle; that's its business.
+        let _ = reply.send(output);
+    }
+}

@@ -1,0 +1,55 @@
+//! The engine abstraction the runtime batches over, and its
+//! implementation for the NSHD pipeline.
+
+use nshd_core::NshdEngine;
+use nshd_tensor::Tensor;
+
+/// A two-stage batch-inference engine the serving runtime can drive.
+///
+/// The split mirrors how batched NSHD inference parallelises:
+///
+/// - [`extract`](BatchEngine::extract) is the **data-parallel** stage.
+///   The runtime may slice one collected batch into chunks and run
+///   `extract` concurrently on several workers; each chunk's partials
+///   are independent of every other chunk.
+/// - [`finish`](BatchEngine::finish) is the **batch-level** stage, run
+///   once over the reassembled partials of the whole batch (in
+///   submission order) — for NSHD this is where the single encode GEMM
+///   and the single memory `matmul_bt` happen.
+///
+/// Implementations must be `Send + Sync`: one engine instance is shared
+/// by reference across every worker thread.
+pub trait BatchEngine: Send + Sync + 'static {
+    /// One inference request's payload.
+    type Input: Send + 'static;
+    /// Per-sample intermediate produced by the data-parallel stage.
+    type Partial: Send + 'static;
+    /// Per-sample final answer.
+    type Output: Send + 'static;
+
+    /// Processes a chunk of inputs into one partial per input, in
+    /// order. Must be pure with respect to chunking: splitting a batch
+    /// differently must not change any sample's partial.
+    fn extract(&self, chunk: &[Self::Input]) -> Vec<Self::Partial>;
+
+    /// Turns the whole batch's partials (submission order) into one
+    /// output per partial, in the same order.
+    fn finish(&self, partials: Vec<Self::Partial>) -> Vec<Self::Output>;
+}
+
+/// NSHD serving: inputs are CHW image tensors, the data-parallel stage
+/// is truncated-CNN feature extraction (+ scaling + manifold), and the
+/// batch-level stage is the GEMM encode plus associative-memory scoring.
+impl BatchEngine for NshdEngine {
+    type Input = Tensor;
+    type Partial = Vec<f32>;
+    type Output = usize;
+
+    fn extract(&self, chunk: &[Tensor]) -> Vec<Vec<f32>> {
+        self.extract_values(chunk)
+    }
+
+    fn finish(&self, partials: Vec<Vec<f32>>) -> Vec<usize> {
+        self.finish_values(&partials)
+    }
+}

@@ -1,0 +1,60 @@
+//! # nshd-runtime
+//!
+//! A batched, multi-threaded inference **serving runtime** for NSHD
+//! models, built entirely on `std` (threads + mpsc channels).
+//!
+//! Individual requests trickle in one image at a time, but the NSHD
+//! pipeline is dramatically cheaper per sample when run batched: one
+//! NCHW pass through the truncated teacher, one dense GEMM for HD
+//! encoding, one `matmul_bt` against the class memory. The runtime
+//! bridges that gap with **micro-batching**:
+//!
+//! 1. [`InferenceRuntime::submit`] enqueues a request and returns a
+//!    [`PredictionHandle`] immediately.
+//! 2. A collector thread assembles requests into batches of up to
+//!    `max_batch`, waiting at most `max_wait` after a batch opens
+//!    (tail batches flush on the deadline).
+//! 3. The data-parallel extract stage is sliced across a
+//!    [`WorkerPool`]; the batch-level finish stage runs once for the
+//!    whole batch; every handle then resolves in submission order.
+//!
+//! Serving statistics (requests/s, batch-size histogram, p50/p95/p99
+//! latency) are accounted built-in and exported as JSON via
+//! [`RuntimeMetrics::to_json`].
+//!
+//! The engine abstraction is [`BatchEngine`]; the NSHD implementation
+//! is [`nshd_core::NshdEngine`], whose batched predictions are
+//! bit-identical (at the argmax level) to per-sample
+//! [`nshd_core::NshdModel::predict`] — see `tests/determinism.rs`.
+//!
+//! # Examples
+//!
+//! ```no_run
+//! use nshd_core::{NshdEngine, NshdModel};
+//! use nshd_runtime::{InferenceRuntime, RuntimeConfig};
+//! use std::sync::Arc;
+//! use std::time::Duration;
+//!
+//! # let model: NshdModel = unimplemented!();
+//! # let images: Vec<nshd_tensor::Tensor> = vec![];
+//! let engine = Arc::new(NshdEngine::from_model(&model));
+//! let runtime = InferenceRuntime::new(
+//!     engine,
+//!     RuntimeConfig { workers: 4, max_batch: 32, max_wait: Duration::from_millis(1) },
+//! );
+//! let handles: Vec<_> = images.into_iter().map(|img| runtime.submit(img)).collect();
+//! let predictions: Vec<usize> = handles.into_iter().map(|h| h.wait()).collect();
+//! println!("{}", runtime.shutdown().to_json());
+//! ```
+
+#![warn(missing_docs)]
+
+mod batcher;
+mod engine;
+mod metrics;
+mod pool;
+
+pub use batcher::{InferenceRuntime, PredictionHandle, RuntimeConfig};
+pub use engine::BatchEngine;
+pub use metrics::RuntimeMetrics;
+pub use pool::WorkerPool;

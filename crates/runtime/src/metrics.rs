@@ -1,0 +1,162 @@
+//! Built-in throughput and latency accounting for the serving runtime.
+
+use std::collections::BTreeMap;
+use std::time::{Duration, Instant};
+
+/// Mutable accounting state updated by the batcher thread.
+#[derive(Debug, Default)]
+pub(crate) struct MetricsInner {
+    /// Completed-request latencies (submit → reply), microseconds.
+    latencies_us: Vec<f64>,
+    /// Executed batch sizes.
+    batch_sizes: Vec<usize>,
+    /// First request submission, set once.
+    first_submit: Option<Instant>,
+    /// Most recent batch completion.
+    last_complete: Option<Instant>,
+}
+
+impl MetricsInner {
+    pub(crate) fn note_submit(&mut self, now: Instant) {
+        self.first_submit.get_or_insert(now);
+    }
+
+    pub(crate) fn note_batch(&mut self, size: usize, latencies: impl Iterator<Item = Duration>) {
+        self.batch_sizes.push(size);
+        self.latencies_us.extend(latencies.map(|d| d.as_secs_f64() * 1e6));
+        self.last_complete = Some(Instant::now());
+    }
+
+    pub(crate) fn snapshot(&self) -> RuntimeMetrics {
+        let mut sorted = self.latencies_us.clone();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        let mut histogram = BTreeMap::new();
+        for &s in &self.batch_sizes {
+            *histogram.entry(s).or_insert(0u64) += 1;
+        }
+        let requests = sorted.len() as u64;
+        let elapsed = match (self.first_submit, self.last_complete) {
+            (Some(a), Some(b)) if b > a => (b - a).as_secs_f64(),
+            _ => 0.0,
+        };
+        RuntimeMetrics {
+            requests,
+            batches: self.batch_sizes.len() as u64,
+            mean_batch: if self.batch_sizes.is_empty() {
+                0.0
+            } else {
+                self.batch_sizes.iter().sum::<usize>() as f64 / self.batch_sizes.len() as f64
+            },
+            batch_histogram: histogram.into_iter().collect(),
+            p50_us: percentile(&sorted, 0.50),
+            p95_us: percentile(&sorted, 0.95),
+            p99_us: percentile(&sorted, 0.99),
+            requests_per_sec: if elapsed > 0.0 { requests as f64 / elapsed } else { 0.0 },
+        }
+    }
+}
+
+/// Nearest-rank percentile of an already-sorted sample; 0 when empty.
+fn percentile(sorted: &[f64], q: f64) -> f64 {
+    if sorted.is_empty() {
+        return 0.0;
+    }
+    let rank = (q * (sorted.len() - 1) as f64).round() as usize;
+    sorted[rank.min(sorted.len() - 1)]
+}
+
+/// A point-in-time summary of the runtime's serving statistics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RuntimeMetrics {
+    /// Requests completed (replies delivered).
+    pub requests: u64,
+    /// Batches executed.
+    pub batches: u64,
+    /// Mean executed batch size.
+    pub mean_batch: f64,
+    /// `(batch_size, count)` pairs, ascending by size.
+    pub batch_histogram: Vec<(usize, u64)>,
+    /// Median request latency (submit → reply), microseconds.
+    pub p50_us: f64,
+    /// 95th-percentile request latency, microseconds.
+    pub p95_us: f64,
+    /// 99th-percentile request latency, microseconds.
+    pub p99_us: f64,
+    /// Completed requests per second over the active serving window
+    /// (first submission to last completion).
+    pub requests_per_sec: f64,
+}
+
+impl RuntimeMetrics {
+    /// Serialises the metrics as a JSON object (the workspace builds
+    /// without serde, so this is hand-rolled like `nshd-bench`'s
+    /// reports).
+    pub fn to_json(&self) -> String {
+        let histogram: Vec<String> =
+            self.batch_histogram.iter().map(|(s, c)| format!("[{s},{c}]")).collect();
+        format!(
+            concat!(
+                "{{\"requests\":{},\"batches\":{},\"mean_batch\":{:.2},",
+                "\"batch_histogram\":[{}],",
+                "\"latency_us\":{{\"p50\":{:.1},\"p95\":{:.1},\"p99\":{:.1}}},",
+                "\"requests_per_sec\":{:.1}}}"
+            ),
+            self.requests,
+            self.batches,
+            self.mean_batch,
+            histogram.join(","),
+            self.p50_us,
+            self.p95_us,
+            self.p99_us,
+            self.requests_per_sec,
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let sorted: Vec<f64> = (1..=100).map(|i| i as f64).collect();
+        assert_eq!(percentile(&sorted, 0.50), 51.0);
+        assert_eq!(percentile(&sorted, 0.95), 95.0);
+        assert_eq!(percentile(&sorted, 0.99), 99.0);
+        assert_eq!(percentile(&[], 0.5), 0.0);
+    }
+
+    #[test]
+    fn snapshot_aggregates_batches() {
+        let mut inner = MetricsInner::default();
+        let t0 = Instant::now();
+        inner.note_submit(t0);
+        inner.note_batch(4, (1..=4).map(|i| Duration::from_micros(i * 100)));
+        inner.note_batch(2, (1..=2).map(|i| Duration::from_micros(i * 50)));
+        let m = inner.snapshot();
+        assert_eq!(m.requests, 6);
+        assert_eq!(m.batches, 2);
+        assert!((m.mean_batch - 3.0).abs() < 1e-9);
+        assert_eq!(m.batch_histogram, vec![(2, 1), (4, 1)]);
+        assert!(m.p50_us > 0.0 && m.p99_us >= m.p95_us && m.p95_us >= m.p50_us);
+        assert!(m.requests_per_sec > 0.0);
+    }
+
+    #[test]
+    fn json_has_every_field() {
+        let mut inner = MetricsInner::default();
+        inner.note_submit(Instant::now());
+        inner.note_batch(3, (1..=3).map(Duration::from_micros));
+        let json = inner.snapshot().to_json();
+        for key in [
+            "\"requests\":",
+            "\"batches\":",
+            "\"batch_histogram\":[[3,1]]",
+            "\"latency_us\":",
+            "\"p99\":",
+            "\"requests_per_sec\":",
+        ] {
+            assert!(json.contains(key), "missing {key} in {json}");
+        }
+    }
+}

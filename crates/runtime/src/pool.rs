@@ -1,0 +1,113 @@
+//! A minimal std-only worker pool with per-worker channels and
+//! join-on-drop shutdown.
+
+use std::sync::mpsc::{channel, Sender};
+use std::thread::JoinHandle;
+
+/// A fixed set of worker threads, each fed through its own channel.
+///
+/// Per-worker channels (rather than one shared work queue) keep job
+/// dispatch deterministic: the batcher assigns chunk `i` of a batch to
+/// worker `i % workers`, so no locking or work-stealing is involved.
+///
+/// Dropping the pool closes every channel and joins every thread; jobs
+/// already sent are still processed before a worker exits (channel
+/// receivers drain buffered messages after disconnect).
+pub struct WorkerPool<J: Send + 'static> {
+    senders: Vec<Sender<J>>,
+    handles: Vec<JoinHandle<()>>,
+}
+
+impl<J: Send + 'static> WorkerPool<J> {
+    /// Spawns `workers` threads, each running `handler` on every job it
+    /// receives until the pool is dropped.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `workers == 0`.
+    pub fn new<F>(workers: usize, handler: F) -> Self
+    where
+        F: Fn(J) + Send + Sync + Clone + 'static,
+    {
+        assert!(workers > 0, "a worker pool needs at least one thread");
+        let mut senders = Vec::with_capacity(workers);
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let (tx, rx) = channel::<J>();
+            let handler = handler.clone();
+            let handle = std::thread::Builder::new()
+                .name(format!("nshd-worker-{i}"))
+                .spawn(move || {
+                    for job in rx {
+                        handler(job);
+                    }
+                })
+                .expect("failed to spawn worker thread");
+            senders.push(tx);
+            handles.push(handle);
+        }
+        WorkerPool { senders, handles }
+    }
+
+    /// Number of workers.
+    pub fn len(&self) -> usize {
+        self.senders.len()
+    }
+
+    /// Whether the pool has no workers (never true for a live pool).
+    pub fn is_empty(&self) -> bool {
+        self.senders.is_empty()
+    }
+
+    /// Sends a job to worker `worker`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `worker` is out of range or the worker thread died.
+    pub fn send(&self, worker: usize, job: J) {
+        self.senders[worker].send(job).expect("worker thread terminated early");
+    }
+}
+
+impl<J: Send + 'static> Drop for WorkerPool<J> {
+    fn drop(&mut self) {
+        // Closing the channels lets each worker's `for job in rx` loop
+        // finish; then wait for them so no thread outlives the pool.
+        self.senders.clear();
+        for handle in self.handles.drain(..) {
+            // A worker that panicked already reported via the done
+            // channel going dead; nothing more to do here.
+            let _ = handle.join();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn all_workers_process_their_jobs() {
+        let counter = Arc::new(AtomicUsize::new(0));
+        let c = counter.clone();
+        let pool = WorkerPool::new(3, move |j: usize| {
+            c.fetch_add(j, Ordering::SeqCst);
+        });
+        assert_eq!(pool.len(), 3);
+        assert!(!pool.is_empty());
+        for i in 0..9 {
+            pool.send(i % 3, 1000 + i);
+        }
+        drop(pool); // joins: every sent job must have run
+        let expect: usize = (0..9).map(|i| 1000 + i).sum();
+        assert_eq!(counter.load(Ordering::SeqCst), expect);
+    }
+
+    #[test]
+    fn drop_with_no_jobs_terminates() {
+        let pool = WorkerPool::new(2, |_: ()| {});
+        drop(pool); // must not hang
+    }
+}

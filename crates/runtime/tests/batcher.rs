@@ -1,0 +1,166 @@
+//! Micro-batcher behaviour tests against a mock engine: tail-batch
+//! flushing, submission-order results under out-of-order worker
+//! completion, idle shutdown, and shutdown with in-flight requests.
+
+use nshd_runtime::{BatchEngine, InferenceRuntime, RuntimeConfig};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+/// Echoes request ids through an affine map, sleeping per chunk by the
+/// largest requested delay so tests can force worker completion order.
+struct MockEngine {
+    batch_sizes: Mutex<Vec<usize>>,
+    finish_calls: AtomicUsize,
+}
+
+impl MockEngine {
+    fn new() -> Arc<Self> {
+        Arc::new(MockEngine {
+            batch_sizes: Mutex::new(Vec::new()),
+            finish_calls: AtomicUsize::new(0),
+        })
+    }
+
+    fn batch_sizes(&self) -> Vec<usize> {
+        self.batch_sizes.lock().unwrap().clone()
+    }
+}
+
+impl BatchEngine for MockEngine {
+    /// `(id, delay_ms)` — the delay stalls whichever worker gets it.
+    type Input = (u64, u64);
+    type Partial = u64;
+    type Output = u64;
+
+    fn extract(&self, chunk: &[(u64, u64)]) -> Vec<u64> {
+        let delay = chunk.iter().map(|&(_, d)| d).max().unwrap_or(0);
+        if delay > 0 {
+            std::thread::sleep(Duration::from_millis(delay));
+        }
+        chunk.iter().map(|&(id, _)| id).collect()
+    }
+
+    fn finish(&self, partials: Vec<u64>) -> Vec<u64> {
+        self.batch_sizes.lock().unwrap().push(partials.len());
+        self.finish_calls.fetch_add(1, Ordering::SeqCst);
+        partials.into_iter().map(|id| id * 3 + 7).collect()
+    }
+}
+
+const WAIT: Duration = Duration::from_secs(20);
+
+#[test]
+fn tail_batch_flushes_on_deadline() {
+    let engine = MockEngine::new();
+    let runtime = InferenceRuntime::new(
+        engine.clone(),
+        RuntimeConfig { workers: 1, max_batch: 64, max_wait: Duration::from_millis(20) },
+    );
+    // Far fewer requests than max_batch: only the deadline can flush.
+    let started = Instant::now();
+    let handles: Vec<_> = (0..3u64).map(|id| runtime.submit((id, 0))).collect();
+    for (id, h) in handles.into_iter().enumerate() {
+        assert_eq!(h.wait_timeout(WAIT), Some(id as u64 * 3 + 7), "request {id}");
+    }
+    assert!(
+        started.elapsed() < Duration::from_secs(5),
+        "tail batch did not flush promptly: {:?}",
+        started.elapsed()
+    );
+    let sizes = engine.batch_sizes();
+    assert_eq!(sizes.iter().sum::<usize>(), 3);
+    assert!(sizes.iter().all(|&s| s < 64), "deadline flush must not wait for a full batch");
+    let metrics = runtime.shutdown();
+    assert_eq!(metrics.requests, 3);
+    assert!(metrics.p50_us > 0.0);
+}
+
+#[test]
+fn results_follow_submission_order_despite_out_of_order_workers() {
+    let engine = MockEngine::new();
+    let runtime = InferenceRuntime::new(
+        engine.clone(),
+        RuntimeConfig { workers: 4, max_batch: 16, max_wait: Duration::from_millis(100) },
+    );
+    // The first chunk of the batch (lowest ids) is the slowest, so the
+    // later chunks complete first; reassembly must still route result
+    // `id*3+7` to the handle that submitted `id`.
+    let handles: Vec<_> =
+        (0..16u64).map(|id| runtime.submit((id, if id < 4 { 60 } else { 0 }))).collect();
+    for (id, h) in handles.into_iter().enumerate() {
+        assert_eq!(h.wait_timeout(WAIT), Some(id as u64 * 3 + 7), "request {id}");
+    }
+    let metrics = runtime.shutdown();
+    assert_eq!(metrics.requests, 16);
+    assert!(!metrics.batch_histogram.is_empty());
+}
+
+#[test]
+fn zero_request_idle_shutdown() {
+    let engine = MockEngine::new();
+    let runtime = InferenceRuntime::new(engine.clone(), RuntimeConfig::default());
+    std::thread::sleep(Duration::from_millis(30));
+    let metrics = runtime.shutdown(); // must not hang
+    assert_eq!(metrics.requests, 0);
+    assert_eq!(metrics.batches, 0);
+    assert_eq!(engine.finish_calls.load(Ordering::SeqCst), 0);
+    assert_eq!(metrics.requests_per_sec, 0.0);
+}
+
+#[test]
+fn shutdown_with_in_flight_requests_answers_everything() {
+    let engine = MockEngine::new();
+    let runtime = InferenceRuntime::new(
+        engine.clone(),
+        RuntimeConfig { workers: 2, max_batch: 4, max_wait: Duration::from_millis(50) },
+    );
+    // Slow batches guarantee requests are still queued or executing
+    // when shutdown starts.
+    let handles: Vec<_> = (0..12u64).map(|id| runtime.submit((id, 15))).collect();
+    let metrics = runtime.shutdown(); // blocks until the queue drains
+    assert_eq!(metrics.requests, 12, "shutdown dropped in-flight requests");
+    for (id, h) in handles.into_iter().enumerate() {
+        assert_eq!(
+            h.wait_timeout(WAIT),
+            Some(id as u64 * 3 + 7),
+            "request {id} lost its reply during shutdown"
+        );
+    }
+}
+
+#[test]
+fn max_batch_bounds_every_executed_batch() {
+    let engine = MockEngine::new();
+    let runtime = InferenceRuntime::new(
+        engine.clone(),
+        RuntimeConfig { workers: 2, max_batch: 8, max_wait: Duration::from_millis(20) },
+    );
+    let handles: Vec<_> = (0..40u64).map(|id| runtime.submit((id, 0))).collect();
+    for (id, h) in handles.into_iter().enumerate() {
+        assert_eq!(h.wait_timeout(WAIT), Some(id as u64 * 3 + 7));
+    }
+    let sizes = engine.batch_sizes();
+    assert_eq!(sizes.iter().sum::<usize>(), 40);
+    assert!(sizes.iter().all(|&s| s <= 8), "batch exceeded max_batch: {sizes:?}");
+    let metrics = runtime.shutdown();
+    assert_eq!(metrics.requests, 40);
+    assert!(metrics.requests_per_sec > 0.0);
+    assert_eq!(metrics.batch_histogram.iter().map(|&(s, c)| s as u64 * c).sum::<u64>(), 40);
+}
+
+#[test]
+fn drop_without_shutdown_still_drains() {
+    let engine = MockEngine::new();
+    let handles: Vec<_> = {
+        let runtime = InferenceRuntime::new(
+            engine.clone(),
+            RuntimeConfig { workers: 2, max_batch: 4, max_wait: Duration::from_millis(30) },
+        );
+        (0..6u64).map(|id| runtime.submit((id, 10))).collect()
+        // `runtime` dropped here with requests possibly still queued.
+    };
+    for (id, h) in handles.into_iter().enumerate() {
+        assert_eq!(h.wait_timeout(WAIT), Some(id as u64 * 3 + 7), "request {id}");
+    }
+}

@@ -40,7 +40,7 @@ mod tensor;
 
 pub use error::TensorError;
 pub use im2col::{col2im, im2col, ConvGeometry};
-pub use matmul::{matmul, matmul_at, matmul_bt, matvec, vecmat};
+pub use matmul::{matmul, matmul_at, matmul_bt, matmul_bt_into, matmul_into, matvec, vecmat};
 pub use ops::dot;
 pub use rng::Rng;
 pub use shape::Shape;

@@ -41,6 +41,28 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     c
 }
 
+/// Computes `C = A · B` into a caller-provided output tensor.
+///
+/// `out` is overwritten (not accumulated into). Because the output is
+/// row-major and owned by the caller, work can be partitioned across
+/// threads by splitting `a` into row chunks and writing each chunk's
+/// product into the matching row range of a shared output — the
+/// parallel-friendly entry point used by the serving runtime.
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2, inner dimensions disagree, or
+/// `out` is not `m×n`.
+pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (m, k) = dims2(a, "matmul_into lhs");
+    let (k2, n) = dims2(b, "matmul_into rhs");
+    assert_eq!(k, k2, "matmul_into inner dimensions disagree: {k} vs {k2}");
+    let (mo, no) = dims2(out, "matmul_into out");
+    assert_eq!((mo, no), (m, n), "matmul_into output must be {m}×{n}, got {mo}×{no}");
+    out.as_mut_slice().fill(0.0);
+    gemm(m, k, n, a.as_slice(), b.as_slice(), out.as_mut_slice());
+}
+
 /// Computes `C = A · Bᵀ` without materialising the transpose.
 ///
 /// `a` is `m×k`, `b` is `n×k`, and the result is `m×n`. This variant is the
@@ -64,6 +86,32 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
         }
     }
     c
+}
+
+/// Computes `C = A · Bᵀ` into a caller-provided output tensor.
+///
+/// `out` is overwritten. Like [`matmul_into`], the row-major output lets
+/// callers partition `a`'s rows across threads and write disjoint row
+/// ranges of a shared result.
+///
+/// # Panics
+///
+/// Panics if operands are not rank-2, `k` dimensions disagree, or `out`
+/// is not `m×n`.
+pub fn matmul_bt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
+    let (m, k) = dims2(a, "matmul_bt_into lhs");
+    let (n, k2) = dims2(b, "matmul_bt_into rhs");
+    assert_eq!(k, k2, "matmul_bt_into inner dimensions disagree: {k} vs {k2}");
+    let (mo, no) = dims2(out, "matmul_bt_into out");
+    assert_eq!((mo, no), (m, n), "matmul_bt_into output must be {m}×{n}, got {mo}×{no}");
+    let (av, bv, cv) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
+    for i in 0..m {
+        let arow = &av[i * k..(i + 1) * k];
+        let crow = &mut cv[i * n..(i + 1) * n];
+        for (j, cj) in crow.iter_mut().enumerate() {
+            *cj = crate::ops::dot(arow, &bv[j * k..(j + 1) * k]);
+        }
+    }
 }
 
 /// Computes `C = Aᵀ · B` without materialising the transpose.
@@ -256,5 +304,46 @@ mod tests {
     #[should_panic(expected = "inner dimensions disagree")]
     fn mismatched_inner_dims_panic() {
         matmul(&Tensor::zeros([2, 3]), &Tensor::zeros([4, 2]));
+    }
+
+    #[test]
+    fn into_variants_match_allocating_variants_bitwise() {
+        let a = rand_tensor([9, 33], 21);
+        let b = rand_tensor([33, 7], 22);
+        let mut out = Tensor::full([9, 7], f32::NAN); // stale contents must be overwritten
+        matmul_into(&a, &b, &mut out);
+        assert_eq!(out.as_slice(), matmul(&a, &b).as_slice());
+        let bt = rand_tensor([7, 33], 23);
+        let mut out_bt = Tensor::full([9, 7], f32::NAN);
+        matmul_bt_into(&a, &bt, &mut out_bt);
+        assert_eq!(out_bt.as_slice(), matmul_bt(&a, &bt).as_slice());
+    }
+
+    #[test]
+    fn into_variant_supports_row_partitioned_output() {
+        // Splitting A's rows and writing disjoint output row ranges must
+        // reproduce the monolithic product exactly.
+        let a = rand_tensor([8, 17], 31);
+        let b = rand_tensor([17, 5], 32);
+        let whole = matmul(&a, &b);
+        let mut assembled = Tensor::zeros([8, 5]);
+        for (chunk, rows) in [(0usize, 3usize), (3, 3), (6, 2)] {
+            let part = Tensor::from_vec(
+                a.as_slice()[chunk * 17..(chunk + rows) * 17].to_vec(),
+                [rows, 17],
+            )
+            .unwrap();
+            let mut out = Tensor::zeros([rows, 5]);
+            matmul_into(&part, &b, &mut out);
+            assembled.write_slice(chunk * 5, out.as_slice());
+        }
+        assert_eq!(assembled.as_slice(), whole.as_slice());
+    }
+
+    #[test]
+    #[should_panic(expected = "output must be")]
+    fn into_variant_rejects_wrong_output_shape() {
+        let mut out = Tensor::zeros([2, 2]);
+        matmul_into(&Tensor::zeros([2, 3]), &Tensor::zeros([3, 4]), &mut out);
     }
 }

@@ -233,6 +233,27 @@ impl Tensor {
         Ok(Tensor { data, shape: Shape::new(dims) })
     }
 
+    /// Stacks equal-length `f32` rows into a rank-2 `N×L` tensor — the
+    /// batch-assembly primitive used by the serving runtime to pack
+    /// per-sample feature vectors into one matrix.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TensorError::EmptyTensor`] when `rows` is empty and
+    /// [`TensorError::ShapeMismatch`] when row lengths disagree.
+    pub fn from_rows(rows: &[Vec<f32>]) -> Result<Tensor, TensorError> {
+        let first = rows.first().ok_or(TensorError::EmptyTensor)?;
+        let cols = first.len();
+        let mut data = Vec::with_capacity(cols * rows.len());
+        for row in rows {
+            if row.len() != cols {
+                return Err(TensorError::ShapeMismatch { expected: cols, got: row.len() });
+            }
+            data.extend_from_slice(row);
+        }
+        Ok(Tensor { data, shape: Shape::new(vec![rows.len(), cols]) })
+    }
+
     /// Returns the transpose of a rank-2 tensor.
     ///
     /// # Panics
@@ -359,6 +380,15 @@ mod tests {
         assert_eq!(s.dims(), &[2, 2]);
         assert_eq!(s.batch_item(0).as_slice(), a.as_slice());
         assert!(Tensor::stack(&[]).is_err());
+    }
+
+    #[test]
+    fn from_rows_builds_row_major_matrix() {
+        let m = Tensor::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0], vec![5.0, 6.0]]).unwrap();
+        assert_eq!(m.dims(), &[3, 2]);
+        assert_eq!(m.as_slice(), &[1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert!(Tensor::from_rows(&[]).is_err());
+        assert!(Tensor::from_rows(&[vec![1.0], vec![1.0, 2.0]]).is_err());
     }
 
     #[test]

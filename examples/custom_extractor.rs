@@ -77,7 +77,7 @@ fn main() {
         let feat_len = teacher.feature_len_at(cut);
         let cfg =
             NshdConfig::new(cut).with_manifold_features(64).with_retrain_epochs(8).with_seed(3);
-        let mut nshd = NshdModel::train(teacher.clone(), &train, cfg);
+        let nshd = NshdModel::train(teacher.clone(), &train, cfg);
         let acc = nshd.evaluate(&test);
         println!(
             "NSHD on custom CNN @ layer {:>2} ({feat_len} raw features → 64 manifold): accuracy {acc:.3}",

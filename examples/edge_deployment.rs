@@ -60,7 +60,7 @@ fn main() {
     );
     let cnn_acc = evaluate(&mut teacher, test.images(), test.labels(), 50);
     let cfg = NshdConfig::new(cut).with_retrain_epochs(8).with_seed(3);
-    let mut nshd = NshdModel::train(teacher, &train, cfg);
+    let nshd = NshdModel::train(teacher, &train, cfg);
     let nshd_acc = nshd.evaluate(&test);
     println!(
         "accuracy check: CNN {cnn_acc:.3} vs NSHD@{} {nshd_acc:.3} (loss {:+.3})",

@@ -27,7 +27,7 @@ fn main() {
         &TrainConfig { epochs: 8, batch_size: 32, seed: 2, ..TrainConfig::default() },
     );
     let cfg = NshdConfig::new(8).with_retrain_epochs(8).with_seed(3);
-    let mut nshd = NshdModel::train(teacher, &train, cfg);
+    let nshd = NshdModel::train(teacher, &train, cfg);
     println!("NSHD test accuracy: {:.3}\n", nshd.evaluate(&test));
 
     // 1. Per-query similarity profile: unlike a CNN's opaque logits, the

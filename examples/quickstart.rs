@@ -50,7 +50,7 @@ fn main() {
         .with_manifold_features(100)
         .with_retrain_epochs(8)
         .with_seed(3);
-    let mut nshd = NshdModel::train(teacher, &train, config);
+    let nshd = NshdModel::train(teacher, &train, config);
     for epoch in nshd.history() {
         println!("  retrain epoch {:>2}: train accuracy {:.3}", epoch.epoch, epoch.train_accuracy);
     }

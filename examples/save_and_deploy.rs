@@ -42,7 +42,7 @@ fn main() -> Result<(), Box<dyn Error>> {
 
     // --- Reload into a fresh process (simulated by a fresh skeleton).
     let file = std::fs::File::open(path)?;
-    let mut restored = load_pipeline(teacher, &train, cfg, std::io::BufReader::new(file))?;
+    let restored = load_pipeline(teacher, &train, cfg, std::io::BufReader::new(file))?;
     println!("restored accuracy: {:.3}", restored.evaluate(&test));
 
     // --- Deployment quantisation (paper §VI-B: "very minor impacts").

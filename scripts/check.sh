@@ -16,4 +16,10 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> serve_bench --smoke"
+# Serving-runtime smoke: tiny model, 2 workers; asserts a well-formed
+# JSON report and batched == sequential predictions (exits non-zero
+# otherwise).
+cargo run --release -q -p nshd-bench --bin serve_bench -- --smoke
+
 echo "==> all checks passed"

@@ -17,6 +17,8 @@
 //! - [`hdc`] — hypervectors, encoders, associative memory, MASS and
 //!   distillation retraining;
 //! - [`core`] — the NSHD pipeline and the paper's baselines;
+//! - [`runtime`] — batched, multi-threaded inference serving
+//!   (micro-batching queue, worker pool, latency metrics);
 //! - [`hwmodel`] — Xavier-class energy and ZCU104-DPU cost models;
 //! - [`analyze`] — t-SNE, PCA, and cluster/classification metrics.
 //!
@@ -49,4 +51,5 @@ pub use nshd_data as data;
 pub use nshd_hdc as hdc;
 pub use nshd_hwmodel as hwmodel;
 pub use nshd_nn as nn;
+pub use nshd_runtime as runtime;
 pub use nshd_tensor as tensor;

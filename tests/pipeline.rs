@@ -133,7 +133,7 @@ fn model_sizes_reproduce_table_two_ordering() {
 fn symbolize_round_trip_predicts_consistently() {
     let (teacher, _, train, test) = setup();
     let cfg = NshdConfig::new(8).with_hv_dim(500).with_retrain_epochs(2).with_seed(6);
-    let mut nshd = NshdModel::train(teacher, &train, cfg);
+    let nshd = NshdModel::train(teacher, &train, cfg);
     for i in 0..5 {
         let (img, _) = test.sample(i);
         let hv = nshd.symbolize(&img);

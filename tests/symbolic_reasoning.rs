@@ -29,7 +29,7 @@ fn trained_model() -> (NshdModel, nshd::data::ImageDataset) {
 /// neural hypervector survives symbolic composition.
 #[test]
 fn symbolised_images_survive_record_composition() {
-    let (mut model, test) = trained_model();
+    let (model, test) = trained_model();
     let dim = model.memory().dim();
     let mut items = ItemMemory::new(dim, 9);
     let what_key = items.get("what").clone();
