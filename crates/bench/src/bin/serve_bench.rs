@@ -145,14 +145,14 @@ fn main() {
     }
     let base_elapsed = base_start.elapsed().as_secs_f64();
     let base_rps = images.len() as f64 / base_elapsed;
-    baseline_lat_us.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+    baseline_lat_us.sort_by(f64::total_cmp);
 
     // Batched: everything through the serving runtime.
     eprintln!(
         "[serve_bench] batched: workers={} max_batch={} max_wait={}us",
         args.workers, args.max_batch, args.max_wait_us
     );
-    let engine = Arc::new(NshdEngine::from_model(&model));
+    let engine = Arc::new(NshdEngine::new(&model).expect("trained model must pass verification"));
     let runtime = InferenceRuntime::new(
         engine,
         RuntimeConfig {
@@ -160,9 +160,14 @@ fn main() {
             max_batch: args.max_batch,
             max_wait: Duration::from_micros(args.max_wait_us),
         },
-    );
-    let handles: Vec<_> = images.iter().map(|img| runtime.submit(img.clone())).collect();
-    let batched_preds: Vec<usize> = handles.into_iter().map(|h| h.wait()).collect();
+    )
+    .expect("verified engine must construct a runtime");
+    let handles: Vec<_> = images
+        .iter()
+        .map(|img| runtime.submit(img.clone()).expect("runtime accepts requests while live"))
+        .collect();
+    let batched_preds: Vec<usize> =
+        handles.into_iter().map(|h| h.wait().expect("well-formed requests must succeed")).collect();
     let metrics = runtime.shutdown();
 
     let predictions_match = batched_preds == baseline_preds;

@@ -29,11 +29,13 @@
 
 use crate::manifold::ManifoldLearner;
 use crate::model::NshdModel;
+use crate::robust::PipelineError;
 use crate::scaler::FeatureScaler;
+use crate::verify::{self, AnalysisReport};
 use nshd_data::ImageDataset;
 use nshd_hdc::{AssociativeMemory, BatchEncoder, BipolarHv};
 use nshd_nn::Model;
-use nshd_tensor::Tensor;
+use nshd_tensor::{Tensor, TensorError};
 
 /// An immutable, `Send + Sync` snapshot of a trained NSHD pipeline,
 /// ready for concurrent batched inference.
@@ -64,18 +66,62 @@ const _: fn() = || {
 };
 
 impl NshdEngine {
-    /// Snapshots a trained model into an engine. The model remains
-    /// usable; the engine holds its own copies (teacher weights, class
-    /// memory) plus the unpacked dense projection basis.
-    pub fn from_model(model: &NshdModel) -> Self {
-        NshdEngine {
+    /// Snapshots a trained model into an engine after statically
+    /// verifying the whole pipeline ([`crate::verify_model`]). The model
+    /// remains usable; the engine holds its own copies (teacher weights,
+    /// class memory) plus the unpacked dense projection basis.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`AnalysisReport`] naming the first misconfigured
+    /// stage when verification fails; no engine state is built in that
+    /// case.
+    #[must_use = "the engine is only constructed when verification passes"]
+    pub fn new(model: &NshdModel) -> Result<Self, AnalysisReport> {
+        verify::verify_model(model)?;
+        Ok(NshdEngine {
             teacher: model.teacher().clone(),
             cut: model.config().cut,
             scaler: model.scaler().clone(),
             manifold: model.manifold().cloned(),
             encoder: model.projection().batch_encoder(),
             memory: model.memory().clone(),
+        })
+    }
+
+    /// Panicking convenience wrapper around [`NshdEngine::new`].
+    ///
+    /// # Panics
+    ///
+    /// Panics with the verification report when the model is
+    /// misconfigured.
+    pub fn from_model(model: &NshdModel) -> Self {
+        match Self::new(model) {
+            Ok(engine) => engine,
+            Err(report) => panic!("{report}"),
         }
+    }
+
+    /// Re-checks the snapshot's internal consistency — the same static
+    /// analysis [`NshdEngine::new`] runs, applied to the engine's own
+    /// copies. `nshd-runtime` calls this before spawning any worker
+    /// thread.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`AnalysisReport`] naming the first inconsistent
+    /// stage.
+    pub fn verify(&self) -> Result<(), AnalysisReport> {
+        let feat_shape = verify::verify_extractor(&self.teacher, self.cut)?;
+        verify::verify_stages(
+            &feat_shape,
+            self.scaler.len(),
+            self.manifold.as_ref(),
+            self.encoder.features(),
+            self.encoder.dim(),
+            &self.memory,
+            self.teacher.num_classes,
+        )
     }
 
     /// Number of classes the engine predicts over.
@@ -93,16 +139,34 @@ impl NshdEngine {
     /// and (optionally) manifold-compresses each sample. This is the
     /// compute-heavy half the runtime splits across workers.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if images disagree in shape.
-    pub fn extract_values(&self, images: &[Tensor]) -> Vec<Vec<f32>> {
+    /// Returns [`PipelineError::Tensor`] when an image's shape differs
+    /// from the teacher's input shape, and
+    /// [`PipelineError::NonFiniteActivation`] when the extracted values
+    /// contain NaN/∞ (which would poison the argmax downstream).
+    #[must_use = "extraction can fail on malformed inputs"]
+    pub fn try_extract_values(&self, images: &[Tensor]) -> Result<Vec<Vec<f32>>, PipelineError> {
         if images.is_empty() {
-            return Vec::new();
+            return Ok(Vec::new());
         }
-        let batch = Tensor::stack(images).expect("non-empty, equally-shaped image chunk");
+        for image in images {
+            if image.dims() != self.teacher.input_shape {
+                return Err(TensorError::IncompatibleShapes {
+                    lhs: self.teacher.input_shape.clone(),
+                    rhs: image.dims().to_vec(),
+                }
+                .into());
+            }
+            // ReLU washes NaN inputs to zero, so poisoned images must be
+            // caught here rather than at the output check below.
+            if image.as_slice().iter().any(|v| !v.is_finite()) {
+                return Err(PipelineError::NonFiniteActivation { stage: "engine input" });
+            }
+        }
+        let batch = Tensor::stack(images)?;
         let feats = self.teacher.infer_features_at(&batch, self.cut);
-        (0..images.len())
+        let values: Vec<Vec<f32>> = (0..images.len())
             .map(|b| {
                 let feat = self.scaler.transform(&feats.batch_item(b));
                 match &self.manifold {
@@ -110,33 +174,90 @@ impl NshdEngine {
                     None => feat.as_slice().to_vec(),
                 }
             })
-            .collect()
+            .collect();
+        if values.iter().flatten().any(|v| !v.is_finite()) {
+            return Err(PipelineError::NonFiniteActivation { stage: "engine feature extraction" });
+        }
+        Ok(values)
+    }
+
+    /// Panicking wrapper around
+    /// [`try_extract_values`](NshdEngine::try_extract_values).
+    ///
+    /// # Panics
+    ///
+    /// Panics if images disagree with the teacher's input shape or the
+    /// extracted values are non-finite.
+    pub fn extract_values(&self, images: &[Tensor]) -> Vec<Vec<f32>> {
+        match self.try_extract_values(images) {
+            Ok(values) => values,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Encodes extracted feature values into bipolar hypervectors with
     /// one dense GEMM. Bit-identical to encoding each row through
     /// [`NshdModel::symbolize`]'s per-sample path.
     ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Tensor`] when rows differ in length or
+    /// don't match the projection's feature width.
+    #[must_use = "encoding can fail on malformed value rows"]
+    pub fn try_encode_values(&self, values: &[Vec<f32>]) -> Result<Vec<BipolarHv>, PipelineError> {
+        if values.is_empty() {
+            return Ok(Vec::new());
+        }
+        for row in values {
+            if row.len() != self.encoder.features() {
+                return Err(TensorError::IncompatibleShapes {
+                    lhs: vec![self.encoder.features()],
+                    rhs: vec![row.len()],
+                }
+                .into());
+            }
+        }
+        let matrix = Tensor::from_rows(values)?;
+        Ok(self.encoder.encode_batch(&matrix))
+    }
+
+    /// Panicking wrapper around
+    /// [`try_encode_values`](NshdEngine::try_encode_values).
+    ///
     /// # Panics
     ///
     /// Panics if rows differ in length or don't match the projection.
     pub fn encode_values(&self, values: &[Vec<f32>]) -> Vec<BipolarHv> {
-        if values.is_empty() {
-            return Vec::new();
+        match self.try_encode_values(values) {
+            Ok(hvs) => hvs,
+            Err(e) => panic!("{e}"),
         }
-        let matrix = Tensor::from_rows(values).expect("equal-length value rows");
-        self.encoder.encode_batch(&matrix)
     }
 
     /// Stage 2 — HD encode + associative scoring for a whole batch of
     /// extracted values: one GEMM to encode, one `matmul_bt` to score.
     ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Tensor`] when rows differ in length or
+    /// don't match the projection's feature width.
+    #[must_use = "scoring can fail on malformed value rows"]
+    pub fn try_finish_values(&self, values: &[Vec<f32>]) -> Result<Vec<usize>, PipelineError> {
+        let hvs = self.try_encode_values(values)?;
+        Ok(self.memory.predict_batch(&hvs))
+    }
+
+    /// Panicking wrapper around
+    /// [`try_finish_values`](NshdEngine::try_finish_values).
+    ///
     /// # Panics
     ///
     /// Panics if rows differ in length or don't match the projection.
     pub fn finish_values(&self, values: &[Vec<f32>]) -> Vec<usize> {
-        let hvs = self.encode_values(values);
-        self.memory.predict_batch(&hvs)
+        match self.try_finish_values(values) {
+            Ok(preds) => preds,
+            Err(e) => panic!("{e}"),
+        }
     }
 
     /// Symbolises a batch of CHW images into query hypervectors —
@@ -253,6 +374,61 @@ mod tests {
             // And dataset-level accuracy matches the model's.
             assert_eq!(engine.evaluate(&test), model.evaluate(&test));
         }
+    }
+
+    #[test]
+    fn malformed_inputs_are_reported_not_panicked() {
+        let (model, _) = trained_setup(false);
+        let engine = NshdEngine::from_model(&model);
+        // Wrong image shape: reported, not a deep conv panic.
+        let err = engine.try_extract_values(&[Tensor::zeros([3, 16, 16])]).unwrap_err();
+        assert!(matches!(err, PipelineError::Tensor(_)), "{err:?}");
+        assert!(err.to_string().contains("tensor"), "{err}");
+        // A poisoned image surfaces as a non-finite-activation report.
+        let poisoned = Tensor::from_fn([3, 32, 32], |_| f32::NAN);
+        let err = engine.try_extract_values(&[poisoned]).unwrap_err();
+        assert!(matches!(err, PipelineError::NonFiniteActivation { .. }), "{err:?}");
+        // Wrong value-row width at the encode stage.
+        let err = engine.try_finish_values(&[vec![0.0; 3]]).unwrap_err();
+        assert!(matches!(err, PipelineError::Tensor(_)), "{err:?}");
+        // The happy path is unaffected.
+        let ok = engine.try_extract_values(&[Tensor::zeros([3, 32, 32])]).unwrap();
+        assert_eq!(ok.len(), 1);
+    }
+
+    #[test]
+    fn misconfigured_models_are_rejected_at_construction() {
+        use crate::verify::Stage;
+
+        // A healthy model verifies and yields an engine that re-verifies.
+        let (model, _) = trained_setup(true);
+        let engine = NshdEngine::new(&model).expect("healthy model verifies");
+        engine.verify().expect("snapshot re-verifies");
+
+        // Memory width torn away from the encoder's D: rejected with a
+        // structured report naming the memory stage and both widths.
+        let mut torn = model.clone();
+        torn.set_memory_raw(vec![vec![0.0f32; 256]; 10]);
+        let report = NshdEngine::new(&torn).unwrap_err();
+        assert_eq!(report.stage, Stage::Memory);
+        assert_eq!(report.expected, vec![512]);
+        assert_eq!(report.actual, vec![256]);
+        assert!(report.to_string().contains("memory"), "{report}");
+
+        // Scaler fitted on the wrong feature width: scaler stage.
+        let mut torn = model.clone();
+        let (mean, inv_std) = torn.scaler_raw();
+        torn.set_scaler_raw(mean[..mean.len() - 1].to_vec(), inv_std[..inv_std.len() - 1].to_vec())
+            .expect("lengths agree with each other");
+        let report = NshdEngine::new(&torn).unwrap_err();
+        assert_eq!(report.stage, Stage::Scaler);
+
+        // A poisoned class memory is caught before any thread could be.
+        let mut torn = model;
+        torn.memory_mut().class_mut(0)[0] = f32::NAN;
+        let report = NshdEngine::new(&torn).unwrap_err();
+        assert_eq!(report.stage, Stage::Memory);
+        assert!(report.to_string().contains("non-finite"), "{report}");
     }
 
     #[test]

@@ -47,6 +47,7 @@ mod model;
 mod robust;
 mod scaler;
 mod serialize;
+mod verify;
 
 pub use baselines::{BaselineHd, Classifier, CnnClassifier, VanillaHd};
 pub use config::NshdConfig;
@@ -62,3 +63,4 @@ pub use model::{NshdModel, NshdTrainer, RetrainEpoch};
 pub use robust::{DivergenceGuard, GuardVerdict, PipelineError, RollbackReason};
 pub use scaler::FeatureScaler;
 pub use serialize::load_pipeline;
+pub use verify::{verify_model, verify_quantized, verify_teacher, AnalysisReport, Stage};

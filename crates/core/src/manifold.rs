@@ -52,6 +52,11 @@ impl ManifoldLearner {
         self.out_features
     }
 
+    /// The extractor-output shape (CHW) this learner was built for.
+    pub fn feat_shape(&self) -> &[usize] {
+        &self.feat_shape
+    }
+
     /// Flattened input width after pooling.
     pub fn pooled_len(&self) -> usize {
         self.pooled_len

@@ -232,17 +232,17 @@ impl NshdTrainer {
     ///
     /// # Panics
     ///
-    /// Panics if the configuration is invalid, the cut exceeds the
-    /// teacher's feature stack, or the dataset is empty.
+    /// Panics if static verification ([`crate::verify_teacher`]) rejects
+    /// the teacher/configuration pair (invalid dimensions, a cut that
+    /// exceeds the teacher's feature stack, inconsistent layer shapes,
+    /// batch-norm not eval-ready) or the dataset is empty. See
+    /// [`try_prepare`](NshdTrainer::try_prepare) for the non-panicking
+    /// entry point.
     pub fn prepare(mut teacher: Model, train: &ImageDataset, config: NshdConfig) -> Self {
         config.validate();
-        assert!(
-            config.cut <= teacher.features.len(),
-            "cut {} exceeds the {} feature layers of {}",
-            config.cut,
-            teacher.features.len(),
-            teacher.name
-        );
+        if let Err(report) = crate::verify::verify_teacher(&teacher, &config) {
+            panic!("{report}");
+        }
         assert!(!train.is_empty(), "cannot train NSHD on an empty dataset");
         let num_classes = train.num_classes();
         let mut rng = Rng::new(config.seed);

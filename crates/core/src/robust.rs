@@ -36,6 +36,7 @@
 //! ```
 
 use crate::model::{NshdModel, NshdTrainer};
+use crate::verify::AnalysisReport;
 use nshd_tensor::TensorError;
 use std::error::Error;
 use std::fmt;
@@ -60,6 +61,18 @@ pub enum PipelineError {
         /// What was expected versus what was found.
         detail: String,
     },
+    /// Static pipeline verification rejected the model before any work
+    /// started.
+    Analysis(AnalysisReport),
+    /// The serving runtime failed outside the engine itself — a
+    /// misconfigured runtime, a dead worker thread, a closed channel.
+    Runtime {
+        /// The runtime component that failed (`"config"`, `"submit"`,
+        /// `"extract"`, …).
+        stage: &'static str,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -73,6 +86,10 @@ impl fmt::Display for PipelineError {
             PipelineError::CorruptCheckpoint { offset, detail } => {
                 write!(f, "corrupt checkpoint at byte {offset}: {detail}")
             }
+            PipelineError::Analysis(report) => write!(f, "{report}"),
+            PipelineError::Runtime { stage, detail } => {
+                write!(f, "serving runtime failure in {stage}: {detail}")
+            }
         }
     }
 }
@@ -81,6 +98,7 @@ impl Error for PipelineError {
     fn source(&self) -> Option<&(dyn Error + 'static)> {
         match self {
             PipelineError::Tensor(e) => Some(e),
+            PipelineError::Analysis(report) => Some(report),
             _ => None,
         }
     }
@@ -89,6 +107,12 @@ impl Error for PipelineError {
 impl From<TensorError> for PipelineError {
     fn from(e: TensorError) -> Self {
         PipelineError::Tensor(e)
+    }
+}
+
+impl From<AnalysisReport> for PipelineError {
+    fn from(report: AnalysisReport) -> Self {
+        PipelineError::Analysis(report)
     }
 }
 
@@ -215,17 +239,16 @@ fn state_is_finite(model: &NshdModel) -> bool {
 
 impl NshdTrainer {
     /// Like [`prepare`](NshdTrainer::prepare), but reports an empty
-    /// training set as [`PipelineError::EmptyBatch`] instead of
+    /// training set as [`PipelineError::EmptyBatch`] and a misconfigured
+    /// teacher/config pair as [`PipelineError::Analysis`] instead of
     /// panicking.
     ///
     /// # Errors
     ///
-    /// Returns [`PipelineError::EmptyBatch`] when `train` has no samples.
-    ///
-    /// # Panics
-    ///
-    /// Still panics on programmer errors (invalid configuration, a cut
-    /// beyond the teacher's feature stack) exactly as `prepare` does.
+    /// Returns [`PipelineError::EmptyBatch`] when `train` has no
+    /// samples, or [`PipelineError::Analysis`] when static verification
+    /// ([`crate::verify_teacher`]) rejects the pipeline.
+    #[must_use = "the trainer is only constructed when verification passes"]
     pub fn try_prepare(
         teacher: nshd_nn::Model,
         train: &nshd_data::ImageDataset,
@@ -234,6 +257,7 @@ impl NshdTrainer {
         if train.is_empty() {
             return Err(PipelineError::EmptyBatch);
         }
+        crate::verify::verify_teacher(&teacher, &config)?;
         Ok(Self::prepare(teacher, train, config))
     }
 
@@ -348,6 +372,20 @@ mod tests {
         };
         assert_eq!(err, PipelineError::EmptyBatch);
         assert!(err.to_string().contains("at least one sample"));
+    }
+
+    #[test]
+    fn oversized_cut_is_reported_not_panicked() {
+        let (teacher, train) = setup();
+        let Err(err) = NshdTrainer::try_prepare(teacher, &train, NshdConfig::new(99)) else {
+            panic!("oversized cut accepted");
+        };
+        let PipelineError::Analysis(report) = &err else {
+            panic!("expected an analysis report, got {err:?}");
+        };
+        assert_eq!(report.stage, crate::verify::Stage::Config);
+        assert!(err.to_string().contains("exceeds"), "{err}");
+        assert!(std::error::Error::source(&err).is_some());
     }
 
     #[test]

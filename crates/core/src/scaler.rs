@@ -96,6 +96,7 @@ impl FeatureScaler {
     /// # Errors
     ///
     /// Returns a message when the vectors are empty or differ in length.
+    #[must_use = "the scaler is only rebuilt when the statistics are consistent"]
     pub fn from_raw(mean: Vec<f32>, inv_std: Vec<f32>) -> Result<Self, String> {
         if mean.is_empty() || mean.len() != inv_std.len() {
             return Err(format!(

@@ -127,6 +127,11 @@ impl QuantizedMemory {
         correct as f32 / samples.len() as f32
     }
 
+    /// The per-class dequantisation scales (one `f32` per class).
+    pub fn scales(&self) -> &[f32] {
+        &self.scales
+    }
+
     /// Deployment bytes: one `i8` per component plus one `f32` scale per
     /// class — vs 4 bytes per component for the f32 memory.
     pub fn size_bytes(&self) -> u64 {

@@ -4,7 +4,8 @@
 //! EfficientNet, matching the reference architectures.
 
 use crate::layer::{Layer, Mode};
-use nshd_tensor::Tensor;
+use crate::shape::ShapeError;
+use nshd_tensor::{Shape, Tensor};
 
 /// The activation function applied elementwise by [`Activation`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -123,8 +124,8 @@ impl Layer for Activation {
         grad.zip_with(input, |g, x| g * self.kind.derivative(x))
     }
 
-    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        in_shape.to_vec()
+    fn shape_of(&self, in_shape: &[usize]) -> Result<Shape, ShapeError> {
+        Ok(Shape::from(in_shape))
     }
 }
 

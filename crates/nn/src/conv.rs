@@ -3,7 +3,10 @@
 use crate::init::he_normal;
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
-use nshd_tensor::{col2im, im2col, matmul, matmul_at, matmul_bt, ConvGeometry, Rng, Tensor};
+use crate::shape::ShapeError;
+use nshd_tensor::{
+    col2im, conv_out_dim, im2col, matmul, matmul_at, matmul_bt, ConvGeometry, Rng, Shape, Tensor,
+};
 
 /// A 2-D convolution layer (`NCHW` in, `NKH'W'` out).
 ///
@@ -229,10 +232,33 @@ impl Layer for Conv2d {
         vec![&mut self.weight, &mut self.bias]
     }
 
-    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        assert_eq!(in_shape.len(), 3, "expected CHW shape");
-        let g = self.geometry(in_shape[1], in_shape[2]);
-        vec![self.out_channels, g.out_height(), g.out_width()]
+    fn shape_of(&self, in_shape: &[usize]) -> Result<Shape, ShapeError> {
+        if in_shape.len() != 3 {
+            return Err(ShapeError::WrongRank {
+                layer: self.name(),
+                expected: 3,
+                actual: in_shape.to_vec(),
+            });
+        }
+        if in_shape[0] != self.in_channels {
+            return Err(ShapeError::ChannelMismatch {
+                layer: self.name(),
+                expected: self.in_channels,
+                actual: in_shape[0],
+            });
+        }
+        let (h, w) = (in_shape[1], in_shape[2]);
+        match (
+            conv_out_dim(h, self.kernel, self.stride, self.padding),
+            conv_out_dim(w, self.kernel, self.stride, self.padding),
+        ) {
+            (Some(oh), Some(ow)) => Ok(Shape::from([self.out_channels, oh, ow])),
+            _ => Err(ShapeError::WindowTooLarge {
+                layer: self.name(),
+                window: self.kernel,
+                input: (h, w),
+            }),
+        }
     }
 
     fn macs(&self, in_shape: &[usize]) -> u64 {

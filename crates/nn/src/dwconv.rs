@@ -4,7 +4,8 @@
 use crate::init::he_normal;
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
-use nshd_tensor::{Rng, Tensor};
+use crate::shape::ShapeError;
+use nshd_tensor::{conv_out_dim, Rng, Shape, Tensor};
 
 /// A depthwise convolution: each input channel is convolved with its own
 /// `R×S` kernel; channel count is preserved.
@@ -192,9 +193,33 @@ impl Layer for DepthwiseConv2d {
         vec![&mut self.weight, &mut self.bias]
     }
 
-    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        let (oh, ow) = self.out_hw(in_shape[1], in_shape[2]);
-        vec![self.channels, oh, ow]
+    fn shape_of(&self, in_shape: &[usize]) -> Result<Shape, ShapeError> {
+        if in_shape.len() != 3 {
+            return Err(ShapeError::WrongRank {
+                layer: self.name(),
+                expected: 3,
+                actual: in_shape.to_vec(),
+            });
+        }
+        if in_shape[0] != self.channels {
+            return Err(ShapeError::ChannelMismatch {
+                layer: self.name(),
+                expected: self.channels,
+                actual: in_shape[0],
+            });
+        }
+        let (h, w) = (in_shape[1], in_shape[2]);
+        match (
+            conv_out_dim(h, self.kernel, self.stride, self.padding),
+            conv_out_dim(w, self.kernel, self.stride, self.padding),
+        ) {
+            (Some(oh), Some(ow)) => Ok(Shape::from([self.channels, oh, ow])),
+            _ => Err(ShapeError::WindowTooLarge {
+                layer: self.name(),
+                window: self.kernel,
+                input: (h, w),
+            }),
+        }
     }
 
     fn macs(&self, in_shape: &[usize]) -> u64 {

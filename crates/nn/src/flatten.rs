@@ -1,7 +1,8 @@
 //! Shape-only layers: flatten and dropout.
 
 use crate::layer::{Layer, Mode};
-use nshd_tensor::{Rng, Tensor};
+use crate::shape::ShapeError;
+use nshd_tensor::{Rng, Shape, Tensor};
 
 /// Flattens `N×C×H×W` to `N×(C·H·W)`.
 #[derive(Debug, Clone, Default)]
@@ -44,8 +45,8 @@ impl Layer for Flatten {
         grad.reshape(shape.clone()).expect("flatten preserves element count")
     }
 
-    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        vec![in_shape.iter().product()]
+    fn shape_of(&self, in_shape: &[usize]) -> Result<Shape, ShapeError> {
+        Ok(Shape::from([in_shape.iter().product()]))
     }
 }
 
@@ -108,8 +109,8 @@ impl Layer for Dropout {
         grad.mul(mask)
     }
 
-    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        in_shape.to_vec()
+    fn shape_of(&self, in_shape: &[usize]) -> Result<Shape, ShapeError> {
+        Ok(Shape::from(in_shape))
     }
 }
 

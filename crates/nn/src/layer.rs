@@ -1,7 +1,8 @@
 //! The layer abstraction all network components implement.
 
 use crate::param::Param;
-use nshd_tensor::Tensor;
+use crate::shape::ShapeError;
+use nshd_tensor::{Shape, Tensor};
 
 /// Whether a forward pass is part of training or evaluation.
 ///
@@ -56,9 +57,42 @@ pub trait Layer: Send + Sync {
         Vec::new()
     }
 
+    /// Statically infers the output shape (excluding batch) for a given
+    /// input shape (excluding batch), without running any arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ShapeError`] naming this layer when the input shape
+    /// violates the layer's contract (wrong rank, channel or feature
+    /// mismatch, window larger than the input, …).
+    fn shape_of(&self, in_shape: &[usize]) -> Result<Shape, ShapeError>;
+
     /// Output shape (excluding batch) for a given input shape (excluding
-    /// batch).
-    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize>;
+    /// batch) — the panicking convenience over
+    /// [`shape_of`](Layer::shape_of).
+    ///
+    /// # Panics
+    ///
+    /// Panics with the [`ShapeError`] message when the input shape is
+    /// rejected.
+    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+        match self.shape_of(in_shape) {
+            Ok(shape) => shape.dims().to_vec(),
+            Err(e) => panic!("{e}"),
+        }
+    }
+
+    /// Checks that the layer is ready for evaluation-mode inference
+    /// (e.g. batch-norm running statistics are finite and non-negative).
+    /// Containers forward to their children; stateless layers are always
+    /// ready.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable description of the unready state.
+    fn eval_ready(&self) -> Result<(), String> {
+        Ok(())
+    }
 
     /// Multiply–accumulate operations for one sample of the given input
     /// shape. Elementwise layers report 0 following the convention of the
@@ -126,8 +160,8 @@ mod tests {
         fn backward(&mut self, grad: &Tensor) -> Tensor {
             grad.clone()
         }
-        fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-            in_shape.to_vec()
+        fn shape_of(&self, in_shape: &[usize]) -> Result<Shape, ShapeError> {
+            Ok(Shape::from(in_shape))
         }
         fn clone_box(&self) -> Box<dyn Layer> {
             Box::new(Identity)
@@ -140,6 +174,9 @@ mod tests {
         assert!(id.params().is_empty());
         assert_eq!(id.param_count(), 0);
         assert_eq!(id.macs(&[3, 32, 32]), 0);
+        // The provided `out_shape` goes through `shape_of`.
+        assert_eq!(id.out_shape(&[3, 2]), vec![3, 2]);
+        assert!(id.eval_ready().is_ok());
         id.zero_grad(); // no-op, must not panic
         let x = Tensor::ones([2, 3]);
         assert_eq!(id.forward(&x, Mode::Train), x);

@@ -46,6 +46,7 @@ mod pool;
 mod se;
 mod sequential;
 mod serialize;
+mod shape;
 pub mod specs;
 pub mod stats;
 mod trainer;
@@ -67,4 +68,5 @@ pub use pool::{AvgPool2d, GlobalAvgPool, MaxPool2d};
 pub use se::SqueezeExcite;
 pub use sequential::{Residual, Sequential};
 pub use serialize::{load_model, save_model, CountingReader};
+pub use shape::{ShapeError, ShapeStep, ShapeTrace};
 pub use trainer::{evaluate, fit, EpochReport, TrainConfig};

@@ -3,7 +3,8 @@
 use crate::init::xavier_uniform;
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
-use nshd_tensor::{matmul_at, matmul_bt, Rng, Tensor};
+use crate::shape::ShapeError;
+use nshd_tensor::{matmul_at, matmul_bt, Rng, Shape, Tensor};
 
 /// A fully-connected layer: `y = x·Wᵀ + b` over `N×F_in` batches.
 ///
@@ -137,10 +138,16 @@ impl Layer for Linear {
         vec![&mut self.weight, &mut self.bias]
     }
 
-    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
+    fn shape_of(&self, in_shape: &[usize]) -> Result<Shape, ShapeError> {
         let f: usize = in_shape.iter().product();
-        assert_eq!(f, self.in_features, "linear expects {} features, got {f}", self.in_features);
-        vec![self.out_features]
+        if f != self.in_features {
+            return Err(ShapeError::FeatureMismatch {
+                layer: self.name(),
+                expected: self.in_features,
+                actual: f,
+            });
+        }
+        Ok(Shape::from([self.out_features]))
     }
 
     fn macs(&self, _in_shape: &[usize]) -> u64 {

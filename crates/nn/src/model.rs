@@ -5,6 +5,7 @@
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
 use crate::sequential::Sequential;
+use crate::shape::{ShapeError, ShapeTrace};
 use nshd_tensor::Tensor;
 
 /// A CNN organised as `features` (indexed layers, the paper's truncation
@@ -126,6 +127,19 @@ impl Model {
     pub fn zero_grad(&mut self) {
         self.features.zero_grad();
         self.classifier.zero_grad();
+    }
+
+    /// Statically traces the model's own input shape through the feature
+    /// stack and the classifier, returning both traces.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`ShapeError`] encountered; feature-stack
+    /// failures are reported before classifier failures.
+    pub fn infer_shapes(&self) -> Result<(ShapeTrace, ShapeTrace), ShapeError> {
+        let features = self.features.infer_shapes(&self.input_shape)?;
+        let classifier = self.classifier.infer_shapes(features.output())?;
+        Ok((features, classifier))
     }
 }
 

@@ -2,7 +2,8 @@
 
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
-use nshd_tensor::Tensor;
+use crate::shape::ShapeError;
+use nshd_tensor::{Shape, Tensor};
 
 /// 2-D batch normalisation with learnable affine parameters and running
 /// statistics for evaluation.
@@ -201,8 +202,37 @@ impl Layer for BatchNorm2d {
         vec![&mut self.gamma, &mut self.beta]
     }
 
-    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        in_shape.to_vec()
+    fn shape_of(&self, in_shape: &[usize]) -> Result<Shape, ShapeError> {
+        if in_shape.len() != 3 {
+            return Err(ShapeError::WrongRank {
+                layer: self.name(),
+                expected: 3,
+                actual: in_shape.to_vec(),
+            });
+        }
+        if in_shape[0] != self.channels {
+            return Err(ShapeError::ChannelMismatch {
+                layer: self.name(),
+                expected: self.channels,
+                actual: in_shape[0],
+            });
+        }
+        Ok(Shape::from(in_shape))
+    }
+
+    fn eval_ready(&self) -> Result<(), String> {
+        for (c, (&m, &v)) in self.running_mean.iter().zip(&self.running_var).enumerate() {
+            if !m.is_finite() || !v.is_finite() {
+                return Err(format!("{}: non-finite running stats in channel {c}", self.name()));
+            }
+            if v < 0.0 {
+                return Err(format!(
+                    "{}: negative running variance {v} in channel {c}",
+                    self.name()
+                ));
+            }
+        }
+        Ok(())
     }
 
     fn collect_state(&self, out: &mut Vec<Vec<f32>>) {

@@ -1,7 +1,8 @@
 //! Pooling layers: max, average, and global average.
 
 use crate::layer::{Layer, Mode};
-use nshd_tensor::Tensor;
+use crate::shape::ShapeError;
+use nshd_tensor::{pool_out_dim, Shape, Tensor};
 
 /// 2-D max pooling over NCHW inputs.
 ///
@@ -124,9 +125,24 @@ impl Layer for MaxPool2d {
         dx
     }
 
-    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        let (oh, ow) = self.out_hw(in_shape[1], in_shape[2]);
-        vec![in_shape[0], oh, ow]
+    fn shape_of(&self, in_shape: &[usize]) -> Result<Shape, ShapeError> {
+        if in_shape.len() != 3 {
+            return Err(ShapeError::WrongRank {
+                layer: self.name(),
+                expected: 3,
+                actual: in_shape.to_vec(),
+            });
+        }
+        let (h, w) = (in_shape[1], in_shape[2]);
+        match (pool_out_dim(h, self.window, self.stride), pool_out_dim(w, self.window, self.stride))
+        {
+            (Some(oh), Some(ow)) => Ok(Shape::from([in_shape[0], oh, ow])),
+            _ => Err(ShapeError::WindowTooLarge {
+                layer: self.name(),
+                window: self.window,
+                input: (h, w),
+            }),
+        }
     }
 }
 
@@ -235,9 +251,26 @@ impl Layer for AvgPool2d {
         dx
     }
 
-    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        let (oh, ow) = self.out_hw(in_shape[1], in_shape[2]);
-        vec![in_shape[0], oh, ow]
+    fn shape_of(&self, in_shape: &[usize]) -> Result<Shape, ShapeError> {
+        if in_shape.len() != 3 {
+            return Err(ShapeError::WrongRank {
+                layer: self.name(),
+                expected: 3,
+                actual: in_shape.to_vec(),
+            });
+        }
+        let (h, w) = (in_shape[1], in_shape[2]);
+        // Non-overlapping windows: stride equals the window, so
+        // `pool_out_dim` reduces to floor division.
+        match (pool_out_dim(h, self.window, self.window), pool_out_dim(w, self.window, self.window))
+        {
+            (Some(oh), Some(ow)) => Ok(Shape::from([in_shape[0], oh, ow])),
+            _ => Err(ShapeError::WindowTooLarge {
+                layer: self.name(),
+                window: self.window,
+                input: (h, w),
+            }),
+        }
     }
 }
 
@@ -298,8 +331,15 @@ impl Layer for GlobalAvgPool {
         dx
     }
 
-    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        vec![in_shape[0]]
+    fn shape_of(&self, in_shape: &[usize]) -> Result<Shape, ShapeError> {
+        if in_shape.len() != 3 {
+            return Err(ShapeError::WrongRank {
+                layer: self.name(),
+                expected: 3,
+                actual: in_shape.to_vec(),
+            });
+        }
+        Ok(Shape::from([in_shape[0]]))
     }
 }
 

@@ -4,7 +4,8 @@
 use crate::init::he_normal;
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
-use nshd_tensor::{matvec, Rng, Tensor};
+use crate::shape::ShapeError;
+use nshd_tensor::{matvec, Rng, Shape, Tensor};
 
 /// Squeeze-and-excite: gates each channel by a learned function of the
 /// globally-pooled channel descriptor.
@@ -225,8 +226,22 @@ impl Layer for SqueezeExcite {
         vec![&mut self.w1, &mut self.b1, &mut self.w2, &mut self.b2]
     }
 
-    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        in_shape.to_vec()
+    fn shape_of(&self, in_shape: &[usize]) -> Result<Shape, ShapeError> {
+        if in_shape.len() != 3 {
+            return Err(ShapeError::WrongRank {
+                layer: self.name(),
+                expected: 3,
+                actual: in_shape.to_vec(),
+            });
+        }
+        if in_shape[0] != self.channels {
+            return Err(ShapeError::ChannelMismatch {
+                layer: self.name(),
+                expected: self.channels,
+                actual: in_shape[0],
+            });
+        }
+        Ok(Shape::from(in_shape))
     }
 
     fn macs(&self, _in_shape: &[usize]) -> u64 {

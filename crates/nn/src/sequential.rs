@@ -3,7 +3,8 @@
 
 use crate::layer::{Layer, Mode};
 use crate::param::Param;
-use nshd_tensor::Tensor;
+use crate::shape::{ShapeError, ShapeStep, ShapeTrace};
+use nshd_tensor::{Shape, Tensor};
 
 /// An ordered stack of layers, indexed the way the NSHD paper indexes
 /// feature extractors ("VGG16 at layer 27", "EfficientNet-b0 block 6", …).
@@ -190,6 +191,40 @@ impl Sequential {
     pub fn param_count_to(&self, end: usize) -> usize {
         self.layers[..end].iter().map(|l| l.param_count()).sum()
     }
+
+    /// Statically traces a per-sample input shape through every layer,
+    /// producing the full per-layer shape, MAC, and parameter accounting
+    /// without running any tensor arithmetic.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ShapeError::InLayer`] naming the first layer (index and
+    /// name) that rejects its input shape.
+    pub fn infer_shapes(&self, in_shape: &[usize]) -> Result<ShapeTrace, ShapeError> {
+        let mut steps = Vec::with_capacity(self.layers.len());
+        let mut shape = in_shape.to_vec();
+        for (index, layer) in self.layers.iter().enumerate() {
+            let out = layer.shape_of(&shape).map_err(|source| ShapeError::InLayer {
+                index,
+                layer: layer.name(),
+                source: Box::new(source),
+            })?;
+            // `macs` is only well-defined once `shape_of` accepted the
+            // input, so it is computed after the check above.
+            let macs = layer.macs(&shape);
+            let out_shape = out.dims().to_vec();
+            steps.push(ShapeStep {
+                index,
+                name: layer.name(),
+                in_shape: shape,
+                out_shape: out_shape.clone(),
+                macs,
+                params: layer.param_count(),
+            });
+            shape = out_shape;
+        }
+        Ok(ShapeTrace { input: in_shape.to_vec(), steps })
+    }
 }
 
 impl Layer for Sequential {
@@ -221,12 +256,27 @@ impl Layer for Sequential {
         self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
     }
 
-    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        self.out_shape_at(in_shape, self.layers.len())
+    fn shape_of(&self, in_shape: &[usize]) -> Result<Shape, ShapeError> {
+        let mut shape = Shape::from(in_shape);
+        for (index, layer) in self.layers.iter().enumerate() {
+            shape = layer.shape_of(shape.dims()).map_err(|source| ShapeError::InLayer {
+                index,
+                layer: layer.name(),
+                source: Box::new(source),
+            })?;
+        }
+        Ok(shape)
     }
 
     fn macs(&self, in_shape: &[usize]) -> u64 {
         self.total_macs(in_shape)
+    }
+
+    fn eval_ready(&self) -> Result<(), String> {
+        for layer in &self.layers {
+            layer.eval_ready()?;
+        }
+        Ok(())
     }
 
     fn collect_state(&self, out: &mut Vec<Vec<f32>>) {
@@ -309,12 +359,24 @@ impl Layer for Residual {
         self.body.params_mut()
     }
 
-    fn out_shape(&self, in_shape: &[usize]) -> Vec<usize> {
-        in_shape.to_vec()
+    fn shape_of(&self, in_shape: &[usize]) -> Result<Shape, ShapeError> {
+        let body = self.body.shape_of(in_shape)?;
+        if body.dims() != in_shape {
+            return Err(ShapeError::NotShapePreserving {
+                layer: "residual".into(),
+                input: in_shape.to_vec(),
+                body: body.dims().to_vec(),
+            });
+        }
+        Ok(body)
     }
 
     fn macs(&self, in_shape: &[usize]) -> u64 {
         self.body.total_macs(in_shape)
+    }
+
+    fn eval_ready(&self) -> Result<(), String> {
+        self.body.eval_ready()
     }
 
     fn collect_state(&self, out: &mut Vec<Vec<f32>>) {

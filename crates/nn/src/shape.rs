@@ -1,0 +1,285 @@
+//! Static shape inference: the error type of the [`Layer::shape_of`]
+//! contract and the per-layer trace produced by
+//! [`Sequential::infer_shapes`].
+//!
+//! Every layer can state, without running any arithmetic, what output
+//! shape it would produce for a given per-sample input shape — or a
+//! structured reason why the input is unacceptable. Chaining those
+//! contracts over a [`Sequential`] yields a full static trace of a
+//! network (shapes, MACs, parameters per layer), which the `nshd-core`
+//! verifier uses to reject misconfigured pipelines before any tensor is
+//! allocated or thread spawned.
+//!
+//! [`Layer::shape_of`]: crate::Layer::shape_of
+//! [`Sequential`]: crate::Sequential
+//! [`Sequential::infer_shapes`]: crate::Sequential::infer_shapes
+
+use std::fmt;
+
+/// Why a layer rejected an input shape during static inference.
+///
+/// Each variant names the offending layer; [`ShapeError::InLayer`] adds
+/// the positional context when the failure happened inside a container.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ShapeError {
+    /// The input has the wrong number of dimensions (e.g. a spatial
+    /// layer fed a flattened vector).
+    WrongRank {
+        /// Name of the rejecting layer.
+        layer: String,
+        /// Rank the layer requires.
+        expected: usize,
+        /// The offending input shape.
+        actual: Vec<usize>,
+    },
+    /// A channelled layer was fed the wrong channel count.
+    ChannelMismatch {
+        /// Name of the rejecting layer.
+        layer: String,
+        /// Channel count the layer was built for.
+        expected: usize,
+        /// Channel count of the input.
+        actual: usize,
+    },
+    /// A fully-connected layer was fed the wrong flattened feature count.
+    FeatureMismatch {
+        /// Name of the rejecting layer.
+        layer: String,
+        /// Feature count the layer was built for.
+        expected: usize,
+        /// Flattened feature count of the input.
+        actual: usize,
+    },
+    /// A convolution or pooling window does not fit the (padded) input.
+    WindowTooLarge {
+        /// Name of the rejecting layer.
+        layer: String,
+        /// Square window / kernel size.
+        window: usize,
+        /// Input height and width.
+        input: (usize, usize),
+    },
+    /// A residual body changed the shape it must preserve.
+    NotShapePreserving {
+        /// Name of the rejecting layer.
+        layer: String,
+        /// The skip-connection (input) shape.
+        input: Vec<usize>,
+        /// The shape the body produced instead.
+        body: Vec<usize>,
+    },
+    /// A layer inside a container rejected its input; wraps the
+    /// underlying error with the layer's index and name.
+    InLayer {
+        /// Index of the failing layer within its container.
+        index: usize,
+        /// Name of the failing layer.
+        layer: String,
+        /// The underlying rejection.
+        source: Box<ShapeError>,
+    },
+}
+
+impl ShapeError {
+    /// The innermost error, unwrapping any [`ShapeError::InLayer`]
+    /// nesting introduced by containers.
+    pub fn root_cause(&self) -> &ShapeError {
+        match self {
+            ShapeError::InLayer { source, .. } => source.root_cause(),
+            other => other,
+        }
+    }
+
+    /// The index of the outermost failing layer, if the error carries
+    /// positional context.
+    pub fn layer_index(&self) -> Option<usize> {
+        match self {
+            ShapeError::InLayer { index, .. } => Some(*index),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for ShapeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ShapeError::WrongRank { layer, expected, actual } => {
+                write!(f, "{layer}: expected rank-{expected} input, got {actual:?}")
+            }
+            ShapeError::ChannelMismatch { layer, expected, actual } => {
+                write!(f, "{layer}: expected {expected} channels, got {actual}")
+            }
+            ShapeError::FeatureMismatch { layer, expected, actual } => {
+                write!(f, "{layer}: expected {expected} features, got {actual}")
+            }
+            ShapeError::WindowTooLarge { layer, window, input: (h, w) } => {
+                write!(f, "{layer}: window {window} larger than input {h}×{w}")
+            }
+            ShapeError::NotShapePreserving { layer, input, body } => {
+                write!(f, "{layer}: body must preserve shape {input:?}, produced {body:?}")
+            }
+            ShapeError::InLayer { index, layer, source } => {
+                write!(f, "layer {index} ({layer}): {source}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ShapeError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ShapeError::InLayer { source, .. } => Some(source.as_ref()),
+            _ => None,
+        }
+    }
+}
+
+/// One layer's row in a static shape trace.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeStep {
+    /// Layer index within the traced container.
+    pub index: usize,
+    /// Layer name.
+    pub name: String,
+    /// Per-sample input shape the layer receives.
+    pub in_shape: Vec<usize>,
+    /// Per-sample output shape the layer produces.
+    pub out_shape: Vec<usize>,
+    /// Multiply–accumulates for one sample at this input shape.
+    pub macs: u64,
+    /// Scalar parameter count of the layer.
+    pub params: usize,
+}
+
+/// The full static trace of a sequential stack: per-layer shapes plus
+/// MAC and parameter accounting, computed without running any tensor
+/// arithmetic.
+///
+/// Produced by [`Sequential::infer_shapes`](crate::Sequential::infer_shapes).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ShapeTrace {
+    /// The per-sample input shape the trace starts from.
+    pub input: Vec<usize>,
+    /// One entry per layer, in execution order.
+    pub steps: Vec<ShapeStep>,
+}
+
+impl ShapeTrace {
+    /// The final output shape (the input shape for an empty stack).
+    pub fn output(&self) -> &[usize] {
+        self.steps.last().map_or(&self.input, |s| &s.out_shape)
+    }
+
+    /// The shape after the first `end` layers (`end == 0` is the input).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` exceeds the number of traced layers.
+    pub fn shape_at(&self, end: usize) -> &[usize] {
+        if end == 0 {
+            &self.input
+        } else {
+            &self.steps[end - 1].out_shape
+        }
+    }
+
+    /// Total MACs across every traced layer for one sample.
+    pub fn total_macs(&self) -> u64 {
+        self.steps.iter().map(|s| s.macs).sum()
+    }
+
+    /// MACs of the first `end` layers only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` exceeds the number of traced layers.
+    pub fn macs_to(&self, end: usize) -> u64 {
+        self.steps[..end].iter().map(|s| s.macs).sum()
+    }
+
+    /// Total parameters across every traced layer.
+    pub fn total_params(&self) -> usize {
+        self.steps.iter().map(|s| s.params).sum()
+    }
+
+    /// Parameters of the first `end` layers only.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `end` exceeds the number of traced layers.
+    pub fn params_to(&self, end: usize) -> usize {
+        self.steps[..end].iter().map(|s| s.params).sum()
+    }
+}
+
+impl fmt::Display for ShapeTrace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "input {:?}", self.input)?;
+        for s in &self.steps {
+            writeln!(
+                f,
+                "{:>3}  {:<28} {:?} → {:?}  macs={} params={}",
+                s.index, s.name, s.in_shape, s.out_shape, s.macs, s.params
+            )?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_offending_layer() {
+        let err = ShapeError::ChannelMismatch { layer: "bn(c8)".into(), expected: 8, actual: 4 };
+        assert_eq!(err.to_string(), "bn(c8): expected 8 channels, got 4");
+        let wrapped =
+            ShapeError::InLayer { index: 3, layer: "bn(c8)".into(), source: Box::new(err.clone()) };
+        assert!(wrapped.to_string().starts_with("layer 3 (bn(c8)):"));
+        assert_eq!(wrapped.root_cause(), &err);
+        assert_eq!(wrapped.layer_index(), Some(3));
+        assert_eq!(err.layer_index(), None);
+    }
+
+    #[test]
+    fn trace_accessors_aggregate_steps() {
+        let trace = ShapeTrace {
+            input: vec![3, 8, 8],
+            steps: vec![
+                ShapeStep {
+                    index: 0,
+                    name: "conv".into(),
+                    in_shape: vec![3, 8, 8],
+                    out_shape: vec![4, 8, 8],
+                    macs: 100,
+                    params: 10,
+                },
+                ShapeStep {
+                    index: 1,
+                    name: "flatten".into(),
+                    in_shape: vec![4, 8, 8],
+                    out_shape: vec![256],
+                    macs: 0,
+                    params: 0,
+                },
+            ],
+        };
+        assert_eq!(trace.output(), &[256]);
+        assert_eq!(trace.shape_at(0), &[3, 8, 8]);
+        assert_eq!(trace.shape_at(1), &[4, 8, 8]);
+        assert_eq!(trace.total_macs(), 100);
+        assert_eq!(trace.macs_to(1), 100);
+        assert_eq!(trace.total_params(), 10);
+        assert_eq!(trace.params_to(1), 10);
+        assert!(trace.to_string().contains("conv"));
+    }
+
+    #[test]
+    fn empty_trace_output_is_the_input() {
+        let trace = ShapeTrace { input: vec![5], steps: Vec::new() };
+        assert_eq!(trace.output(), &[5]);
+        assert_eq!(trace.total_macs(), 0);
+        assert_eq!(trace.total_params(), 0);
+    }
+}

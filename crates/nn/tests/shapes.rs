@@ -1,0 +1,168 @@
+//! Static shape inference versus reality: for every zoo architecture and
+//! a grid of input sizes, `infer_shapes` must predict exactly the shapes
+//! the network actually produces, and its MAC/param accounting must match
+//! the existing `stats` counters. Plus one negative test per
+//! [`ShapeError`] variant.
+
+use nshd_nn::stats::{model_stats, sequential_stats};
+use nshd_nn::{
+    ActKind, Activation, Architecture, Conv2d, Flatten, Linear, MaxPool2d, Mode, Residual,
+    Sequential, ShapeError,
+};
+use nshd_tensor::{Rng, Tensor};
+
+/// Spatial sizes the paper's pipelines see (CIFAR-scale) plus larger
+/// odd-reduction grids that exercise floor divisions in pooling/strides.
+const GRID: [[usize; 3]; 3] = [[3, 32, 32], [3, 48, 48], [3, 64, 64]];
+
+#[test]
+fn zoo_feature_traces_match_actual_forward_shapes() {
+    for arch in Architecture::ALL {
+        let mut rng = Rng::new(11);
+        let mut model = arch.build(10, &mut rng);
+        for in_shape in GRID {
+            let trace = model
+                .features
+                .infer_shapes(&in_shape)
+                .unwrap_or_else(|e| panic!("{arch}: static trace rejected {in_shape:?}: {e}"));
+            assert_eq!(trace.steps.len(), model.features.len(), "{arch}");
+
+            // The static prediction must match what the network does.
+            let batch = Tensor::zeros([1, in_shape[0], in_shape[1], in_shape[2]]);
+            let out = model.features.forward_all(&batch, Mode::Eval);
+            assert_eq!(
+                &out.dims()[1..],
+                trace.output(),
+                "{arch} at {in_shape:?}: forward disagrees with static trace"
+            );
+
+            // Every intermediate shape too, via forward_to.
+            for end in [1, model.features.len() / 2, model.features.len()] {
+                let partial = model.features.forward_to(&batch, end, Mode::Eval);
+                assert_eq!(
+                    &partial.dims()[1..],
+                    trace.shape_at(end),
+                    "{arch} at {in_shape:?}: layer {end} shape diverged"
+                );
+            }
+
+            // MAC/param accounting must agree with the stats counters.
+            let stats = sequential_stats(&model.features, &in_shape);
+            assert_eq!(
+                trace.total_macs(),
+                stats.iter().map(|s| s.macs).sum::<u64>(),
+                "{arch} at {in_shape:?}: MAC totals diverged"
+            );
+            assert_eq!(
+                trace.total_params(),
+                stats.iter().map(|s| s.params).sum::<usize>(),
+                "{arch} at {in_shape:?}: param totals diverged"
+            );
+            for (step, stat) in trace.steps.iter().zip(&stats) {
+                assert_eq!(step.out_shape, stat.out_shape, "{arch}: step {}", step.index);
+                assert_eq!(step.macs, stat.macs, "{arch}: step {}", step.index);
+                assert_eq!(step.params, stat.params, "{arch}: step {}", step.index);
+            }
+        }
+    }
+}
+
+#[test]
+fn zoo_full_model_traces_match_model_stats() {
+    for arch in Architecture::ALL {
+        let mut rng = Rng::new(12);
+        let model = arch.build(10, &mut rng);
+        let (features, classifier) = model.infer_shapes().unwrap_or_else(|e| panic!("{arch}: {e}"));
+        let stats = model_stats(&model);
+        assert_eq!(
+            features.total_macs() + classifier.total_macs(),
+            stats.total_macs,
+            "{arch}: whole-model MACs"
+        );
+        assert_eq!(
+            features.total_params() + classifier.total_params(),
+            stats.total_params,
+            "{arch}: whole-model params"
+        );
+        // The classifier ends in the class distribution.
+        assert_eq!(classifier.output(), &[model.num_classes], "{arch}");
+        // Cut-point accounting matches the paper's per-cut counters.
+        for &cut in arch.paper_cuts() {
+            assert_eq!(features.macs_to(cut), stats.feature_macs_to(cut), "{arch} cut {cut}");
+            assert_eq!(features.params_to(cut), stats.feature_params_to(cut), "{arch} cut {cut}");
+            assert_eq!(
+                features.shape_at(cut).iter().product::<usize>(),
+                stats.feature_len_at(cut),
+                "{arch} cut {cut}: flattened feature width"
+            );
+        }
+    }
+}
+
+#[test]
+fn wrong_rank_is_rejected() {
+    let mut rng = Rng::new(1);
+    let conv = Conv2d::new(3, 4, 3, 1, 1, &mut rng);
+    let seq = Sequential::new().with(conv);
+    let err = seq.infer_shapes(&[27]).unwrap_err();
+    assert!(matches!(err.root_cause(), ShapeError::WrongRank { expected: 3, .. }), "got {err:?}");
+}
+
+#[test]
+fn channel_mismatch_is_rejected() {
+    let mut rng = Rng::new(2);
+    let seq = Sequential::new().with(Conv2d::new(3, 4, 3, 1, 1, &mut rng));
+    let err = seq.infer_shapes(&[5, 8, 8]).unwrap_err();
+    assert!(
+        matches!(err.root_cause(), ShapeError::ChannelMismatch { expected: 3, actual: 5, .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn feature_mismatch_is_rejected() {
+    let mut rng = Rng::new(3);
+    let seq = Sequential::new().with(Flatten::new()).with(Linear::new(64, 10, &mut rng));
+    let err = seq.infer_shapes(&[4, 5, 5]).unwrap_err();
+    assert!(
+        matches!(err.root_cause(), ShapeError::FeatureMismatch { expected: 64, actual: 100, .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn window_too_large_is_rejected() {
+    let seq = Sequential::new().with(MaxPool2d::new(5));
+    let err = seq.infer_shapes(&[4, 3, 3]).unwrap_err();
+    assert!(
+        matches!(err.root_cause(), ShapeError::WindowTooLarge { window: 5, input: (3, 3), .. }),
+        "got {err:?}"
+    );
+}
+
+#[test]
+fn non_shape_preserving_residual_is_rejected() {
+    let mut rng = Rng::new(4);
+    // The body widens 4→8 channels, so the skip connection cannot add.
+    let body = Sequential::new().with(Conv2d::new(4, 8, 3, 1, 1, &mut rng));
+    let seq = Sequential::new().with(Residual::new(body));
+    let err = seq.infer_shapes(&[4, 8, 8]).unwrap_err();
+    assert!(matches!(err.root_cause(), ShapeError::NotShapePreserving { .. }), "got {err:?}");
+}
+
+#[test]
+fn in_layer_context_names_the_failing_index() {
+    let mut rng = Rng::new(5);
+    let seq = Sequential::new()
+        .with(Conv2d::new(3, 4, 3, 1, 1, &mut rng))
+        .with(Activation::new(ActKind::Relu))
+        .with(Conv2d::new(9, 4, 3, 1, 1, &mut rng)); // wrong in-channels
+    let err = seq.infer_shapes(&[3, 8, 8]).unwrap_err();
+    assert_eq!(err.layer_index(), Some(2), "got {err:?}");
+    assert!(
+        matches!(err.root_cause(), ShapeError::ChannelMismatch { expected: 9, actual: 4, .. }),
+        "got {err:?}"
+    );
+    let text = err.to_string();
+    assert!(text.contains("layer 2"), "{text}");
+}

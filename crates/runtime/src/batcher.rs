@@ -3,8 +3,9 @@
 use crate::engine::BatchEngine;
 use crate::metrics::{MetricsInner, RuntimeMetrics};
 use crate::pool::WorkerPool;
+use nshd_core::PipelineError;
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -28,40 +29,82 @@ impl Default for RuntimeConfig {
     }
 }
 
+impl RuntimeConfig {
+    /// Checks that the configuration can serve at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Runtime`] when `workers` or `max_batch`
+    /// is zero.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        if self.workers == 0 {
+            return Err(PipelineError::Runtime {
+                stage: "config",
+                detail: "need at least one worker".into(),
+            });
+        }
+        if self.max_batch == 0 {
+            return Err(PipelineError::Runtime {
+                stage: "config",
+                detail: "need a positive batch bound".into(),
+            });
+        }
+        Ok(())
+    }
+}
+
+/// Locks a metrics mutex, recovering the data from a poisoned lock (the
+/// accounting state stays usable even if a panic ever crossed it).
+fn lock_metrics(metrics: &Mutex<MetricsInner>) -> MutexGuard<'_, MetricsInner> {
+    metrics.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
 /// One queued inference request.
 struct Request<E: BatchEngine> {
     input: E::Input,
     enqueued: Instant,
-    reply: Sender<E::Output>,
+    reply: Sender<Result<E::Output, PipelineError>>,
 }
+
+/// What a worker reports back for one chunk: its index plus the
+/// extract-stage result.
+type ChunkResult<E> = (usize, Result<Vec<<E as BatchEngine>::Partial>, PipelineError>);
 
 /// One data-parallel slice of a batch, dispatched to a worker.
 struct Chunk<E: BatchEngine> {
     index: usize,
     inputs: Vec<E::Input>,
-    done: Sender<(usize, Vec<E::Partial>)>,
+    done: Sender<ChunkResult<E>>,
 }
 
 /// The completion handle returned by
 /// [`InferenceRuntime::submit`]: resolves to the request's output once
 /// its batch has executed.
 pub struct PredictionHandle<T> {
-    rx: Receiver<T>,
+    rx: Receiver<Result<T, PipelineError>>,
 }
 
 impl<T> PredictionHandle<T> {
     /// Blocks until the result is ready.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the runtime was torn down without answering (an engine
-    /// panic) — a drained shutdown always answers first.
-    pub fn wait(self) -> T {
-        self.rx.recv().expect("runtime dropped the request without replying")
+    /// Returns the engine's [`PipelineError`] when the request's batch
+    /// failed, or [`PipelineError::Runtime`] when the runtime was torn
+    /// down without answering (a drained shutdown always answers
+    /// first).
+    #[must_use = "the prediction may have failed; check the result"]
+    pub fn wait(self) -> Result<T, PipelineError> {
+        self.rx.recv().unwrap_or_else(|_| {
+            Err(PipelineError::Runtime {
+                stage: "wait",
+                detail: "runtime dropped the request without replying".into(),
+            })
+        })
     }
 
     /// Waits up to `timeout`; `None` if the result isn't ready yet.
-    pub fn wait_timeout(&self, timeout: Duration) -> Option<T> {
+    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<T, PipelineError>> {
         self.rx.recv_timeout(timeout).ok()
     }
 }
@@ -77,6 +120,11 @@ impl<T> PredictionHandle<T> {
 /// [`PredictionHandle`] — results always line up with the submitting
 /// request, regardless of worker completion order.
 ///
+/// Construction statically verifies the engine
+/// ([`BatchEngine::verify`]) and the configuration before any thread is
+/// spawned; a batch the engine rejects fails only that batch's handles,
+/// never a thread.
+///
 /// # Examples
 ///
 /// ```no_run
@@ -85,9 +133,9 @@ impl<T> PredictionHandle<T> {
 /// use std::sync::Arc;
 /// # let engine: Arc<NshdEngine> = unimplemented!();
 /// # let images: Vec<nshd_tensor::Tensor> = vec![];
-/// let runtime = InferenceRuntime::new(engine, RuntimeConfig::default());
-/// let handles: Vec<_> = images.into_iter().map(|img| runtime.submit(img)).collect();
-/// let predictions: Vec<usize> = handles.into_iter().map(|h| h.wait()).collect();
+/// let runtime = InferenceRuntime::new(engine, RuntimeConfig::default()).unwrap();
+/// let handles: Vec<_> = images.into_iter().map(|img| runtime.submit(img).unwrap()).collect();
+/// let predictions: Vec<usize> = handles.into_iter().map(|h| h.wait().unwrap()).collect();
 /// println!("{}", runtime.shutdown().to_json());
 /// ```
 pub struct InferenceRuntime<E: BatchEngine> {
@@ -97,45 +145,58 @@ pub struct InferenceRuntime<E: BatchEngine> {
 }
 
 impl<E: BatchEngine> InferenceRuntime<E> {
-    /// Starts the batcher thread and worker pool around a shared engine.
+    /// Starts the batcher thread and worker pool around a shared
+    /// engine, after validating the configuration and statically
+    /// verifying the engine ([`BatchEngine::verify`]).
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `config.workers == 0` or `config.max_batch == 0`.
-    pub fn new(engine: Arc<E>, config: RuntimeConfig) -> Self {
-        assert!(config.workers >= 1, "need at least one worker");
-        assert!(config.max_batch >= 1, "need a positive batch bound");
+    /// Returns [`PipelineError::Runtime`] for an unusable configuration
+    /// or an unspawnable batcher thread, and the engine's own
+    /// [`PipelineError`] when verification rejects it — in every case
+    /// before any thread is spawned.
+    #[must_use = "the runtime only serves when construction succeeds"]
+    pub fn new(engine: Arc<E>, config: RuntimeConfig) -> Result<Self, PipelineError> {
+        config.validate()?;
+        engine.verify()?;
         let metrics = Arc::new(Mutex::new(MetricsInner::default()));
         let (submit_tx, submit_rx) = channel();
         let thread_metrics = metrics.clone();
         let collector = std::thread::Builder::new()
             .name("nshd-batcher".into())
             .spawn(move || collector_loop(engine, config, submit_rx, thread_metrics))
-            .expect("failed to spawn batcher thread");
-        InferenceRuntime { submit_tx: Some(submit_tx), collector: Some(collector), metrics }
+            .map_err(|e| PipelineError::Runtime {
+                stage: "spawn",
+                detail: format!("failed to spawn batcher thread: {e}"),
+            })?;
+        Ok(InferenceRuntime { submit_tx: Some(submit_tx), collector: Some(collector), metrics })
     }
 
     /// Enqueues one request; the returned handle resolves when its
     /// batch completes.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if the batcher thread has terminated (engine panic).
-    pub fn submit(&self, input: E::Input) -> PredictionHandle<E::Output> {
+    /// Returns [`PipelineError::Runtime`] when the batcher thread has
+    /// terminated (it panicked, or the runtime is shutting down).
+    #[must_use = "dropping the handle discards the prediction"]
+    pub fn submit(&self, input: E::Input) -> Result<PredictionHandle<E::Output>, PipelineError> {
         let (reply, rx) = channel();
         let now = Instant::now();
-        self.metrics.lock().expect("metrics lock").note_submit(now);
-        self.submit_tx
-            .as_ref()
-            .expect("runtime already shut down")
-            .send(Request { input, enqueued: now, reply })
-            .expect("batcher thread terminated");
-        PredictionHandle { rx }
+        let sender = self.submit_tx.as_ref().ok_or_else(|| PipelineError::Runtime {
+            stage: "submit",
+            detail: "runtime already shut down".into(),
+        })?;
+        lock_metrics(&self.metrics).note_submit(now);
+        sender.send(Request { input, enqueued: now, reply }).map_err(|_| {
+            PipelineError::Runtime { stage: "submit", detail: "batcher thread terminated".into() }
+        })?;
+        Ok(PredictionHandle { rx })
     }
 
     /// A snapshot of the serving statistics so far.
     pub fn metrics(&self) -> RuntimeMetrics {
-        self.metrics.lock().expect("metrics lock").snapshot()
+        lock_metrics(&self.metrics).snapshot()
     }
 
     /// Graceful shutdown: closes the queue, lets the batcher execute
@@ -143,7 +204,7 @@ impl<E: BatchEngine> InferenceRuntime<E> {
     /// joins every thread, and returns the final statistics.
     pub fn shutdown(mut self) -> RuntimeMetrics {
         self.teardown();
-        let snapshot = self.metrics.lock().expect("metrics lock").snapshot();
+        let snapshot = lock_metrics(&self.metrics).snapshot();
         snapshot
     }
 
@@ -171,14 +232,17 @@ fn collector_loop<E: BatchEngine>(
     metrics: Arc<Mutex<MetricsInner>>,
 ) {
     // The pool is owned here so its Drop (join) runs when serving ends.
+    // If the OS refuses the extra threads, degrade to collector-thread
+    // extraction instead of failing the whole runtime.
     let pool = if config.workers > 1 {
         let worker_engine = engine.clone();
-        Some(WorkerPool::new(config.workers, move |chunk: Chunk<E>| {
+        WorkerPool::new(config.workers, move |chunk: Chunk<E>| {
             let partials = worker_engine.extract(&chunk.inputs);
             // The collector hanging up mid-batch only happens on panic;
             // nothing useful to do with the error.
             let _ = chunk.done.send((chunk.index, partials));
-        }))
+        })
+        .ok()
     } else {
         None
     };
@@ -210,6 +274,50 @@ fn collector_loop<E: BatchEngine>(
     }
 }
 
+/// Runs the extract stage, data-parallel across the pool when one is
+/// available; partials are reassembled in submission order.
+fn extract_batch<E: BatchEngine>(
+    engine: &E,
+    pool: Option<&WorkerPool<Chunk<E>>>,
+    inputs: Vec<E::Input>,
+) -> Result<Vec<E::Partial>, PipelineError> {
+    let n = inputs.len();
+    let pool = match pool {
+        Some(pool) if n > 1 => pool,
+        _ => return engine.extract(&inputs),
+    };
+    // Contiguous chunks, one per worker, front-loading the remainder;
+    // reassembled by index so partials stay in submission order no
+    // matter which worker finishes first.
+    let chunks = pool.len().min(n);
+    let base = n / chunks;
+    let extra = n % chunks;
+    let (done_tx, done_rx) = channel();
+    let mut iter = inputs.into_iter();
+    for index in 0..chunks {
+        let size = base + usize::from(index < extra);
+        let chunk_inputs: Vec<E::Input> = iter.by_ref().take(size).collect();
+        pool.send(index, Chunk { index, inputs: chunk_inputs, done: done_tx.clone() })?;
+    }
+    drop(done_tx);
+    let mut parts: Vec<Option<Vec<E::Partial>>> = (0..chunks).map(|_| None).collect();
+    for _ in 0..chunks {
+        let (index, chunk_partials) = done_rx.recv().map_err(|_| PipelineError::Runtime {
+            stage: "extract",
+            detail: "worker thread died mid-batch".into(),
+        })?;
+        parts[index] = Some(chunk_partials?);
+    }
+    let mut partials = Vec::with_capacity(n);
+    for part in parts {
+        partials.extend(part.ok_or_else(|| PipelineError::Runtime {
+            stage: "extract",
+            detail: "a chunk never reported its partials".into(),
+        })?);
+    }
+    Ok(partials)
+}
+
 fn run_batch<E: BatchEngine>(
     engine: &E,
     pool: Option<&WorkerPool<Chunk<E>>>,
@@ -226,41 +334,33 @@ fn run_batch<E: BatchEngine>(
         replies.push(request.reply);
     }
 
-    let partials = match pool {
-        Some(pool) if n > 1 => {
-            // Contiguous chunks, one per worker, front-loading the
-            // remainder; reassembled by index so partials stay in
-            // submission order no matter which worker finishes first.
-            let chunks = pool.len().min(n);
-            let base = n / chunks;
-            let extra = n % chunks;
-            let (done_tx, done_rx) = channel();
-            let mut iter = inputs.into_iter();
-            for index in 0..chunks {
-                let size = base + usize::from(index < extra);
-                let chunk_inputs: Vec<E::Input> = iter.by_ref().take(size).collect();
-                pool.send(index, Chunk { index, inputs: chunk_inputs, done: done_tx.clone() });
-            }
-            drop(done_tx);
-            let mut parts: Vec<Option<Vec<E::Partial>>> = (0..chunks).map(|_| None).collect();
-            for _ in 0..chunks {
-                let (index, chunk_partials) = done_rx.recv().expect("worker thread died mid-batch");
-                parts[index] = Some(chunk_partials);
-            }
-            parts.into_iter().flat_map(|p| p.expect("every chunk index reports once")).collect()
+    let outputs = extract_batch(engine, pool, inputs).and_then(|partials| {
+        let outputs = engine.finish(partials)?;
+        if outputs.len() == n {
+            Ok(outputs)
+        } else {
+            Err(PipelineError::Runtime {
+                stage: "finish",
+                detail: format!("engine returned {} outputs for {n} requests", outputs.len()),
+            })
         }
-        _ => engine.extract(&inputs),
-    };
+    });
 
-    let outputs = engine.finish(partials);
-    assert_eq!(outputs.len(), n, "engine must return one output per request");
     let done = Instant::now();
-    metrics
-        .lock()
-        .expect("metrics lock")
-        .note_batch(n, enqueued.iter().map(|&t| done.duration_since(t)));
-    for (reply, output) in replies.into_iter().zip(outputs) {
-        // The caller may have dropped its handle; that's its business.
-        let _ = reply.send(output);
+    lock_metrics(metrics).note_batch(n, enqueued.iter().map(|&t| done.duration_since(t)));
+    match outputs {
+        Ok(outputs) => {
+            for (reply, output) in replies.into_iter().zip(outputs) {
+                // The caller may have dropped its handle; its business.
+                let _ = reply.send(Ok(output));
+            }
+        }
+        // A failed batch fails every handle in it with the same report;
+        // the runtime itself keeps serving subsequent batches.
+        Err(e) => {
+            for reply in replies {
+                let _ = reply.send(Err(e.clone()));
+            }
+        }
     }
 }

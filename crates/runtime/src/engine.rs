@@ -1,7 +1,7 @@
 //! The engine abstraction the runtime batches over, and its
 //! implementation for the NSHD pipeline.
 
-use nshd_core::NshdEngine;
+use nshd_core::{NshdEngine, PipelineError};
 use nshd_tensor::Tensor;
 
 /// A two-stage batch-inference engine the serving runtime can drive.
@@ -17,6 +17,12 @@ use nshd_tensor::Tensor;
 ///   submission order) — for NSHD this is where the single encode GEMM
 ///   and the single memory `matmul_bt` happen.
 ///
+/// Both stages report failures as [`PipelineError`] instead of
+/// panicking: a malformed request must fail *that request's* handle,
+/// not kill a worker thread. [`verify`](BatchEngine::verify) runs once
+/// at [`InferenceRuntime`](crate::InferenceRuntime) construction so a
+/// misconfigured engine is rejected before any thread is spawned.
+///
 /// Implementations must be `Send + Sync`: one engine instance is shared
 /// by reference across every worker thread.
 pub trait BatchEngine: Send + Sync + 'static {
@@ -30,11 +36,35 @@ pub trait BatchEngine: Send + Sync + 'static {
     /// Processes a chunk of inputs into one partial per input, in
     /// order. Must be pure with respect to chunking: splitting a batch
     /// differently must not change any sample's partial.
-    fn extract(&self, chunk: &[Self::Input]) -> Vec<Self::Partial>;
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] when the chunk cannot be processed
+    /// (malformed inputs); the runtime fails every handle in the batch
+    /// with a clone of the error.
+    fn extract(&self, chunk: &[Self::Input]) -> Result<Vec<Self::Partial>, PipelineError>;
 
     /// Turns the whole batch's partials (submission order) into one
     /// output per partial, in the same order.
-    fn finish(&self, partials: Vec<Self::Partial>) -> Vec<Self::Output>;
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] when the batch cannot be completed;
+    /// the runtime fails every handle in the batch with a clone of the
+    /// error.
+    fn finish(&self, partials: Vec<Self::Partial>) -> Result<Vec<Self::Output>, PipelineError>;
+
+    /// Static self-check run once before the runtime spawns any thread.
+    /// The default accepts everything; engines with internal invariants
+    /// (like [`NshdEngine`]'s stage dimensions) override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`PipelineError`] describing why the engine must not
+    /// be served.
+    fn verify(&self) -> Result<(), PipelineError> {
+        Ok(())
+    }
 }
 
 /// NSHD serving: inputs are CHW image tensors, the data-parallel stage
@@ -45,11 +75,15 @@ impl BatchEngine for NshdEngine {
     type Partial = Vec<f32>;
     type Output = usize;
 
-    fn extract(&self, chunk: &[Tensor]) -> Vec<Vec<f32>> {
-        self.extract_values(chunk)
+    fn extract(&self, chunk: &[Tensor]) -> Result<Vec<Vec<f32>>, PipelineError> {
+        self.try_extract_values(chunk)
     }
 
-    fn finish(&self, partials: Vec<Vec<f32>>) -> Vec<usize> {
-        self.finish_values(&partials)
+    fn finish(&self, partials: Vec<Vec<f32>>) -> Result<Vec<usize>, PipelineError> {
+        self.try_finish_values(&partials)
+    }
+
+    fn verify(&self) -> Result<(), PipelineError> {
+        NshdEngine::verify(self).map_err(PipelineError::from)
     }
 }

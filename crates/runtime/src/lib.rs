@@ -27,6 +27,12 @@
 //! bit-identical (at the argmax level) to per-sample
 //! [`nshd_core::NshdModel::predict`] — see `tests/determinism.rs`.
 //!
+//! Every failure mode is reported, never panicked: construction
+//! statically verifies the engine and configuration (rejecting a
+//! misconfigured pipeline before any thread is spawned), and a batch
+//! the engine rejects fails only that batch's [`PredictionHandle`]s
+//! with a [`nshd_core::PipelineError`].
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -37,14 +43,21 @@
 //!
 //! # let model: NshdModel = unimplemented!();
 //! # let images: Vec<nshd_tensor::Tensor> = vec![];
-//! let engine = Arc::new(NshdEngine::from_model(&model));
+//! let engine = Arc::new(NshdEngine::new(&model)?);
 //! let runtime = InferenceRuntime::new(
 //!     engine,
 //!     RuntimeConfig { workers: 4, max_batch: 32, max_wait: Duration::from_millis(1) },
-//! );
-//! let handles: Vec<_> = images.into_iter().map(|img| runtime.submit(img)).collect();
-//! let predictions: Vec<usize> = handles.into_iter().map(|h| h.wait()).collect();
+//! )?;
+//! let handles: Vec<_> = images
+//!     .into_iter()
+//!     .map(|img| runtime.submit(img))
+//!     .collect::<Result<_, _>>()?;
+//! let predictions: Vec<usize> = handles
+//!     .into_iter()
+//!     .map(|h| h.wait())
+//!     .collect::<Result<_, _>>()?;
 //! println!("{}", runtime.shutdown().to_json());
+//! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
 #![warn(missing_docs)]

@@ -29,7 +29,9 @@ impl MetricsInner {
 
     pub(crate) fn snapshot(&self) -> RuntimeMetrics {
         let mut sorted = self.latencies_us.clone();
-        sorted.sort_by(|a, b| a.partial_cmp(b).expect("finite latencies"));
+        // `total_cmp` gives a total order even if a latency were ever
+        // non-finite, so the snapshot path cannot panic.
+        sorted.sort_by(f64::total_cmp);
         let mut histogram = BTreeMap::new();
         for &s in &self.batch_sizes {
             *histogram.entry(s).or_insert(0u64) += 1;

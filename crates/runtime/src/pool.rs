@@ -1,6 +1,7 @@
 //! A minimal std-only worker pool with per-worker channels and
 //! join-on-drop shutdown.
 
+use nshd_core::PipelineError;
 use std::sync::mpsc::{channel, Sender};
 use std::thread::JoinHandle;
 
@@ -22,31 +23,49 @@ impl<J: Send + 'static> WorkerPool<J> {
     /// Spawns `workers` threads, each running `handler` on every job it
     /// receives until the pool is dropped.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `workers == 0`.
-    pub fn new<F>(workers: usize, handler: F) -> Self
+    /// Returns [`PipelineError::Runtime`] when `workers == 0` or the OS
+    /// refuses to spawn a thread; threads already spawned are joined
+    /// before the error is returned (the partial pool is dropped).
+    #[must_use = "the pool is only constructed when every worker spawns"]
+    pub fn new<F>(workers: usize, handler: F) -> Result<Self, PipelineError>
     where
         F: Fn(J) + Send + Sync + Clone + 'static,
     {
-        assert!(workers > 0, "a worker pool needs at least one thread");
-        let mut senders = Vec::with_capacity(workers);
-        let mut handles = Vec::with_capacity(workers);
+        if workers == 0 {
+            return Err(PipelineError::Runtime {
+                stage: "pool",
+                detail: "a worker pool needs at least one thread".into(),
+            });
+        }
+        let mut pool = WorkerPool {
+            senders: Vec::with_capacity(workers),
+            handles: Vec::with_capacity(workers),
+        };
         for i in 0..workers {
             let (tx, rx) = channel::<J>();
             let handler = handler.clone();
-            let handle = std::thread::Builder::new()
-                .name(format!("nshd-worker-{i}"))
-                .spawn(move || {
+            let spawned =
+                std::thread::Builder::new().name(format!("nshd-worker-{i}")).spawn(move || {
                     for job in rx {
                         handler(job);
                     }
-                })
-                .expect("failed to spawn worker thread");
-            senders.push(tx);
-            handles.push(handle);
+                });
+            match spawned {
+                Ok(handle) => {
+                    pool.senders.push(tx);
+                    pool.handles.push(handle);
+                }
+                Err(e) => {
+                    return Err(PipelineError::Runtime {
+                        stage: "pool",
+                        detail: format!("failed to spawn worker thread {i}: {e}"),
+                    });
+                }
+            }
         }
-        WorkerPool { senders, handles }
+        Ok(pool)
     }
 
     /// Number of workers.
@@ -61,11 +80,19 @@ impl<J: Send + 'static> WorkerPool<J> {
 
     /// Sends a job to worker `worker`.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if `worker` is out of range or the worker thread died.
-    pub fn send(&self, worker: usize, job: J) {
-        self.senders[worker].send(job).expect("worker thread terminated early");
+    /// Returns [`PipelineError::Runtime`] when `worker` is out of range
+    /// or that worker's thread has terminated.
+    pub fn send(&self, worker: usize, job: J) -> Result<(), PipelineError> {
+        let sender = self.senders.get(worker).ok_or_else(|| PipelineError::Runtime {
+            stage: "pool",
+            detail: format!("worker index {worker} out of range ({} workers)", self.senders.len()),
+        })?;
+        sender.send(job).map_err(|_| PipelineError::Runtime {
+            stage: "pool",
+            detail: format!("worker thread {worker} terminated early"),
+        })
     }
 }
 
@@ -94,11 +121,12 @@ mod tests {
         let c = counter.clone();
         let pool = WorkerPool::new(3, move |j: usize| {
             c.fetch_add(j, Ordering::SeqCst);
-        });
+        })
+        .unwrap();
         assert_eq!(pool.len(), 3);
         assert!(!pool.is_empty());
         for i in 0..9 {
-            pool.send(i % 3, 1000 + i);
+            pool.send(i % 3, 1000 + i).unwrap();
         }
         drop(pool); // joins: every sent job must have run
         let expect: usize = (0..9).map(|i| 1000 + i).sum();
@@ -107,7 +135,18 @@ mod tests {
 
     #[test]
     fn drop_with_no_jobs_terminates() {
-        let pool = WorkerPool::new(2, |_: ()| {});
+        let pool = WorkerPool::new(2, |_: ()| {}).unwrap();
         drop(pool); // must not hang
+    }
+
+    #[test]
+    fn zero_workers_and_bad_indices_are_reported() {
+        let Err(err) = WorkerPool::new(0, |_: ()| {}) else {
+            panic!("zero-worker pool accepted");
+        };
+        assert!(err.to_string().contains("at least one"), "{err}");
+        let pool = WorkerPool::new(1, |_: ()| {}).unwrap();
+        let err = pool.send(5, ()).unwrap_err();
+        assert!(err.to_string().contains("out of range"), "{err}");
     }
 }

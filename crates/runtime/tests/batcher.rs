@@ -2,6 +2,7 @@
 //! flushing, submission-order results under out-of-order worker
 //! completion, idle shutdown, and shutdown with in-flight requests.
 
+use nshd_core::PipelineError;
 use nshd_runtime::{BatchEngine, InferenceRuntime, RuntimeConfig};
 use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex};
@@ -33,22 +34,29 @@ impl BatchEngine for MockEngine {
     type Partial = u64;
     type Output = u64;
 
-    fn extract(&self, chunk: &[(u64, u64)]) -> Vec<u64> {
+    fn extract(&self, chunk: &[(u64, u64)]) -> Result<Vec<u64>, PipelineError> {
         let delay = chunk.iter().map(|&(_, d)| d).max().unwrap_or(0);
         if delay > 0 {
             std::thread::sleep(Duration::from_millis(delay));
         }
-        chunk.iter().map(|&(id, _)| id).collect()
+        // Poisoned ids simulate a malformed request rejected mid-batch.
+        if chunk.iter().any(|&(id, _)| id == POISON) {
+            return Err(PipelineError::EmptyBatch);
+        }
+        Ok(chunk.iter().map(|&(id, _)| id).collect())
     }
 
-    fn finish(&self, partials: Vec<u64>) -> Vec<u64> {
+    fn finish(&self, partials: Vec<u64>) -> Result<Vec<u64>, PipelineError> {
         self.batch_sizes.lock().unwrap().push(partials.len());
         self.finish_calls.fetch_add(1, Ordering::SeqCst);
-        partials.into_iter().map(|id| id * 3 + 7).collect()
+        Ok(partials.into_iter().map(|id| id * 3 + 7).collect())
     }
 }
 
 const WAIT: Duration = Duration::from_secs(20);
+
+/// Sentinel id the mock engine rejects, failing its whole batch.
+const POISON: u64 = u64::MAX;
 
 #[test]
 fn tail_batch_flushes_on_deadline() {
@@ -56,12 +64,13 @@ fn tail_batch_flushes_on_deadline() {
     let runtime = InferenceRuntime::new(
         engine.clone(),
         RuntimeConfig { workers: 1, max_batch: 64, max_wait: Duration::from_millis(20) },
-    );
+    )
+    .unwrap();
     // Far fewer requests than max_batch: only the deadline can flush.
     let started = Instant::now();
-    let handles: Vec<_> = (0..3u64).map(|id| runtime.submit((id, 0))).collect();
+    let handles: Vec<_> = (0..3u64).map(|id| runtime.submit((id, 0)).unwrap()).collect();
     for (id, h) in handles.into_iter().enumerate() {
-        assert_eq!(h.wait_timeout(WAIT), Some(id as u64 * 3 + 7), "request {id}");
+        assert_eq!(h.wait_timeout(WAIT), Some(Ok(id as u64 * 3 + 7)), "request {id}");
     }
     assert!(
         started.elapsed() < Duration::from_secs(5),
@@ -82,14 +91,15 @@ fn results_follow_submission_order_despite_out_of_order_workers() {
     let runtime = InferenceRuntime::new(
         engine.clone(),
         RuntimeConfig { workers: 4, max_batch: 16, max_wait: Duration::from_millis(100) },
-    );
+    )
+    .unwrap();
     // The first chunk of the batch (lowest ids) is the slowest, so the
     // later chunks complete first; reassembly must still route result
     // `id*3+7` to the handle that submitted `id`.
     let handles: Vec<_> =
-        (0..16u64).map(|id| runtime.submit((id, if id < 4 { 60 } else { 0 }))).collect();
+        (0..16u64).map(|id| runtime.submit((id, if id < 4 { 60 } else { 0 })).unwrap()).collect();
     for (id, h) in handles.into_iter().enumerate() {
-        assert_eq!(h.wait_timeout(WAIT), Some(id as u64 * 3 + 7), "request {id}");
+        assert_eq!(h.wait_timeout(WAIT), Some(Ok(id as u64 * 3 + 7)), "request {id}");
     }
     let metrics = runtime.shutdown();
     assert_eq!(metrics.requests, 16);
@@ -99,7 +109,7 @@ fn results_follow_submission_order_despite_out_of_order_workers() {
 #[test]
 fn zero_request_idle_shutdown() {
     let engine = MockEngine::new();
-    let runtime = InferenceRuntime::new(engine.clone(), RuntimeConfig::default());
+    let runtime = InferenceRuntime::new(engine.clone(), RuntimeConfig::default()).unwrap();
     std::thread::sleep(Duration::from_millis(30));
     let metrics = runtime.shutdown(); // must not hang
     assert_eq!(metrics.requests, 0);
@@ -114,16 +124,17 @@ fn shutdown_with_in_flight_requests_answers_everything() {
     let runtime = InferenceRuntime::new(
         engine.clone(),
         RuntimeConfig { workers: 2, max_batch: 4, max_wait: Duration::from_millis(50) },
-    );
+    )
+    .unwrap();
     // Slow batches guarantee requests are still queued or executing
     // when shutdown starts.
-    let handles: Vec<_> = (0..12u64).map(|id| runtime.submit((id, 15))).collect();
+    let handles: Vec<_> = (0..12u64).map(|id| runtime.submit((id, 15)).unwrap()).collect();
     let metrics = runtime.shutdown(); // blocks until the queue drains
     assert_eq!(metrics.requests, 12, "shutdown dropped in-flight requests");
     for (id, h) in handles.into_iter().enumerate() {
         assert_eq!(
             h.wait_timeout(WAIT),
-            Some(id as u64 * 3 + 7),
+            Some(Ok(id as u64 * 3 + 7)),
             "request {id} lost its reply during shutdown"
         );
     }
@@ -135,10 +146,11 @@ fn max_batch_bounds_every_executed_batch() {
     let runtime = InferenceRuntime::new(
         engine.clone(),
         RuntimeConfig { workers: 2, max_batch: 8, max_wait: Duration::from_millis(20) },
-    );
-    let handles: Vec<_> = (0..40u64).map(|id| runtime.submit((id, 0))).collect();
+    )
+    .unwrap();
+    let handles: Vec<_> = (0..40u64).map(|id| runtime.submit((id, 0)).unwrap()).collect();
     for (id, h) in handles.into_iter().enumerate() {
-        assert_eq!(h.wait_timeout(WAIT), Some(id as u64 * 3 + 7));
+        assert_eq!(h.wait_timeout(WAIT), Some(Ok(id as u64 * 3 + 7)));
     }
     let sizes = engine.batch_sizes();
     assert_eq!(sizes.iter().sum::<usize>(), 40);
@@ -156,11 +168,88 @@ fn drop_without_shutdown_still_drains() {
         let runtime = InferenceRuntime::new(
             engine.clone(),
             RuntimeConfig { workers: 2, max_batch: 4, max_wait: Duration::from_millis(30) },
-        );
-        (0..6u64).map(|id| runtime.submit((id, 10))).collect()
+        )
+        .unwrap();
+        (0..6u64).map(|id| runtime.submit((id, 10)).unwrap()).collect()
         // `runtime` dropped here with requests possibly still queued.
     };
     for (id, h) in handles.into_iter().enumerate() {
-        assert_eq!(h.wait_timeout(WAIT), Some(id as u64 * 3 + 7), "request {id}");
+        assert_eq!(h.wait_timeout(WAIT), Some(Ok(id as u64 * 3 + 7)), "request {id}");
     }
+}
+
+#[test]
+fn misconfiguration_is_rejected_before_any_thread_spawns() {
+    let engine = MockEngine::new();
+    let Err(err) = InferenceRuntime::new(
+        engine.clone(),
+        RuntimeConfig { workers: 0, max_batch: 8, max_wait: Duration::from_millis(1) },
+    ) else {
+        panic!("zero workers accepted");
+    };
+    assert!(err.to_string().contains("worker"), "{err}");
+    let Err(err) = InferenceRuntime::new(
+        engine.clone(),
+        RuntimeConfig { workers: 2, max_batch: 0, max_wait: Duration::from_millis(1) },
+    ) else {
+        panic!("zero max_batch accepted");
+    };
+    assert!(err.to_string().contains("batch"), "{err}");
+    // Neither rejected construction ran the engine.
+    assert_eq!(engine.finish_calls.load(Ordering::SeqCst), 0);
+}
+
+/// An engine whose static verification fails: construction must refuse
+/// to serve it (and must do so before spawning any thread).
+struct BrokenEngine;
+
+impl BatchEngine for BrokenEngine {
+    type Input = ();
+    type Partial = ();
+    type Output = ();
+
+    fn extract(&self, _chunk: &[()]) -> Result<Vec<()>, PipelineError> {
+        unreachable!("a rejected engine must never run");
+    }
+
+    fn finish(&self, _partials: Vec<()>) -> Result<Vec<()>, PipelineError> {
+        unreachable!("a rejected engine must never run");
+    }
+
+    fn verify(&self) -> Result<(), PipelineError> {
+        Err(PipelineError::Runtime { stage: "verify", detail: "deliberately broken".into() })
+    }
+}
+
+#[test]
+fn engine_failing_verification_is_rejected_at_construction() {
+    let Err(err) = InferenceRuntime::new(Arc::new(BrokenEngine), RuntimeConfig::default()) else {
+        panic!("broken engine accepted");
+    };
+    assert!(err.to_string().contains("deliberately broken"), "{err}");
+}
+
+#[test]
+fn a_failed_batch_fails_only_its_own_handles() {
+    let engine = MockEngine::new();
+    let runtime = InferenceRuntime::new(
+        engine.clone(),
+        RuntimeConfig { workers: 2, max_batch: 4, max_wait: Duration::from_millis(5) },
+    )
+    .unwrap();
+    // One poisoned request: its whole batch errors, every handle in
+    // that batch gets the engine's error rather than hanging.
+    let bad: Vec<_> = (0..4)
+        .map(|i| {
+            let id = if i == 2 { POISON } else { i };
+            runtime.submit((id, 0)).unwrap()
+        })
+        .collect();
+    for h in bad {
+        assert!(h.wait_timeout(WAIT).expect("handle must resolve").is_err());
+    }
+    // The runtime keeps serving after a failed batch.
+    let good = runtime.submit((5, 0)).unwrap();
+    assert_eq!(good.wait_timeout(WAIT), Some(Ok(5 * 3 + 7)));
+    runtime.shutdown();
 }

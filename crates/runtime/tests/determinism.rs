@@ -38,7 +38,7 @@ fn trained_model() -> (NshdModel, ImageDataset) {
 #[test]
 fn batched_runtime_matches_sequential_predict_exactly() {
     let (model, test) = trained_model();
-    let engine = Arc::new(NshdEngine::from_model(&model));
+    let engine = Arc::new(NshdEngine::new(&model).expect("trained model must verify"));
     let images: Vec<Tensor> = (0..test.len()).map(|i| test.sample(i).0).collect();
     let expected: Vec<usize> = images.iter().map(|img| model.predict(img)).collect();
 
@@ -46,9 +46,12 @@ fn batched_runtime_matches_sequential_predict_exactly() {
         let runtime = InferenceRuntime::new(
             engine.clone(),
             RuntimeConfig { workers, max_batch, max_wait: Duration::from_millis(5) },
-        );
-        let handles: Vec<_> = images.iter().map(|img| runtime.submit(img.clone())).collect();
-        let served: Vec<usize> = handles.into_iter().map(|h| h.wait()).collect();
+        )
+        .expect("verified engine must serve");
+        let handles: Vec<_> =
+            images.iter().map(|img| runtime.submit(img.clone()).unwrap()).collect();
+        let served: Vec<usize> =
+            handles.into_iter().map(|h| h.wait().expect("batch must succeed")).collect();
         assert_eq!(
             served, expected,
             "workers={workers} max_batch={max_batch}: batched predictions diverged"

@@ -114,6 +114,48 @@ impl Shape {
     }
 }
 
+/// Spatial output size of a convolution along one axis, or `None` when
+/// the (padded) input is smaller than the kernel.
+///
+/// Computes `(input + 2·padding - kernel) / stride + 1` with the same
+/// floor semantics as the `im2col` lowering.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_tensor::conv_out_dim;
+///
+/// assert_eq!(conv_out_dim(32, 3, 1, 1), Some(32));
+/// assert_eq!(conv_out_dim(5, 3, 2, 1), Some(3));
+/// assert_eq!(conv_out_dim(2, 5, 1, 0), None);
+/// ```
+pub fn conv_out_dim(input: usize, kernel: usize, stride: usize, padding: usize) -> Option<usize> {
+    let padded = input + 2 * padding;
+    if kernel == 0 || stride == 0 || padded < kernel {
+        return None;
+    }
+    Some((padded - kernel) / stride + 1)
+}
+
+/// Spatial output size of an unpadded pooling window along one axis, or
+/// `None` when the window does not fit the input.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_tensor::pool_out_dim;
+///
+/// assert_eq!(pool_out_dim(16, 2, 2), Some(8));
+/// assert_eq!(pool_out_dim(3, 2, 1), Some(2));
+/// assert_eq!(pool_out_dim(2, 4, 4), None);
+/// ```
+pub fn pool_out_dim(input: usize, window: usize, stride: usize) -> Option<usize> {
+    if window == 0 || stride == 0 || input < window {
+        return None;
+    }
+    Some((input - window) / stride + 1)
+}
+
 impl From<Vec<usize>> for Shape {
     fn from(dims: Vec<usize>) -> Self {
         Shape::new(dims)
@@ -198,6 +240,22 @@ mod tests {
     #[test]
     fn display_format() {
         assert_eq!(Shape::from([2, 3]).to_string(), "(2×3)");
+    }
+
+    #[test]
+    fn conv_and_pool_out_dims() {
+        // Same-padding 3×3 stride-1 conv preserves the spatial size.
+        assert_eq!(conv_out_dim(32, 3, 1, 1), Some(32));
+        // Stride-2 halving as used by the MobileNet downsampling convs.
+        assert_eq!(conv_out_dim(32, 3, 2, 1), Some(16));
+        // Degenerate configurations never divide by zero or underflow.
+        assert_eq!(conv_out_dim(4, 0, 1, 0), None);
+        assert_eq!(conv_out_dim(4, 3, 0, 1), None);
+        assert_eq!(conv_out_dim(2, 5, 1, 1), None);
+        assert_eq!(pool_out_dim(16, 2, 2), Some(8));
+        assert_eq!(pool_out_dim(5, 2, 1), Some(4));
+        assert_eq!(pool_out_dim(1, 2, 2), None);
+        assert_eq!(pool_out_dim(4, 0, 1), None);
     }
 
     #[test]

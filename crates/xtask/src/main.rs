@@ -1,0 +1,652 @@
+//! Workspace automation tasks. The only task so far is `lint`, the
+//! std-only static gate run by `scripts/check.sh` and CI:
+//!
+//! ```text
+//! cargo run -p xtask -- lint
+//! ```
+//!
+//! The lint walks every `crates/*/src` tree (excluding `xtask` itself
+//! and test code) and enforces:
+//!
+//! 1. **No `.unwrap()` / `.expect(` in library code.** Remaining sites
+//!    must be listed in `crates/xtask/allowlist.txt` with their exact
+//!    count; the gate fails when a file gains a site *or* when the
+//!    allowlist overstates one (so the list can only shrink). Binary
+//!    targets (`src/bin/`, `src/main.rs`) are exempt.
+//! 2. **No panic family in `nshd-runtime`.** `panic!`, `assert!`,
+//!    `unreachable!`, `todo!`, `unimplemented!`, `.unwrap()` and
+//!    `.expect(` are all forbidden in the serving runtime's library
+//!    code — a worker thread must report, never die.
+//! 3. **`#[must_use]` on fallible constructors.** Every `pub fn`
+//!    returning `Result<Self, _>` in `nshd-core` / `nshd-runtime` must
+//!    carry `#[must_use]` so a dropped verification result is a
+//!    compile-time warning.
+//! 4. **Docs on every `pub fn`** in `nshd-core` / `nshd-runtime`.
+
+use std::fmt::Write as _;
+use std::path::{Path, PathBuf};
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut args = std::env::args().skip(1);
+    match args.next().as_deref() {
+        Some("lint") => lint(),
+        Some(other) => {
+            eprintln!("unknown task `{other}`; available tasks: lint");
+            ExitCode::FAILURE
+        }
+        None => {
+            eprintln!("usage: cargo run -p xtask -- lint");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+/// One reported lint failure.
+struct Violation {
+    path: PathBuf,
+    line: usize,
+    message: String,
+}
+
+fn lint() -> ExitCode {
+    let root = workspace_root();
+    let files = collect_sources(&root);
+    if files.is_empty() {
+        eprintln!("xtask lint: no sources found under {}", root.display());
+        return ExitCode::FAILURE;
+    }
+    let allowlist = match read_allowlist(&root) {
+        Ok(list) => list,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut violations = Vec::new();
+    let mut unwrap_counts: Vec<(PathBuf, Vec<usize>)> = Vec::new();
+    for path in &files {
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("xtask lint: cannot read {}: {e}", path.display());
+                return ExitCode::FAILURE;
+            }
+        };
+        let rel = path.strip_prefix(&root).unwrap_or(path).to_path_buf();
+        let file = SourceFile::parse(&source);
+        check_file(&rel, &file, &mut violations, &mut unwrap_counts);
+    }
+    check_allowlist(&allowlist, &unwrap_counts, &mut violations);
+
+    if violations.is_empty() {
+        println!("xtask lint: OK ({} files)", files.len());
+        return ExitCode::SUCCESS;
+    }
+    violations.sort_by(|a, b| (&a.path, a.line).cmp(&(&b.path, b.line)));
+    for v in &violations {
+        eprintln!("{}:{}: {}", v.path.display(), v.line, v.message);
+    }
+    eprintln!("xtask lint: {} violation(s)", violations.len());
+    ExitCode::FAILURE
+}
+
+/// Locates the workspace root: the nearest ancestor of this binary's
+/// manifest directory containing a top-level `Cargo.toml` with a
+/// `[workspace]` table (falls back to the current directory).
+fn workspace_root() -> PathBuf {
+    let mut dir = PathBuf::from(env!("CARGO_MANIFEST_DIR"));
+    while dir.pop() {
+        let manifest = dir.join("Cargo.toml");
+        if let Ok(text) = std::fs::read_to_string(&manifest) {
+            if text.contains("[workspace]") {
+                return dir;
+            }
+        }
+    }
+    PathBuf::from(".")
+}
+
+/// Every `.rs` file under `crates/*/src`, excluding `crates/xtask`,
+/// sorted for deterministic reports.
+fn collect_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    let crates = root.join("crates");
+    let Ok(entries) = std::fs::read_dir(&crates) else {
+        return files;
+    };
+    for entry in entries.flatten() {
+        let dir = entry.path();
+        if dir.file_name().is_some_and(|n| n == "xtask") {
+            continue;
+        }
+        walk(&dir.join("src"), &mut files);
+    }
+    files.sort();
+    files
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = std::fs::read_dir(dir) else {
+        return;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        if path.is_dir() {
+            walk(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// A parsed source file: the original lines plus a comment- and
+/// string-stripped shadow (same line numbering) and a per-line mask of
+/// `#[cfg(test)]` code.
+struct SourceFile {
+    original: Vec<String>,
+    stripped: Vec<String>,
+    is_test: Vec<bool>,
+}
+
+impl SourceFile {
+    fn parse(source: &str) -> SourceFile {
+        let stripped_text = strip_comments_and_strings(source);
+        let original: Vec<String> = source.lines().map(str::to_owned).collect();
+        let stripped: Vec<String> = stripped_text.lines().map(str::to_owned).collect();
+        let is_test = test_mask(&stripped_text);
+        SourceFile { original, stripped, is_test }
+    }
+
+    /// Stripped lines of non-test code, with 1-based line numbers.
+    fn code_lines(&self) -> impl Iterator<Item = (usize, &str)> {
+        self.stripped
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| !self.is_test.get(i).copied().unwrap_or(false))
+            .map(|(i, line)| (i + 1, line.as_str()))
+    }
+}
+
+/// Replaces comments, string literals, and char literals with spaces,
+/// preserving newlines (so line numbers survive). Handles nested block
+/// comments, raw strings, and the `'a` lifetime / `'a'` char ambiguity.
+fn strip_comments_and_strings(source: &str) -> String {
+    #[derive(PartialEq)]
+    enum State {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(usize),
+        Char,
+    }
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut state = State::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match state {
+            State::Code => match c {
+                '/' if next == Some('/') => {
+                    state = State::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    state = State::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    state = State::Str;
+                    out.push(' ');
+                    i += 1;
+                }
+                'r' | 'b' => {
+                    // Possible raw-string opener: r"..", r#".."#, br".."
+                    let mut j = i + 1;
+                    if c == 'b' && bytes.get(j) == Some(&'r') {
+                        j += 1;
+                    }
+                    let mut hashes = 0;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') && (c == 'r' || j > i + 1) {
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        state = State::RawStr(hashes);
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // `'a` lifetime vs `'a'` char literal: a char
+                    // literal closes within a few characters.
+                    let is_char = match next {
+                        Some('\\') => true,
+                        Some(_) => bytes.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if is_char {
+                        state = State::Char;
+                        out.push(' ');
+                    } else {
+                        out.push(c);
+                    }
+                    i += 1;
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            State::LineComment => {
+                if c == '\n' {
+                    out.push('\n');
+                    state = State::Code;
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            State::BlockComment(depth) => {
+                if c == '\n' {
+                    out.push('\n');
+                    i += 1;
+                } else if c == '/' && next == Some('*') {
+                    state = State::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '*' && next == Some('/') {
+                    state = if depth == 1 { State::Code } else { State::BlockComment(depth - 1) };
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Str => {
+                if c == '\n' {
+                    out.push('\n');
+                    i += 1;
+                } else if c == '\\' {
+                    // A `\<newline>` line continuation must keep its
+                    // newline or every later line number shifts.
+                    out.push(' ');
+                    if next == Some('\n') {
+                        out.push('\n');
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    out.push(' ');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::RawStr(hashes) => {
+                if c == '\n' {
+                    out.push('\n');
+                    i += 1;
+                } else if c == '"' && (0..hashes).all(|k| bytes.get(i + 1 + k) == Some(&'#')) {
+                    for _ in 0..=hashes {
+                        out.push(' ');
+                    }
+                    state = State::Code;
+                    i += 1 + hashes;
+                } else {
+                    out.push(' ');
+                    i += 1;
+                }
+            }
+            State::Char => {
+                if c == '\\' {
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '\'' {
+                    out.push(' ');
+                    state = State::Code;
+                    i += 1;
+                } else {
+                    if c == '\n' {
+                        out.push('\n');
+                    } else {
+                        out.push(' ');
+                    }
+                    i += 1;
+                }
+            }
+        }
+    }
+    out
+}
+
+/// Marks every line belonging to a `#[cfg(test)]` item (attribute line
+/// through the item's closing brace, or its `;` for braceless items).
+fn test_mask(stripped: &str) -> Vec<bool> {
+    let line_count = stripped.lines().count();
+    let mut mask = vec![false; line_count];
+    let chars: Vec<char> = stripped.chars().collect();
+    let text: String = chars.iter().collect();
+    let mut search_from = 0;
+    while let Some(found) = text[search_from..].find("#[cfg(test)]") {
+        let attr_start = search_from + found;
+        let mut i = attr_start + "#[cfg(test)]".len();
+        // Walk to the end of the annotated item: the matching `}` of
+        // its first brace, or a top-level `;` before any brace.
+        let mut depth = 0usize;
+        let mut end = text.len();
+        let item = text[i..].char_indices();
+        for (off, c) in item {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth = depth.saturating_sub(1);
+                    if depth == 0 {
+                        end = i + off + 1;
+                        break;
+                    }
+                }
+                ';' if depth == 0 => {
+                    end = i + off + 1;
+                    break;
+                }
+                _ => {}
+            }
+        }
+        let start_line = text[..attr_start].matches('\n').count();
+        let end_line = text[..end].matches('\n').count();
+        for line in mask.iter_mut().take(end_line + 1).skip(start_line) {
+            *line = true;
+        }
+        i = end;
+        search_from = i.max(attr_start + 1);
+    }
+    mask
+}
+
+/// Whether the path is a binary target (exempt from the unwrap rule:
+/// a CLI aborting on bad input is acceptable; a library panicking on a
+/// caller's data is not).
+fn is_binary_target(rel: &Path) -> bool {
+    let s = rel.to_string_lossy().replace('\\', "/");
+    s.contains("/src/bin/") || s.ends_with("/src/main.rs")
+}
+
+fn in_crate(rel: &Path, krate: &str) -> bool {
+    rel.starts_with(Path::new("crates").join(krate))
+}
+
+fn check_file(
+    rel: &Path,
+    file: &SourceFile,
+    violations: &mut Vec<Violation>,
+    unwrap_counts: &mut Vec<(PathBuf, Vec<usize>)>,
+) {
+    let documented_crate = in_crate(rel, "core") || in_crate(rel, "runtime");
+    let panic_free_crate = in_crate(rel, "runtime");
+
+    // Rule 1: unwrap/expect sites (library targets only).
+    if !is_binary_target(rel) {
+        let mut lines = Vec::new();
+        for (line_no, line) in file.code_lines() {
+            let hits = line.matches(".unwrap()").count() + line.matches(".expect(").count();
+            for _ in 0..hits {
+                lines.push(line_no);
+            }
+        }
+        if !lines.is_empty() {
+            unwrap_counts.push((rel.to_path_buf(), lines));
+        }
+    }
+
+    // Rule 2: the serving runtime's library code must never panic.
+    if panic_free_crate {
+        const FORBIDDEN: &[&str] = &[
+            "panic!",
+            "unreachable!",
+            "todo!",
+            "unimplemented!",
+            "assert!",
+            "assert_eq!",
+            "assert_ne!",
+            "debug_assert!",
+            ".unwrap()",
+            ".expect(",
+        ];
+        for (line_no, line) in file.code_lines() {
+            for token in FORBIDDEN {
+                if line.contains(token) {
+                    violations.push(Violation {
+                        path: rel.to_path_buf(),
+                        line: line_no,
+                        message: format!(
+                            "`{token}` in nshd-runtime library code: worker and collector \
+                             paths must report a PipelineError, not die"
+                        ),
+                    });
+                }
+            }
+        }
+    }
+
+    if !documented_crate {
+        return;
+    }
+
+    // Rules 3 and 4 need the attribute/doc block above each `pub fn`.
+    let stripped = &file.stripped;
+    for (line_no, line) in file.code_lines() {
+        let idx = line_no - 1;
+        let trimmed = line.trim_start();
+        let is_pub_fn = trimmed.starts_with("pub fn ")
+            || trimmed.starts_with("pub const fn ")
+            || trimmed.starts_with("pub unsafe fn ");
+        if !is_pub_fn {
+            continue;
+        }
+
+        // Join the signature until its body opens (or `;`).
+        let mut signature = String::new();
+        for sig_line in stripped.iter().skip(idx) {
+            let _ = write!(signature, "{sig_line} ");
+            if sig_line.contains('{') || sig_line.trim_end().ends_with(';') {
+                break;
+            }
+        }
+        let compact: String = signature.split_whitespace().collect();
+
+        // The contiguous doc/attribute block directly above.
+        let mut has_doc = false;
+        let mut has_must_use = false;
+        let mut above = idx;
+        while above > 0 {
+            above -= 1;
+            let orig = file.original.get(above).map_or("", |l| l.trim_start());
+            if orig.starts_with("///") {
+                has_doc = true;
+            } else if orig.starts_with("#[") || orig.starts_with("#![") {
+                if orig.contains("must_use") {
+                    has_must_use = true;
+                }
+            } else {
+                break;
+            }
+        }
+
+        // Rule 3: fallible constructors must be #[must_use].
+        if compact.contains("->Result<Self") && !has_must_use {
+            violations.push(Violation {
+                path: rel.to_path_buf(),
+                line: line_no,
+                message: "fallible constructor returns `Result<Self, _>` but lacks \
+                          `#[must_use]`"
+                    .into(),
+            });
+        }
+
+        // Rule 4: every pub fn in core/runtime carries a doc comment.
+        if !has_doc {
+            violations.push(Violation {
+                path: rel.to_path_buf(),
+                line: line_no,
+                message: "undocumented `pub fn` (nshd-core / nshd-runtime require doc \
+                          comments on the public API)"
+                    .into(),
+            });
+        }
+    }
+}
+
+/// `path count` entries from `crates/xtask/allowlist.txt`.
+fn read_allowlist(root: &Path) -> Result<Vec<(PathBuf, usize)>, String> {
+    let path = root.join("crates/xtask/allowlist.txt");
+    let text = std::fs::read_to_string(&path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let mut entries = Vec::new();
+    for (no, line) in text.lines().enumerate() {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        let (Some(file), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
+            return Err(format!("allowlist.txt:{}: expected `<path> <count>`", no + 1));
+        };
+        let count: usize = count
+            .parse()
+            .map_err(|_| format!("allowlist.txt:{}: `{count}` is not a count", no + 1))?;
+        if count == 0 {
+            return Err(format!("allowlist.txt:{}: zero-count entries must be removed", no + 1));
+        }
+        entries.push((PathBuf::from(file), count));
+    }
+    Ok(entries)
+}
+
+/// Compares found unwrap/expect sites against the allowlist. The gate
+/// is one-way: new sites fail, and so does an allowance larger than
+/// reality — the list can only shrink over time.
+fn check_allowlist(
+    allowlist: &[(PathBuf, usize)],
+    unwrap_counts: &[(PathBuf, Vec<usize>)],
+    violations: &mut Vec<Violation>,
+) {
+    for (path, lines) in unwrap_counts {
+        let allowed =
+            allowlist.iter().find(|(p, _)| p == path).map(|&(_, count)| count).unwrap_or(0);
+        if lines.len() > allowed {
+            for &line in &lines[allowed.min(lines.len())..] {
+                violations.push(Violation {
+                    path: path.clone(),
+                    line,
+                    message: format!(
+                        "`.unwrap()`/`.expect(` in library code ({} site(s), {} allowlisted); \
+                         propagate the error instead",
+                        lines.len(),
+                        allowed
+                    ),
+                });
+            }
+        }
+    }
+    for (path, allowed) in allowlist {
+        let actual = unwrap_counts.iter().find(|(p, _)| p == path).map_or(0, |(_, l)| l.len());
+        if actual < *allowed {
+            violations.push(Violation {
+                path: path.clone(),
+                line: 0,
+                message: format!(
+                    "allowlist grants {allowed} unwrap/expect site(s) but only {actual} remain; \
+                     shrink crates/xtask/allowlist.txt"
+                ),
+            });
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stripping_removes_comments_strings_and_chars() {
+        let src = r##"let a = "x.unwrap()"; // .unwrap()
+/* panic! */ let b = 'p'; let c: &'static str = r#".expect("#;
+"##;
+        let s = strip_comments_and_strings(src);
+        assert!(!s.contains(".unwrap()"), "{s}");
+        assert!(!s.contains("panic!"), "{s}");
+        assert!(!s.contains(".expect("), "{s}");
+        assert!(s.contains("let a ="), "{s}");
+        assert!(s.contains("&'static str"), "{s}");
+        assert_eq!(s.lines().count(), src.lines().count());
+    }
+
+    #[test]
+    fn string_line_continuation_keeps_line_numbers() {
+        let src = "let s = \"a \\\n  b\";\nfn after() {}\n";
+        let s = strip_comments_and_strings(src);
+        assert_eq!(s.lines().count(), src.lines().count());
+        assert!(s.lines().nth(2).unwrap().contains("fn after"));
+    }
+
+    #[test]
+    fn nested_block_comments_and_escapes() {
+        let s = strip_comments_and_strings("/* a /* b */ still */ code\n\"esc \\\" .unwrap()\"");
+        assert!(s.contains("code"));
+        assert!(!s.contains("still"));
+        assert!(!s.contains(".unwrap()"));
+    }
+
+    #[test]
+    fn test_mask_covers_cfg_test_mod() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() { x.unwrap(); }\n}\nfn after() {}\n";
+        let stripped = strip_comments_and_strings(src);
+        let mask = test_mask(&stripped);
+        assert_eq!(mask, vec![false, true, true, true, true, false]);
+    }
+
+    #[test]
+    fn pub_fn_rules_fire_on_undocumented_and_unmarked() {
+        let src = "impl T {\n    pub fn new() -> Result<Self, E> {\n        todo()\n    }\n}\n";
+        let file = SourceFile::parse(src);
+        let mut violations = Vec::new();
+        let mut counts = Vec::new();
+        check_file(Path::new("crates/core/src/x.rs"), &file, &mut violations, &mut counts);
+        assert_eq!(violations.len(), 2, "expected must_use + doc violations");
+        assert!(violations.iter().any(|v| v.message.contains("must_use")));
+        assert!(violations.iter().any(|v| v.message.contains("undocumented")));
+    }
+
+    #[test]
+    fn runtime_panic_family_is_reported_and_allowlist_shrinks() {
+        let src = "fn f() {\n    panic!(\"boom\");\n    let v = x.unwrap();\n}\n";
+        let file = SourceFile::parse(src);
+        let mut violations = Vec::new();
+        let mut counts = Vec::new();
+        check_file(Path::new("crates/runtime/src/x.rs"), &file, &mut violations, &mut counts);
+        assert!(violations.iter().any(|v| v.message.contains("panic!")), "panic not flagged");
+        // The same unwrap also lands in the allowlist ledger...
+        assert_eq!(counts.len(), 1);
+        // ...and an overshooting allowlist entry is itself a violation.
+        let allow = vec![(PathBuf::from("crates/runtime/src/x.rs"), 3)];
+        let mut shrink = Vec::new();
+        check_allowlist(&allow, &counts, &mut shrink);
+        assert!(shrink.iter().any(|v| v.message.contains("shrink")), "overshoot not flagged");
+    }
+}

@@ -16,6 +16,15 @@ cargo fmt --all -- --check
 echo "==> cargo clippy -D warnings"
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "==> xtask lint"
+# Workspace lint gate: no unwrap/expect in library code beyond the
+# shrinking allowlist, panic-free nshd-runtime, #[must_use] fallible
+# constructors, documented public API in nshd-core / nshd-runtime.
+cargo run -q -p xtask -- lint
+
+echo "==> cargo doc (warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
+
 echo "==> serve_bench --smoke"
 # Serving-runtime smoke: tiny model, 2 workers; asserts a well-formed
 # JSON report and batched == sequential predictions (exits non-zero
