@@ -6,7 +6,8 @@
 //! per-iteration times. Benches stay `harness = false` binaries runnable
 //! via `cargo bench`.
 
-use std::time::{Duration, Instant};
+use nshd_obs::clock;
+use std::time::Duration;
 
 /// Target wall-clock budget for one measurement loop.
 const BUDGET: Duration = Duration::from_millis(300);
@@ -27,7 +28,7 @@ pub struct Measurement {
 /// Times `f`, adapting the iteration count to the measurement budget.
 pub fn measure<T>(mut f: impl FnMut() -> T) -> Measurement {
     // Warm-up + calibration run.
-    let start = Instant::now();
+    let start = clock::now();
     std::hint::black_box(f());
     let once = start.elapsed().max(Duration::from_nanos(1));
     let iters = ((BUDGET.as_nanos() / once.as_nanos()).clamp(1, MAX_ITERS as u128)) as u32;
@@ -39,7 +40,7 @@ pub fn measure<T>(mut f: impl FnMut() -> T) -> Measurement {
     let mut min = Duration::MAX;
     let mut counted = 0u32;
     for _ in 0..batches {
-        let start = Instant::now();
+        let start = clock::now();
         for _ in 0..per_batch {
             std::hint::black_box(f());
         }

@@ -150,6 +150,7 @@ impl NshdEngine {
         if images.is_empty() {
             return Ok(Vec::new());
         }
+        let _sp = nshd_obs::span("extract");
         for image in images {
             if image.dims() != self.teacher.input_shape {
                 return Err(TensorError::IncompatibleShapes {
@@ -208,6 +209,7 @@ impl NshdEngine {
         if values.is_empty() {
             return Ok(Vec::new());
         }
+        let _sp = nshd_obs::span("encode");
         for row in values {
             if row.len() != self.encoder.features() {
                 return Err(TensorError::IncompatibleShapes {
@@ -244,6 +246,7 @@ impl NshdEngine {
     #[must_use = "scoring can fail on malformed value rows"]
     pub fn try_finish_values(&self, values: &[Vec<f32>]) -> Result<Vec<usize>, PipelineError> {
         let hvs = self.try_encode_values(values)?;
+        let _sp = nshd_obs::span("score");
         Ok(self.memory.predict_batch(&hvs))
     }
 

@@ -158,6 +158,7 @@ impl NshdModel {
 
     /// Predicts the class of one image (CHW).
     pub fn predict(&self, image: &Tensor) -> usize {
+        let _sp = nshd_obs::span("request");
         let hv = self.symbolize(image);
         self.memory.predict(&hv)
     }
@@ -239,6 +240,7 @@ impl NshdTrainer {
     /// [`try_prepare`](NshdTrainer::try_prepare) for the non-panicking
     /// entry point.
     pub fn prepare(mut teacher: Model, train: &ImageDataset, config: NshdConfig) -> Self {
+        let _sp = nshd_obs::span("prepare");
         config.validate();
         if let Err(report) = crate::verify::verify_teacher(&teacher, &config) {
             panic!("{report}");
@@ -372,7 +374,10 @@ impl NshdTrainer {
     /// Runs one retraining epoch (Algorithm 1 plus the manifold update)
     /// and returns the pre-update training accuracy.
     pub fn epoch(&mut self) -> f32 {
+        let _sp = nshd_obs::span("epoch");
         let mut correct = 0usize;
+        let mut memory_updates = 0u64;
+        let mut update_l1 = 0.0f64;
         for i in 0..self.labels.len() {
             let label = self.labels[i];
             let feat = &self.features[i];
@@ -390,6 +395,10 @@ impl NshdTrainer {
             }
             // Algorithm 1 lines 3–9.
             let u = self.distill.step(&mut self.model.memory, &hv, label, &self.teacher_logits[i]);
+            if nshd_obs::enabled() {
+                memory_updates += u.iter().filter(|x| **x != 0.0).count() as u64;
+                update_l1 += u.iter().map(|x| f64::from(x.abs())).sum::<f64>();
+            }
             // §V-C: decode the class-error hypervectors through the
             // encoder (STE across sign) and update the manifold layer.
             if let (Some(manifold), Some(pooled)) = (&mut self.model.manifold, pooled) {
@@ -405,6 +414,12 @@ impl NshdTrainer {
             }
         }
         let accuracy = correct as f32 / self.labels.len() as f32;
+        if nshd_obs::enabled() {
+            nshd_obs::counter("trainer.epochs").inc();
+            nshd_obs::counter("trainer.memory_updates").add(memory_updates);
+            nshd_obs::gauge("trainer.train_accuracy").set(f64::from(accuracy));
+            nshd_obs::gauge("trainer.update_l1").set(update_l1);
+        }
         self.model.history.push(RetrainEpoch { epoch: self.epoch_index, train_accuracy: accuracy });
         self.epoch_index += 1;
         accuracy

@@ -106,6 +106,9 @@ impl AssociativeMemory {
     /// Panics if `class` is out of range or dimensions disagree.
     pub fn add_scaled(&mut self, class: usize, hv: &BipolarHv, weight: f32) {
         assert_eq!(hv.dim(), self.dim, "dimension mismatch");
+        let mut sp = nshd_obs::span("hd_bundle");
+        sp.add_flops(self.dim as u64);
+        sp.add_bytes((self.dim + 8 * self.dim) as u64);
         let c = &mut self.classes[class];
         for (a, &s) in c.iter_mut().zip(hv.components()) {
             // Multiplication-free: add or subtract the weight by sign.
@@ -124,6 +127,9 @@ impl AssociativeMemory {
     ///
     /// Panics if dimensions disagree.
     pub fn similarities(&self, hv: &BipolarHv) -> Vec<f32> {
+        let mut sp = nshd_obs::span("assoc_search");
+        sp.add_flops(2 * (self.classes.len() * self.dim) as u64);
+        sp.add_bytes((4 * (self.classes.len() * self.dim) + self.dim) as u64);
         self.classes.iter().map(|c| cosine_dense_bipolar(c, hv)).collect()
     }
 
@@ -157,6 +163,9 @@ impl AssociativeMemory {
         if n == 0 {
             return Tensor::zeros([0, k]);
         }
+        // The dominant FLOPs are attributed by the nested matmul_bt span;
+        // this span names the stage.
+        let _sp = nshd_obs::span("assoc_search");
         let mut qdata = Vec::with_capacity(n * self.dim);
         for hv in hvs {
             assert_eq!(hv.dim(), self.dim, "dimension mismatch");

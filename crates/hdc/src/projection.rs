@@ -83,6 +83,9 @@ impl RandomProjection {
     /// Panics if `values.len() != self.features()`.
     pub fn encode_raw(&self, values: &[f32]) -> Vec<f32> {
         assert_eq!(values.len(), self.features, "feature count mismatch");
+        let mut sp = nshd_obs::span("hd_encode");
+        sp.add_flops(2 * (self.features * self.dim) as u64);
+        sp.add_bytes((self.features * self.dim / 8 + 4 * (self.features + self.dim)) as u64);
         let mut acc = vec![0.0f32; self.dim];
         for (row, &v) in self.rows.iter().zip(values) {
             if v == 0.0 {
@@ -126,6 +129,9 @@ impl RandomProjection {
     /// Panics if `hyper.len() != self.dim()`.
     pub fn decode(&self, hyper: &[f32]) -> Vec<f32> {
         assert_eq!(hyper.len(), self.dim, "hyperspace dimension mismatch");
+        let mut sp = nshd_obs::span("hd_decode");
+        sp.add_flops(2 * (self.features * self.dim) as u64);
+        sp.add_bytes((self.features * self.dim / 8 + 4 * (self.features + self.dim)) as u64);
         let inv_d = 1.0 / self.dim as f32;
         self.rows
             .iter()
@@ -245,6 +251,9 @@ impl BatchEncoder {
         let dims = values.dims();
         assert_eq!(dims.len(), 2, "BatchEncoder expects an N×F value matrix");
         assert_eq!(dims[1], self.features, "feature count mismatch");
+        // FLOPs are attributed by the nested matmul span; this span only
+        // names the stage.
+        let _sp = nshd_obs::span("hd_encode");
         matmul(values, &self.basis)
     }
 

@@ -6,6 +6,19 @@ use crate::param::Param;
 use crate::shape::{ShapeError, ShapeStep, ShapeTrace};
 use nshd_tensor::{Shape, Tensor};
 
+/// Opens a per-layer profiling span labelled `l<index>.<kind>` (e.g.
+/// `l0.conv2d`), where `<kind>` is the layer name truncated at its first
+/// parameter bracket; `suffix` distinguishes backward passes. Returns
+/// `None` (no formatting, no allocation) when no recorder is installed.
+fn layer_span(index: usize, layer: &dyn Layer, suffix: &str) -> Option<nshd_obs::SpanGuard> {
+    if !nshd_obs::enabled() {
+        return None;
+    }
+    let name = layer.name();
+    let kind = name.split(['(', '[']).next().unwrap_or("layer");
+    Some(nshd_obs::span(&format!("l{index}.{kind}{suffix}")))
+}
+
 /// An ordered stack of layers, indexed the way the NSHD paper indexes
 /// feature extractors ("VGG16 at layer 27", "EfficientNet-b0 block 6", …).
 ///
@@ -79,7 +92,8 @@ impl Sequential {
     pub fn forward_to(&mut self, input: &Tensor, end: usize, mode: Mode) -> Tensor {
         assert!(end <= self.layers.len(), "end {end} exceeds {} layers", self.layers.len());
         let mut x = input.clone();
-        for layer in &mut self.layers[..end] {
+        for (index, layer) in self.layers[..end].iter_mut().enumerate() {
+            let _sp = layer_span(index, &**layer, "");
             x = layer.forward(&x, mode);
         }
         x
@@ -94,7 +108,8 @@ impl Sequential {
     pub fn forward_from(&mut self, input: &Tensor, start: usize, mode: Mode) -> Tensor {
         assert!(start <= self.layers.len());
         let mut x = input.clone();
-        for layer in &mut self.layers[start..] {
+        for (offset, layer) in self.layers[start..].iter_mut().enumerate() {
+            let _sp = layer_span(start + offset, &**layer, "");
             x = layer.forward(&x, mode);
         }
         x
@@ -116,7 +131,8 @@ impl Sequential {
     pub fn infer_to(&self, input: &Tensor, end: usize) -> Tensor {
         assert!(end <= self.layers.len(), "end {end} exceeds {} layers", self.layers.len());
         let mut x = input.clone();
-        for layer in &self.layers[..end] {
+        for (index, layer) in self.layers[..end].iter().enumerate() {
+            let _sp = layer_span(index, &**layer, "");
             x = layer.infer(&x);
         }
         x
@@ -132,7 +148,8 @@ impl Sequential {
     pub fn infer_from(&self, input: &Tensor, start: usize) -> Tensor {
         assert!(start <= self.layers.len());
         let mut x = input.clone();
-        for layer in &self.layers[start..] {
+        for (offset, layer) in self.layers[start..].iter().enumerate() {
+            let _sp = layer_span(start + offset, &**layer, "");
             x = layer.infer(&x);
         }
         x
@@ -141,7 +158,8 @@ impl Sequential {
     /// Backwards through the full stack (training-mode forward required).
     pub fn backward_all(&mut self, grad: &Tensor) -> Tensor {
         let mut g = grad.clone();
-        for layer in self.layers.iter_mut().rev() {
+        for (index, layer) in self.layers.iter_mut().enumerate().rev() {
+            let _sp = layer_span(index, &**layer, ".bwd");
             g = layer.backward(&g);
         }
         g

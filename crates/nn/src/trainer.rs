@@ -65,6 +65,7 @@ pub fn fit(
     let mut reports = Vec::with_capacity(config.epochs);
     let batch_size = config.batch_size.max(1);
     for epoch in 0..config.epochs {
+        let _sp = nshd_obs::span("nn_epoch");
         let order = rng.permutation(n);
         let mut loss_sum = 0.0;
         let mut acc_sum = 0.0;
@@ -88,6 +89,11 @@ pub fn fit(
         optimizer.set_learning_rate(optimizer.learning_rate() * config.lr_decay);
         let batches = batches.max(1) as f32;
         let report = EpochReport { epoch, loss: loss_sum / batches, accuracy: acc_sum / batches };
+        if nshd_obs::enabled() {
+            nshd_obs::counter("nn.epochs").inc();
+            nshd_obs::gauge("nn.train_loss").set(f64::from(report.loss));
+            nshd_obs::gauge("nn.train_accuracy").set(f64::from(report.accuracy));
+        }
         if config.verbose {
             eprintln!(
                 "[{}] epoch {:>2}: loss {:.4}, acc {:.3}",

@@ -1,0 +1,28 @@
+//! The single monotonic time source for the workspace.
+//!
+//! Every instrumented crate takes timestamps through [`now`] instead of
+//! calling `std::time::Instant::now()` directly (the workspace lint enforces
+//! this outside `nshd-obs`). Routing all timing through one function keeps
+//! span math and runtime bookkeeping on the same clock and gives one place
+//! to swap in a virtual clock later if deterministic replay ever needs it.
+
+use std::time::Instant;
+
+/// Current instant on the monotonic clock.
+#[must_use]
+#[inline]
+pub fn now() -> Instant {
+    Instant::now()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clock_is_monotonic() {
+        let a = now();
+        let b = now();
+        assert!(b >= a);
+    }
+}

@@ -1,0 +1,205 @@
+//! A tiny hand-rolled JSON document builder (the workspace builds offline,
+//! so there is deliberately no serde). Objects preserve insertion order,
+//! which keeps emitted `BENCH_*.json` files diff-stable.
+
+use std::fmt;
+
+/// A JSON value. Build documents with [`Json::obj`] / [`Json::arr`] and the
+/// `From` impls; `Display` renders compact valid JSON.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// A signed integer.
+    Int(i64),
+    /// An unsigned integer.
+    Uint(u64),
+    /// A floating-point number (non-finite values render as `null`).
+    Num(f64),
+    /// A string (escaped on render).
+    Str(String),
+    /// Pre-rendered JSON spliced in verbatim — used by [`Json::fixed`] for
+    /// fixed-decimal numbers. The caller must ensure it is valid JSON.
+    Raw(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object with insertion-ordered keys.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// A number rendered with exactly `decimals` fractional digits
+    /// (non-finite values become `null`).
+    #[must_use]
+    pub fn fixed(value: f64, decimals: usize) -> Json {
+        if value.is_finite() {
+            Json::Raw(format!("{value:.decimals$}"))
+        } else {
+            Json::Null
+        }
+    }
+
+    /// An object from `(key, value)` pairs, keys kept in the given order.
+    pub fn obj<'a>(fields: impl IntoIterator<Item = (&'a str, Json)>) -> Json {
+        Json::Obj(fields.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// An array from values.
+    pub fn arr(items: impl IntoIterator<Item = Json>) -> Json {
+        Json::Arr(items.into_iter().collect())
+    }
+
+    /// Appends a field to an object (no-op with a debug assertion on other
+    /// variants).
+    pub fn push_field(&mut self, key: &str, value: Json) {
+        if let Json::Obj(fields) = self {
+            fields.push((key.to_string(), value));
+        } else {
+            debug_assert!(false, "push_field on non-object Json");
+        }
+    }
+}
+
+impl From<bool> for Json {
+    fn from(v: bool) -> Json {
+        Json::Bool(v)
+    }
+}
+
+impl From<i64> for Json {
+    fn from(v: i64) -> Json {
+        Json::Int(v)
+    }
+}
+
+impl From<u64> for Json {
+    fn from(v: u64) -> Json {
+        Json::Uint(v)
+    }
+}
+
+impl From<usize> for Json {
+    fn from(v: usize) -> Json {
+        Json::Uint(v as u64)
+    }
+}
+
+impl From<f64> for Json {
+    fn from(v: f64) -> Json {
+        Json::Num(v)
+    }
+}
+
+impl From<&str> for Json {
+    fn from(v: &str) -> Json {
+        Json::Str(v.to_string())
+    }
+}
+
+impl From<String> for Json {
+    fn from(v: String) -> Json {
+        Json::Str(v)
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for ch in s.chars() {
+        match ch {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => write!(f, "{c}")?,
+        }
+    }
+    f.write_str("\"")
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Int(v) => write!(f, "{v}"),
+            Json::Uint(v) => write!(f, "{v}"),
+            Json::Num(v) => {
+                if v.is_finite() {
+                    write!(f, "{v}")
+                } else {
+                    f.write_str("null")
+                }
+            }
+            Json::Str(s) => write_escaped(f, s),
+            Json::Raw(r) => f.write_str(r),
+            Json::Arr(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Obj(fields) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn renders_compact_documents_in_insertion_order() {
+        let doc = Json::obj(vec![
+            ("b", Json::from(2u64)),
+            ("a", Json::arr([Json::from(1i64), Json::Null, Json::from(true)])),
+            ("s", Json::str("hi")),
+        ]);
+        assert_eq!(doc.to_string(), r#"{"b":2,"a":[1,null,true],"s":"hi"}"#);
+    }
+
+    #[test]
+    fn escapes_strings() {
+        let doc = Json::str("a\"b\\c\nd\te\u{1}");
+        assert_eq!(doc.to_string(), "\"a\\\"b\\\\c\\nd\\te\\u0001\"");
+    }
+
+    #[test]
+    fn fixed_and_nonfinite_numbers() {
+        assert_eq!(Json::fixed(1.23456, 2).to_string(), "1.23");
+        assert_eq!(Json::fixed(f64::NAN, 2).to_string(), "null");
+        assert_eq!(Json::Num(f64::INFINITY).to_string(), "null");
+        assert_eq!(Json::Num(2.5).to_string(), "2.5");
+        assert_eq!(Json::from(3usize).to_string(), "3");
+    }
+
+    #[test]
+    fn push_field_extends_objects() {
+        let mut doc = Json::obj(vec![("a", Json::from(1u64))]);
+        doc.push_field("b", Json::from(2u64));
+        assert_eq!(doc.to_string(), r#"{"a":1,"b":2}"#);
+    }
+}

@@ -1,0 +1,181 @@
+//! `nshd-obs`: unified tracing, metrics and profiling for the NSHD pipeline.
+//!
+//! The crate is `std`-only and dependency-free so every other crate in the
+//! workspace (down to `nshd-tensor`) can depend on it. It provides:
+//!
+//! - **Spans** ([`span`], [`SpanGuard`]): RAII-timed regions with thread-local
+//!   nesting. Each completed span is aggregated under its full path (e.g.
+//!   `request/extract/l0.conv2d`), so memory stays bounded no matter how many
+//!   spans run. Spans can carry FLOP and byte counts, which the report turns
+//!   into achieved GFLOP/s per stage.
+//! - **Metrics** ([`counter`], [`gauge`], [`histogram`]): a typed registry of
+//!   monotonic counters, last-value gauges and fixed-bucket histograms with
+//!   monotone, order-independent p50/p95/p99.
+//! - **Serving accumulator** ([`ServingAccumulator`], [`ServingMetrics`]):
+//!   request/batch bookkeeping for the inference runtime (queue wait vs.
+//!   execute time, batch-size histogram, throughput).
+//! - **Reports** ([`Report`]): a hierarchical text "flame" rendering and a
+//!   stable JSON schema (`nshd-obs/v1`) for `BENCH_*.json` files.
+//! - **Clock** ([`clock::now`]): the single monotonic time source; the
+//!   workspace lint forbids direct `Instant::now()` elsewhere.
+//!
+//! # Zero cost when disabled
+//!
+//! All instrumentation goes through the free functions in this module, which
+//! check one relaxed atomic load before touching anything else. With no
+//! recorder installed ([`enabled`] is `false`), [`span`] returns an inert
+//! guard and the metric handles are detached — hot kernels pay a branch.
+//!
+//! ```
+//! let recorder = nshd_obs::Recorder::new();
+//! let previous = nshd_obs::install(recorder.clone());
+//! {
+//!     let mut sp = nshd_obs::span("matmul");
+//!     sp.add_flops(1_000_000);
+//! }
+//! nshd_obs::install(previous);
+//! let report = recorder.report();
+//! assert_eq!(report.find("matmul").map(|n| n.stats.count), Some(1));
+//! ```
+
+#![warn(missing_docs)]
+
+pub mod clock;
+mod json;
+mod metrics;
+mod report;
+mod serving;
+mod span;
+
+pub use json::Json;
+pub use metrics::{Counter, Gauge, Histogram, HistogramSnapshot, MetricsSnapshot};
+pub use report::{Report, SpanNode};
+pub use serving::{LatencySummary, ServingAccumulator, ServingMetrics};
+pub use span::{ContextGuard, Recorder, SpanGuard, SpanStats};
+
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, MutexGuard};
+
+/// Fast-path flag mirroring whether the installed global recorder is enabled.
+static GLOBAL_ENABLED: AtomicBool = AtomicBool::new(false);
+
+/// The installed global recorder (disabled by default).
+static GLOBAL: Mutex<Recorder> = Mutex::new(Recorder::disabled());
+
+/// Locks a mutex, recovering the data if a previous holder panicked.
+/// Observability state stays usable even after a poisoned panic elsewhere.
+pub(crate) fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Installs `recorder` as the process-wide recorder and returns the previous
+/// one (so callers can restore it, e.g. in tests).
+pub fn install(recorder: Recorder) -> Recorder {
+    let mut slot = lock(&GLOBAL);
+    GLOBAL_ENABLED.store(recorder.is_enabled(), Ordering::SeqCst);
+    std::mem::replace(&mut *slot, recorder)
+}
+
+/// Removes any installed recorder (instrumentation becomes free again) and
+/// returns it.
+pub fn uninstall() -> Recorder {
+    install(Recorder::disabled())
+}
+
+/// Whether a live recorder is installed. One relaxed atomic load — cheap
+/// enough to call in hot loops to skip label formatting entirely.
+#[inline]
+pub fn enabled() -> bool {
+    GLOBAL_ENABLED.load(Ordering::Relaxed)
+}
+
+/// Returns a clone of the installed global recorder (disabled if none).
+pub fn global() -> Recorder {
+    lock(&GLOBAL).clone()
+}
+
+/// Opens a span named `name` on the global recorder, nested under the
+/// innermost span already open on this thread. Inert when [`enabled`] is
+/// `false`.
+#[must_use = "bind the guard (`let _sp = ...`) or the span closes immediately"]
+#[inline]
+pub fn span(name: &str) -> SpanGuard {
+    if enabled() {
+        global().span(name)
+    } else {
+        SpanGuard::inert()
+    }
+}
+
+/// Re-roots this thread's span stack at `path` until the guard drops, so
+/// spans opened on a worker thread nest under a span captured on another
+/// thread with [`current_path`]. Records nothing by itself.
+#[must_use = "bind the guard (`let _ctx = ...`) or the context ends immediately"]
+#[inline]
+pub fn enter_context(path: &str) -> ContextGuard {
+    if enabled() {
+        span::enter_context(path)
+    } else {
+        ContextGuard::inert()
+    }
+}
+
+/// Full path of the innermost span open on this thread, or `None` when no
+/// span is open (or no recorder is installed).
+pub fn current_path() -> Option<String> {
+    if enabled() {
+        span::current_path()
+    } else {
+        None
+    }
+}
+
+/// Monotonic counter `name` on the global recorder (detached when disabled).
+pub fn counter(name: &str) -> Counter {
+    if enabled() {
+        global().counter(name)
+    } else {
+        Counter::default()
+    }
+}
+
+/// Last-value gauge `name` on the global recorder (detached when disabled).
+pub fn gauge(name: &str) -> Gauge {
+    if enabled() {
+        global().gauge(name)
+    } else {
+        Gauge::default()
+    }
+}
+
+/// Histogram `name` on the global recorder, with default exponential
+/// microsecond-scale buckets (detached when disabled).
+pub fn histogram(name: &str) -> Histogram {
+    if enabled() {
+        global().histogram(name)
+    } else {
+        Histogram::latency_us()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_by_default_and_handles_are_inert() {
+        // Unit tests share the process; don't install anything here, just
+        // exercise the disabled path of a fresh local recorder.
+        let r = Recorder::disabled();
+        assert!(!r.is_enabled());
+        {
+            let mut sp = r.span("x");
+            sp.add_flops(10);
+            sp.add_bytes(10);
+        }
+        assert!(r.span_stats().is_empty());
+        let c = Counter::default();
+        c.inc();
+        assert_eq!(c.value(), 1); // detached but still functional locally
+    }
+}

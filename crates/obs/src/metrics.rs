@@ -1,0 +1,443 @@
+//! Typed metrics: counters, gauges and fixed-bucket histograms.
+//!
+//! Handles are cheap `Arc` clones; registering the same name twice returns
+//! the same underlying metric. Histogram quantiles are computed from bucket
+//! counts (never by sorting raw samples), which makes them monotone in `q`
+//! and independent of observation order by construction.
+
+use crate::json::Json;
+use crate::lock;
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Clone, Default)]
+pub struct Counter {
+    cell: Arc<AtomicU64>,
+}
+
+impl Counter {
+    /// Adds one.
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    /// Adds `n`.
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.cell.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    #[must_use]
+    pub fn value(&self) -> u64 {
+        self.cell.load(Ordering::Relaxed)
+    }
+
+    fn reset(&self) {
+        self.cell.store(0, Ordering::Relaxed);
+    }
+}
+
+/// A last-value-wins gauge (stored as `f64` bits in an atomic).
+#[derive(Debug, Clone, Default)]
+pub struct Gauge {
+    bits: Arc<AtomicU64>,
+}
+
+impl Gauge {
+    /// Sets the gauge to `value`.
+    #[inline]
+    pub fn set(&self, value: f64) {
+        self.bits.store(value.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Current value (0.0 if never set).
+    #[must_use]
+    pub fn value(&self) -> f64 {
+        f64::from_bits(self.bits.load(Ordering::Relaxed))
+    }
+
+    fn reset(&self) {
+        self.bits.store(0, Ordering::Relaxed);
+    }
+}
+
+#[derive(Debug)]
+struct HistCore {
+    /// Strictly increasing finite upper bucket edges; a value `v` lands in
+    /// the first bucket whose edge is `>= v`, or in the overflow bucket.
+    bounds: Vec<f64>,
+    /// `bounds.len() + 1` counts; the last entry is the overflow bucket.
+    counts: Vec<u64>,
+    count: u64,
+    sum: f64,
+    min: f64,
+    max: f64,
+}
+
+/// A histogram over fixed bucket bounds chosen at construction time.
+///
+/// Quantiles come from the bucket counts: the reported `quantile(q)` is the
+/// upper edge of the bucket containing the `ceil(q * n)`-th smallest sample,
+/// clamped to the observed `[min, max]` range. That makes p50 ≤ p95 ≤ p99
+/// hold unconditionally and the result independent of observation order,
+/// at the cost of bucket-width resolution.
+#[derive(Debug, Clone)]
+pub struct Histogram {
+    inner: Arc<Mutex<HistCore>>,
+}
+
+impl Histogram {
+    /// Builds a histogram with explicit upper bucket edges. Edges must be
+    /// finite and strictly increasing; invalid input falls back to a single
+    /// catch-all bucket rather than panicking.
+    #[must_use]
+    pub fn with_bounds(bounds: Vec<f64>) -> Histogram {
+        let ok = !bounds.is_empty()
+            && bounds.iter().all(|b| b.is_finite())
+            && bounds.windows(2).all(|w| w[0] < w[1]);
+        let bounds = if ok { bounds } else { vec![f64::MAX / 2.0] };
+        let counts = vec![0; bounds.len() + 1];
+        Histogram {
+            inner: Arc::new(Mutex::new(HistCore {
+                bounds,
+                counts,
+                count: 0,
+                sum: 0.0,
+                min: 0.0,
+                max: 0.0,
+            })),
+        }
+    }
+
+    /// Exponential bucket edges `first, first*factor, first*factor², ...`.
+    #[must_use]
+    pub fn exponential(first: f64, factor: f64, buckets: usize) -> Histogram {
+        let mut bounds = Vec::with_capacity(buckets);
+        let mut edge = first.max(f64::MIN_POSITIVE);
+        let factor = if factor > 1.0 { factor } else { 2.0 };
+        for _ in 0..buckets {
+            if !edge.is_finite() {
+                break;
+            }
+            bounds.push(edge);
+            edge *= factor;
+        }
+        Histogram::with_bounds(bounds)
+    }
+
+    /// Default buckets for microsecond-scale latencies: 1 µs to ~3 minutes
+    /// with ~50% resolution steps.
+    #[must_use]
+    pub fn latency_us() -> Histogram {
+        Histogram::exponential(1.0, 1.5, 48)
+    }
+
+    /// Records one observation. Non-finite values are ignored.
+    pub fn observe(&self, value: f64) {
+        if !value.is_finite() {
+            return;
+        }
+        let mut core = lock(&self.inner);
+        let idx = core.bounds.partition_point(|b| *b < value);
+        core.counts[idx] += 1;
+        if core.count == 0 {
+            core.min = value;
+            core.max = value;
+        } else {
+            core.min = core.min.min(value);
+            core.max = core.max.max(value);
+        }
+        core.count += 1;
+        core.sum += value;
+    }
+
+    /// Number of observations.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        lock(&self.inner).count
+    }
+
+    /// Sum of all observations.
+    #[must_use]
+    pub fn sum(&self) -> f64 {
+        lock(&self.inner).sum
+    }
+
+    /// Mean observation (0.0 when empty).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        let core = lock(&self.inner);
+        if core.count == 0 {
+            0.0
+        } else {
+            core.sum / core.count as f64
+        }
+    }
+
+    /// Smallest observation (0.0 when empty).
+    #[must_use]
+    pub fn min(&self) -> f64 {
+        lock(&self.inner).min
+    }
+
+    /// Largest observation (0.0 when empty).
+    #[must_use]
+    pub fn max(&self) -> f64 {
+        lock(&self.inner).max
+    }
+
+    /// The `q`-quantile (`q` clamped to `[0, 1]`); 0.0 when empty.
+    #[must_use]
+    pub fn quantile(&self, q: f64) -> f64 {
+        let core = lock(&self.inner);
+        Self::quantile_of(&core, q)
+    }
+
+    fn quantile_of(core: &HistCore, q: f64) -> f64 {
+        if core.count == 0 {
+            return 0.0;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let target = ((q * core.count as f64).ceil() as u64).clamp(1, core.count);
+        let mut cumulative = 0u64;
+        for (i, &c) in core.counts.iter().enumerate() {
+            cumulative += c;
+            if cumulative >= target {
+                let edge = core.bounds.get(i).copied().unwrap_or(core.max);
+                return edge.clamp(core.min, core.max);
+            }
+        }
+        core.max
+    }
+
+    /// Point-in-time snapshot (quantiles, non-empty buckets, overflow).
+    #[must_use]
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let core = lock(&self.inner);
+        let buckets = core
+            .bounds
+            .iter()
+            .zip(core.counts.iter())
+            .filter(|(_, &c)| c > 0)
+            .map(|(&edge, &c)| (edge, c))
+            .collect();
+        HistogramSnapshot {
+            count: core.count,
+            sum: core.sum,
+            mean: if core.count == 0 { 0.0 } else { core.sum / core.count as f64 },
+            min: core.min,
+            max: core.max,
+            p50: Self::quantile_of(&core, 0.50),
+            p95: Self::quantile_of(&core, 0.95),
+            p99: Self::quantile_of(&core, 0.99),
+            buckets,
+            overflow: core.counts.last().copied().unwrap_or(0),
+        }
+    }
+
+    fn reset(&self) {
+        let mut core = lock(&self.inner);
+        core.counts.iter_mut().for_each(|c| *c = 0);
+        core.count = 0;
+        core.sum = 0.0;
+        core.min = 0.0;
+        core.max = 0.0;
+    }
+}
+
+/// Frozen view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Number of observations.
+    pub count: u64,
+    /// Sum of observations.
+    pub sum: f64,
+    /// Mean observation.
+    pub mean: f64,
+    /// Smallest observation.
+    pub min: f64,
+    /// Largest observation.
+    pub max: f64,
+    /// 50th percentile (bucket upper edge, clamped to `[min, max]`).
+    pub p50: f64,
+    /// 95th percentile.
+    pub p95: f64,
+    /// 99th percentile.
+    pub p99: f64,
+    /// Non-empty finite buckets as `(upper_edge, count)`.
+    pub buckets: Vec<(f64, u64)>,
+    /// Observations above the last bucket edge.
+    pub overflow: u64,
+}
+
+impl HistogramSnapshot {
+    /// JSON object with count/mean/min/max/p50/p95/p99 and the non-empty
+    /// buckets as `[[upper_edge, count], ...]`.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        Json::obj(vec![
+            ("count", Json::from(self.count)),
+            ("mean", Json::fixed(self.mean, 3)),
+            ("min", Json::fixed(self.min, 3)),
+            ("max", Json::fixed(self.max, 3)),
+            ("p50", Json::fixed(self.p50, 3)),
+            ("p95", Json::fixed(self.p95, 3)),
+            ("p99", Json::fixed(self.p99, 3)),
+            (
+                "buckets",
+                Json::arr(
+                    self.buckets
+                        .iter()
+                        .map(|&(edge, c)| Json::arr([Json::fixed(edge, 3), Json::from(c)])),
+                ),
+            ),
+            ("overflow", Json::from(self.overflow)),
+        ])
+    }
+}
+
+/// Registry of named metrics behind a [`crate::Recorder`].
+#[derive(Default)]
+pub(crate) struct Registry {
+    counters: Mutex<BTreeMap<String, Counter>>,
+    gauges: Mutex<BTreeMap<String, Gauge>>,
+    histograms: Mutex<BTreeMap<String, Histogram>>,
+}
+
+impl Registry {
+    pub(crate) fn counter(&self, name: &str) -> Counter {
+        lock(&self.counters).entry(name.to_string()).or_default().clone()
+    }
+
+    pub(crate) fn gauge(&self, name: &str) -> Gauge {
+        lock(&self.gauges).entry(name.to_string()).or_default().clone()
+    }
+
+    pub(crate) fn histogram(&self, name: &str, default: impl FnOnce() -> Histogram) -> Histogram {
+        lock(&self.histograms).entry(name.to_string()).or_insert_with(default).clone()
+    }
+
+    pub(crate) fn snapshot(&self) -> MetricsSnapshot {
+        MetricsSnapshot {
+            counters: lock(&self.counters).iter().map(|(k, c)| (k.clone(), c.value())).collect(),
+            gauges: lock(&self.gauges).iter().map(|(k, g)| (k.clone(), g.value())).collect(),
+            histograms: lock(&self.histograms)
+                .iter()
+                .map(|(k, h)| (k.clone(), h.snapshot()))
+                .collect(),
+        }
+    }
+
+    pub(crate) fn clear(&self) {
+        lock(&self.counters).values().for_each(Counter::reset);
+        lock(&self.gauges).values().for_each(Gauge::reset);
+        lock(&self.histograms).values().for_each(Histogram::reset);
+    }
+}
+
+/// Frozen view of every metric in a registry, sorted by name.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct MetricsSnapshot {
+    /// Counter values by name.
+    pub counters: Vec<(String, u64)>,
+    /// Gauge values by name.
+    pub gauges: Vec<(String, f64)>,
+    /// Histogram snapshots by name.
+    pub histograms: Vec<(String, HistogramSnapshot)>,
+}
+
+impl MetricsSnapshot {
+    /// Whether no metric was ever registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_share_state_across_clones() {
+        let reg = Registry::default();
+        let a = reg.counter("hits");
+        let b = reg.counter("hits");
+        a.inc();
+        b.add(2);
+        assert_eq!(reg.counter("hits").value(), 3);
+        let g = reg.gauge("acc");
+        g.set(0.75);
+        assert!((reg.gauge("acc").value() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn quantiles_are_monotone_and_order_independent() {
+        // Satellite: regression for the old sort-per-call percentile math.
+        // Feed the same 1000 samples in ascending, descending and
+        // interleaved order; snapshots must be identical and monotone.
+        let samples: Vec<f64> = (1..=1000).map(|i| i as f64).collect();
+        let orders: Vec<Vec<f64>> =
+            vec![samples.clone(), samples.iter().rev().copied().collect(), {
+                // Deterministic shuffle: stride through the list coprime to
+                // its length.
+                let n = samples.len();
+                (0..n).map(|i| samples[(i * 617) % n]).collect()
+            }];
+        let mut snaps = Vec::new();
+        for order in &orders {
+            let h = Histogram::latency_us();
+            for &v in order {
+                h.observe(v);
+            }
+            snaps.push(h.snapshot());
+        }
+        assert_eq!(snaps[0], snaps[1]);
+        assert_eq!(snaps[0], snaps[2]);
+        let s = &snaps[0];
+        assert!(s.p50 <= s.p95 && s.p95 <= s.p99, "{} {} {}", s.p50, s.p95, s.p99);
+        assert!(s.p99 <= s.max && s.min <= s.p50);
+        // Bucket resolution is ~1.5x, so p50 may overshoot the true median
+        // by at most one bucket width.
+        assert!(s.p50 >= 500.0 && s.p50 <= 500.0 * 1.5, "p50 = {}", s.p50);
+        assert_eq!(s.count, 1000);
+    }
+
+    #[test]
+    fn quantile_edge_cases() {
+        let h = Histogram::latency_us();
+        assert_eq!(h.quantile(0.5), 0.0); // empty
+        h.observe(42.0);
+        // A single sample: every quantile is that sample (clamped to max).
+        assert_eq!(h.quantile(0.0), 42.0);
+        assert_eq!(h.quantile(0.5), 42.0);
+        assert_eq!(h.quantile(1.0), 42.0);
+        h.observe(f64::NAN); // ignored
+        assert_eq!(h.count(), 1);
+    }
+
+    #[test]
+    fn overflow_bucket_catches_huge_values() {
+        let h = Histogram::with_bounds(vec![1.0, 10.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        h.observe(1e12);
+        let s = h.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.buckets, vec![(1.0, 1), (10.0, 1)]);
+        // Quantiles above the last edge are reported as the observed max.
+        assert_eq!(h.quantile(1.0), 1e12);
+    }
+
+    #[test]
+    fn invalid_bounds_fall_back_to_catch_all() {
+        let h = Histogram::with_bounds(vec![3.0, 2.0]);
+        h.observe(123.0);
+        assert_eq!(h.quantile(0.5), 123.0);
+    }
+}

@@ -1,0 +1,331 @@
+//! Report building: turns aggregated span paths into a tree and renders it
+//! as a hierarchical text "flame" report or a stable JSON document
+//! (schema `nshd-obs/v1`).
+
+use crate::json::Json;
+use crate::metrics::MetricsSnapshot;
+use crate::span::SpanStats;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// One node in the span tree (a full path plus its aggregated stats).
+#[derive(Debug, Clone)]
+pub struct SpanNode {
+    /// Last path segment (the span's own name).
+    pub name: String,
+    /// Full `/`-separated path.
+    pub path: String,
+    /// Stats recorded directly under this path. A node that only appears as
+    /// an intermediate path segment has `count == 0`.
+    pub stats: SpanStats,
+    /// FLOPs summed over this node and its whole subtree.
+    pub cum_flops: u64,
+    /// Bytes summed over this node and its whole subtree.
+    pub cum_bytes: u64,
+    /// Child spans, sorted by name.
+    pub children: Vec<SpanNode>,
+}
+
+impl SpanNode {
+    /// Achieved GFLOP/s over this node's wall time, counting the whole
+    /// subtree's FLOPs (`flops / nanos` is numerically GFLOP/s).
+    #[must_use]
+    pub fn gflops(&self) -> f64 {
+        if self.stats.total_nanos == 0 {
+            0.0
+        } else {
+            self.cum_flops as f64 / self.stats.total_nanos as f64
+        }
+    }
+
+    fn fill_cumulative(&mut self) -> (u64, u64) {
+        let mut flops = self.stats.flops;
+        let mut bytes = self.stats.bytes;
+        for child in &mut self.children {
+            let (f, b) = child.fill_cumulative();
+            flops += f;
+            bytes += b;
+        }
+        self.cum_flops = flops;
+        self.cum_bytes = bytes;
+        (flops, bytes)
+    }
+}
+
+/// A frozen, hierarchical view of everything a recorder captured.
+#[derive(Debug, Clone)]
+pub struct Report {
+    /// Top-level spans (those whose path has no `/`), sorted by name.
+    pub roots: Vec<SpanNode>,
+    /// Snapshot of all registered metrics.
+    pub metrics: MetricsSnapshot,
+}
+
+impl Report {
+    /// Builds the tree from path-keyed stats plus a metrics snapshot.
+    #[must_use]
+    pub fn build(spans: BTreeMap<String, SpanStats>, metrics: MetricsSnapshot) -> Report {
+        let mut roots: Vec<SpanNode> = Vec::new();
+        for (path, stats) in spans {
+            insert(&mut roots, &path, stats);
+        }
+        for root in &mut roots {
+            root.fill_cumulative();
+        }
+        Report { roots, metrics }
+    }
+
+    /// Whether nothing was recorded at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.roots.is_empty() && self.metrics.is_empty()
+    }
+
+    /// Finds a node by full path, e.g. `"request/extract"`.
+    #[must_use]
+    pub fn find(&self, path: &str) -> Option<&SpanNode> {
+        let mut segments = path.split('/');
+        let first = segments.next()?;
+        let mut node = self.roots.iter().find(|n| n.name == first)?;
+        for segment in segments {
+            node = node.children.iter().find(|n| n.name == segment)?;
+        }
+        Some(node)
+    }
+
+    /// Renders the hierarchical text "flame" report: one line per span with
+    /// call count, total wall time, share of its root's time and achieved
+    /// GFLOP/s where FLOPs were recorded.
+    #[must_use]
+    pub fn text(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(out, "span tree (calls, total wall time, % of root, GFLOP/s):");
+        for root in &self.roots {
+            let root_nanos = root.stats.total_nanos.max(1);
+            render_text(&mut out, root, 0, root_nanos);
+        }
+        if !self.metrics.counters.is_empty() || !self.metrics.gauges.is_empty() {
+            let _ = writeln!(out, "metrics:");
+            for (name, value) in &self.metrics.counters {
+                let _ = writeln!(out, "  {name} = {value}");
+            }
+            for (name, value) in &self.metrics.gauges {
+                let _ = writeln!(out, "  {name} = {value:.4}");
+            }
+            for (name, h) in &self.metrics.histograms {
+                let _ = writeln!(
+                    out,
+                    "  {name}: n={} mean={:.1} p50={:.1} p95={:.1} p99={:.1} max={:.1}",
+                    h.count, h.mean, h.p50, h.p95, h.p99, h.max
+                );
+            }
+        }
+        out
+    }
+
+    /// Stable JSON document (schema `nshd-obs/v1`): a flat span array in
+    /// depth-first order plus the metrics snapshot.
+    #[must_use]
+    pub fn to_json(&self) -> Json {
+        let mut spans = Vec::new();
+        for root in &self.roots {
+            flatten_json(&mut spans, root);
+        }
+        Json::obj(vec![
+            ("schema", Json::str("nshd-obs/v1")),
+            ("spans", Json::Arr(spans)),
+            (
+                "metrics",
+                Json::obj(vec![
+                    (
+                        "counters",
+                        Json::Obj(
+                            self.metrics
+                                .counters
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::from(*v)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "gauges",
+                        Json::Obj(
+                            self.metrics
+                                .gauges
+                                .iter()
+                                .map(|(k, v)| (k.clone(), Json::fixed(*v, 6)))
+                                .collect(),
+                        ),
+                    ),
+                    (
+                        "histograms",
+                        Json::Obj(
+                            self.metrics
+                                .histograms
+                                .iter()
+                                .map(|(k, h)| (k.clone(), h.to_json()))
+                                .collect(),
+                        ),
+                    ),
+                ]),
+            ),
+        ])
+    }
+}
+
+fn insert(nodes: &mut Vec<SpanNode>, path: &str, stats: SpanStats) {
+    let mut current = nodes;
+    let mut walked = String::new();
+    let mut segments = path.split('/').peekable();
+    while let Some(segment) = segments.next() {
+        if !walked.is_empty() {
+            walked.push('/');
+        }
+        walked.push_str(segment);
+        let position = match current.iter().position(|n| n.name == segment) {
+            Some(i) => i,
+            None => {
+                current.push(SpanNode {
+                    name: segment.to_string(),
+                    path: walked.clone(),
+                    stats: SpanStats::default(),
+                    cum_flops: 0,
+                    cum_bytes: 0,
+                    children: Vec::new(),
+                });
+                current.len() - 1
+            }
+        };
+        if segments.peek().is_none() {
+            current[position].stats = stats;
+            return;
+        }
+        current = &mut current[position].children;
+    }
+}
+
+fn format_nanos(nanos: u64) -> String {
+    let n = nanos as f64;
+    if n >= 1e9 {
+        format!("{:.2} s", n / 1e9)
+    } else if n >= 1e6 {
+        format!("{:.2} ms", n / 1e6)
+    } else if n >= 1e3 {
+        format!("{:.1} us", n / 1e3)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+fn render_text(out: &mut String, node: &SpanNode, depth: usize, root_nanos: u64) {
+    let indent = "  ".repeat(depth);
+    let label = format!("{indent}{}", node.name);
+    let percent = 100.0 * node.stats.total_nanos as f64 / root_nanos as f64;
+    let _ = write!(
+        out,
+        "{label:<38} {:>8} calls {:>12} {percent:>6.1}%",
+        node.stats.count,
+        format_nanos(node.stats.total_nanos),
+    );
+    if node.cum_flops > 0 {
+        let _ = write!(out, "  {:>8.2} GFLOP/s", node.gflops());
+    }
+    out.push('\n');
+    for child in &node.children {
+        render_text(out, child, depth + 1, root_nanos);
+    }
+}
+
+fn flatten_json(out: &mut Vec<Json>, node: &SpanNode) {
+    let mean_us = if node.stats.count == 0 {
+        0.0
+    } else {
+        node.stats.total_nanos as f64 / 1e3 / node.stats.count as f64
+    };
+    out.push(Json::obj(vec![
+        ("path", Json::str(node.path.clone())),
+        ("name", Json::str(node.name.clone())),
+        ("count", Json::from(node.stats.count)),
+        ("total_us", Json::fixed(node.stats.total_nanos as f64 / 1e3, 3)),
+        ("mean_us", Json::fixed(mean_us, 3)),
+        ("min_us", Json::fixed(node.stats.min_nanos as f64 / 1e3, 3)),
+        ("max_us", Json::fixed(node.stats.max_nanos as f64 / 1e3, 3)),
+        ("flops", Json::from(node.cum_flops)),
+        ("self_flops", Json::from(node.stats.flops)),
+        ("bytes", Json::from(node.cum_bytes)),
+        ("self_bytes", Json::from(node.stats.bytes)),
+        ("gflops", Json::fixed(node.gflops(), 4)),
+    ]));
+    for child in &node.children {
+        flatten_json(out, child);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats(count: u64, nanos: u64, flops: u64) -> SpanStats {
+        SpanStats {
+            count,
+            total_nanos: nanos,
+            min_nanos: nanos / count.max(1),
+            max_nanos: nanos / count.max(1),
+            flops,
+            bytes: 0,
+        }
+    }
+
+    fn sample_report() -> Report {
+        let mut spans = BTreeMap::new();
+        spans.insert("request".to_string(), stats(4, 4_000_000, 0));
+        spans.insert("request/extract".to_string(), stats(4, 3_000_000, 0));
+        spans.insert("request/extract/matmul".to_string(), stats(8, 2_000_000, 2_000_000));
+        spans.insert("request/score".to_string(), stats(4, 500_000, 100_000));
+        Report::build(spans, MetricsSnapshot::default())
+    }
+
+    #[test]
+    fn builds_tree_with_cumulative_flops() {
+        let report = sample_report();
+        assert_eq!(report.roots.len(), 1);
+        let request = report.find("request").unwrap();
+        assert_eq!(request.children.len(), 2);
+        assert_eq!(request.cum_flops, 2_100_000);
+        let extract = report.find("request/extract").unwrap();
+        assert_eq!(extract.cum_flops, 2_000_000);
+        // flops/nanos is GFLOP/s: 2e6 flops over 3e6 ns = 0.667 GFLOP/s.
+        assert!((extract.gflops() - 2.0 / 3.0).abs() < 1e-9);
+        assert!(report.find("request/missing").is_none());
+        assert!(report.find("request/extract/matmul").is_some());
+    }
+
+    #[test]
+    fn text_report_nests_children_under_parents() {
+        let report = sample_report();
+        let text = report.text();
+        let lines: Vec<&str> = text.lines().collect();
+        let request = lines.iter().position(|l| l.starts_with("request")).unwrap();
+        let extract = lines.iter().position(|l| l.starts_with("  extract")).unwrap();
+        let matmul = lines.iter().position(|l| l.starts_with("    matmul")).unwrap();
+        assert!(request < extract && extract < matmul, "{text}");
+        assert!(text.contains("GFLOP/s"), "{text}");
+    }
+
+    #[test]
+    fn json_schema_is_stable() {
+        let report = sample_report();
+        let doc = report.to_json().to_string();
+        assert!(doc.starts_with(r#"{"schema":"nshd-obs/v1","spans":["#), "{doc}");
+        assert!(doc.contains(r#""path":"request/extract/matmul""#), "{doc}");
+        assert!(doc.contains(r#""gflops":"#), "{doc}");
+        assert!(doc.contains(r#""metrics":{"counters":{}"#), "{doc}");
+    }
+
+    #[test]
+    fn empty_report() {
+        let report = Report::build(BTreeMap::new(), MetricsSnapshot::default());
+        assert!(report.is_empty());
+        assert!(report.find("x").is_none());
+    }
+}

@@ -1,0 +1,371 @@
+//! Span tracing: the [`Recorder`] handle, RAII [`SpanGuard`]s and the
+//! thread-local span stack that gives spans their nesting.
+//!
+//! Completed spans are aggregated per full path (`parent/child/...`) into
+//! [`SpanStats`], so a long-running server accumulates a bounded map keyed by
+//! the set of distinct paths, not an unbounded list of events.
+
+use crate::lock;
+use crate::metrics::{Counter, Gauge, Histogram, MetricsSnapshot, Registry};
+use crate::report::Report;
+use std::cell::RefCell;
+use std::collections::BTreeMap;
+use std::sync::{Arc, Mutex};
+use std::time::Instant;
+
+thread_local! {
+    /// Full paths of the spans (and contexts) open on this thread,
+    /// innermost last. Guards restore the stack by truncating to the depth
+    /// they saw on entry, so early `?` returns unwind correctly.
+    static PATH_STACK: RefCell<Vec<String>> = const { RefCell::new(Vec::new()) };
+}
+
+/// Aggregated statistics for all completed spans sharing one full path.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SpanStats {
+    /// Number of completed spans.
+    pub count: u64,
+    /// Total wall time across all of them, in nanoseconds.
+    pub total_nanos: u64,
+    /// Fastest single span, in nanoseconds.
+    pub min_nanos: u64,
+    /// Slowest single span, in nanoseconds.
+    pub max_nanos: u64,
+    /// Floating-point operations attributed directly to these spans (not
+    /// including instrumented children — the report sums subtrees).
+    pub flops: u64,
+    /// Bytes touched, attributed directly like `flops`.
+    pub bytes: u64,
+}
+
+impl SpanStats {
+    /// Mean wall time per completed span, in nanoseconds (0 when never
+    /// entered).
+    #[must_use]
+    pub fn mean_nanos(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.total_nanos as f64 / self.count as f64
+        }
+    }
+}
+
+/// Shared state behind an enabled [`Recorder`].
+pub(crate) struct RecorderInner {
+    spans: Mutex<BTreeMap<String, SpanStats>>,
+    registry: Registry,
+}
+
+impl RecorderInner {
+    fn record_span(&self, path: &str, nanos: u64, flops: u64, bytes: u64) {
+        let mut spans = lock(&self.spans);
+        let stats = spans.entry(path.to_string()).or_default();
+        stats.count += 1;
+        stats.total_nanos += nanos;
+        stats.min_nanos = if stats.count == 1 { nanos } else { stats.min_nanos.min(nanos) };
+        stats.max_nanos = stats.max_nanos.max(nanos);
+        stats.flops += flops;
+        stats.bytes += bytes;
+    }
+}
+
+/// Handle to a recording session. Cloning is cheap (an `Arc`); all clones
+/// share the same aggregated state. A disabled recorder carries no state and
+/// makes every operation a no-op.
+#[derive(Clone)]
+pub struct Recorder {
+    inner: Option<Arc<RecorderInner>>,
+}
+
+impl Default for Recorder {
+    /// Same as [`Recorder::new`]: an enabled, empty recorder.
+    fn default() -> Self {
+        Recorder::new()
+    }
+}
+
+impl Recorder {
+    /// Creates an enabled recorder with empty span and metric state.
+    #[must_use]
+    pub fn new() -> Recorder {
+        Recorder {
+            inner: Some(Arc::new(RecorderInner {
+                spans: Mutex::new(BTreeMap::new()),
+                registry: Registry::default(),
+            })),
+        }
+    }
+
+    /// A recorder that records nothing. This is the global default.
+    #[must_use]
+    pub const fn disabled() -> Recorder {
+        Recorder { inner: None }
+    }
+
+    /// Whether this handle records anything.
+    #[must_use]
+    pub fn is_enabled(&self) -> bool {
+        self.inner.is_some()
+    }
+
+    /// Opens a span named `name`, nested under the innermost span already
+    /// open on this thread. The span closes (and records) when the returned
+    /// guard drops.
+    #[must_use = "bind the guard (`let _sp = ...`) or the span closes immediately"]
+    pub fn span(&self, name: &str) -> SpanGuard {
+        let Some(inner) = &self.inner else {
+            return SpanGuard::inert();
+        };
+        let (path, depth) = PATH_STACK.with(|stack| {
+            let mut stack = stack.borrow_mut();
+            let path = match stack.last() {
+                Some(parent) => format!("{parent}/{name}"),
+                None => name.to_string(),
+            };
+            let depth = stack.len();
+            stack.push(path.clone());
+            (path, depth)
+        });
+        SpanGuard {
+            active: Some(ActiveSpan {
+                inner: inner.clone(),
+                path,
+                depth,
+                start: Instant::now(),
+                flops: 0,
+                bytes: 0,
+            }),
+        }
+    }
+
+    /// Monotonic counter registered under `name`.
+    #[must_use]
+    pub fn counter(&self, name: &str) -> Counter {
+        match &self.inner {
+            Some(inner) => inner.registry.counter(name),
+            None => Counter::default(),
+        }
+    }
+
+    /// Last-value gauge registered under `name`.
+    #[must_use]
+    pub fn gauge(&self, name: &str) -> Gauge {
+        match &self.inner {
+            Some(inner) => inner.registry.gauge(name),
+            None => Gauge::default(),
+        }
+    }
+
+    /// Histogram registered under `name` with the default exponential
+    /// microsecond-scale buckets.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Histogram {
+        match &self.inner {
+            Some(inner) => inner.registry.histogram(name, Histogram::latency_us),
+            None => Histogram::latency_us(),
+        }
+    }
+
+    /// Histogram registered under `name`; `bounds` builds it on first use
+    /// (later calls reuse the registered instance and ignore `bounds`).
+    #[must_use]
+    pub fn histogram_with(&self, name: &str, bounds: impl FnOnce() -> Histogram) -> Histogram {
+        match &self.inner {
+            Some(inner) => inner.registry.histogram(name, bounds),
+            None => bounds(),
+        }
+    }
+
+    /// Snapshot of the aggregated span statistics, keyed by full path.
+    #[must_use]
+    pub fn span_stats(&self) -> BTreeMap<String, SpanStats> {
+        match &self.inner {
+            Some(inner) => lock(&inner.spans).clone(),
+            None => BTreeMap::new(),
+        }
+    }
+
+    /// Snapshot of every registered metric.
+    #[must_use]
+    pub fn metrics(&self) -> MetricsSnapshot {
+        match &self.inner {
+            Some(inner) => inner.registry.snapshot(),
+            None => MetricsSnapshot::default(),
+        }
+    }
+
+    /// Builds a hierarchical [`Report`] from the current span and metric
+    /// state (the recorder keeps accumulating afterwards).
+    #[must_use]
+    pub fn report(&self) -> Report {
+        Report::build(self.span_stats(), self.metrics())
+    }
+
+    /// Clears all recorded spans and metric values (registered handles stay
+    /// valid; counters/gauges/histograms are reset in place).
+    pub fn clear(&self) {
+        if let Some(inner) = &self.inner {
+            lock(&inner.spans).clear();
+            inner.registry.clear();
+        }
+    }
+}
+
+struct ActiveSpan {
+    inner: Arc<RecorderInner>,
+    path: String,
+    depth: usize,
+    start: Instant,
+    flops: u64,
+    bytes: u64,
+}
+
+/// RAII guard for an open span. Dropping it closes the span: the thread's
+/// span stack is truncated back to the depth captured at entry (so a guard
+/// dropped by an early `?` return also unwinds any nested spans that leaked
+/// past their own scope) and the elapsed time is recorded.
+#[must_use = "bind the guard (`let _sp = ...`) or the span closes immediately"]
+pub struct SpanGuard {
+    active: Option<ActiveSpan>,
+}
+
+impl SpanGuard {
+    /// A guard that does nothing (disabled recorder).
+    pub(crate) const fn inert() -> SpanGuard {
+        SpanGuard { active: None }
+    }
+
+    /// Attributes `flops` floating-point operations to this span. No-op on
+    /// an inert guard.
+    #[inline]
+    pub fn add_flops(&mut self, flops: u64) {
+        if let Some(active) = &mut self.active {
+            active.flops += flops;
+        }
+    }
+
+    /// Attributes `bytes` bytes of traffic to this span. No-op on an inert
+    /// guard.
+    #[inline]
+    pub fn add_bytes(&mut self, bytes: u64) {
+        if let Some(active) = &mut self.active {
+            active.bytes += bytes;
+        }
+    }
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        let Some(active) = self.active.take() else {
+            return;
+        };
+        let nanos = u64::try_from(active.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        PATH_STACK.with(|stack| stack.borrow_mut().truncate(active.depth));
+        active.inner.record_span(&active.path, nanos, active.flops, active.bytes);
+    }
+}
+
+/// Re-roots this thread's span stack at `path` until the guard drops.
+/// Records nothing by itself; see [`crate::enter_context`].
+#[must_use = "bind the guard (`let _ctx = ...`) or the context ends immediately"]
+pub struct ContextGuard {
+    depth: Option<usize>,
+}
+
+impl ContextGuard {
+    pub(crate) const fn inert() -> ContextGuard {
+        ContextGuard { depth: None }
+    }
+}
+
+impl Drop for ContextGuard {
+    fn drop(&mut self) {
+        if let Some(depth) = self.depth.take() {
+            PATH_STACK.with(|stack| stack.borrow_mut().truncate(depth));
+        }
+    }
+}
+
+/// Pushes `path` as the innermost context on this thread's span stack.
+pub(crate) fn enter_context(path: &str) -> ContextGuard {
+    let depth = PATH_STACK.with(|stack| {
+        let mut stack = stack.borrow_mut();
+        let depth = stack.len();
+        stack.push(path.to_string());
+        depth
+    });
+    ContextGuard { depth: Some(depth) }
+}
+
+/// Full path of the innermost open span on this thread, if any.
+pub(crate) fn current_path() -> Option<String> {
+    PATH_STACK.with(|stack| stack.borrow().last().cloned())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn spans_nest_by_thread_local_path() {
+        let r = Recorder::new();
+        {
+            let _a = r.span("a");
+            {
+                let _b = r.span("b");
+                let _c = r.span("c");
+            }
+            let _d = r.span("d");
+        }
+        let stats = r.span_stats();
+        let paths: Vec<&str> = stats.keys().map(String::as_str).collect();
+        assert_eq!(paths, vec!["a", "a/b", "a/b/c", "a/d"]);
+        assert!(stats.values().all(|s| s.count == 1));
+    }
+
+    #[test]
+    fn repeated_spans_aggregate_under_one_path() {
+        let r = Recorder::new();
+        for _ in 0..5 {
+            let mut sp = r.span("k");
+            sp.add_flops(100);
+            sp.add_bytes(7);
+        }
+        let stats = r.span_stats();
+        assert_eq!(stats.len(), 1);
+        let s = &stats["k"];
+        assert_eq!(s.count, 5);
+        assert_eq!(s.flops, 500);
+        assert_eq!(s.bytes, 35);
+        assert!(s.min_nanos <= s.max_nanos);
+        assert!(s.total_nanos >= s.max_nanos);
+    }
+
+    #[test]
+    fn context_guard_reroots_and_unwinds() {
+        let r = Recorder::new();
+        {
+            let _ctx = enter_context("remote/request");
+            let _sp = r.span("work");
+        }
+        assert_eq!(current_path(), None);
+        let stats = r.span_stats();
+        assert!(stats.contains_key("remote/request/work"), "{:?}", stats.keys());
+        // The context itself records nothing.
+        assert!(!stats.contains_key("remote/request"));
+    }
+
+    #[test]
+    fn clear_resets_spans_and_metrics() {
+        let r = Recorder::new();
+        let c = r.counter("n");
+        c.inc();
+        {
+            let _sp = r.span("s");
+        }
+        r.clear();
+        assert!(r.span_stats().is_empty());
+        assert_eq!(c.value(), 0);
+    }
+}

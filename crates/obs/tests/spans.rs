@@ -1,0 +1,141 @@
+//! Span-nesting coverage against the *global* recorder: nested
+//! extract→encode→score traces, guard unwinding on early `?` returns,
+//! cross-thread context propagation and the disabled recorder.
+//!
+//! These tests install/uninstall the process-wide recorder, so they
+//! serialize on one mutex (Rust runs tests in one process).
+
+use nshd_obs::{self as obs, Recorder};
+use std::sync::Mutex;
+use std::time::Duration;
+
+static GLOBAL_RECORDER_LOCK: Mutex<()> = Mutex::new(());
+
+fn with_recorder(f: impl FnOnce(&Recorder)) {
+    let _serial = GLOBAL_RECORDER_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let recorder = Recorder::new();
+    let previous = obs::install(recorder.clone());
+    f(&recorder);
+    obs::install(previous);
+}
+
+#[test]
+fn nested_pipeline_trace_children_sum_within_parent() {
+    with_recorder(|recorder| {
+        {
+            let _request = obs::span("request");
+            for _ in 0..3 {
+                let _extract = obs::span("extract");
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            {
+                let _encode = obs::span("encode");
+                std::thread::sleep(Duration::from_millis(1));
+            }
+            let _score = obs::span("score");
+            std::thread::sleep(Duration::from_millis(1));
+        }
+        let stats = recorder.span_stats();
+        let paths: Vec<&str> = stats.keys().map(String::as_str).collect();
+        assert_eq!(paths, vec!["request", "request/encode", "request/extract", "request/score"]);
+        assert_eq!(stats["request/extract"].count, 3);
+        let parent = stats["request"].total_nanos;
+        let children: u64 = ["request/extract", "request/encode", "request/score"]
+            .iter()
+            .map(|p| stats[*p].total_nanos)
+            .sum();
+        assert!(children <= parent, "children {children} ns > parent {parent} ns");
+        // The report nests the same spans under the request root.
+        let report = recorder.report();
+        assert!(report.find("request/extract").is_some());
+        let text = report.text();
+        assert!(text.lines().any(|l| l.starts_with("request")), "missing root line in:\n{text}");
+        assert!(text.lines().any(|l| l.starts_with("  extract")), "extract not nested in:\n{text}");
+    });
+}
+
+#[test]
+fn guards_unwind_on_early_question_mark_return() {
+    fn stage(fail: bool) -> Result<(), String> {
+        let _outer = obs::span("outer");
+        let _inner = obs::span("inner");
+        if fail {
+            return Err("boom".into());
+        }
+        Ok(())
+    }
+
+    with_recorder(|recorder| {
+        fn pipeline(fail: bool) -> Result<(), String> {
+            let _root = obs::span("pipeline");
+            stage(fail)?;
+            Ok(())
+        }
+        assert!(pipeline(true).is_err());
+        // Every guard dropped during unwinding: the thread-local stack must
+        // be empty again, or later spans would nest under a dead parent.
+        assert_eq!(obs::current_path(), None);
+        {
+            let _next = obs::span("next");
+            assert_eq!(obs::current_path().as_deref(), Some("next"));
+        }
+        let stats = recorder.span_stats();
+        assert!(stats.contains_key("pipeline/outer/inner"), "{:?}", stats.keys());
+        assert!(stats.contains_key("next"), "\"next\" nested under a stale parent");
+    });
+}
+
+#[test]
+fn disabled_recorder_records_nothing() {
+    let _serial = GLOBAL_RECORDER_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let previous = obs::install(Recorder::disabled());
+    assert!(!obs::enabled());
+    {
+        let mut sp = obs::span("ghost");
+        sp.add_flops(1);
+        assert_eq!(obs::current_path(), None); // inert guards leave no trace
+    }
+    obs::counter("ghost.count").inc();
+    obs::gauge("ghost.gauge").set(1.0);
+    obs::histogram("ghost.hist").observe(1.0);
+    let recorder = obs::global();
+    assert!(recorder.span_stats().is_empty());
+    assert!(recorder.metrics().is_empty());
+    assert!(recorder.report().is_empty());
+    obs::install(previous);
+}
+
+#[test]
+fn context_propagates_spans_across_threads() {
+    with_recorder(|recorder| {
+        let request = obs::span("request");
+        let ctx = obs::current_path().expect("request span open");
+        let handle = std::thread::spawn(move || {
+            let _ctx = obs::enter_context(&ctx);
+            let _work = obs::span("extract");
+            std::thread::sleep(Duration::from_millis(1));
+        });
+        handle.join().expect("worker thread");
+        drop(request);
+        assert_eq!(obs::current_path(), None);
+        let stats = recorder.span_stats();
+        assert!(stats.contains_key("request/extract"), "{:?}", stats.keys());
+        // The context itself recorded nothing on the worker.
+        assert_eq!(stats["request/extract"].count, 1);
+    });
+}
+
+#[test]
+fn install_returns_previous_recorder() {
+    let _serial = GLOBAL_RECORDER_LOCK.lock().unwrap_or_else(|p| p.into_inner());
+    let first = Recorder::new();
+    let original = obs::install(first.clone());
+    let second = Recorder::new();
+    let returned = obs::install(second);
+    // The handle we got back shares state with `first`.
+    {
+        let _sp = returned.span("probe");
+    }
+    assert_eq!(first.span_stats().len(), 1);
+    obs::install(original);
+}

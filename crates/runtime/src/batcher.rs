@@ -1,9 +1,9 @@
 //! The micro-batching request queue and its collector thread.
 
 use crate::engine::BatchEngine;
-use crate::metrics::{MetricsInner, RuntimeMetrics};
 use crate::pool::WorkerPool;
 use nshd_core::PipelineError;
+use nshd_obs::{clock, ServingAccumulator, ServingMetrics};
 use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, MutexGuard};
 use std::thread::JoinHandle;
@@ -55,7 +55,7 @@ impl RuntimeConfig {
 
 /// Locks a metrics mutex, recovering the data from a poisoned lock (the
 /// accounting state stays usable even if a panic ever crossed it).
-fn lock_metrics(metrics: &Mutex<MetricsInner>) -> MutexGuard<'_, MetricsInner> {
+fn lock_metrics(metrics: &Mutex<ServingAccumulator>) -> MutexGuard<'_, ServingAccumulator> {
     metrics.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
@@ -70,10 +70,13 @@ struct Request<E: BatchEngine> {
 /// extract-stage result.
 type ChunkResult<E> = (usize, Result<Vec<<E as BatchEngine>::Partial>, PipelineError>);
 
-/// One data-parallel slice of a batch, dispatched to a worker.
+/// One data-parallel slice of a batch, dispatched to a worker. `ctx`
+/// carries the batcher thread's span path so the worker's extract spans
+/// nest under the batch's `request` span in traces.
 struct Chunk<E: BatchEngine> {
     index: usize,
     inputs: Vec<E::Input>,
+    ctx: Option<String>,
     done: Sender<ChunkResult<E>>,
 }
 
@@ -141,7 +144,7 @@ impl<T> PredictionHandle<T> {
 pub struct InferenceRuntime<E: BatchEngine> {
     submit_tx: Option<Sender<Request<E>>>,
     collector: Option<JoinHandle<()>>,
-    metrics: Arc<Mutex<MetricsInner>>,
+    metrics: Arc<Mutex<ServingAccumulator>>,
 }
 
 impl<E: BatchEngine> InferenceRuntime<E> {
@@ -159,7 +162,7 @@ impl<E: BatchEngine> InferenceRuntime<E> {
     pub fn new(engine: Arc<E>, config: RuntimeConfig) -> Result<Self, PipelineError> {
         config.validate()?;
         engine.verify()?;
-        let metrics = Arc::new(Mutex::new(MetricsInner::default()));
+        let metrics = Arc::new(Mutex::new(ServingAccumulator::new()));
         let (submit_tx, submit_rx) = channel();
         let thread_metrics = metrics.clone();
         let collector = std::thread::Builder::new()
@@ -182,7 +185,7 @@ impl<E: BatchEngine> InferenceRuntime<E> {
     #[must_use = "dropping the handle discards the prediction"]
     pub fn submit(&self, input: E::Input) -> Result<PredictionHandle<E::Output>, PipelineError> {
         let (reply, rx) = channel();
-        let now = Instant::now();
+        let now = clock::now();
         let sender = self.submit_tx.as_ref().ok_or_else(|| PipelineError::Runtime {
             stage: "submit",
             detail: "runtime already shut down".into(),
@@ -195,14 +198,14 @@ impl<E: BatchEngine> InferenceRuntime<E> {
     }
 
     /// A snapshot of the serving statistics so far.
-    pub fn metrics(&self) -> RuntimeMetrics {
+    pub fn metrics(&self) -> ServingMetrics {
         lock_metrics(&self.metrics).snapshot()
     }
 
     /// Graceful shutdown: closes the queue, lets the batcher execute
     /// every request already submitted (all handles still resolve),
     /// joins every thread, and returns the final statistics.
-    pub fn shutdown(mut self) -> RuntimeMetrics {
+    pub fn shutdown(mut self) -> ServingMetrics {
         self.teardown();
         let snapshot = lock_metrics(&self.metrics).snapshot();
         snapshot
@@ -229,7 +232,7 @@ fn collector_loop<E: BatchEngine>(
     engine: Arc<E>,
     config: RuntimeConfig,
     rx: Receiver<Request<E>>,
-    metrics: Arc<Mutex<MetricsInner>>,
+    metrics: Arc<Mutex<ServingAccumulator>>,
 ) {
     // The pool is owned here so its Drop (join) runs when serving ends.
     // If the OS refuses the extra threads, degrade to collector-thread
@@ -237,6 +240,9 @@ fn collector_loop<E: BatchEngine>(
     let pool = if config.workers > 1 {
         let worker_engine = engine.clone();
         WorkerPool::new(config.workers, move |chunk: Chunk<E>| {
+            // Re-root this worker's span stack under the batch's
+            // `request` span (a no-op when no recorder is installed).
+            let _ctx = chunk.ctx.as_deref().map(nshd_obs::enter_context);
             let partials = worker_engine.extract(&chunk.inputs);
             // The collector hanging up mid-batch only happens on panic;
             // nothing useful to do with the error.
@@ -256,9 +262,9 @@ fn collector_loop<E: BatchEngine>(
             Err(_) => break,
         };
         let mut batch = vec![first];
-        let deadline = Instant::now() + config.max_wait;
+        let deadline = clock::now() + config.max_wait;
         while batch.len() < config.max_batch {
-            let now = Instant::now();
+            let now = clock::now();
             if now >= deadline {
                 break;
             }
@@ -280,6 +286,7 @@ fn extract_batch<E: BatchEngine>(
     engine: &E,
     pool: Option<&WorkerPool<Chunk<E>>>,
     inputs: Vec<E::Input>,
+    ctx: Option<&str>,
 ) -> Result<Vec<E::Partial>, PipelineError> {
     let n = inputs.len();
     let pool = match pool {
@@ -297,7 +304,13 @@ fn extract_batch<E: BatchEngine>(
     for index in 0..chunks {
         let size = base + usize::from(index < extra);
         let chunk_inputs: Vec<E::Input> = iter.by_ref().take(size).collect();
-        pool.send(index, Chunk { index, inputs: chunk_inputs, done: done_tx.clone() })?;
+        let chunk = Chunk {
+            index,
+            inputs: chunk_inputs,
+            ctx: ctx.map(str::to_owned),
+            done: done_tx.clone(),
+        };
+        pool.send(index, chunk)?;
     }
     drop(done_tx);
     let mut parts: Vec<Option<Vec<E::Partial>>> = (0..chunks).map(|_| None).collect();
@@ -322,7 +335,7 @@ fn run_batch<E: BatchEngine>(
     engine: &E,
     pool: Option<&WorkerPool<Chunk<E>>>,
     batch: Vec<Request<E>>,
-    metrics: &Mutex<MetricsInner>,
+    metrics: &Mutex<ServingAccumulator>,
 ) {
     let n = batch.len();
     let mut inputs = Vec::with_capacity(n);
@@ -334,7 +347,13 @@ fn run_batch<E: BatchEngine>(
         replies.push(request.reply);
     }
 
-    let outputs = extract_batch(engine, pool, inputs).and_then(|partials| {
+    // One `request` span per executed batch; the engine's stage spans
+    // (extract/encode/score) nest under it, including extract work done
+    // on pool workers (they re-enter `ctx`).
+    let exec_start = clock::now();
+    let span = nshd_obs::span("request");
+    let ctx = nshd_obs::current_path();
+    let outputs = extract_batch(engine, pool, inputs, ctx.as_deref()).and_then(|partials| {
         let outputs = engine.finish(partials)?;
         if outputs.len() == n {
             Ok(outputs)
@@ -345,9 +364,17 @@ fn run_batch<E: BatchEngine>(
             })
         }
     });
+    drop(span);
 
-    let done = Instant::now();
-    lock_metrics(metrics).note_batch(n, enqueued.iter().map(|&t| done.duration_since(t)));
+    let done = clock::now();
+    lock_metrics(metrics).note_batch(
+        n,
+        enqueued
+            .iter()
+            .map(|&t| (exec_start.saturating_duration_since(t), done.saturating_duration_since(t))),
+        done.saturating_duration_since(exec_start),
+        done,
+    );
     match outputs {
         Ok(outputs) => {
             for (reply, output) in replies.into_iter().zip(outputs) {

@@ -80,6 +80,8 @@ pub fn im2col(image: &[f32], g: &ConvGeometry) -> Tensor {
     );
     let (oh, ow) = (g.out_height(), g.out_width());
     let cols = oh * ow;
+    let mut sp = nshd_obs::span("im2col");
+    sp.add_bytes(4 * (image.len() + g.patch_len() * cols) as u64);
     let mut out = Tensor::zeros([g.patch_len(), cols]);
     let buf = out.as_mut_slice();
     let mut row = 0usize;
@@ -125,6 +127,8 @@ pub fn col2im(cols: &Tensor, g: &ConvGeometry) -> Vec<f32> {
         &[g.patch_len(), oh * ow],
         "patch matrix shape does not match geometry"
     );
+    let mut sp = nshd_obs::span("col2im");
+    sp.add_bytes(4 * (cols.len() + g.channels * g.height * g.width) as u64);
     let mut image = vec![0.0f32; g.channels * g.height * g.width];
     let buf = cols.as_slice();
     let ncols = oh * ow;

@@ -13,6 +13,16 @@ use crate::tensor::Tensor;
 /// Cache block edge, chosen so three `BLOCK×BLOCK` f32 tiles fit in L1.
 const BLOCK: usize = 64;
 
+/// Opens a profiling span for an `m×k · k×n` product, attributing
+/// `2·m·k·n` FLOPs and the f32 traffic of all three operands. Inert (a
+/// branch) when no recorder is installed.
+fn gemm_span(name: &str, m: usize, k: usize, n: usize) -> nshd_obs::SpanGuard {
+    let mut sp = nshd_obs::span(name);
+    sp.add_flops(2 * (m as u64) * (k as u64) * (n as u64));
+    sp.add_bytes(4 * (m * k + k * n + m * n) as u64);
+    sp
+}
+
 /// Computes `C = A · B` for row-major matrices.
 ///
 /// `a` is `m×k`, `b` is `k×n`, and the result is `m×n`.
@@ -36,6 +46,7 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "matmul lhs");
     let (k2, n) = dims2(b, "matmul rhs");
     assert_eq!(k, k2, "matmul inner dimensions disagree: {k} vs {k2}");
+    let _sp = gemm_span("matmul", m, k, n);
     let mut c = Tensor::zeros([m, n]);
     gemm(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice());
     c
@@ -59,6 +70,7 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     assert_eq!(k, k2, "matmul_into inner dimensions disagree: {k} vs {k2}");
     let (mo, no) = dims2(out, "matmul_into out");
     assert_eq!((mo, no), (m, n), "matmul_into output must be {m}×{n}, got {mo}×{no}");
+    let _sp = gemm_span("matmul", m, k, n);
     out.as_mut_slice().fill(0.0);
     gemm(m, k, n, a.as_slice(), b.as_slice(), out.as_mut_slice());
 }
@@ -76,6 +88,7 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "matmul_bt lhs");
     let (n, k2) = dims2(b, "matmul_bt rhs");
     assert_eq!(k, k2, "matmul_bt inner dimensions disagree: {k} vs {k2}");
+    let _sp = gemm_span("matmul_bt", m, k, n);
     let mut c = Tensor::zeros([m, n]);
     let (av, bv, cv) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
     for i in 0..m {
@@ -104,6 +117,7 @@ pub fn matmul_bt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     assert_eq!(k, k2, "matmul_bt_into inner dimensions disagree: {k} vs {k2}");
     let (mo, no) = dims2(out, "matmul_bt_into out");
     assert_eq!((mo, no), (m, n), "matmul_bt_into output must be {m}×{n}, got {mo}×{no}");
+    let _sp = gemm_span("matmul_bt", m, k, n);
     let (av, bv, cv) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
     for i in 0..m {
         let arow = &av[i * k..(i + 1) * k];
@@ -126,6 +140,7 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = dims2(a, "matmul_at lhs");
     let (k2, n) = dims2(b, "matmul_at rhs");
     assert_eq!(k, k2, "matmul_at inner dimensions disagree: {k} vs {k2}");
+    let _sp = gemm_span("matmul_at", m, k, n);
     let mut c = Tensor::zeros([m, n]);
     let (av, bv, cv) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
     // Accumulate rank-1 updates row by row of A/B; cache-friendly on C.

@@ -22,6 +22,13 @@
 //!    carry `#[must_use]` so a dropped verification result is a
 //!    compile-time warning.
 //! 4. **Docs on every `pub fn`** in `nshd-core` / `nshd-runtime`.
+//! 5. **No direct clock reads outside `nshd-obs`.** `Instant::now(` and
+//!    `SystemTime::now(` are forbidden in every other crate's sources —
+//!    instrumented code must route timing through
+//!    `nshd_obs::clock::now()` so spans and metrics share one monotonic
+//!    clock. Remaining sites live in
+//!    `crates/xtask/instant_allowlist.txt`, the same shrink-only ledger
+//!    mechanism as rule 1.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -56,7 +63,14 @@ fn lint() -> ExitCode {
         eprintln!("xtask lint: no sources found under {}", root.display());
         return ExitCode::FAILURE;
     }
-    let allowlist = match read_allowlist(&root) {
+    let allowlist = match read_allowlist(&root, "allowlist.txt") {
+        Ok(list) => list,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let instant_allowlist = match read_allowlist(&root, "instant_allowlist.txt") {
         Ok(list) => list,
         Err(e) => {
             eprintln!("xtask lint: {e}");
@@ -66,6 +80,7 @@ fn lint() -> ExitCode {
 
     let mut violations = Vec::new();
     let mut unwrap_counts: Vec<(PathBuf, Vec<usize>)> = Vec::new();
+    let mut instant_counts: Vec<(PathBuf, Vec<usize>)> = Vec::new();
     for path in &files {
         let source = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -76,9 +91,10 @@ fn lint() -> ExitCode {
         };
         let rel = path.strip_prefix(&root).unwrap_or(path).to_path_buf();
         let file = SourceFile::parse(&source);
-        check_file(&rel, &file, &mut violations, &mut unwrap_counts);
+        check_file(&rel, &file, &mut violations, &mut unwrap_counts, &mut instant_counts);
     }
-    check_allowlist(&allowlist, &unwrap_counts, &mut violations);
+    check_allowlist(&allowlist, &unwrap_counts, &mut violations, &UNWRAP_RULE);
+    check_allowlist(&instant_allowlist, &instant_counts, &mut violations, &INSTANT_RULE);
 
     if violations.is_empty() {
         println!("xtask lint: OK ({} files)", files.len());
@@ -396,6 +412,7 @@ fn check_file(
     file: &SourceFile,
     violations: &mut Vec<Violation>,
     unwrap_counts: &mut Vec<(PathBuf, Vec<usize>)>,
+    instant_counts: &mut Vec<(PathBuf, Vec<usize>)>,
 ) {
     let documented_crate = in_crate(rel, "core") || in_crate(rel, "runtime");
     let panic_free_crate = in_crate(rel, "runtime");
@@ -411,6 +428,22 @@ fn check_file(
         }
         if !lines.is_empty() {
             unwrap_counts.push((rel.to_path_buf(), lines));
+        }
+    }
+
+    // Rule 5: direct clock reads outside nshd-obs (all targets — bench
+    // binaries included: everything shares the obs clock).
+    if !in_crate(rel, "obs") {
+        let mut lines = Vec::new();
+        for (line_no, line) in file.code_lines() {
+            let hits =
+                line.matches("Instant::now(").count() + line.matches("SystemTime::now(").count();
+            for _ in 0..hits {
+                lines.push(line_no);
+            }
+        }
+        if !lines.is_empty() {
+            instant_counts.push((rel.to_path_buf(), lines));
         }
     }
 
@@ -512,9 +545,32 @@ fn check_file(
     }
 }
 
-/// `path count` entries from `crates/xtask/allowlist.txt`.
-fn read_allowlist(root: &Path) -> Result<Vec<(PathBuf, usize)>, String> {
-    let path = root.join("crates/xtask/allowlist.txt");
+/// One shrink-only allowlisted rule: which ledger file it reads and how
+/// its violations are worded.
+struct AllowRule {
+    /// Ledger file name under `crates/xtask/`.
+    file: &'static str,
+    /// What the forbidden token is, for messages.
+    what: &'static str,
+    /// What to do instead.
+    advice: &'static str,
+}
+
+const UNWRAP_RULE: AllowRule = AllowRule {
+    file: "allowlist.txt",
+    what: "`.unwrap()`/`.expect(` in library code",
+    advice: "propagate the error instead",
+};
+
+const INSTANT_RULE: AllowRule = AllowRule {
+    file: "instant_allowlist.txt",
+    what: "direct `Instant::now()`/`SystemTime::now()` outside nshd-obs",
+    advice: "route timing through `nshd_obs::clock::now()`",
+};
+
+/// `path count` entries from `crates/xtask/<name>`.
+fn read_allowlist(root: &Path, name: &str) -> Result<Vec<(PathBuf, usize)>, String> {
+    let path = root.join("crates/xtask").join(name);
     let text = std::fs::read_to_string(&path)
         .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
     let mut entries = Vec::new();
@@ -525,28 +581,28 @@ fn read_allowlist(root: &Path) -> Result<Vec<(PathBuf, usize)>, String> {
         }
         let mut parts = line.split_whitespace();
         let (Some(file), Some(count), None) = (parts.next(), parts.next(), parts.next()) else {
-            return Err(format!("allowlist.txt:{}: expected `<path> <count>`", no + 1));
+            return Err(format!("{name}:{}: expected `<path> <count>`", no + 1));
         };
-        let count: usize = count
-            .parse()
-            .map_err(|_| format!("allowlist.txt:{}: `{count}` is not a count", no + 1))?;
+        let count: usize =
+            count.parse().map_err(|_| format!("{name}:{}: `{count}` is not a count", no + 1))?;
         if count == 0 {
-            return Err(format!("allowlist.txt:{}: zero-count entries must be removed", no + 1));
+            return Err(format!("{name}:{}: zero-count entries must be removed", no + 1));
         }
         entries.push((PathBuf::from(file), count));
     }
     Ok(entries)
 }
 
-/// Compares found unwrap/expect sites against the allowlist. The gate
-/// is one-way: new sites fail, and so does an allowance larger than
-/// reality — the list can only shrink over time.
+/// Compares found forbidden-token sites against a shrink-only
+/// allowlist. The gate is one-way: new sites fail, and so does an
+/// allowance larger than reality — the list can only shrink over time.
 fn check_allowlist(
     allowlist: &[(PathBuf, usize)],
-    unwrap_counts: &[(PathBuf, Vec<usize>)],
+    counts: &[(PathBuf, Vec<usize>)],
     violations: &mut Vec<Violation>,
+    rule: &AllowRule,
 ) {
-    for (path, lines) in unwrap_counts {
+    for (path, lines) in counts {
         let allowed =
             allowlist.iter().find(|(p, _)| p == path).map(|&(_, count)| count).unwrap_or(0);
         if lines.len() > allowed {
@@ -555,24 +611,26 @@ fn check_allowlist(
                     path: path.clone(),
                     line,
                     message: format!(
-                        "`.unwrap()`/`.expect(` in library code ({} site(s), {} allowlisted); \
-                         propagate the error instead",
+                        "{} ({} site(s), {} allowlisted); {}",
+                        rule.what,
                         lines.len(),
-                        allowed
+                        allowed,
+                        rule.advice
                     ),
                 });
             }
         }
     }
     for (path, allowed) in allowlist {
-        let actual = unwrap_counts.iter().find(|(p, _)| p == path).map_or(0, |(_, l)| l.len());
+        let actual = counts.iter().find(|(p, _)| p == path).map_or(0, |(_, l)| l.len());
         if actual < *allowed {
             violations.push(Violation {
                 path: path.clone(),
                 line: 0,
                 message: format!(
-                    "allowlist grants {allowed} unwrap/expect site(s) but only {actual} remain; \
-                     shrink crates/xtask/allowlist.txt"
+                    "allowlist grants {allowed} site(s) of {} but only {actual} remain; \
+                     shrink crates/xtask/{}",
+                    rule.what, rule.file
                 ),
             });
         }
@@ -627,7 +685,14 @@ mod tests {
         let file = SourceFile::parse(src);
         let mut violations = Vec::new();
         let mut counts = Vec::new();
-        check_file(Path::new("crates/core/src/x.rs"), &file, &mut violations, &mut counts);
+        let mut instants = Vec::new();
+        check_file(
+            Path::new("crates/core/src/x.rs"),
+            &file,
+            &mut violations,
+            &mut counts,
+            &mut instants,
+        );
         assert_eq!(violations.len(), 2, "expected must_use + doc violations");
         assert!(violations.iter().any(|v| v.message.contains("must_use")));
         assert!(violations.iter().any(|v| v.message.contains("undocumented")));
@@ -639,14 +704,56 @@ mod tests {
         let file = SourceFile::parse(src);
         let mut violations = Vec::new();
         let mut counts = Vec::new();
-        check_file(Path::new("crates/runtime/src/x.rs"), &file, &mut violations, &mut counts);
+        let mut instants = Vec::new();
+        check_file(
+            Path::new("crates/runtime/src/x.rs"),
+            &file,
+            &mut violations,
+            &mut counts,
+            &mut instants,
+        );
         assert!(violations.iter().any(|v| v.message.contains("panic!")), "panic not flagged");
         // The same unwrap also lands in the allowlist ledger...
         assert_eq!(counts.len(), 1);
         // ...and an overshooting allowlist entry is itself a violation.
         let allow = vec![(PathBuf::from("crates/runtime/src/x.rs"), 3)];
         let mut shrink = Vec::new();
-        check_allowlist(&allow, &counts, &mut shrink);
+        check_allowlist(&allow, &counts, &mut shrink, &UNWRAP_RULE);
         assert!(shrink.iter().any(|v| v.message.contains("shrink")), "overshoot not flagged");
+    }
+
+    #[test]
+    fn instant_rule_fires_outside_obs_only() {
+        let src = "fn f() {\n    let t = std::time::Instant::now();\n    drop(t);\n}\n";
+        let file = SourceFile::parse(src);
+        let mut violations = Vec::new();
+        let mut counts = Vec::new();
+        let mut instants = Vec::new();
+        check_file(
+            Path::new("crates/tensor/src/x.rs"),
+            &file,
+            &mut violations,
+            &mut counts,
+            &mut instants,
+        );
+        assert_eq!(instants, vec![(PathBuf::from("crates/tensor/src/x.rs"), vec![2])]);
+        // An empty ledger turns that site into a violation.
+        let mut flagged = Vec::new();
+        check_allowlist(&[], &instants, &mut flagged, &INSTANT_RULE);
+        assert!(
+            flagged.iter().any(|v| v.message.contains("nshd_obs::clock::now()")),
+            "clock advice missing: {:?}",
+            flagged.iter().map(|v| &v.message).collect::<Vec<_>>()
+        );
+        // The same source inside nshd-obs itself is exempt.
+        let mut obs_instants = Vec::new();
+        check_file(
+            Path::new("crates/obs/src/clock.rs"),
+            &file,
+            &mut violations,
+            &mut counts,
+            &mut obs_instants,
+        );
+        assert!(obs_instants.is_empty(), "obs must be exempt: {obs_instants:?}");
     }
 }

@@ -27,8 +27,13 @@ RUSTDOCFLAGS="-D warnings" cargo doc --no-deps --workspace -q
 
 echo "==> serve_bench --smoke"
 # Serving-runtime smoke: tiny model, 2 workers; asserts a well-formed
-# JSON report and batched == sequential predictions (exits non-zero
-# otherwise).
+# JSON report (BENCH_serve.json, with per-stage trace + GFLOP/s) and
+# batched == sequential predictions (exits non-zero otherwise).
 cargo run --release -q -p nshd-bench --bin serve_bench -- --smoke
+
+echo "==> robustness_sweep --smoke"
+# Fault-injection smoke: tiny model, short rate list; asserts a
+# well-formed BENCH_robustness.json with in-range accuracy curves.
+cargo run --release -q -p nshd-bench --bin robustness_sweep -- --smoke
 
 echo "==> all checks passed"

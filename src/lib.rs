@@ -19,6 +19,9 @@
 //! - [`core`] — the NSHD pipeline and the paper's baselines;
 //! - [`runtime`] — batched, multi-threaded inference serving
 //!   (micro-batching queue, worker pool, latency metrics);
+//! - [`obs`] — unified tracing, metrics, and profiling (span trees,
+//!   counters/gauges/histograms, per-stage FLOP accounting, flame-style
+//!   text and JSON reports);
 //! - [`hwmodel`] — Xavier-class energy and ZCU104-DPU cost models;
 //! - [`analyze`] — t-SNE, PCA, and cluster/classification metrics.
 //!
@@ -51,5 +54,6 @@ pub use nshd_data as data;
 pub use nshd_hdc as hdc;
 pub use nshd_hwmodel as hwmodel;
 pub use nshd_nn as nn;
+pub use nshd_obs as obs;
 pub use nshd_runtime as runtime;
 pub use nshd_tensor as tensor;
