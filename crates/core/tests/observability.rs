@@ -49,6 +49,18 @@ fn tiny_engine() -> (NshdEngine, Vec<Tensor>) {
 
 #[test]
 fn recording_overhead_stays_within_budget() {
+    overhead_stays_within_budget(1);
+}
+
+/// Same bound with the parallel kernels engaged: per-thread `par` child
+/// spans (one per worker chunk, recorded cross-thread) must not blow
+/// the instrumentation budget either.
+#[test]
+fn recording_overhead_stays_within_budget_with_parallel_kernels() {
+    nshd_tensor::par::with_threads(4, || overhead_stays_within_budget(4));
+}
+
+fn overhead_stays_within_budget(threads: usize) {
     let (engine, images) = tiny_engine();
     const ROUNDS: usize = 8;
 
@@ -79,7 +91,8 @@ fn recording_overhead_stays_within_budget() {
     // unbounded allocation, lock convoys) on noisy CI machines.
     assert!(
         enabled <= disabled * 8 + Duration::from_millis(100),
-        "instrumentation overhead too high: enabled {enabled:?} vs disabled {disabled:?}"
+        "instrumentation overhead too high at {threads} worker(s): \
+         enabled {enabled:?} vs disabled {disabled:?}"
     );
 
     // The enabled runs actually recorded the pipeline stages.

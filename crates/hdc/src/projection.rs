@@ -2,7 +2,7 @@
 //! adjoint used by the manifold-learner backward pass.
 
 use crate::hypervector::{BipolarHv, PackedHv};
-use nshd_tensor::{matmul, Rng, Tensor};
+use nshd_tensor::{matmul, par, Rng, Tensor};
 
 /// A seeded bipolar random-projection encoder.
 ///
@@ -260,12 +260,24 @@ impl BatchEncoder {
     /// Encodes a whole batch of feature vectors into bipolar
     /// hypervectors: `sign(encode_raw_batch(values))` row by row.
     ///
+    /// The per-sample sign-and-pack step is independent across rows, so
+    /// large batches run it in parallel over the `nshd_tensor::par`
+    /// worker set; each row is binarised by the same serial code either
+    /// way, so results are identical at any thread count (and the GEMM
+    /// underneath is itself bit-exact row-parallel).
+    ///
     /// # Panics
     ///
     /// Panics if `values` is not a rank-2 tensor with `F` columns.
     pub fn encode_batch(&self, values: &Tensor) -> Vec<BipolarHv> {
         let raw = self.encode_raw_batch(values);
-        raw.as_slice().chunks(self.dim).map(BipolarHv::from_signs).collect()
+        let rows: Vec<&[f32]> = raw.as_slice().chunks(self.dim).collect();
+        let pack_work = (rows.len() * self.dim) as u64;
+        if rows.len() > 1 && par::should_parallelize(pack_work) {
+            par::par_map(&rows, |row| BipolarHv::from_signs(row))
+        } else {
+            rows.into_iter().map(BipolarHv::from_signs).collect()
+        }
     }
 }
 

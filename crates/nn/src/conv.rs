@@ -5,7 +5,8 @@ use crate::layer::{Layer, Mode};
 use crate::param::Param;
 use crate::shape::ShapeError;
 use nshd_tensor::{
-    col2im, conv_out_dim, im2col, matmul, matmul_at, matmul_bt, ConvGeometry, Rng, Shape, Tensor,
+    col2im, conv_out_dim, im2col, matmul, matmul_at, matmul_bt, par, ConvGeometry, Rng, Shape,
+    Tensor,
 };
 
 /// A 2-D convolution layer (`NCHW` in, `NKH'W'` out).
@@ -91,18 +92,30 @@ impl Conv2d {
     }
 
     /// Unfolds the whole batch into one `CRS × (N·P)` patch matrix.
+    ///
+    /// The per-sample `im2col` unfolds are independent, so large batches
+    /// run them in parallel across the `nshd_tensor::par` worker set;
+    /// each sample's patches are produced by the same serial code either
+    /// way, and the interleaving copy below is pure data movement, so
+    /// the result is identical at any thread count.
     fn batch_cols(&self, input: &Tensor, g: &ConvGeometry) -> Tensor {
         let n = input.dims()[0];
         let crs = g.patch_len();
         let p = g.out_positions();
-        let mut cols = Tensor::zeros([crs, n * p]);
         let in_plane = self.in_channels * g.height * g.width;
-        for b in 0..n {
-            let item = &input.as_slice()[b * in_plane..(b + 1) * in_plane];
-            let item_cols = im2col(item, g);
+        let items: Vec<&[f32]> =
+            (0..n).map(|b| &input.as_slice()[b * in_plane..(b + 1) * in_plane]).collect();
+        let unfold_work = (crs * p) as u64 * n as u64;
+        let per_sample: Vec<Tensor> = if n > 1 && par::should_parallelize(unfold_work) {
+            par::par_map(&items, |item| im2col(item, g))
+        } else {
+            items.iter().map(|item| im2col(item, g)).collect()
+        };
+        let mut cols = Tensor::zeros([crs, n * p]);
+        let dst = cols.as_mut_slice();
+        for (b, item_cols) in per_sample.iter().enumerate() {
             // Copy row-by-row into the combined matrix at column offset b·P.
             let src = item_cols.as_slice();
-            let dst = cols.as_mut_slice();
             for r in 0..crs {
                 dst[r * n * p + b * p..r * n * p + (b + 1) * p]
                     .copy_from_slice(&src[r * p..(r + 1) * p]);
@@ -209,17 +222,27 @@ impl Layer for Conv2d {
         let in_plane = self.in_channels * h * w;
         let mut dx = Tensor::zeros([n, self.in_channels, h, w]);
         let dcv = dcols.as_slice();
-        for b in 0..n {
-            let mut item = Tensor::zeros([crs, p]);
-            {
+        // Per-sample col2im folds are independent; parallel for large
+        // batches, with the same per-sample serial fold either way.
+        let items: Vec<Tensor> = (0..n)
+            .map(|b| {
+                let mut item = Tensor::zeros([crs, p]);
                 let iv = item.as_mut_slice();
                 for r in 0..crs {
                     iv[r * p..(r + 1) * p]
                         .copy_from_slice(&dcv[r * n * p + b * p..r * n * p + (b + 1) * p]);
                 }
-            }
-            let img = col2im(&item, &g);
-            dx.write_slice(b * in_plane, &img);
+                item
+            })
+            .collect();
+        let fold_work = (crs * p) as u64 * n as u64;
+        let images: Vec<Vec<f32>> = if n > 1 && par::should_parallelize(fold_work) {
+            par::par_map(&items, |item| col2im(item, &g))
+        } else {
+            items.iter().map(|item| col2im(item, &g)).collect()
+        };
+        for (b, img) in images.iter().enumerate() {
+            dx.write_slice(b * in_plane, img);
         }
         dx
     }

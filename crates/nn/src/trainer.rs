@@ -8,7 +8,7 @@ use crate::layer::Mode;
 use crate::loss::{accuracy, cross_entropy};
 use crate::model::Model;
 use crate::optim::Optimizer;
-use nshd_tensor::{Rng, Tensor};
+use nshd_tensor::{par, Rng, Tensor};
 
 /// Configuration of a supervised training run.
 #[derive(Debug, Clone)]
@@ -23,11 +23,34 @@ pub struct TrainConfig {
     pub lr_decay: f32,
     /// When `true`, prints one progress line per epoch to stderr.
     pub verbose: bool,
+    /// Micro-batch size for data-parallel gradient accumulation.
+    ///
+    /// `Some(c)` splits every mini-batch into fixed `c`-sample
+    /// micro-batches, runs forward + backward for each on a clone of
+    /// the model across the `nshd_tensor::par` worker set, and reduces
+    /// the gradients into the live model **in ascending micro-batch
+    /// order** with sample-count weights — so the accumulated gradient
+    /// is identical for any `NSHD_THREADS`, because micro-batch
+    /// boundaries depend only on `c` and the reduction order is fixed.
+    /// `None` (the default) keeps the whole batch on one thread.
+    ///
+    /// Statefulness caveat: per-forward layer state updated during
+    /// `Mode::Train` (batch-norm running statistics) happens in the
+    /// clones and is discarded; use micro-batching for models without
+    /// such layers, or re-estimate statistics afterwards.
+    pub grad_chunk: Option<usize>,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        TrainConfig { epochs: 5, batch_size: 32, seed: 0, lr_decay: 0.9, verbose: false }
+        TrainConfig {
+            epochs: 5,
+            batch_size: 32,
+            seed: 0,
+            lr_decay: 0.9,
+            verbose: false,
+            grad_chunk: None,
+        }
     }
 }
 
@@ -71,19 +94,19 @@ pub fn fit(
         let mut acc_sum = 0.0;
         let mut batches = 0usize;
         for chunk in order.chunks(batch_size) {
-            let batch_imgs: Vec<Tensor> = chunk.iter().map(|&i| images.batch_item(i)).collect();
-            // An empty tail chunk cannot be stacked; skip it rather than
+            let step = match config.grad_chunk {
+                Some(micro) if micro > 0 && micro < chunk.len() => {
+                    chunked_step(model, images, labels, chunk, micro)
+                }
+                _ => plain_step(model, images, labels, chunk),
+            };
+            // An empty (or unstackable) chunk is skipped rather than
             // aborting the whole run.
-            let Ok(batch) = Tensor::stack(&batch_imgs) else { continue };
-            let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
-            model.zero_grad();
-            let logits = model.forward(&batch, Mode::Train);
-            let out = cross_entropy(&logits, &batch_labels);
-            model.backward(&out.grad);
+            let Some((loss, acc)) = step else { continue };
             let mut params = model.params_mut();
             optimizer.step(&mut params);
-            loss_sum += out.loss;
-            acc_sum += accuracy(&logits, &batch_labels);
+            loss_sum += loss;
+            acc_sum += acc;
             batches += 1;
         }
         optimizer.set_learning_rate(optimizer.learning_rate() * config.lr_decay);
@@ -103,6 +126,77 @@ pub fn fit(
         reports.push(report);
     }
     reports
+}
+
+/// One whole-batch training step on the calling thread: zeroes the
+/// model's gradients, runs forward + backward, and leaves the gradients
+/// accumulated for the optimizer. `None` when the chunk cannot be
+/// stacked (empty tail).
+fn plain_step(
+    model: &mut Model,
+    images: &Tensor,
+    labels: &[usize],
+    chunk: &[usize],
+) -> Option<(f32, f32)> {
+    let batch_imgs: Vec<Tensor> = chunk.iter().map(|&i| images.batch_item(i)).collect();
+    let batch = Tensor::stack(&batch_imgs).ok()?;
+    let batch_labels: Vec<usize> = chunk.iter().map(|&i| labels[i]).collect();
+    model.zero_grad();
+    let logits = model.forward(&batch, Mode::Train);
+    let out = cross_entropy(&logits, &batch_labels);
+    model.backward(&out.grad);
+    Some((out.loss, accuracy(&logits, &batch_labels)))
+}
+
+/// One data-parallel training step: the batch is split into fixed
+/// `micro`-sample micro-batches whose boundaries depend only on `micro`
+/// (never on the thread count), each runs forward + backward on its own
+/// clone of the model, and the per-micro-batch gradients are reduced
+/// into `model` in ascending micro-batch order with `len/total` sample
+/// weights. The fixed split and fixed reduction order make the
+/// accumulated gradient — and hence the whole training run —
+/// bit-identical for any `NSHD_THREADS`.
+fn chunked_step(
+    model: &mut Model,
+    images: &Tensor,
+    labels: &[usize],
+    chunk: &[usize],
+    micro: usize,
+) -> Option<(f32, f32)> {
+    let subs: Vec<(Tensor, Vec<usize>)> = chunk
+        .chunks(micro)
+        .filter_map(|sub| {
+            let imgs: Vec<Tensor> = sub.iter().map(|&i| images.batch_item(i)).collect();
+            let stacked = Tensor::stack(&imgs).ok()?;
+            Some((stacked, sub.iter().map(|&i| labels[i]).collect()))
+        })
+        .collect();
+    if subs.is_empty() {
+        return None;
+    }
+    let total: usize = subs.iter().map(|(_, y)| y.len()).sum();
+    let shared: &Model = model;
+    let results: Vec<(f32, f32, Vec<Tensor>, usize)> = par::par_map(&subs, |(x, y)| {
+        let mut local = shared.clone();
+        local.zero_grad();
+        let logits = local.forward(x, Mode::Train);
+        let out = cross_entropy(&logits, y);
+        local.backward(&out.grad);
+        let grads: Vec<Tensor> = local.params_mut().into_iter().map(|p| p.grad.clone()).collect();
+        (out.loss, accuracy(&logits, y), grads, y.len())
+    });
+    model.zero_grad();
+    let mut loss = 0.0;
+    let mut acc = 0.0;
+    for (sub_loss, sub_acc, grads, len) in &results {
+        let weight = *len as f32 / total as f32;
+        loss += weight * sub_loss;
+        acc += weight * sub_acc;
+        for (param, grad) in model.params_mut().into_iter().zip(grads) {
+            param.grad.axpy(weight, grad);
+        }
+    }
+    Some((loss, acc))
 }
 
 /// Evaluates classification accuracy on a held-out set, in batches.

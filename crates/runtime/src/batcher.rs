@@ -13,7 +13,11 @@ use std::time::{Duration, Instant};
 #[derive(Debug, Clone)]
 pub struct RuntimeConfig {
     /// Worker threads for the data-parallel extract stage. With one
-    /// worker the stage runs on the collector thread itself.
+    /// worker the stage runs on the collector thread itself. When the
+    /// tensor kernels are themselves parallel (`nshd_tensor::par`
+    /// reports more than one thread), the inner pool is skipped — the
+    /// kernels already use the cores, and stacking a request-level pool
+    /// on top would oversubscribe them.
     pub workers: usize,
     /// Largest batch the collector will assemble before executing.
     pub max_batch: usize,
@@ -162,12 +166,17 @@ impl<E: BatchEngine> InferenceRuntime<E> {
     pub fn new(engine: Arc<E>, config: RuntimeConfig) -> Result<Self, PipelineError> {
         config.validate()?;
         engine.verify()?;
+        // Probed on the constructing thread so a `par::with_threads`
+        // override active there (tests, benchmarks) is honored.
+        let kernel_parallel = nshd_tensor::par::threads() > 1;
         let metrics = Arc::new(Mutex::new(ServingAccumulator::new()));
         let (submit_tx, submit_rx) = channel();
         let thread_metrics = metrics.clone();
         let collector = std::thread::Builder::new()
             .name("nshd-batcher".into())
-            .spawn(move || collector_loop(engine, config, submit_rx, thread_metrics))
+            .spawn(move || {
+                collector_loop(engine, config, kernel_parallel, submit_rx, thread_metrics)
+            })
             .map_err(|e| PipelineError::Runtime {
                 stage: "spawn",
                 detail: format!("failed to spawn batcher thread: {e}"),
@@ -231,13 +240,18 @@ impl<E: BatchEngine> Drop for InferenceRuntime<E> {
 fn collector_loop<E: BatchEngine>(
     engine: Arc<E>,
     config: RuntimeConfig,
+    kernel_parallel: bool,
     rx: Receiver<Request<E>>,
     metrics: Arc<Mutex<ServingAccumulator>>,
 ) {
     // The pool is owned here so its Drop (join) runs when serving ends.
     // If the OS refuses the extra threads, degrade to collector-thread
     // extraction instead of failing the whole runtime.
-    let pool = if config.workers > 1 {
+    // When the tensor kernels themselves run parallel, the inner pool is
+    // redundant layering (both would compete for the same cores), so the
+    // extract stage runs on the collector thread and lets the kernels
+    // fan out instead.
+    let pool = if config.workers > 1 && !kernel_parallel {
         let worker_engine = engine.clone();
         WorkerPool::new(config.workers, move |chunk: Chunk<E>| {
             // Re-root this worker's span stack under the batch's

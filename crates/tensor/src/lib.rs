@@ -11,7 +11,10 @@
 //!   elementwise ops, reductions, and a numerically-stable softmax;
 //! - [`Shape`] — dimension bookkeeping and row-major index arithmetic;
 //! - [`matmul`]/[`matmul_bt`]/[`matmul_at`] — cache-blocked GEMM kernels
-//!   that convolution lowers onto;
+//!   that convolution lowers onto, row-parallel across the [`par`] worker
+//!   set with bit-identical results at any thread count;
+//! - [`par`] — std-only structured parallelism (scoped workers honoring
+//!   the `NSHD_THREADS` override, deterministic row partitioning);
 //! - [`im2col`]/[`col2im`] — the convolution ⇄ GEMM bridge and its adjoint;
 //! - [`Rng`] — a deterministic SplitMix64 generator that makes every
 //!   experiment in the workspace reproducible from a seed.
@@ -34,6 +37,7 @@ mod error;
 mod im2col;
 mod matmul;
 mod ops;
+pub mod par;
 mod rng;
 mod shape;
 mod tensor;

@@ -6,21 +6,47 @@
 //! `opt-level >= 2` it sustains a healthy fraction of scalar peak and, more
 //! importantly, is simple enough to audit.
 //!
+//! Large products run **row-parallel** across the [`crate::par`] worker
+//! set: the output's rows are split into contiguous chunks and each worker
+//! runs the same serial kernel on its chunk. Because every kernel here
+//! accumulates each output row independently (the row loop is the
+//! outermost loop that partitions work), the per-row summation order is
+//! identical at any thread count, and parallel results are **bit-identical**
+//! to serial ones — `crates/tensor/tests/determinism.rs` proves it.
+//!
 //! [`nshd-nn`]: ../../nshd_nn/index.html
 
+use crate::par;
 use crate::tensor::Tensor;
 
 /// Cache block edge, chosen so three `BLOCK×BLOCK` f32 tiles fit in L1.
 const BLOCK: usize = 64;
 
-/// Opens a profiling span for an `m×k · k×n` product, attributing
-/// `2·m·k·n` FLOPs and the f32 traffic of all three operands. Inert (a
-/// branch) when no recorder is installed.
-fn gemm_span(name: &str, m: usize, k: usize, n: usize) -> nshd_obs::SpanGuard {
+/// Drives a row-partitioned GEMM-family kernel: opens the profiling span
+/// `name` attributing the f32 traffic of all three operands, then runs
+/// `kernel(first_row, rows, chunk)` either once over the whole output
+/// (serial; FLOPs attributed to the kernel span) or row-chunked across
+/// the [`crate::par`] workers, each worker recording its own `par` child
+/// span carrying the FLOPs of its chunk (which roll up to the same
+/// total).
+fn run_rowwise<F>(name: &str, m: usize, k: usize, n: usize, c: &mut [f32], kernel: F)
+where
+    F: Fn(usize, usize, &mut [f32]) + Sync,
+{
+    let flops = 2 * (m as u64) * (k as u64) * (n as u64);
     let mut sp = nshd_obs::span(name);
-    sp.add_flops(2 * (m as u64) * (k as u64) * (n as u64));
     sp.add_bytes(4 * (m * k + k * n + m * n) as u64);
-    sp
+    if n > 0 && par::should_parallelize(flops) {
+        par::par_row_chunks(c, n, |first_row, chunk| {
+            let rows = chunk.len() / n;
+            let mut wsp = nshd_obs::span("par");
+            wsp.add_flops(2 * (rows as u64) * (k as u64) * (n as u64));
+            kernel(first_row, rows, chunk);
+        });
+    } else {
+        sp.add_flops(flops);
+        kernel(0, m, c);
+    }
 }
 
 /// Computes `C = A · B` for row-major matrices.
@@ -46,19 +72,22 @@ pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "matmul lhs");
     let (k2, n) = dims2(b, "matmul rhs");
     assert_eq!(k, k2, "matmul inner dimensions disagree: {k} vs {k2}");
-    let _sp = gemm_span("matmul", m, k, n);
     let mut c = Tensor::zeros([m, n]);
-    gemm(m, k, n, a.as_slice(), b.as_slice(), c.as_mut_slice());
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    run_rowwise("matmul", m, k, n, c.as_mut_slice(), |row0, rows, chunk| {
+        gemm(rows, k, n, &av[row0 * k..(row0 + rows) * k], bv, chunk);
+    });
     c
 }
 
 /// Computes `C = A · B` into a caller-provided output tensor.
 ///
-/// `out` is overwritten (not accumulated into). Because the output is
-/// row-major and owned by the caller, work can be partitioned across
-/// threads by splitting `a` into row chunks and writing each chunk's
-/// product into the matching row range of a shared output — the
-/// parallel-friendly entry point used by the serving runtime.
+/// `out` is overwritten (not accumulated into). The output rows are
+/// partitioned across the [`crate::par`] worker set for large products,
+/// each worker writing a disjoint row range of `out` with the same
+/// serial per-row accumulation order — so the result is bit-identical
+/// to the single-threaded product. The `_into` form exists so steady
+/// callers (the serving runtime) can reuse one output allocation.
 ///
 /// # Panics
 ///
@@ -70,9 +99,11 @@ pub fn matmul_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     assert_eq!(k, k2, "matmul_into inner dimensions disagree: {k} vs {k2}");
     let (mo, no) = dims2(out, "matmul_into out");
     assert_eq!((mo, no), (m, n), "matmul_into output must be {m}×{n}, got {mo}×{no}");
-    let _sp = gemm_span("matmul", m, k, n);
-    out.as_mut_slice().fill(0.0);
-    gemm(m, k, n, a.as_slice(), b.as_slice(), out.as_mut_slice());
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    run_rowwise("matmul", m, k, n, out.as_mut_slice(), |row0, rows, chunk| {
+        chunk.fill(0.0);
+        gemm(rows, k, n, &av[row0 * k..(row0 + rows) * k], bv, chunk);
+    });
 }
 
 /// Computes `C = A · Bᵀ` without materialising the transpose.
@@ -88,16 +119,11 @@ pub fn matmul_bt(a: &Tensor, b: &Tensor) -> Tensor {
     let (m, k) = dims2(a, "matmul_bt lhs");
     let (n, k2) = dims2(b, "matmul_bt rhs");
     assert_eq!(k, k2, "matmul_bt inner dimensions disagree: {k} vs {k2}");
-    let _sp = gemm_span("matmul_bt", m, k, n);
     let mut c = Tensor::zeros([m, n]);
-    let (av, bv, cv) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
-    for i in 0..m {
-        let arow = &av[i * k..(i + 1) * k];
-        let crow = &mut cv[i * n..(i + 1) * n];
-        for (j, cj) in crow.iter_mut().enumerate() {
-            *cj = crate::ops::dot(arow, &bv[j * k..(j + 1) * k]);
-        }
-    }
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    run_rowwise("matmul_bt", m, k, n, c.as_mut_slice(), |row0, rows, chunk| {
+        bt_kernel(row0, rows, k, n, av, bv, chunk);
+    });
     c
 }
 
@@ -117,11 +143,28 @@ pub fn matmul_bt_into(a: &Tensor, b: &Tensor, out: &mut Tensor) {
     assert_eq!(k, k2, "matmul_bt_into inner dimensions disagree: {k} vs {k2}");
     let (mo, no) = dims2(out, "matmul_bt_into out");
     assert_eq!((mo, no), (m, n), "matmul_bt_into output must be {m}×{n}, got {mo}×{no}");
-    let _sp = gemm_span("matmul_bt", m, k, n);
-    let (av, bv, cv) = (a.as_slice(), b.as_slice(), out.as_mut_slice());
-    for i in 0..m {
+    let (av, bv) = (a.as_slice(), b.as_slice());
+    run_rowwise("matmul_bt", m, k, n, out.as_mut_slice(), |row0, rows, chunk| {
+        bt_kernel(row0, rows, k, n, av, bv, chunk);
+    });
+}
+
+/// The shared `A · Bᵀ` row kernel: fills `chunk` (rows `[row0,
+/// row0+rows)` of the output) with dot products of `a` rows against `b`
+/// rows. Overwrites, so pre-filling the output is unnecessary.
+fn bt_kernel(
+    row0: usize,
+    rows: usize,
+    k: usize,
+    n: usize,
+    av: &[f32],
+    bv: &[f32],
+    chunk: &mut [f32],
+) {
+    for local in 0..rows {
+        let i = row0 + local;
         let arow = &av[i * k..(i + 1) * k];
-        let crow = &mut cv[i * n..(i + 1) * n];
+        let crow = &mut chunk[local * n..(local + 1) * n];
         for (j, cj) in crow.iter_mut().enumerate() {
             *cj = crate::ops::dot(arow, &bv[j * k..(j + 1) * k]);
         }
@@ -140,23 +183,27 @@ pub fn matmul_at(a: &Tensor, b: &Tensor) -> Tensor {
     let (k, m) = dims2(a, "matmul_at lhs");
     let (k2, n) = dims2(b, "matmul_at rhs");
     assert_eq!(k, k2, "matmul_at inner dimensions disagree: {k} vs {k2}");
-    let _sp = gemm_span("matmul_at", m, k, n);
     let mut c = Tensor::zeros([m, n]);
-    let (av, bv, cv) = (a.as_slice(), b.as_slice(), c.as_mut_slice());
+    let (av, bv) = (a.as_slice(), b.as_slice());
     // Accumulate rank-1 updates row by row of A/B; cache-friendly on C.
-    for p in 0..k {
-        let arow = &av[p * m..(p + 1) * m];
-        let brow = &bv[p * n..(p + 1) * n];
-        for (i, &aip) in arow.iter().enumerate() {
-            if aip == 0.0 {
-                continue;
-            }
-            let crow = &mut cv[i * n..(i + 1) * n];
-            for (c_el, &b_el) in crow.iter_mut().zip(brow) {
-                *c_el += aip * b_el;
+    // Each output row i sees the p index strictly ascending with the
+    // same zero-skip whether the rows are chunked or not, so the
+    // row-parallel path is bit-identical to the serial one.
+    run_rowwise("matmul_at", m, k, n, c.as_mut_slice(), |row0, rows, chunk| {
+        for p in 0..k {
+            let arow = &av[p * m + row0..p * m + row0 + rows];
+            let brow = &bv[p * n..(p + 1) * n];
+            for (local, &aip) in arow.iter().enumerate() {
+                if aip == 0.0 {
+                    continue;
+                }
+                let crow = &mut chunk[local * n..(local + 1) * n];
+                for (c_el, &b_el) in crow.iter_mut().zip(brow) {
+                    *c_el += aip * b_el;
+                }
             }
         }
-    }
+    });
     c
 }
 

@@ -1,0 +1,380 @@
+//! Structured CPU parallelism for the tensor kernels.
+//!
+//! A std-only layer over [`std::thread::scope`]: no persistent pool, no
+//! external dependencies, no unsafe. Parallel regions are *scoped* — every
+//! worker joins before the entry point returns — so borrowed inputs and
+//! row-partitioned outputs need no reference counting.
+//!
+//! # Thread count
+//!
+//! The effective worker count comes from, in priority order:
+//!
+//! 1. a thread-local override installed by [`with_threads`] (tests and
+//!    benchmarks compare serial vs parallel in-process with it);
+//! 2. the `NSHD_THREADS` environment variable, parsed once per process;
+//! 3. [`std::thread::available_parallelism`].
+//!
+//! Inside a parallel region every worker (including the caller, while it
+//! executes its own chunk) sees [`threads`]` == 1`, so nested kernels run
+//! serially instead of oversubscribing the machine.
+//!
+//! # Determinism
+//!
+//! The partitioners split work into **contiguous, front-loaded chunks whose
+//! boundaries depend only on the item count and worker count**, and each
+//! chunk is processed by the same serial code the single-threaded path
+//! runs. Kernels whose per-row accumulation order does not cross rows
+//! (every GEMM variant in [`crate::matmul`]) therefore produce bit-identical
+//! results at any thread count — see `DESIGN.md` ("Deterministic
+//! parallelism") and `crates/tensor/tests/determinism.rs`.
+//!
+//! # Observability
+//!
+//! Both partitioners capture the caller's innermost `nshd-obs` span path
+//! and re-root each worker's span stack under it, so spans opened inside a
+//! parallel region nest where the caller's trace expects them, and
+//! per-thread FLOP attribution rolls up the usual way.
+
+use std::cell::Cell;
+use std::sync::OnceLock;
+
+/// Hard cap on the configured thread count: a typo in `NSHD_THREADS`
+/// must not translate into thousands of spawned threads.
+const MAX_THREADS: usize = 256;
+
+/// Minimum useful FLOP count for a parallel region. Below this, spawn +
+/// join overhead (tens of microseconds) rivals the kernel itself.
+const PAR_MIN_FLOPS: u64 = 1 << 19;
+
+thread_local! {
+    /// Per-thread override of the worker count; `0` means "no override".
+    static OVERRIDE: Cell<usize> = const { Cell::new(0) };
+}
+
+/// Restores the previous thread-local override when dropped, so
+/// [`with_threads`] stays balanced even across unwinds.
+struct OverrideGuard {
+    previous: usize,
+}
+
+impl OverrideGuard {
+    fn set(n: usize) -> OverrideGuard {
+        OverrideGuard { previous: OVERRIDE.with(|o| o.replace(n)) }
+    }
+
+    /// Marks the current thread as a parallel-region worker: nested
+    /// kernels see one thread and run serially.
+    fn serial() -> OverrideGuard {
+        OverrideGuard::set(1)
+    }
+}
+
+impl Drop for OverrideGuard {
+    fn drop(&mut self) {
+        OVERRIDE.with(|o| o.set(self.previous));
+    }
+}
+
+/// The process-wide thread count: `NSHD_THREADS` when set to a positive
+/// integer (clamped to 256), otherwise the machine's available
+/// parallelism. Parsed once and cached.
+fn configured() -> usize {
+    static CONFIGURED: OnceLock<usize> = OnceLock::new();
+    *CONFIGURED.get_or_init(|| match std::env::var("NSHD_THREADS") {
+        Ok(raw) => raw.trim().parse::<usize>().ok().map_or(1, |n| n.clamp(1, MAX_THREADS)),
+        Err(_) => std::thread::available_parallelism().map_or(1, |n| n.get().min(MAX_THREADS)),
+    })
+}
+
+/// The worker count parallel regions started on this thread will use.
+///
+/// Honors the innermost [`with_threads`] override first, then the cached
+/// `NSHD_THREADS` / hardware default. Always at least 1. Inside a
+/// parallel region this returns 1 (workers never nest parallelism).
+///
+/// # Examples
+///
+/// ```
+/// use nshd_tensor::par;
+///
+/// assert!(par::threads() >= 1);
+/// assert_eq!(par::with_threads(3, par::threads), 3);
+/// ```
+pub fn threads() -> usize {
+    let over = OVERRIDE.with(Cell::get);
+    if over > 0 {
+        over
+    } else {
+        configured()
+    }
+}
+
+/// Runs `f` with the worker count pinned to `n` on this thread — the
+/// programmatic equivalent of setting `NSHD_THREADS`, scoped to a
+/// closure. This is how the determinism tests and `kernel_bench` compare
+/// serial and parallel execution within one process.
+///
+/// Parallel regions started *inside* `f` inherit the override (the
+/// partitioners forward it to their workers implicitly by splitting the
+/// work on the calling thread).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_tensor::par;
+///
+/// let serial = par::with_threads(1, || par::threads());
+/// let wide = par::with_threads(4, || par::threads());
+/// assert_eq!((serial, wide), (1, 4));
+/// // The override is gone once the closure returns.
+/// assert!(par::threads() >= 1);
+/// ```
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    assert!(n >= 1, "with_threads needs at least one thread");
+    let _guard = OverrideGuard::set(n.min(MAX_THREADS));
+    f()
+}
+
+/// Whether a kernel performing `flops` floating-point operations is
+/// worth a parallel region under the current thread count. False when
+/// only one worker is configured or the kernel is too small to amortise
+/// thread spawn/join.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_tensor::par;
+///
+/// // One worker: never parallelize, regardless of size.
+/// assert!(!par::with_threads(1, || par::should_parallelize(u64::MAX)));
+/// // Many workers: large kernels qualify, tiny ones do not.
+/// assert!(par::with_threads(4, || par::should_parallelize(1 << 24)));
+/// assert!(!par::with_threads(4, || par::should_parallelize(1 << 10)));
+/// ```
+pub fn should_parallelize(flops: u64) -> bool {
+    flops >= PAR_MIN_FLOPS && threads() > 1
+}
+
+/// Splits `data` into contiguous row chunks and runs `f(first_row,
+/// chunk)` on each, one chunk per worker, on scoped threads. The caller
+/// executes the first chunk itself while the spawned workers handle the
+/// rest; all workers join before returning.
+///
+/// Chunk boundaries are deterministic: `rows / workers` rows each, the
+/// remainder front-loaded one row at a time. Workers run with nested
+/// parallelism disabled and with their span stack re-rooted under the
+/// caller's current `nshd-obs` path.
+///
+/// With one worker (or fewer rows than two) this degrades to a plain
+/// call of `f(0, data)` on the current thread — the serial path and the
+/// single-threaded parallel path are literally the same code.
+///
+/// # Panics
+///
+/// Panics if `row_len > 0` and `data.len()` is not a multiple of it.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_tensor::par;
+///
+/// let mut rows = vec![0u32; 6]; // three rows of two columns
+/// par::with_threads(2, || {
+///     par::par_row_chunks(&mut rows, 2, |first_row, chunk| {
+///         for (r, row) in chunk.chunks_mut(2).enumerate() {
+///             row.fill((first_row + r) as u32);
+///         }
+///     });
+/// });
+/// assert_eq!(rows, [0, 0, 1, 1, 2, 2]);
+/// ```
+pub fn par_row_chunks<T, F>(data: &mut [T], row_len: usize, f: F)
+where
+    T: Send,
+    F: Fn(usize, &mut [T]) + Sync,
+{
+    if row_len == 0 {
+        f(0, data);
+        return;
+    }
+    assert_eq!(
+        data.len() % row_len,
+        0,
+        "data length {} is not a multiple of the row length {row_len}",
+        data.len()
+    );
+    let rows = data.len() / row_len;
+    let workers = threads().min(rows);
+    if workers <= 1 {
+        f(0, data);
+        return;
+    }
+    let base = rows / workers;
+    let extra = rows % workers;
+    let ctx = nshd_obs::current_path();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let ctx = ctx.as_deref();
+        let first_take = base + usize::from(extra > 0);
+        let (caller_chunk, mut rest) = data.split_at_mut(first_take * row_len);
+        let mut first_row = first_take;
+        for index in 1..workers {
+            let take = base + usize::from(index < extra);
+            let (head, tail) = rest.split_at_mut(take * row_len);
+            rest = tail;
+            let row0 = first_row;
+            scope.spawn(move || {
+                let _serial = OverrideGuard::serial();
+                let _ctx = ctx.map(nshd_obs::enter_context);
+                f(row0, head);
+            });
+            first_row += take;
+        }
+        let _serial = OverrideGuard::serial();
+        f(0, caller_chunk);
+    });
+}
+
+/// Maps `f` over `items` in parallel, preserving order: result `i` is
+/// `f(&items[i])`. Items are split into contiguous front-loaded chunks,
+/// one per worker, exactly like [`par_row_chunks`]; the caller processes
+/// the first chunk itself. Workers run with nested parallelism disabled
+/// and re-rooted under the caller's current `nshd-obs` span path.
+///
+/// With one worker this is a plain sequential `map`.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_tensor::par;
+///
+/// let squares = par::with_threads(3, || par::par_map(&[1, 2, 3, 4, 5], |&x| x * x));
+/// assert_eq!(squares, [1, 4, 9, 16, 25]);
+/// ```
+pub fn par_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads().min(n);
+    if workers <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let mut out: Vec<Option<R>> = Vec::new();
+    out.resize_with(n, || None);
+    let base = n / workers;
+    let extra = n % workers;
+    let ctx = nshd_obs::current_path();
+    std::thread::scope(|scope| {
+        let f = &f;
+        let ctx = ctx.as_deref();
+        let first_take = base + usize::from(extra > 0);
+        let (caller_items, mut rest_items) = items.split_at(first_take);
+        let (caller_out, mut rest_out) = out.split_at_mut(first_take);
+        for index in 1..workers {
+            let take = base + usize::from(index < extra);
+            let (item_head, item_tail) = rest_items.split_at(take);
+            rest_items = item_tail;
+            let (out_head, out_tail) = rest_out.split_at_mut(take);
+            rest_out = out_tail;
+            scope.spawn(move || {
+                let _serial = OverrideGuard::serial();
+                let _ctx = ctx.map(nshd_obs::enter_context);
+                for (slot, item) in out_head.iter_mut().zip(item_head) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+        let _serial = OverrideGuard::serial();
+        for (slot, item) in caller_out.iter_mut().zip(caller_items) {
+            *slot = Some(f(item));
+        }
+    });
+    let results: Vec<R> = out.into_iter().flatten().collect();
+    debug_assert_eq!(results.len(), n, "every par_map slot must be filled");
+    results
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn override_nests_and_restores() {
+        let outer = threads();
+        let seen = with_threads(5, || {
+            let inner = with_threads(2, threads);
+            (threads(), inner)
+        });
+        assert_eq!(seen, (5, 2));
+        assert_eq!(threads(), outer);
+    }
+
+    #[test]
+    fn workers_observe_one_thread() {
+        with_threads(4, || {
+            let mut flags = vec![0usize; 8];
+            par_row_chunks(&mut flags, 1, |_, chunk| {
+                for v in chunk.iter_mut() {
+                    *v = threads();
+                }
+            });
+            assert_eq!(flags, vec![1; 8], "nested kernels must see one thread");
+        });
+    }
+
+    #[test]
+    fn row_chunks_cover_every_row_exactly_once() {
+        for threads_n in [1usize, 2, 3, 4, 7] {
+            for rows in [0usize, 1, 2, 3, 5, 8, 13] {
+                let mut data = vec![0u8; rows * 3];
+                with_threads(threads_n, || {
+                    par_row_chunks(&mut data, 3, |first_row, chunk| {
+                        assert_eq!(chunk.len() % 3, 0);
+                        for (r, row) in chunk.chunks_mut(3).enumerate() {
+                            for v in row.iter_mut() {
+                                *v += 1 + (first_row + r) as u8;
+                            }
+                        }
+                    });
+                });
+                let expect: Vec<u8> = (0..rows).flat_map(|r| [r as u8 + 1; 3]).collect();
+                assert_eq!(data, expect, "threads={threads_n} rows={rows}");
+            }
+        }
+    }
+
+    #[test]
+    fn par_map_preserves_order_for_ragged_sizes() {
+        for threads_n in [1usize, 2, 4, 7] {
+            for len in [0usize, 1, 2, 5, 9, 16] {
+                let items: Vec<i64> = (0..len as i64).collect();
+                let got = with_threads(threads_n, || par_map(&items, |&x| x * 10));
+                let expect: Vec<i64> = items.iter().map(|&x| x * 10).collect();
+                assert_eq!(got, expect, "threads={threads_n} len={len}");
+            }
+        }
+    }
+
+    #[test]
+    fn zero_row_len_runs_serially() {
+        let mut empty: Vec<f32> = Vec::new();
+        par_row_chunks(&mut empty, 0, |first, chunk| {
+            assert_eq!(first, 0);
+            assert!(chunk.is_empty());
+        });
+    }
+
+    #[test]
+    #[should_panic(expected = "not a multiple")]
+    fn ragged_data_length_panics() {
+        let mut data = vec![0.0f32; 7];
+        with_threads(2, || par_row_chunks(&mut data, 3, |_, _| {}));
+    }
+}

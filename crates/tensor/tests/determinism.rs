@@ -1,0 +1,146 @@
+//! Cross-thread determinism harness for the parallel GEMM kernels.
+//!
+//! The `nshd_tensor::par` contract is that parallel execution is
+//! **bit-identical** to serial execution — not approximately equal.
+//! Each thread owns a disjoint row range of the output and replays the
+//! exact serial per-row accumulation order, so `f32::to_bits` must
+//! match for every element regardless of worker count.
+//!
+//! Every kernel is exercised across worker counts {1, 2, 4, 7} (the
+//! `NSHD_THREADS` grid from the issue, applied via the programmatic
+//! `par::with_threads` override) and a shape grid with deliberately
+//! ragged row counts: m not divisible by the thread count, m smaller
+//! than the thread count, and the m = 0 / m = 1 edge cases.
+
+use nshd_tensor::{matmul, matmul_at, matmul_bt, matmul_bt_into, matmul_into, par, Rng, Tensor};
+
+/// Worker counts to compare against the single-threaded baseline.
+const THREADS: [usize; 3] = [2, 4, 7];
+
+/// (m, k, n) grid. Mixes sizes big enough to cross the parallel FLOP
+/// threshold with ragged and degenerate row counts.
+const SHAPES: [(usize, usize, usize); 8] = [
+    (0, 64, 64),    // m = 0: empty output
+    (1, 512, 512),  // m = 1: fewer rows than workers, above threshold
+    (3, 400, 300),  // m < threads for the 4/7-worker runs
+    (5, 300, 400),  // ragged for every worker count
+    (64, 128, 96),  // divides evenly at 2 and 4, ragged at 7
+    (65, 64, 66),   // off-by-one row count
+    (101, 257, 33), // primes everywhere
+    (7, 129, 3),    // tiny n, below the parallel threshold
+];
+
+fn rand_tensor(shape: [usize; 2], rng: &mut Rng) -> Tensor {
+    Tensor::from_fn(shape, |_| rng.uniform_in(-2.0, 2.0))
+}
+
+fn bits(t: &Tensor) -> Vec<u32> {
+    t.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs `op` serially and under every worker count in [`THREADS`],
+/// asserting all outputs are bit-identical to the serial baseline.
+fn assert_thread_invariant(label: String, op: impl Fn() -> Tensor) {
+    let baseline = bits(&par::with_threads(1, &op));
+    for t in THREADS {
+        let parallel = bits(&par::with_threads(t, &op));
+        assert_eq!(baseline, parallel, "{label}: serial vs {t} workers diverged bitwise");
+    }
+}
+
+#[test]
+fn matmul_is_bit_identical_across_thread_counts() {
+    let mut rng = Rng::new(0x5eed);
+    for (m, k, n) in SHAPES {
+        let a = rand_tensor([m, k], &mut rng);
+        let b = rand_tensor([k, n], &mut rng);
+        assert_thread_invariant(format!("matmul {m}x{k}x{n}"), || matmul(&a, &b));
+    }
+}
+
+#[test]
+fn matmul_bt_is_bit_identical_across_thread_counts() {
+    let mut rng = Rng::new(0xb7);
+    for (m, k, n) in SHAPES {
+        let a = rand_tensor([m, k], &mut rng);
+        let b = rand_tensor([n, k], &mut rng); // B is n x k, used transposed
+        assert_thread_invariant(format!("matmul_bt {m}x{k}x{n}"), || matmul_bt(&a, &b));
+    }
+}
+
+#[test]
+fn matmul_at_is_bit_identical_across_thread_counts() {
+    let mut rng = Rng::new(0xa7);
+    for (m, k, n) in SHAPES {
+        let a = rand_tensor([k, m], &mut rng); // A is k x m, used transposed
+        let b = rand_tensor([k, n], &mut rng);
+        assert_thread_invariant(format!("matmul_at {m}x{k}x{n}"), || matmul_at(&a, &b));
+    }
+}
+
+/// The `_into` variants must overwrite (not accumulate into) whatever
+/// the output buffer holds, with the same bit-exactness guarantee. The
+/// buffers are poisoned with NaN so any skipped element is caught.
+#[test]
+fn into_variants_overwrite_poisoned_buffers_identically() {
+    let mut rng = Rng::new(0x17);
+    for (m, k, n) in SHAPES {
+        let a = rand_tensor([m, k], &mut rng);
+        let b = rand_tensor([k, n], &mut rng);
+        let bt = rand_tensor([n, k], &mut rng);
+
+        let serial_mm = par::with_threads(1, || {
+            let mut out = Tensor::full([m, n], f32::NAN);
+            matmul_into(&a, &b, &mut out);
+            out
+        });
+        let serial_bt = par::with_threads(1, || {
+            let mut out = Tensor::full([m, n], f32::NAN);
+            matmul_bt_into(&a, &bt, &mut out);
+            out
+        });
+        assert!(serial_mm.as_slice().iter().all(|v| !v.is_nan()), "matmul_into left NaN");
+        assert!(serial_bt.as_slice().iter().all(|v| !v.is_nan()), "matmul_bt_into left NaN");
+        assert_eq!(bits(&serial_mm), bits(&matmul(&a, &b)), "matmul_into != matmul");
+        assert_eq!(bits(&serial_bt), bits(&matmul_bt(&a, &bt)), "matmul_bt_into != matmul_bt");
+
+        for t in THREADS {
+            let par_mm = par::with_threads(t, || {
+                let mut out = Tensor::full([m, n], f32::NAN);
+                matmul_into(&a, &b, &mut out);
+                out
+            });
+            let par_bt = par::with_threads(t, || {
+                let mut out = Tensor::full([m, n], f32::NAN);
+                matmul_bt_into(&a, &bt, &mut out);
+                out
+            });
+            assert_eq!(
+                bits(&serial_mm),
+                bits(&par_mm),
+                "matmul_into {m}x{k}x{n}: serial vs {t} workers"
+            );
+            assert_eq!(
+                bits(&serial_bt),
+                bits(&par_bt),
+                "matmul_bt_into {m}x{k}x{n}: serial vs {t} workers"
+            );
+        }
+    }
+}
+
+/// Reusing one output buffer across differently-threaded runs must not
+/// leak state between them (per-chunk zero-fill covers every row).
+#[test]
+fn buffer_reuse_across_thread_counts_is_clean() {
+    let mut rng = Rng::new(0x99);
+    let a = rand_tensor([65, 128], &mut rng);
+    let b = rand_tensor([128, 96], &mut rng);
+    let mut out = Tensor::full([65, 96], f32::NAN);
+    par::with_threads(1, || matmul_into(&a, &b, &mut out));
+    let baseline = bits(&out);
+    for t in THREADS {
+        par::with_threads(t, || matmul_into(&a, &b, &mut out));
+        assert_eq!(baseline, bits(&out), "reused buffer diverged at {t} workers");
+    }
+}

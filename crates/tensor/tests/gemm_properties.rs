@@ -1,0 +1,137 @@
+//! Property-style randomized GEMM tests.
+//!
+//! ~200 random shape/value cases per operation, seeded through the
+//! in-tree [`nshd_tensor::Rng`] (no external property-testing
+//! dependency), checked against a naive triple-loop reference kernel
+//! kept in this file. The blocked production kernels accumulate in a
+//! different order than the naive loop, so values are compared with a
+//! relative tolerance scaled by the inner dimension; overwrite (not
+//! accumulate) semantics of the `*_into` variants are checked
+//! **bitwise** against the allocating variants, with poisoned output
+//! buffers.
+
+use nshd_tensor::{matmul, matmul_at, matmul_bt, matmul_bt_into, matmul_into, Rng, Tensor};
+
+const CASES: usize = 200;
+const MAX_DIM: usize = 48;
+
+/// Naive reference: `C[i][j] = sum_p A[i][p] * B[p][j]` in f64 so the
+/// reference itself contributes no rounding surprises.
+fn naive_matmul(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
+    let mut c = vec![0.0f32; m * n];
+    for i in 0..m {
+        for j in 0..n {
+            let mut acc = 0.0f64;
+            for p in 0..k {
+                acc += f64::from(a[i * k + p]) * f64::from(b[p * n + j]);
+            }
+            c[i * n + j] = acc as f32;
+        }
+    }
+    c
+}
+
+/// Tolerance for comparing an f32 accumulation against the f64
+/// reference: proportional to the number of additions and the magnitude
+/// of the operands (inputs are bounded by 2, so |dot| <= 4k).
+fn tolerance(k: usize) -> f32 {
+    1e-5 * (k as f32) + 1e-5
+}
+
+fn assert_close(got: &[f32], want: &[f32], k: usize, label: &str) {
+    assert_eq!(got.len(), want.len(), "{label}: length mismatch");
+    let tol = tolerance(k);
+    for (i, (g, w)) in got.iter().zip(want).enumerate() {
+        assert!(
+            (g - w).abs() <= tol,
+            "{label}: element {i} differs: got {g}, want {w} (tol {tol})"
+        );
+    }
+}
+
+fn rand_dims(rng: &mut Rng) -> (usize, usize, usize) {
+    // Bias towards small shapes but include degenerate 1-sized dims.
+    (rng.below(MAX_DIM) + 1, rng.below(MAX_DIM) + 1, rng.below(MAX_DIM) + 1)
+}
+
+fn rand_tensor(shape: [usize; 2], rng: &mut Rng) -> Tensor {
+    Tensor::from_fn(shape, |_| rng.uniform_in(-2.0, 2.0))
+}
+
+#[test]
+fn matmul_matches_naive_reference() {
+    let mut rng = Rng::new(0x6e_4d);
+    for case in 0..CASES {
+        let (m, k, n) = rand_dims(&mut rng);
+        let a = rand_tensor([m, k], &mut rng);
+        let b = rand_tensor([k, n], &mut rng);
+        let got = matmul(&a, &b);
+        let want = naive_matmul(a.as_slice(), b.as_slice(), m, k, n);
+        assert_close(got.as_slice(), &want, k, &format!("case {case}: matmul {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn matmul_bt_matches_naive_reference() {
+    let mut rng = Rng::new(0xb7_01);
+    for case in 0..CASES {
+        let (m, k, n) = rand_dims(&mut rng);
+        let a = rand_tensor([m, k], &mut rng);
+        let bt = rand_tensor([n, k], &mut rng);
+        // Materialize B = Bt^T row-major and reuse the same reference.
+        let btv = bt.as_slice();
+        let b: Vec<f32> = (0..k * n).map(|idx| btv[(idx % n) * k + idx / n]).collect();
+        let got = matmul_bt(&a, &bt);
+        let want = naive_matmul(a.as_slice(), &b, m, k, n);
+        assert_close(got.as_slice(), &want, k, &format!("case {case}: matmul_bt {m}x{k}x{n}"));
+    }
+}
+
+#[test]
+fn matmul_at_matches_naive_reference() {
+    let mut rng = Rng::new(0xa7_02);
+    for case in 0..CASES {
+        let (m, k, n) = rand_dims(&mut rng);
+        let at = rand_tensor([k, m], &mut rng);
+        let b = rand_tensor([k, n], &mut rng);
+        // Materialize A = At^T row-major and reuse the same reference.
+        let atv = at.as_slice();
+        let a: Vec<f32> = (0..m * k).map(|idx| atv[(idx % k) * m + idx / k]).collect();
+        let got = matmul_at(&at, &b);
+        let want = naive_matmul(&a, b.as_slice(), m, k, n);
+        assert_close(got.as_slice(), &want, k, &format!("case {case}: matmul_at {m}x{k}x{n}"));
+    }
+}
+
+/// `matmul_into` / `matmul_bt_into` must produce bitwise the same
+/// values as their allocating counterparts and fully overwrite a
+/// poisoned output buffer — never accumulate into it.
+#[test]
+fn into_variants_overwrite_and_match_allocating_bitwise() {
+    let mut rng = Rng::new(0x17_03);
+    for case in 0..CASES {
+        let (m, k, n) = rand_dims(&mut rng);
+        let a = rand_tensor([m, k], &mut rng);
+        let b = rand_tensor([k, n], &mut rng);
+        let bt = rand_tensor([n, k], &mut rng);
+
+        let poison = rng.uniform_in(-100.0, 100.0);
+        let mut out = Tensor::full([m, n], poison);
+        matmul_into(&a, &b, &mut out);
+        let want = matmul(&a, &b);
+        assert_eq!(
+            out.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "case {case}: matmul_into {m}x{k}x{n} != matmul (poison {poison})"
+        );
+
+        let mut out_bt = Tensor::full([m, n], poison);
+        matmul_bt_into(&a, &bt, &mut out_bt);
+        let want_bt = matmul_bt(&a, &bt);
+        assert_eq!(
+            out_bt.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            want_bt.as_slice().iter().map(|v| v.to_bits()).collect::<Vec<_>>(),
+            "case {case}: matmul_bt_into {m}x{k}x{n} != matmul_bt (poison {poison})"
+        );
+    }
+}

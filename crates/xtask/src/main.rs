@@ -29,6 +29,14 @@
 //!    clock. Remaining sites live in
 //!    `crates/xtask/instant_allowlist.txt`, the same shrink-only ledger
 //!    mechanism as rule 1.
+//! 6. **No ad-hoc thread creation.** `thread::spawn(`,
+//!    `thread::scope(` and `thread::Builder::new(` are forbidden
+//!    everywhere except the sanctioned sites listed in
+//!    `crates/xtask/thread_allowlist.txt` (shrink-only, like rule 1):
+//!    structured data-parallelism belongs in `nshd_tensor::par`, and
+//!    long-lived service threads in the `nshd-runtime` pool — scattered
+//!    thread creation defeats the `NSHD_THREADS` budget and the span
+//!    context propagation both of those layers provide.
 
 use std::fmt::Write as _;
 use std::path::{Path, PathBuf};
@@ -77,10 +85,18 @@ fn lint() -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
+    let thread_allowlist = match read_allowlist(&root, "thread_allowlist.txt") {
+        Ok(list) => list,
+        Err(e) => {
+            eprintln!("xtask lint: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
 
     let mut violations = Vec::new();
     let mut unwrap_counts: Vec<(PathBuf, Vec<usize>)> = Vec::new();
     let mut instant_counts: Vec<(PathBuf, Vec<usize>)> = Vec::new();
+    let mut thread_counts: Vec<(PathBuf, Vec<usize>)> = Vec::new();
     for path in &files {
         let source = match std::fs::read_to_string(path) {
             Ok(s) => s,
@@ -91,10 +107,18 @@ fn lint() -> ExitCode {
         };
         let rel = path.strip_prefix(&root).unwrap_or(path).to_path_buf();
         let file = SourceFile::parse(&source);
-        check_file(&rel, &file, &mut violations, &mut unwrap_counts, &mut instant_counts);
+        check_file(
+            &rel,
+            &file,
+            &mut violations,
+            &mut unwrap_counts,
+            &mut instant_counts,
+            &mut thread_counts,
+        );
     }
     check_allowlist(&allowlist, &unwrap_counts, &mut violations, &UNWRAP_RULE);
     check_allowlist(&instant_allowlist, &instant_counts, &mut violations, &INSTANT_RULE);
+    check_allowlist(&thread_allowlist, &thread_counts, &mut violations, &THREAD_RULE);
 
     if violations.is_empty() {
         println!("xtask lint: OK ({} files)", files.len());
@@ -413,6 +437,7 @@ fn check_file(
     violations: &mut Vec<Violation>,
     unwrap_counts: &mut Vec<(PathBuf, Vec<usize>)>,
     instant_counts: &mut Vec<(PathBuf, Vec<usize>)>,
+    thread_counts: &mut Vec<(PathBuf, Vec<usize>)>,
 ) {
     let documented_crate = in_crate(rel, "core") || in_crate(rel, "runtime");
     let panic_free_crate = in_crate(rel, "runtime");
@@ -444,6 +469,23 @@ fn check_file(
         }
         if !lines.is_empty() {
             instant_counts.push((rel.to_path_buf(), lines));
+        }
+    }
+
+    // Rule 6: thread creation only at the sanctioned sites (the
+    // structured-parallelism layer and the runtime's pools).
+    {
+        let mut lines = Vec::new();
+        for (line_no, line) in file.code_lines() {
+            let hits = line.matches("thread::spawn(").count()
+                + line.matches("thread::scope(").count()
+                + line.matches("thread::Builder::new(").count();
+            for _ in 0..hits {
+                lines.push(line_no);
+            }
+        }
+        if !lines.is_empty() {
+            thread_counts.push((rel.to_path_buf(), lines));
         }
     }
 
@@ -568,6 +610,13 @@ const INSTANT_RULE: AllowRule = AllowRule {
     advice: "route timing through `nshd_obs::clock::now()`",
 };
 
+const THREAD_RULE: AllowRule = AllowRule {
+    file: "thread_allowlist.txt",
+    what: "ad-hoc thread creation outside the sanctioned sites",
+    advice: "use `nshd_tensor::par` for data parallelism or the nshd-runtime pool for \
+             service threads",
+};
+
 /// `path count` entries from `crates/xtask/<name>`.
 fn read_allowlist(root: &Path, name: &str) -> Result<Vec<(PathBuf, usize)>, String> {
     let path = root.join("crates/xtask").join(name);
@@ -686,12 +735,14 @@ mod tests {
         let mut violations = Vec::new();
         let mut counts = Vec::new();
         let mut instants = Vec::new();
+        let mut threads = Vec::new();
         check_file(
             Path::new("crates/core/src/x.rs"),
             &file,
             &mut violations,
             &mut counts,
             &mut instants,
+            &mut threads,
         );
         assert_eq!(violations.len(), 2, "expected must_use + doc violations");
         assert!(violations.iter().any(|v| v.message.contains("must_use")));
@@ -705,12 +756,14 @@ mod tests {
         let mut violations = Vec::new();
         let mut counts = Vec::new();
         let mut instants = Vec::new();
+        let mut threads = Vec::new();
         check_file(
             Path::new("crates/runtime/src/x.rs"),
             &file,
             &mut violations,
             &mut counts,
             &mut instants,
+            &mut threads,
         );
         assert!(violations.iter().any(|v| v.message.contains("panic!")), "panic not flagged");
         // The same unwrap also lands in the allowlist ledger...
@@ -729,12 +782,14 @@ mod tests {
         let mut violations = Vec::new();
         let mut counts = Vec::new();
         let mut instants = Vec::new();
+        let mut threads = Vec::new();
         check_file(
             Path::new("crates/tensor/src/x.rs"),
             &file,
             &mut violations,
             &mut counts,
             &mut instants,
+            &mut threads,
         );
         assert_eq!(instants, vec![(PathBuf::from("crates/tensor/src/x.rs"), vec![2])]);
         // An empty ledger turns that site into a violation.
@@ -753,7 +808,43 @@ mod tests {
             &mut violations,
             &mut counts,
             &mut obs_instants,
+            &mut threads,
         );
         assert!(obs_instants.is_empty(), "obs must be exempt: {obs_instants:?}");
+    }
+
+    #[test]
+    fn thread_rule_counts_every_creation_form() {
+        let src = "fn f() {\n    std::thread::spawn(|| ());\n    std::thread::scope(|_| ());\n    \
+                   let b = std::thread::Builder::new();\n}\n";
+        let file = SourceFile::parse(src);
+        let mut violations = Vec::new();
+        let mut counts = Vec::new();
+        let mut instants = Vec::new();
+        let mut threads = Vec::new();
+        check_file(
+            Path::new("crates/nn/src/x.rs"),
+            &file,
+            &mut violations,
+            &mut counts,
+            &mut instants,
+            &mut threads,
+        );
+        assert_eq!(threads, vec![(PathBuf::from("crates/nn/src/x.rs"), vec![2, 3, 4])]);
+        // With no ledger entry every site is a violation carrying the
+        // structured-parallelism advice.
+        let mut flagged = Vec::new();
+        check_allowlist(&[], &threads, &mut flagged, &THREAD_RULE);
+        assert_eq!(flagged.len(), 3);
+        assert!(flagged.iter().all(|v| v.message.contains("nshd_tensor::par")));
+        // A matching ledger entry sanctions them; an oversized one fails.
+        let exact = vec![(PathBuf::from("crates/nn/src/x.rs"), 3)];
+        let mut ok = Vec::new();
+        check_allowlist(&exact, &threads, &mut ok, &THREAD_RULE);
+        assert!(ok.is_empty(), "{:?}", ok.iter().map(|v| &v.message).collect::<Vec<_>>());
+        let oversized = vec![(PathBuf::from("crates/nn/src/x.rs"), 4)];
+        let mut shrink = Vec::new();
+        check_allowlist(&oversized, &threads, &mut shrink, &THREAD_RULE);
+        assert!(shrink.iter().any(|v| v.message.contains("shrink")));
     }
 }

@@ -7,8 +7,13 @@ cd "$(dirname "$0")/.."
 echo "==> cargo build --release"
 cargo build --release --workspace
 
-echo "==> cargo test"
-cargo test -q --workspace
+echo "==> cargo test (NSHD_THREADS=1)"
+NSHD_THREADS=1 cargo test -q --workspace
+
+echo "==> cargo test (NSHD_THREADS=4)"
+# Second pass with the parallel kernels engaged by default: every test
+# must pass bit-identically regardless of the ambient worker count.
+NSHD_THREADS=4 cargo test -q --workspace
 
 echo "==> cargo fmt --check"
 cargo fmt --all -- --check
@@ -30,6 +35,13 @@ echo "==> serve_bench --smoke"
 # JSON report (BENCH_serve.json, with per-stage trace + GFLOP/s) and
 # batched == sequential predictions (exits non-zero otherwise).
 cargo run --release -q -p nshd-bench --bin serve_bench -- --smoke
+
+echo "==> kernel_bench --smoke"
+# Parallel-kernel smoke: serial vs parallel GFLOP/s over a small size
+# grid (BENCH_kernels.json). Asserts every parallel output is bitwise
+# identical to serial, and — when more than one core is available —
+# that at least one GEMM size shows a speedup above 1.0x.
+cargo run --release -q -p nshd-bench --bin kernel_bench -- --smoke
 
 echo "==> robustness_sweep --smoke"
 # Fault-injection smoke: tiny model, short rate list; asserts a
