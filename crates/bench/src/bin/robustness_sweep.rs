@@ -21,8 +21,8 @@ use nshd_core::{NshdConfig, NshdModel};
 use nshd_data::{normalize_pair, Corruption, ImageDataset, SynthSpec};
 use nshd_hdc::{BinaryMemory, FaultPlan, QuantizedMemory};
 use nshd_nn::{
-    fit, ActKind, Activation, Adam, Architecture, Conv2d, Flatten, Linear, MaxPool2d, Model,
-    Sequential, TrainConfig,
+    evaluate, fit, ActKind, Activation, Adam, Architecture, Conv2d, Flatten, Linear, MaxPool2d,
+    Model, Sequential, TrainConfig,
 };
 use nshd_obs::Json;
 use nshd_tensor::Rng;
@@ -80,10 +80,13 @@ fn full_setup() -> Setup {
     }
 }
 
-/// The `--smoke` setup: a tiny ad-hoc teacher trained for one epoch, a
-/// short rate list, one trial — seconds end-to-end.
+/// The `--smoke` setup: a tiny ad-hoc teacher trained for a few epochs,
+/// a short rate list, one trial — seconds end-to-end. The teacher is
+/// small but must still be *real*: its test accuracy is evaluated and
+/// gated meaningfully above chance, because a sweep distilled from an
+/// untrained teacher measures nothing.
 fn smoke_setup() -> Setup {
-    let (mut train, mut test) = SynthSpec::synth10(101).with_sizes(80, 48).generate();
+    let (mut train, mut test) = SynthSpec::synth10(101).with_sizes(160, 48).generate();
     normalize_pair(&mut train, &mut test);
     let mut rng = Rng::new(7);
     let features = Sequential::new()
@@ -104,8 +107,10 @@ fn smoke_setup() -> Setup {
         train.images(),
         train.labels(),
         &mut Adam::new(2e-3, 1e-5),
-        &TrainConfig { epochs: 1, batch_size: 32, seed: 9, ..TrainConfig::default() },
+        &TrainConfig { epochs: 6, batch_size: 32, seed: 9, ..TrainConfig::default() },
     );
+    let teacher_acc = evaluate(&mut teacher, test.images(), test.labels(), 48);
+    eprintln!("[robustness] smoke teacher test accuracy {teacher_acc:.4}");
     let cut = 3;
     let cfg = NshdConfig::new(cut)
         .with_hv_dim(512)
@@ -117,7 +122,7 @@ fn smoke_setup() -> Setup {
         model,
         test,
         teacher_name: "robust-tiny".into(),
-        teacher_acc: 0.0,
+        teacher_acc,
         cut,
         scale_label: "smoke",
         rates: SMOKE_RATES.to_vec(),
@@ -222,6 +227,12 @@ fn main() {
         for key in ["\"experiment\":\"robustness_sweep\"", "\"scale\":\"smoke\"", "\"curves\":"] {
             assert!(json.contains(key), "smoke report missing {key}");
         }
+        // A sweep distilled from an untrained teacher measures nothing:
+        // the smoke teacher must sit meaningfully above 10-class chance.
+        assert!(
+            teacher_acc >= 0.2,
+            "smoke teacher accuracy {teacher_acc:.4} is not meaningfully above chance (0.1)"
+        );
         for curve in [&curve_f32, &curve_int8, &curve_binary, &curve_input] {
             assert_eq!(curve.len(), rates.len(), "curve length mismatch");
             assert!(

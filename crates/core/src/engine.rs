@@ -33,7 +33,7 @@ use crate::robust::PipelineError;
 use crate::scaler::FeatureScaler;
 use crate::verify::{self, AnalysisReport};
 use nshd_data::ImageDataset;
-use nshd_hdc::{AssociativeMemory, BatchEncoder, BipolarHv};
+use nshd_hdc::{AssociativeMemory, BatchEncoder, BipolarHv, FaultReport, FaultScenario};
 use nshd_nn::Model;
 use nshd_tensor::{Tensor, TensorError};
 
@@ -122,6 +122,19 @@ impl NshdEngine {
             &self.memory,
             self.teacher.num_classes,
         )
+    }
+
+    /// Snapshot-clones the engine with `scenario`'s faults injected into
+    /// its class memory — the degraded-replica input for chaos testing
+    /// the replicated serving tier. The original engine is untouched
+    /// (replicas never share mutable state), the teacher weights and
+    /// projection basis are shared copies, and only the associative
+    /// memory is corrupted; an empty scenario yields a replica that
+    /// predicts bit-identically to `self`.
+    pub fn degraded(&self, scenario: &FaultScenario) -> (NshdEngine, FaultReport) {
+        let mut replica = self.clone();
+        let report = scenario.apply_associative(&mut replica.memory);
+        (replica, report)
     }
 
     /// Number of classes the engine predicts over.
@@ -432,6 +445,33 @@ mod tests {
         let report = NshdEngine::new(&torn).unwrap_err();
         assert_eq!(report.stage, Stage::Memory);
         assert!(report.to_string().contains("non-finite"), "{report}");
+    }
+
+    #[test]
+    fn degraded_snapshots_corrupt_only_their_own_memory() {
+        use nshd_hdc::{FaultPlan, FaultScenario};
+
+        let (model, test) = trained_setup(false);
+        let engine = NshdEngine::from_model(&model);
+        let images: Vec<Tensor> = (0..test.len()).map(|i| test.sample(i).0).collect();
+        let clean_preds = engine.predict_batch(&images);
+
+        // An empty scenario is a bit-identical replica.
+        let (twin, report) = engine.degraded(&FaultScenario::new());
+        assert_eq!(report, nshd_hdc::FaultReport::default());
+        assert_eq!(twin.predict_batch(&images), clean_preds);
+
+        // A heavy scenario corrupts the replica's memory — and only the
+        // replica's: the original engine still predicts identically.
+        let scenario =
+            FaultScenario::new().with(FaultPlan::new(61, 0.4), 1).with(FaultPlan::new(62, 0.2), 2);
+        let (hurt, report) = engine.degraded(&scenario);
+        assert!(report.faults > 0, "heavy scenario landed no faults");
+        assert_eq!(engine.predict_batch(&images), clean_preds, "original engine was mutated");
+        // The degraded replica still answers (no panic) with in-range
+        // class indices.
+        let degraded_preds = hurt.predict_batch(&images);
+        assert!(degraded_preds.iter().all(|&p| p < engine.num_classes()));
     }
 
     #[test]

@@ -73,6 +73,31 @@ pub enum PipelineError {
         /// What went wrong.
         detail: String,
     },
+    /// Admission control shed the request: accepting it would have
+    /// pushed the serving tier past its in-flight capacity, so it
+    /// failed fast instead of queuing toward a missed deadline.
+    Overloaded {
+        /// Requests already in flight when this one arrived.
+        inflight: usize,
+        /// The admission cap it would have exceeded.
+        capacity: usize,
+    },
+    /// The request's end-to-end deadline expired before any replica
+    /// produced a result. The work may still complete in the
+    /// background; the answer is simply no longer wanted.
+    DeadlineExceeded {
+        /// The per-request budget that ran out, in milliseconds.
+        budget_ms: u64,
+    },
+    /// Every admissible replica was tried (with retries and backoff)
+    /// and the request still failed; `last` is the final attempt's
+    /// error.
+    Unavailable {
+        /// Attempts made before giving up.
+        attempts: u32,
+        /// The error that ended the final attempt.
+        last: Box<PipelineError>,
+    },
 }
 
 impl fmt::Display for PipelineError {
@@ -90,6 +115,15 @@ impl fmt::Display for PipelineError {
             PipelineError::Runtime { stage, detail } => {
                 write!(f, "serving runtime failure in {stage}: {detail}")
             }
+            PipelineError::Overloaded { inflight, capacity } => {
+                write!(f, "request shed: {inflight} in flight against a capacity of {capacity}")
+            }
+            PipelineError::DeadlineExceeded { budget_ms } => {
+                write!(f, "request deadline of {budget_ms} ms expired before any replica answered")
+            }
+            PipelineError::Unavailable { attempts, last } => {
+                write!(f, "no replica could serve the request after {attempts} attempt(s): {last}")
+            }
         }
     }
 }
@@ -99,6 +133,7 @@ impl Error for PipelineError {
         match self {
             PipelineError::Tensor(e) => Some(e),
             PipelineError::Analysis(report) => Some(report),
+            PipelineError::Unavailable { last, .. } => Some(last.as_ref()),
             _ => None,
         }
     }

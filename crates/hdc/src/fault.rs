@@ -205,6 +205,108 @@ impl FaultPlan {
     }
 }
 
+impl FaultReport {
+    /// Accumulates another pass's sites and faults into this report.
+    fn absorb(&mut self, other: FaultReport) {
+        self.sites += other.sites;
+        self.faults += other.faults;
+    }
+}
+
+/// An ordered composition of [`FaultPlan`]s — the building block chaos
+/// scenarios are assembled from.
+///
+/// Each step pairs a plan with the stream it injects on, so a scenario
+/// like "a burst of SEUs followed by a stuck-at sweep" is one value that
+/// can be applied to any memory format, replayed exactly, and shared
+/// between the robustness sweep and the serving-tier chaos harness.
+/// Steps apply in insertion order; because later steps perturb the
+/// output of earlier ones, order is part of the scenario's identity.
+///
+/// # Examples
+///
+/// ```
+/// use nshd_hdc::{FaultPlan, FaultScenario};
+///
+/// let scenario = FaultScenario::new()
+///     .with(FaultPlan::new(7, 0.02), 1)
+///     .with(FaultPlan::new(8, 0.001), 2);
+/// assert_eq!(scenario.len(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultScenario {
+    steps: Vec<(FaultPlan, u64)>,
+}
+
+impl FaultScenario {
+    /// An empty scenario (applying it is the identity).
+    pub fn new() -> Self {
+        FaultScenario::default()
+    }
+
+    /// Appends one `(plan, stream)` injection step.
+    #[must_use]
+    pub fn with(mut self, plan: FaultPlan, stream: u64) -> Self {
+        self.steps.push((plan, stream));
+        self
+    }
+
+    /// Number of injection steps.
+    pub fn len(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Whether the scenario has no steps.
+    pub fn is_empty(&self) -> bool {
+        self.steps.is_empty()
+    }
+
+    /// The composed steps, in application order.
+    pub fn steps(&self) -> &[(FaultPlan, u64)] {
+        &self.steps
+    }
+
+    /// Applies every step's [`FaultPlan::corrupt_associative`] in order,
+    /// returning the summed report.
+    pub fn apply_associative(&self, memory: &mut AssociativeMemory) -> FaultReport {
+        let mut total = FaultReport::default();
+        for (plan, stream) in &self.steps {
+            total.absorb(plan.corrupt_associative(memory, *stream));
+        }
+        total
+    }
+
+    /// Applies every step's [`FaultPlan::perturb_quantized`] in order,
+    /// returning the summed report.
+    pub fn apply_quantized(&self, memory: &mut QuantizedMemory) -> FaultReport {
+        let mut total = FaultReport::default();
+        for (plan, stream) in &self.steps {
+            total.absorb(plan.perturb_quantized(memory, *stream));
+        }
+        total
+    }
+
+    /// Applies every step's [`FaultPlan::flip_binary_memory`] in order,
+    /// returning the summed report.
+    pub fn apply_binary(&self, memory: &mut BinaryMemory) -> FaultReport {
+        let mut total = FaultReport::default();
+        for (plan, stream) in &self.steps {
+            total.absorb(plan.flip_binary_memory(memory, *stream));
+        }
+        total
+    }
+
+    /// Applies every step's [`FaultPlan::flip_packed`] in order,
+    /// returning the summed report.
+    pub fn apply_packed(&self, hv: &mut PackedHv) -> FaultReport {
+        let mut total = FaultReport::default();
+        for (plan, stream) in &self.steps {
+            total.absorb(plan.flip_packed(hv, *stream));
+        }
+        total
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -366,5 +468,70 @@ mod tests {
     #[should_panic(expected = "fault rate")]
     fn out_of_range_rate_panics() {
         FaultPlan::new(1, 1.5);
+    }
+
+    #[test]
+    fn empty_scenario_is_identity() {
+        let scenario = FaultScenario::new();
+        assert!(scenario.is_empty());
+        let mut mem = trained_memory(3, 128, 31);
+        let orig = mem.clone();
+        assert_eq!(scenario.apply_associative(&mut mem), FaultReport::default());
+        assert_eq!(mem, orig);
+    }
+
+    #[test]
+    fn composed_scenario_equals_sequential_application() {
+        let p1 = FaultPlan::new(41, 0.05);
+        let p2 = FaultPlan::new(42, 0.02);
+        let scenario = FaultScenario::new().with(p1, 1).with(p2, 2);
+        assert_eq!(scenario.len(), 2);
+        assert_eq!(scenario.steps().len(), 2);
+
+        let base = trained_memory(4, 256, 33);
+        // By hand, in the same order.
+        let mut manual = base.clone();
+        let mut expect = p1.corrupt_associative(&mut manual, 1);
+        expect.absorb(p2.corrupt_associative(&mut manual, 2));
+        // Through the scenario.
+        let mut composed = base.clone();
+        let report = scenario.apply_associative(&mut composed);
+        assert_eq!(report, expect);
+        assert_eq!(composed, manual);
+
+        // Deterministic: a replay lands the identical faults.
+        let mut replay = base.clone();
+        scenario.apply_associative(&mut replay);
+        assert_eq!(replay, composed);
+
+        // Order matters and is preserved: the reversed scenario differs.
+        let reversed = FaultScenario::new().with(p2, 2).with(p1, 1);
+        let mut swapped = base.clone();
+        reversed.apply_associative(&mut swapped);
+        assert_ne!(swapped, composed);
+    }
+
+    #[test]
+    fn scenario_covers_every_memory_format() {
+        let scenario =
+            FaultScenario::new().with(FaultPlan::new(51, 0.1), 1).with(FaultPlan::new(52, 0.05), 2);
+        let mem = trained_memory(3, 192, 35);
+
+        let mut quant = QuantizedMemory::from_memory(&mem);
+        let qr = scenario.apply_quantized(&mut quant);
+        assert_eq!(qr.sites, 2 * 3 * 192);
+        assert!(qr.faults > 0);
+
+        let mut binary = BinaryMemory::from_memory(&mem);
+        let br = scenario.apply_binary(&mut binary);
+        assert_eq!(br.sites, 2 * 3 * 192);
+        assert!(br.faults > 0);
+
+        let mut packed = random_hv(192, &mut Rng::new(36)).to_packed();
+        let pr = scenario.apply_packed(&mut packed);
+        assert_eq!(pr.sites, 2 * 192);
+        // Padding bits stay clean through composed injection.
+        let _ = PackedHv::new(packed.words().to_vec(), 192);
+        assert!(pr.faults > 0);
     }
 }

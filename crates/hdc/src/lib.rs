@@ -50,7 +50,7 @@ mod ste;
 mod symbolic;
 
 pub use distill::{DistillConfig, DistillTrainer, TemperatureMode};
-pub use fault::{FaultPlan, FaultReport};
+pub use fault::{FaultPlan, FaultReport, FaultScenario};
 pub use hypervector::{BipolarHv, PackedHv};
 pub use lsh::LshEncoder;
 pub use mass::{bundle_init, MassTrainer};

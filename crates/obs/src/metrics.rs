@@ -65,7 +65,7 @@ impl Gauge {
     }
 }
 
-#[derive(Debug)]
+#[derive(Debug, Clone)]
 struct HistCore {
     /// Strictly increasing finite upper bucket edges; a value `v` lands in
     /// the first bucket whose edge is `>= v`, or in the overflow bucket.
@@ -246,6 +246,47 @@ impl Histogram {
         core.sum = 0.0;
         core.min = 0.0;
         core.max = 0.0;
+    }
+
+    /// Folds every observation of `other` into `self` — the rollup
+    /// primitive behind per-replica metric aggregation. Bucket-exact
+    /// when both histograms share the same bounds (two
+    /// [`Histogram::latency_us`] instances always do); with differing
+    /// bounds each of `other`'s buckets is re-observed at its upper
+    /// edge, preserving counts at the resolution of `self`'s buckets.
+    /// `other`'s core is copied out before `self` is locked, so merging
+    /// two histograms into each other concurrently cannot deadlock.
+    pub fn merge_from(&self, other: &Histogram) {
+        let theirs = lock(&other.inner).clone();
+        if theirs.count == 0 {
+            return;
+        }
+        let mut core = lock(&self.inner);
+        if core.count == 0 {
+            core.min = theirs.min;
+            core.max = theirs.max;
+        } else {
+            core.min = core.min.min(theirs.min);
+            core.max = core.max.max(theirs.max);
+        }
+        core.count += theirs.count;
+        core.sum += theirs.sum;
+        if core.bounds == theirs.bounds {
+            for (mine, theirs) in core.counts.iter_mut().zip(&theirs.counts) {
+                *mine += theirs;
+            }
+        } else {
+            // Re-bucket at each foreign bucket's upper edge (overflow
+            // lands past the last edge and stays overflow).
+            for (i, &c) in theirs.counts.iter().enumerate() {
+                if c == 0 {
+                    continue;
+                }
+                let value = theirs.bounds.get(i).copied().unwrap_or(f64::MAX);
+                let idx = core.bounds.partition_point(|b| *b < value);
+                core.counts[idx] += c;
+            }
+        }
     }
 }
 
@@ -439,5 +480,48 @@ mod tests {
         let h = Histogram::with_bounds(vec![3.0, 2.0]);
         h.observe(123.0);
         assert_eq!(h.quantile(0.5), 123.0);
+    }
+
+    #[test]
+    fn merge_with_equal_bounds_is_bucket_exact() {
+        let a = Histogram::latency_us();
+        let b = Histogram::latency_us();
+        let reference = Histogram::latency_us();
+        for v in [1.0, 5.0, 40.0, 900.0] {
+            a.observe(v);
+            reference.observe(v);
+        }
+        for v in [2.0, 7.0, 1e7] {
+            b.observe(v);
+            reference.observe(v);
+        }
+        a.merge_from(&b);
+        let merged = a.snapshot();
+        let expect = reference.snapshot();
+        assert_eq!(merged.count, expect.count);
+        assert_eq!(merged.buckets, expect.buckets);
+        assert_eq!(merged.overflow, expect.overflow);
+        assert_eq!(merged.min, expect.min);
+        assert_eq!(merged.max, expect.max);
+        assert_eq!(merged.p99, expect.p99);
+        // Merging an empty histogram changes nothing.
+        a.merge_from(&Histogram::latency_us());
+        assert_eq!(a.snapshot(), merged);
+    }
+
+    #[test]
+    fn merge_with_different_bounds_rebuckets_at_edges() {
+        let coarse = Histogram::with_bounds(vec![10.0, 100.0]);
+        let fine = Histogram::with_bounds(vec![1.0, 2.0, 50.0]);
+        fine.observe(0.5); // fine bucket edge 1.0 → coarse bucket 10.0
+        fine.observe(30.0); // fine bucket edge 50.0 → coarse bucket 100.0
+        fine.observe(1e6); // fine overflow → coarse overflow
+        coarse.merge_from(&fine);
+        let s = coarse.snapshot();
+        assert_eq!(s.count, 3);
+        assert_eq!(s.buckets, vec![(10.0, 1), (100.0, 1)]);
+        assert_eq!(s.overflow, 1);
+        assert_eq!(s.min, 0.5);
+        assert_eq!(s.max, 1e6);
     }
 }

@@ -12,7 +12,10 @@ use std::collections::BTreeMap;
 use std::time::{Duration, Instant};
 
 /// Accumulates serving statistics; the runtime keeps one behind a mutex and
-/// feeds it from `submit` / batch-completion events.
+/// feeds it from `submit` / batch-completion events. The replicated serving
+/// tier additionally counts shed (admission-rejected) requests and retry
+/// attempts, and rolls several per-replica accumulators into one cluster
+/// view via [`ServingAccumulator::merge_from`].
 #[derive(Debug)]
 pub struct ServingAccumulator {
     latency: Histogram,
@@ -21,6 +24,8 @@ pub struct ServingAccumulator {
     batch_sizes: BTreeMap<usize, u64>,
     requests: u64,
     batches: u64,
+    shed: u64,
+    retries: u64,
     first_submit: Option<Instant>,
     last_complete: Option<Instant>,
 }
@@ -46,6 +51,8 @@ impl ServingAccumulator {
             batch_sizes: BTreeMap::new(),
             requests: 0,
             batches: 0,
+            shed: 0,
+            retries: 0,
             first_submit: None,
             last_complete: None,
         }
@@ -80,6 +87,43 @@ impl ServingAccumulator {
         *self.batch_sizes.entry(size).or_insert(0) += 1;
         self.execute.observe(us(execute));
         self.last_complete = Some(completed);
+    }
+
+    /// Records one request shed by admission control (it never reached a
+    /// batcher queue and contributes to no latency histogram).
+    pub fn note_shed(&mut self) {
+        self.shed += 1;
+    }
+
+    /// Records one retry attempt — a request re-dispatched to another
+    /// replica after a failure or timeout.
+    pub fn note_retry(&mut self) {
+        self.retries += 1;
+    }
+
+    /// Folds `other`'s complete history into `self`: histograms merge
+    /// bucket-exactly (see [`Histogram::merge_from`]), counters add, and
+    /// the throughput window widens to span both accumulators. This is
+    /// how per-replica accumulators roll up into one cluster view.
+    pub fn merge_from(&mut self, other: &ServingAccumulator) {
+        self.latency.merge_from(&other.latency);
+        self.queue_wait.merge_from(&other.queue_wait);
+        self.execute.merge_from(&other.execute);
+        for (&size, &count) in &other.batch_sizes {
+            *self.batch_sizes.entry(size).or_insert(0) += count;
+        }
+        self.requests += other.requests;
+        self.batches += other.batches;
+        self.shed += other.shed;
+        self.retries += other.retries;
+        self.first_submit = match (self.first_submit, other.first_submit) {
+            (Some(a), Some(b)) => Some(a.min(b)),
+            (a, b) => a.or(b),
+        };
+        self.last_complete = match (self.last_complete, other.last_complete) {
+            (Some(a), Some(b)) => Some(a.max(b)),
+            (a, b) => a.or(b),
+        };
     }
 
     /// Handle to the per-request latency histogram (microseconds).
@@ -121,6 +165,8 @@ impl ServingAccumulator {
             p95_us: lat.p95,
             p99_us: lat.p99,
             requests_per_sec: if elapsed > 0.0 { self.requests as f64 / elapsed } else { 0.0 },
+            shed: self.shed,
+            retries: self.retries,
             queue_wait: LatencySummary::from(&self.queue_wait),
             execute: LatencySummary::from(&self.execute),
         }
@@ -188,6 +234,10 @@ pub struct ServingMetrics {
     pub p99_us: f64,
     /// Completed requests per second over the submit→complete window.
     pub requests_per_sec: f64,
+    /// Requests shed by admission control (fail-fast, never queued).
+    pub shed: u64,
+    /// Retry attempts — requests re-dispatched after a failure/timeout.
+    pub retries: u64,
     /// Time requests spent queued before their batch started executing.
     pub queue_wait: LatencySummary,
     /// Per-batch execute (extract + finish) time.
@@ -198,7 +248,8 @@ impl ServingMetrics {
     /// Compact JSON rendering. Keys are stable: the historical
     /// `requests` / `batches` / `mean_batch` / `batch_histogram` /
     /// `latency_us{p50,p95,p99}` / `requests_per_sec` set plus
-    /// `queue_wait_us` and `execute_us` summaries.
+    /// `queue_wait_us` / `execute_us` summaries and the serving-tier
+    /// `shed` / `retries` counters.
     #[must_use]
     pub fn to_json(&self) -> String {
         Json::obj(vec![
@@ -224,6 +275,8 @@ impl ServingMetrics {
             ("queue_wait_us", self.queue_wait.to_json()),
             ("execute_us", self.execute.to_json()),
             ("requests_per_sec", Json::fixed(self.requests_per_sec, 1)),
+            ("shed", Json::from(self.shed)),
+            ("retries", Json::from(self.retries)),
         ])
         .to_string()
     }
@@ -265,7 +318,7 @@ mod tests {
              \"latency_us\":{\"p50\":0.0,\"p95\":0.0,\"p99\":0.0},\
              \"queue_wait_us\":{\"p50\":0.0,\"p95\":0.0,\"p99\":0.0,\"mean\":0.0,\"max\":0.0},\
              \"execute_us\":{\"p50\":0.0,\"p95\":0.0,\"p99\":0.0,\"mean\":0.0,\"max\":0.0},\
-             \"requests_per_sec\":0.0}"
+             \"requests_per_sec\":0.0,\"shed\":0,\"retries\":0}"
         );
     }
 
@@ -293,8 +346,58 @@ mod tests {
             "\"queue_wait_us\":{\"p50\":",
             "\"execute_us\":{\"p50\":",
             "\"requests_per_sec\":",
+            "\"shed\":0",
+            "\"retries\":0",
         ] {
             assert!(json.contains(key), "missing {key} in {json}");
         }
+    }
+
+    #[test]
+    fn shed_and_retry_counters_accumulate_and_render() {
+        let mut acc = ServingAccumulator::new();
+        acc.note_shed();
+        acc.note_shed();
+        acc.note_retry();
+        let m = acc.snapshot();
+        assert_eq!(m.shed, 2);
+        assert_eq!(m.retries, 1);
+        let json = m.to_json();
+        assert!(json.contains("\"shed\":2"), "{json}");
+        assert!(json.contains("\"retries\":1"), "{json}");
+    }
+
+    #[test]
+    fn merge_rolls_per_replica_accumulators_into_one_view() {
+        let ms = Duration::from_millis;
+        let t0 = clock::now();
+        let mut a = ServingAccumulator::new();
+        a.note_submit(t0);
+        a.note_batch(2, vec![(ms(1), ms(4)), (ms(1), ms(5))], ms(3), t0 + ms(10));
+        a.note_retry();
+        let mut b = ServingAccumulator::new();
+        b.note_submit(t0 + ms(5));
+        b.note_batch(1, vec![(ms(2), ms(9))], ms(7), t0 + ms(30));
+        b.note_shed();
+
+        let mut rollup = ServingAccumulator::new();
+        rollup.merge_from(&a);
+        rollup.merge_from(&b);
+        let m = rollup.snapshot();
+        assert_eq!(m.requests, 3);
+        assert_eq!(m.batches, 2);
+        assert_eq!(m.batch_histogram, vec![(1, 1), (2, 1)]);
+        assert_eq!(m.shed, 1);
+        assert_eq!(m.retries, 1);
+        // The throughput window spans the earliest submit to the latest
+        // completion: 3 requests over 30 ms = 100 req/s.
+        assert!((m.requests_per_sec - 100.0).abs() < 10.0, "{}", m.requests_per_sec);
+        // The merged latency histogram holds all three samples; its max
+        // quantile sits at the slowest replica's sample.
+        assert!(m.p99_us >= 8_000.0, "p99 {} lost the slow sample", m.p99_us);
+        // Merging an empty accumulator is a no-op.
+        let before = rollup.snapshot();
+        rollup.merge_from(&ServingAccumulator::new());
+        assert_eq!(rollup.snapshot(), before);
     }
 }

@@ -59,7 +59,9 @@ impl RuntimeConfig {
 
 /// Locks a metrics mutex, recovering the data from a poisoned lock (the
 /// accounting state stays usable even if a panic ever crossed it).
-fn lock_metrics(metrics: &Mutex<ServingAccumulator>) -> MutexGuard<'_, ServingAccumulator> {
+pub(crate) fn lock_metrics(
+    metrics: &Mutex<ServingAccumulator>,
+) -> MutexGuard<'_, ServingAccumulator> {
     metrics.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
 }
 
@@ -91,6 +93,40 @@ pub struct PredictionHandle<T> {
     rx: Receiver<Result<T, PipelineError>>,
 }
 
+/// Outcome of a bounded wait on a [`PredictionHandle`].
+///
+/// A timed-out wait and a dead runtime are different situations with
+/// different correct reactions — waiting longer can still succeed after
+/// [`Timeout`](WaitOutcome::Timeout), while after
+/// [`WorkerGone`](WaitOutcome::WorkerGone) the result will never arrive
+/// and the caller should retry on another replica — so
+/// [`PredictionHandle::wait_timeout`] reports them as distinct variants
+/// instead of collapsing both to `None`.
+#[derive(Debug)]
+#[must_use = "a timed-out or abandoned request must be handled, not dropped"]
+pub enum WaitOutcome<T> {
+    /// The batch executed; this is the request's result (which may
+    /// itself be the batch's typed failure).
+    Ready(Result<T, PipelineError>),
+    /// The timeout elapsed with the request still in flight. Waiting
+    /// again on the same handle can still observe the result.
+    Timeout,
+    /// The runtime dropped the request without replying — the collector
+    /// died or the handle outlived a torn-down runtime. The result will
+    /// never arrive; retry elsewhere.
+    WorkerGone(PipelineError),
+}
+
+impl<T> WaitOutcome<T> {
+    /// The result, if the wait produced one.
+    pub fn ready(self) -> Option<Result<T, PipelineError>> {
+        match self {
+            WaitOutcome::Ready(result) => Some(result),
+            WaitOutcome::Timeout | WaitOutcome::WorkerGone(_) => None,
+        }
+    }
+}
+
 impl<T> PredictionHandle<T> {
     /// Blocks until the result is ready.
     ///
@@ -102,17 +138,27 @@ impl<T> PredictionHandle<T> {
     /// first).
     #[must_use = "the prediction may have failed; check the result"]
     pub fn wait(self) -> Result<T, PipelineError> {
-        self.rx.recv().unwrap_or_else(|_| {
-            Err(PipelineError::Runtime {
-                stage: "wait",
-                detail: "runtime dropped the request without replying".into(),
-            })
-        })
+        self.rx.recv().unwrap_or_else(|_| Err(worker_gone_error()))
     }
 
-    /// Waits up to `timeout`; `None` if the result isn't ready yet.
-    pub fn wait_timeout(&self, timeout: Duration) -> Option<Result<T, PipelineError>> {
-        self.rx.recv_timeout(timeout).ok()
+    /// Waits up to `timeout`, distinguishing a still-pending result
+    /// ([`WaitOutcome::Timeout`]) from a runtime that abandoned the
+    /// request ([`WaitOutcome::WorkerGone`]).
+    pub fn wait_timeout(&self, timeout: Duration) -> WaitOutcome<T> {
+        match self.rx.recv_timeout(timeout) {
+            Ok(result) => WaitOutcome::Ready(result),
+            Err(RecvTimeoutError::Timeout) => WaitOutcome::Timeout,
+            Err(RecvTimeoutError::Disconnected) => WaitOutcome::WorkerGone(worker_gone_error()),
+        }
+    }
+}
+
+/// The typed report for a runtime that dropped a request without
+/// replying (shared by `wait` and `wait_timeout`).
+fn worker_gone_error() -> PipelineError {
+    PipelineError::Runtime {
+        stage: "wait",
+        detail: "runtime dropped the request without replying".into(),
     }
 }
 
@@ -209,6 +255,13 @@ impl<E: BatchEngine> InferenceRuntime<E> {
     /// A snapshot of the serving statistics so far.
     pub fn metrics(&self) -> ServingMetrics {
         lock_metrics(&self.metrics).snapshot()
+    }
+
+    /// Folds this runtime's accumulated serving history into `target`
+    /// (used by the replica set to roll per-replica statistics into one
+    /// cluster view).
+    pub fn merge_metrics_into(&self, target: &mut ServingAccumulator) {
+        target.merge_from(&lock_metrics(&self.metrics));
     }
 
     /// Graceful shutdown: closes the queue, lets the batcher execute

@@ -1,0 +1,191 @@
+//! Deterministic fault injection for the serving tier.
+//!
+//! [`ChaosEngine`] wraps any [`BatchEngine`] and misbehaves on command:
+//! a shared [`ChaosSwitch`] flips the wrapped replica between healthy
+//! operation, injected extract-stage stalls, and hard failures — while
+//! live traffic is in flight. Combined with `nshd_hdc::FaultScenario`
+//! memory corruption (see `NshdEngine::degraded` in `nshd-core`), this
+//! gives chaos tests and
+//! the `cluster_bench` harness the full fault matrix: slow replicas,
+//! failing replicas, and silently-degraded replicas, all injected
+//! deterministically so the survivor invariant (healthy replicas'
+//! predictions stay bit-identical to a fault-free run) is checkable.
+//!
+//! Thread-death faults (a panicking engine killing the collector) are
+//! exercised from the integration tests instead: library code in this
+//! crate is panic-free by construction, so the panicking engine lives
+//! with the tests that need it.
+
+use crate::engine::BatchEngine;
+use nshd_core::PipelineError;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::Duration;
+
+/// What a [`ChaosEngine`] does with the next extract call.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ChaosMode {
+    /// Delegate untouched to the wrapped engine.
+    Healthy,
+    /// Sleep for the given duration, then delegate — a slow replica.
+    /// Long stalls surface as deadline timeouts at the router.
+    Stall(Duration),
+    /// Fail the batch with a typed `chaos` error — a crashing replica
+    /// that can later heal (flip the switch back to
+    /// [`Healthy`](ChaosMode::Healthy) and half-open probes re-admit
+    /// it).
+    Fail,
+    /// Fail every batch permanently — a dead replica that never heals.
+    /// Behaviourally like [`Fail`](ChaosMode::Fail) at the router
+    /// (errors feed the breaker), but chaos harnesses treat it as
+    /// terminal and never flip the switch back.
+    Kill,
+}
+
+#[derive(Debug)]
+struct SwitchInner {
+    mode: Mutex<ChaosMode>,
+    injected: AtomicU64,
+}
+
+/// Shared control handle for one [`ChaosEngine`]. Clones share state:
+/// the test (or bench driver) keeps one clone and flips the mode while
+/// the wrapped replica serves traffic through the other.
+#[derive(Debug, Clone)]
+pub struct ChaosSwitch {
+    inner: Arc<SwitchInner>,
+}
+
+impl Default for ChaosSwitch {
+    fn default() -> Self {
+        ChaosSwitch::new()
+    }
+}
+
+impl ChaosSwitch {
+    /// A switch starting in [`ChaosMode::Healthy`].
+    #[must_use]
+    pub fn new() -> ChaosSwitch {
+        ChaosSwitch {
+            inner: Arc::new(SwitchInner {
+                mode: Mutex::new(ChaosMode::Healthy),
+                injected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Flips the fault mode; takes effect on the next extract call.
+    pub fn set(&self, mode: ChaosMode) {
+        *lock_mode(&self.inner.mode) = mode;
+    }
+
+    /// The currently configured fault mode.
+    pub fn mode(&self) -> ChaosMode {
+        *lock_mode(&self.inner.mode)
+    }
+
+    /// How many faults (stalls and failures) have been injected so far.
+    pub fn injected(&self) -> u64 {
+        self.inner.injected.load(Ordering::Acquire)
+    }
+
+    fn note_injected(&self) {
+        self.inner.injected.fetch_add(1, Ordering::AcqRel);
+    }
+}
+
+/// Locks the mode mutex, recovering from poisoning (the switch stays
+/// usable even if a panic ever crossed it).
+fn lock_mode(mode: &Mutex<ChaosMode>) -> std::sync::MutexGuard<'_, ChaosMode> {
+    mode.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A [`BatchEngine`] decorator that injects faults on command.
+///
+/// Faults hit the **extract** stage — the data-parallel stage the
+/// runtime distributes — so an injected failure exercises exactly the
+/// path a real malformed batch or resource failure would take: the
+/// batch's handles all fail with a typed [`PipelineError`], the replica
+/// process survives, and the router's circuit breaker sees the
+/// failures.
+///
+/// # Examples
+///
+/// ```no_run
+/// use nshd_core::NshdEngine;
+/// use nshd_runtime::{ChaosEngine, ChaosMode, ClusterConfig, ReplicaSet};
+/// use std::sync::Arc;
+/// # let engine: NshdEngine = unimplemented!();
+/// let (victim, switch) = ChaosEngine::new(Arc::new(engine.clone()));
+/// let replicas = vec![Arc::new(ChaosEngine::passthrough(Arc::new(engine))), Arc::new(victim)];
+/// let set = ReplicaSet::new(replicas, ClusterConfig::default()).unwrap();
+/// switch.set(ChaosMode::Fail); // replica 1 starts failing mid-traffic
+/// ```
+pub struct ChaosEngine<E: BatchEngine> {
+    inner: Arc<E>,
+    switch: ChaosSwitch,
+}
+
+impl<E: BatchEngine> ChaosEngine<E> {
+    /// Wraps `inner`, returning the engine and the switch that controls
+    /// it (initially [`ChaosMode::Healthy`]).
+    #[must_use]
+    pub fn new(inner: Arc<E>) -> (ChaosEngine<E>, ChaosSwitch) {
+        let switch = ChaosSwitch::new();
+        let engine = ChaosEngine { inner, switch: switch.clone() };
+        (engine, switch)
+    }
+
+    /// Wraps `inner` with a switch nobody else holds: a permanently
+    /// healthy decorator, so homogeneous replica sets can mix faultable
+    /// and non-faultable replicas of one engine type.
+    #[must_use]
+    pub fn passthrough(inner: Arc<E>) -> ChaosEngine<E> {
+        ChaosEngine { inner, switch: ChaosSwitch::new() }
+    }
+
+    /// The switch controlling this engine.
+    #[must_use]
+    pub fn switch(&self) -> ChaosSwitch {
+        self.switch.clone()
+    }
+}
+
+impl<E: BatchEngine> BatchEngine for ChaosEngine<E> {
+    type Input = E::Input;
+    type Partial = E::Partial;
+    type Output = E::Output;
+
+    fn extract(&self, chunk: &[Self::Input]) -> Result<Vec<Self::Partial>, PipelineError> {
+        match self.switch.mode() {
+            ChaosMode::Healthy => self.inner.extract(chunk),
+            ChaosMode::Stall(pause) => {
+                self.switch.note_injected();
+                std::thread::sleep(pause);
+                self.inner.extract(chunk)
+            }
+            ChaosMode::Fail => {
+                self.switch.note_injected();
+                Err(PipelineError::Runtime {
+                    stage: "chaos",
+                    detail: "injected transient fault".into(),
+                })
+            }
+            ChaosMode::Kill => {
+                self.switch.note_injected();
+                Err(PipelineError::Runtime {
+                    stage: "chaos",
+                    detail: "injected permanent fault (replica killed)".into(),
+                })
+            }
+        }
+    }
+
+    fn finish(&self, partials: Vec<Self::Partial>) -> Result<Vec<Self::Output>, PipelineError> {
+        self.inner.finish(partials)
+    }
+
+    fn verify(&self) -> Result<(), PipelineError> {
+        self.inner.verify()
+    }
+}

@@ -37,6 +37,17 @@
 //! the engine rejects fails only that batch's [`PredictionHandle`]s
 //! with a [`nshd_core::PipelineError`].
 //!
+//! On top of the single-replica runtime sits the **fault-tolerant
+//! serving tier**: a [`ReplicaSet`] holds N independent engine
+//! snapshots, each behind its own [`InferenceRuntime`], and adds
+//! health-checked routing (per-replica circuit breakers with half-open
+//! probes), per-request deadlines with bounded retry and exponential
+//! backoff ([`RetryPolicy`]), admission control that sheds load with a
+//! typed `Overloaded` error instead of queueing to death, and graceful
+//! per-replica drain. [`ChaosEngine`] injects deterministic stalls and
+//! failures into any replica for chaos testing — see `tests/chaos.rs`
+//! and the `cluster_bench` harness in `nshd-bench`.
+//!
 //! # Examples
 //!
 //! ```no_run
@@ -67,10 +78,14 @@
 #![warn(missing_docs)]
 
 mod batcher;
+mod chaos;
 mod engine;
 mod pool;
+mod replica;
+mod retry;
 
-pub use batcher::{InferenceRuntime, PredictionHandle, RuntimeConfig};
+pub use batcher::{InferenceRuntime, PredictionHandle, RuntimeConfig, WaitOutcome};
+pub use chaos::{ChaosEngine, ChaosMode, ChaosSwitch};
 pub use engine::BatchEngine;
 /// Serving statistics, kept under the historical `RuntimeMetrics` name.
 /// The type itself now lives in [`nshd_obs`] (as
@@ -78,3 +93,5 @@ pub use engine::BatchEngine;
 /// and the runtime share one schema.
 pub use nshd_obs::ServingMetrics as RuntimeMetrics;
 pub use pool::WorkerPool;
+pub use replica::{ClusterConfig, ClusterMetrics, ClusterReply, ReplicaMetrics, ReplicaSet};
+pub use retry::{BreakerConfig, ReplicaState, RetryPolicy};

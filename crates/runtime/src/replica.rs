@@ -1,0 +1,533 @@
+//! The fault-tolerant replicated serving tier: N independent engine
+//! replicas behind one router with health-checked routing, bounded
+//! retry, admission control and graceful drain.
+//!
+//! A [`ReplicaSet`] owns one [`InferenceRuntime`] per engine snapshot.
+//! Requests enter through [`ReplicaSet::predict`], which:
+//!
+//! 1. **admits or sheds** — when the cluster already has `max_inflight`
+//!    requests in flight, the request fails fast with
+//!    [`PipelineError::Overloaded`] instead of queuing toward a missed
+//!    deadline;
+//! 2. **routes** — round-robin over replicas whose circuit breaker
+//!    admits traffic (closed, or open-past-cool-down taking a half-open
+//!    probe);
+//! 3. **waits with a deadline** — a replica that fails, stalls past the
+//!    remaining budget, or dies feeds the breaker and the request is
+//!    **retried with exponential backoff** on the next admissible
+//!    replica, up to [`RetryPolicy::max_attempts`] times within
+//!    [`RetryPolicy::deadline`];
+//! 4. **reports typed outcomes** — exhausted retries return
+//!    [`PipelineError::Unavailable`], an expired budget
+//!    [`PipelineError::DeadlineExceeded`]; a successful reply names the
+//!    replica that served it so chaos tests can assert the survivor
+//!    invariant (healthy replicas' answers are bit-identical to a
+//!    fault-free run).
+//!
+//! [`ReplicaSet::drain`] removes a replica gracefully: the router stops
+//! sending new work, every batch already submitted finishes (their
+//! handles all resolve), and the replica's final metrics are folded into
+//! the cluster's retired rollup.
+
+use crate::batcher::{lock_metrics, InferenceRuntime, RuntimeConfig, WaitOutcome};
+use crate::engine::BatchEngine;
+use crate::retry::{Breaker, BreakerConfig, ReplicaState, RetryPolicy};
+use nshd_core::PipelineError;
+use nshd_obs::{clock, Json, ServingAccumulator, ServingMetrics};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, RwLock};
+
+/// Knobs for the replicated serving tier.
+#[derive(Debug, Clone, Default)]
+pub struct ClusterConfig {
+    /// Per-replica batcher configuration (workers, `max_batch`,
+    /// `max_wait`).
+    pub runtime: RuntimeConfig,
+    /// Retry/backoff/deadline policy applied to every request.
+    pub retry: RetryPolicy,
+    /// Circuit-breaker thresholds applied to every replica.
+    pub breaker: BreakerConfig,
+    /// Admission cap: requests in flight across the cluster beyond
+    /// which new arrivals are shed with [`PipelineError::Overloaded`].
+    /// `0` picks a default of `replicas * max_batch * 4`.
+    pub max_inflight: usize,
+}
+
+impl ClusterConfig {
+    /// Checks that the configuration can serve at all.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Runtime`] when the per-replica runtime
+    /// config is unusable or `retry.max_attempts` is zero.
+    pub fn validate(&self) -> Result<(), PipelineError> {
+        self.runtime.validate()?;
+        if self.retry.max_attempts == 0 {
+            return Err(PipelineError::Runtime {
+                stage: "config",
+                detail: "retry policy needs at least one attempt".into(),
+            });
+        }
+        Ok(())
+    }
+
+    fn effective_inflight_cap(&self, replicas: usize) -> usize {
+        if self.max_inflight > 0 {
+            self.max_inflight
+        } else {
+            replicas.max(1) * self.runtime.max_batch.max(1) * 4
+        }
+    }
+}
+
+/// A successful reply from the replica set: the output plus where and
+/// how it was obtained.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ClusterReply<T> {
+    /// The engine's output for this request.
+    pub value: T,
+    /// Index of the replica that served the successful attempt.
+    pub replica: usize,
+    /// Attempts consumed (1 = no retry was needed).
+    pub attempts: u32,
+}
+
+/// One replica slot: its runtime (absent once drained), breaker, and
+/// drain flag.
+struct Slot<E: BatchEngine> {
+    runtime: RwLock<Option<InferenceRuntime<E>>>,
+    breaker: Mutex<Breaker>,
+    draining: AtomicBool,
+}
+
+/// Locks a slot mutex, recovering from poisoning (breaker state stays
+/// usable even if a panic ever crossed it).
+fn lock_breaker(breaker: &Mutex<Breaker>) -> MutexGuard<'_, Breaker> {
+    breaker.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+}
+
+/// A fault-tolerant set of engine replicas behind one routing front.
+///
+/// Every replica is an independent [`BatchEngine`] snapshot served by
+/// its own [`InferenceRuntime`]; the set adds health-checked routing
+/// (consecutive-failure circuit breaker with half-open probes),
+/// deadline-bounded retry with exponential backoff, admission
+/// control/load-shedding, and graceful drain. See the module docs for
+/// the request lifecycle.
+///
+/// # Examples
+///
+/// ```no_run
+/// use nshd_core::NshdEngine;
+/// use nshd_runtime::{ClusterConfig, ReplicaSet};
+/// use std::sync::Arc;
+/// # let engine: NshdEngine = unimplemented!();
+/// # let image: nshd_tensor::Tensor = unimplemented!();
+/// let replicas: Vec<Arc<NshdEngine>> =
+///     (0..3).map(|_| Arc::new(engine.clone())).collect();
+/// let set = ReplicaSet::new(replicas, ClusterConfig::default()).unwrap();
+/// let reply = set.predict(image).unwrap();
+/// println!("class {} from replica {}", reply.value, reply.replica);
+/// println!("{}", set.shutdown().to_json());
+/// ```
+pub struct ReplicaSet<E: BatchEngine> {
+    slots: Vec<Slot<E>>,
+    config: ClusterConfig,
+    inflight_cap: usize,
+    round_robin: AtomicUsize,
+    inflight: AtomicUsize,
+    /// End-to-end router accounting: per-request latency across all
+    /// attempts, plus the shed/retry counters.
+    router: Mutex<ServingAccumulator>,
+    /// Rollup of drained replicas' accumulated serving history, so
+    /// cluster totals survive replica removal.
+    retired: Mutex<ServingAccumulator>,
+}
+
+impl<E: BatchEngine> ReplicaSet<E> {
+    /// Starts one [`InferenceRuntime`] per engine snapshot after
+    /// validating the configuration. Every engine is statically verified
+    /// by its runtime before any thread spawns; if any replica fails to
+    /// start, the ones already started are drained before the error is
+    /// returned.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Runtime`] for an empty engine list or an
+    /// unusable configuration, and the first failing replica's error
+    /// otherwise.
+    #[must_use = "the replica set only serves when construction succeeds"]
+    pub fn new(engines: Vec<Arc<E>>, config: ClusterConfig) -> Result<Self, PipelineError> {
+        config.validate()?;
+        if engines.is_empty() {
+            return Err(PipelineError::Runtime {
+                stage: "config",
+                detail: "a replica set needs at least one engine".into(),
+            });
+        }
+        let replicas = engines.len();
+        let mut slots = Vec::with_capacity(replicas);
+        for engine in engines {
+            // A failed replica start drops `slots`, draining the
+            // runtimes already spawned.
+            let runtime = InferenceRuntime::new(engine, config.runtime.clone())?;
+            slots.push(Slot {
+                runtime: RwLock::new(Some(runtime)),
+                breaker: Mutex::new(Breaker::new(config.breaker)),
+                draining: AtomicBool::new(false),
+            });
+        }
+        let inflight_cap = config.effective_inflight_cap(replicas);
+        Ok(ReplicaSet {
+            slots,
+            config,
+            inflight_cap,
+            round_robin: AtomicUsize::new(0),
+            inflight: AtomicUsize::new(0),
+            router: Mutex::new(ServingAccumulator::new()),
+            retired: Mutex::new(ServingAccumulator::new()),
+        })
+    }
+
+    /// Number of replica slots (drained ones included).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether the set has no replica slots (never true for a
+    /// constructed set).
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// The admission cap currently in force.
+    pub fn inflight_cap(&self) -> usize {
+        self.inflight_cap
+    }
+
+    /// The health state of replica `index` (out-of-range reads as
+    /// [`ReplicaState::Removed`]).
+    pub fn replica_state(&self, index: usize) -> ReplicaState {
+        let Some(slot) = self.slots.get(index) else {
+            return ReplicaState::Removed;
+        };
+        slot_state(slot, clock::now())
+    }
+
+    /// Replicas currently admitting traffic (serving or probing).
+    pub fn healthy_count(&self) -> usize {
+        let now = clock::now();
+        self.slots
+            .iter()
+            .filter(|s| matches!(slot_state(s, now), ReplicaState::Serving | ReplicaState::Probing))
+            .count()
+    }
+
+    /// Serves one request through the replica set: admission check,
+    /// health-routed dispatch, deadline-bounded wait, bounded retry with
+    /// exponential backoff onto surviving replicas.
+    ///
+    /// # Errors
+    ///
+    /// - [`PipelineError::Overloaded`] — shed at admission (fail fast);
+    /// - [`PipelineError::DeadlineExceeded`] — the end-to-end budget ran
+    ///   out before any replica answered;
+    /// - [`PipelineError::Unavailable`] — every attempt failed; `last`
+    ///   carries the final attempt's error.
+    pub fn predict(&self, input: E::Input) -> Result<ClusterReply<E::Output>, PipelineError>
+    where
+        E::Input: Clone,
+    {
+        let policy = self.config.retry;
+        let start = clock::now();
+        let deadline = start + policy.deadline;
+
+        // Admission control: shed instead of queuing past capacity. The
+        // count is held (and always released) by the guard below.
+        let admitted = self.inflight.fetch_add(1, Ordering::AcqRel) + 1;
+        let _inflight_guard = InflightGuard { counter: &self.inflight };
+        if admitted > self.inflight_cap {
+            lock_metrics(&self.router).note_shed();
+            return Err(PipelineError::Overloaded {
+                inflight: admitted,
+                capacity: self.inflight_cap,
+            });
+        }
+
+        lock_metrics(&self.router).note_submit(start);
+        let budget_ms = policy.deadline.as_millis() as u64;
+        let mut last_error = PipelineError::Runtime {
+            stage: "route",
+            detail: "no replica admitted the request".into(),
+        };
+        for attempt in 1..=policy.max_attempts {
+            if attempt > 1 {
+                lock_metrics(&self.router).note_retry();
+                let pause = policy.backoff(attempt - 1);
+                if clock::now() + pause >= deadline {
+                    return self.fail(start, PipelineError::DeadlineExceeded { budget_ms });
+                }
+                std::thread::sleep(pause);
+            }
+            let now = clock::now();
+            if now >= deadline {
+                return self.fail(start, PipelineError::DeadlineExceeded { budget_ms });
+            }
+            let Some(index) = self.route(now) else {
+                last_error = PipelineError::Runtime {
+                    stage: "route",
+                    detail: "no healthy replica available".into(),
+                };
+                continue;
+            };
+            let attempt_start = clock::now();
+            match self.dispatch(index, input.clone(), deadline) {
+                Ok(value) => {
+                    lock_breaker(&self.slots[index].breaker).on_success();
+                    let done = clock::now();
+                    lock_metrics(&self.router).note_batch(
+                        1,
+                        [(
+                            attempt_start.saturating_duration_since(start),
+                            done.saturating_duration_since(start),
+                        )],
+                        done.saturating_duration_since(attempt_start),
+                        done,
+                    );
+                    return Ok(ClusterReply { value, replica: index, attempts: attempt });
+                }
+                Err(e) => {
+                    lock_breaker(&self.slots[index].breaker).on_failure(clock::now());
+                    if matches!(e, PipelineError::DeadlineExceeded { .. }) {
+                        // The budget is gone; further attempts cannot
+                        // beat it.
+                        return self.fail(start, e);
+                    }
+                    last_error = e;
+                }
+            }
+        }
+        self.fail(
+            start,
+            PipelineError::Unavailable {
+                attempts: self.config.retry.max_attempts,
+                last: Box::new(last_error),
+            },
+        )
+    }
+
+    /// Round-robin over slots, returning the first one whose breaker
+    /// admits traffic and that is not draining. Open breakers past their
+    /// cool-down convert to a half-open probe here.
+    fn route(&self, now: std::time::Instant) -> Option<usize> {
+        let n = self.slots.len();
+        let offset = self.round_robin.fetch_add(1, Ordering::Relaxed);
+        for step in 0..n {
+            let index = (offset + step) % n;
+            let slot = &self.slots[index];
+            if slot.draining.load(Ordering::Acquire) {
+                continue;
+            }
+            if lock_breaker(&slot.breaker).admit(now) {
+                return Some(index);
+            }
+        }
+        None
+    }
+
+    /// One attempt against one replica: submit, then wait out the
+    /// remaining deadline.
+    fn dispatch(
+        &self,
+        index: usize,
+        input: E::Input,
+        deadline: std::time::Instant,
+    ) -> Result<E::Output, PipelineError> {
+        let handle = {
+            let guard = self.slots[index].runtime.read().unwrap_or_else(|p| p.into_inner());
+            let Some(runtime) = guard.as_ref() else {
+                return Err(PipelineError::Runtime {
+                    stage: "route",
+                    detail: format!("replica {index} already removed"),
+                });
+            };
+            runtime.submit(input)?
+            // The read lock drops here: waiting must not block a
+            // concurrent drain (the replica's own runtime guarantees
+            // every submitted request is answered before removal).
+        };
+        let now = clock::now();
+        if now >= deadline {
+            return Err(PipelineError::DeadlineExceeded {
+                budget_ms: self.config.retry.deadline.as_millis() as u64,
+            });
+        }
+        match handle.wait_timeout(deadline.saturating_duration_since(now)) {
+            WaitOutcome::Ready(result) => result,
+            WaitOutcome::Timeout => Err(PipelineError::DeadlineExceeded {
+                budget_ms: self.config.retry.deadline.as_millis() as u64,
+            }),
+            WaitOutcome::WorkerGone(e) => Err(e),
+        }
+    }
+
+    /// Records a failed request's end-to-end latency, then returns the
+    /// error.
+    fn fail<T>(&self, start: std::time::Instant, error: PipelineError) -> Result<T, PipelineError> {
+        let done = clock::now();
+        lock_metrics(&self.router).note_batch(
+            1,
+            [(done.saturating_duration_since(start), done.saturating_duration_since(start))],
+            std::time::Duration::ZERO,
+            done,
+        );
+        Err(error)
+    }
+
+    /// Gracefully drains replica `index`: the router stops routing to it
+    /// immediately, every request already submitted to it is executed
+    /// (all handles resolve), its threads are joined, and its final
+    /// serving metrics are returned after being folded into the
+    /// cluster's retired rollup.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Runtime`] when `index` is out of range
+    /// or the replica was already drained.
+    pub fn drain(&self, index: usize) -> Result<ServingMetrics, PipelineError> {
+        let slot = self.slots.get(index).ok_or_else(|| PipelineError::Runtime {
+            stage: "drain",
+            detail: format!("replica index {index} out of range ({} slots)", self.slots.len()),
+        })?;
+        slot.draining.store(true, Ordering::Release);
+        let runtime = {
+            let mut guard = slot.runtime.write().unwrap_or_else(|p| p.into_inner());
+            guard.take()
+        };
+        let Some(runtime) = runtime else {
+            return Err(PipelineError::Runtime {
+                stage: "drain",
+                detail: format!("replica {index} already drained"),
+            });
+        };
+        runtime.merge_metrics_into(&mut lock_metrics(&self.retired));
+        // Shutdown blocks until every in-flight batch has executed and
+        // answered its handles, then joins the replica's threads.
+        Ok(runtime.shutdown())
+    }
+
+    /// A point-in-time snapshot of the cluster's serving statistics.
+    pub fn metrics(&self) -> ClusterMetrics {
+        let now = clock::now();
+        let mut rollup = ServingAccumulator::new();
+        rollup.merge_from(&lock_metrics(&self.retired));
+        let mut replicas = Vec::with_capacity(self.slots.len());
+        for (index, slot) in self.slots.iter().enumerate() {
+            let state = slot_state(slot, now);
+            let serving = {
+                let guard = slot.runtime.read().unwrap_or_else(|p| p.into_inner());
+                match guard.as_ref() {
+                    Some(runtime) => {
+                        runtime.merge_metrics_into(&mut rollup);
+                        runtime.metrics()
+                    }
+                    None => ServingMetrics::default(),
+                }
+            };
+            replicas.push(ReplicaMetrics { replica: index, state, serving });
+        }
+        ClusterMetrics {
+            router: lock_metrics(&self.router).snapshot(),
+            rollup: rollup.snapshot(),
+            replicas,
+        }
+    }
+
+    /// Graceful cluster shutdown: drains every remaining replica (all
+    /// outstanding handles resolve first) and returns the final
+    /// statistics.
+    pub fn shutdown(self) -> ClusterMetrics {
+        for index in 0..self.slots.len() {
+            // Already-drained replicas are fine; everything else drains.
+            let _ = self.drain(index);
+        }
+        self.metrics()
+    }
+}
+
+/// Combines the breaker's view with the drain flags into one state.
+fn slot_state<E: BatchEngine>(slot: &Slot<E>, now: std::time::Instant) -> ReplicaState {
+    let removed = {
+        let guard = slot.runtime.read().unwrap_or_else(|p| p.into_inner());
+        guard.is_none()
+    };
+    if removed {
+        ReplicaState::Removed
+    } else if slot.draining.load(Ordering::Acquire) {
+        ReplicaState::Draining
+    } else {
+        lock_breaker(&slot.breaker).state(now)
+    }
+}
+
+/// RAII decrement for the cluster in-flight counter.
+struct InflightGuard<'a> {
+    counter: &'a AtomicUsize,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.counter.fetch_sub(1, Ordering::AcqRel);
+    }
+}
+
+/// Per-replica slice of a [`ClusterMetrics`] snapshot.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReplicaMetrics {
+    /// Replica index within the set.
+    pub replica: usize,
+    /// Health state at snapshot time.
+    pub state: ReplicaState,
+    /// The replica runtime's own serving statistics (zeroed once the
+    /// replica is drained; its history lives on in the rollup).
+    pub serving: ServingMetrics,
+}
+
+/// Frozen cluster-level serving statistics: the router's end-to-end
+/// view, a rollup of every replica's batching statistics (drained
+/// replicas included), and the per-replica breakdown.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterMetrics {
+    /// End-to-end request accounting at the router: latency across all
+    /// attempts, shed and retry counters.
+    pub router: ServingMetrics,
+    /// Merged per-replica serving statistics (bucket-exact histogram
+    /// rollup, including drained replicas' history).
+    pub rollup: ServingMetrics,
+    /// Per-replica state and statistics.
+    pub replicas: Vec<ReplicaMetrics>,
+}
+
+impl ClusterMetrics {
+    /// Compact JSON rendering: `router` and `rollup` use the
+    /// [`ServingMetrics::to_json`] schema; `replicas` adds
+    /// `{replica, state, serving}` per slot.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        Json::obj(vec![
+            ("router", Json::Raw(self.router.to_json())),
+            ("rollup", Json::Raw(self.rollup.to_json())),
+            (
+                "replicas",
+                Json::arr(self.replicas.iter().map(|r| {
+                    Json::obj(vec![
+                        ("replica", Json::from(r.replica)),
+                        ("state", Json::str(r.state.label())),
+                        ("serving", Json::Raw(r.serving.to_json())),
+                    ])
+                })),
+            ),
+        ])
+        .to_string()
+    }
+}

@@ -1,0 +1,251 @@
+//! Retry/backoff policy and the per-replica circuit breaker used by the
+//! replicated serving tier.
+//!
+//! Both are plain value-level state machines: [`RetryPolicy`] decides
+//! how often and how long a request may be re-dispatched, and
+//! [`Breaker`] tracks one replica's health from the router's
+//! observations (consecutive failures open the circuit; after a
+//! cool-down a single half-open probe decides re-admission). Keeping
+//! them free of threads and channels makes the routing logic unit
+//! testable without spawning a single replica.
+
+use std::time::{Duration, Instant};
+
+/// Bounded-retry policy with exponential backoff and a per-request
+/// deadline.
+///
+/// A request is attempted at most `max_attempts` times across the
+/// replica set, waiting `backoff(attempt)` between consecutive attempts
+/// (doubling from `base_backoff`, capped at `max_backoff`), and never
+/// past `deadline` end to end — whichever bound is hit first fails the
+/// request with a typed error instead of queuing it to death.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Attempts per request across the whole replica set (≥ 1).
+    pub max_attempts: u32,
+    /// Backoff before the first retry; doubles each further retry.
+    pub base_backoff: Duration,
+    /// Upper bound any single backoff is clamped to.
+    pub max_backoff: Duration,
+    /// End-to-end budget per request, spanning every attempt, backoff
+    /// and queue wait.
+    pub deadline: Duration,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> Self {
+        RetryPolicy {
+            max_attempts: 3,
+            base_backoff: Duration::from_millis(1),
+            max_backoff: Duration::from_millis(50),
+            deadline: Duration::from_secs(2),
+        }
+    }
+}
+
+impl RetryPolicy {
+    /// The backoff before retry number `retry` (1-based: the wait
+    /// between attempt `retry` and attempt `retry + 1`): `base_backoff *
+    /// 2^(retry-1)` clamped to `max_backoff`. `retry == 0` (before the
+    /// first attempt) waits nothing.
+    pub fn backoff(&self, retry: u32) -> Duration {
+        if retry == 0 {
+            return Duration::ZERO;
+        }
+        let doublings = retry.saturating_sub(1).min(31);
+        self.base_backoff.saturating_mul(1u32 << doublings).min(self.max_backoff)
+    }
+}
+
+/// Circuit-breaker thresholds for one replica.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the circuit (eject the replica).
+    pub failure_threshold: u32,
+    /// How long an open circuit rejects traffic before allowing a
+    /// half-open probe.
+    pub cooldown: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig { failure_threshold: 3, cooldown: Duration::from_millis(100) }
+    }
+}
+
+/// Externally visible health of one replica, as reported by
+/// [`ReplicaSet::replica_state`](crate::ReplicaSet::replica_state) and
+/// the cluster metrics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ReplicaState {
+    /// Circuit closed: the replica takes live traffic.
+    Serving,
+    /// Circuit open: consecutive failures ejected the replica; it takes
+    /// no traffic until its cool-down elapses.
+    Ejected,
+    /// Half-open: one probe request is in flight; its outcome decides
+    /// between re-admission and another ejection.
+    Probing,
+    /// The replica is draining: no new requests, in-flight batches
+    /// finish.
+    Draining,
+    /// The replica was drained and removed from the set.
+    Removed,
+}
+
+impl ReplicaState {
+    /// Stable lowercase label used in JSON exports.
+    pub fn label(&self) -> &'static str {
+        match self {
+            ReplicaState::Serving => "serving",
+            ReplicaState::Ejected => "ejected",
+            ReplicaState::Probing => "probing",
+            ReplicaState::Draining => "draining",
+            ReplicaState::Removed => "removed",
+        }
+    }
+}
+
+/// The per-replica circuit-breaker state machine.
+///
+/// Closed → (threshold consecutive failures) → Open → (cool-down
+/// elapses, next routing decision becomes the probe) → Half-open →
+/// success re-closes / failure re-opens. All transitions happen inside
+/// the router's mutex; the breaker itself is not thread-safe.
+#[derive(Debug)]
+pub(crate) struct Breaker {
+    config: BreakerConfig,
+    state: BreakerState,
+}
+
+#[derive(Debug)]
+enum BreakerState {
+    Closed { consecutive_failures: u32 },
+    Open { until: Instant },
+    HalfOpen,
+}
+
+impl Breaker {
+    pub(crate) fn new(config: BreakerConfig) -> Breaker {
+        Breaker { config, state: BreakerState::Closed { consecutive_failures: 0 } }
+    }
+
+    /// Whether the router may send a request now. An open breaker whose
+    /// cool-down has elapsed transitions to half-open and admits exactly
+    /// one probe; further requests are rejected until the probe reports.
+    pub(crate) fn admit(&mut self, now: Instant) -> bool {
+        match self.state {
+            BreakerState::Closed { .. } => true,
+            BreakerState::Open { until } if now >= until => {
+                self.state = BreakerState::HalfOpen;
+                true
+            }
+            BreakerState::Open { .. } | BreakerState::HalfOpen => false,
+        }
+    }
+
+    /// Records a successful request: closes the circuit and clears the
+    /// failure streak (half-open probes re-admit the replica here).
+    pub(crate) fn on_success(&mut self) {
+        self.state = BreakerState::Closed { consecutive_failures: 0 };
+    }
+
+    /// Records a failed request: extends the failure streak, opening the
+    /// circuit at the threshold; a failed half-open probe re-opens
+    /// immediately.
+    pub(crate) fn on_failure(&mut self, now: Instant) {
+        match &mut self.state {
+            BreakerState::Closed { consecutive_failures } => {
+                *consecutive_failures += 1;
+                if *consecutive_failures >= self.config.failure_threshold {
+                    self.state = BreakerState::Open { until: now + self.config.cooldown };
+                }
+            }
+            BreakerState::HalfOpen => {
+                self.state = BreakerState::Open { until: now + self.config.cooldown };
+            }
+            BreakerState::Open { .. } => {}
+        }
+    }
+
+    /// The breaker's contribution to [`ReplicaState`] (drain states are
+    /// layered on top by the replica set).
+    pub(crate) fn state(&self, now: Instant) -> ReplicaState {
+        match self.state {
+            BreakerState::Closed { .. } => ReplicaState::Serving,
+            // An elapsed cool-down reads as probing: the next routed
+            // request will be the probe.
+            BreakerState::Open { until } if now >= until => ReplicaState::Probing,
+            BreakerState::Open { .. } => ReplicaState::Ejected,
+            BreakerState::HalfOpen => ReplicaState::Probing,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use nshd_obs::clock;
+
+    #[test]
+    fn backoff_doubles_and_caps() {
+        let policy = RetryPolicy {
+            max_attempts: 5,
+            base_backoff: Duration::from_millis(2),
+            max_backoff: Duration::from_millis(9),
+            deadline: Duration::from_secs(1),
+        };
+        assert_eq!(policy.backoff(0), Duration::ZERO);
+        assert_eq!(policy.backoff(1), Duration::from_millis(2));
+        assert_eq!(policy.backoff(2), Duration::from_millis(4));
+        assert_eq!(policy.backoff(3), Duration::from_millis(8));
+        assert_eq!(policy.backoff(4), Duration::from_millis(9)); // capped
+        assert_eq!(policy.backoff(64), Duration::from_millis(9)); // no overflow
+    }
+
+    #[test]
+    fn breaker_opens_after_threshold_and_probes_after_cooldown() {
+        let cfg = BreakerConfig { failure_threshold: 3, cooldown: Duration::from_millis(50) };
+        let mut breaker = Breaker::new(cfg);
+        let t0 = clock::now();
+        assert!(breaker.admit(t0));
+        assert_eq!(breaker.state(t0), ReplicaState::Serving);
+
+        breaker.on_failure(t0);
+        breaker.on_failure(t0);
+        assert!(breaker.admit(t0), "below threshold still admits");
+        breaker.on_failure(t0);
+        assert!(!breaker.admit(t0), "threshold reached must eject");
+        assert_eq!(breaker.state(t0), ReplicaState::Ejected);
+
+        // Cool-down elapsed: exactly one probe is admitted.
+        let later = t0 + cfg.cooldown;
+        assert_eq!(breaker.state(later), ReplicaState::Probing);
+        assert!(breaker.admit(later));
+        assert!(!breaker.admit(later), "only one half-open probe at a time");
+        assert_eq!(breaker.state(later), ReplicaState::Probing);
+
+        // A successful probe re-admits; a failure streak must start over.
+        breaker.on_success();
+        assert_eq!(breaker.state(later), ReplicaState::Serving);
+        breaker.on_failure(later);
+        breaker.on_failure(later);
+        assert!(breaker.admit(later), "streak was reset by the probe success");
+    }
+
+    #[test]
+    fn failed_probe_reopens_immediately() {
+        let cfg = BreakerConfig { failure_threshold: 1, cooldown: Duration::from_millis(40) };
+        let mut breaker = Breaker::new(cfg);
+        let t0 = clock::now();
+        breaker.on_failure(t0);
+        assert!(!breaker.admit(t0));
+        let probe_time = t0 + cfg.cooldown;
+        assert!(breaker.admit(probe_time));
+        breaker.on_failure(probe_time);
+        assert!(!breaker.admit(probe_time), "failed probe must re-eject");
+        assert_eq!(breaker.state(probe_time), ReplicaState::Ejected);
+        // And the next cool-down allows another probe.
+        assert!(breaker.admit(probe_time + cfg.cooldown));
+    }
+}

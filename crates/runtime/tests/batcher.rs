@@ -70,7 +70,7 @@ fn tail_batch_flushes_on_deadline() {
     let started = Instant::now();
     let handles: Vec<_> = (0..3u64).map(|id| runtime.submit((id, 0)).unwrap()).collect();
     for (id, h) in handles.into_iter().enumerate() {
-        assert_eq!(h.wait_timeout(WAIT), Some(Ok(id as u64 * 3 + 7)), "request {id}");
+        assert_eq!(h.wait_timeout(WAIT).ready(), Some(Ok(id as u64 * 3 + 7)), "request {id}");
     }
     assert!(
         started.elapsed() < Duration::from_secs(5),
@@ -99,7 +99,7 @@ fn results_follow_submission_order_despite_out_of_order_workers() {
     let handles: Vec<_> =
         (0..16u64).map(|id| runtime.submit((id, if id < 4 { 60 } else { 0 })).unwrap()).collect();
     for (id, h) in handles.into_iter().enumerate() {
-        assert_eq!(h.wait_timeout(WAIT), Some(Ok(id as u64 * 3 + 7)), "request {id}");
+        assert_eq!(h.wait_timeout(WAIT).ready(), Some(Ok(id as u64 * 3 + 7)), "request {id}");
     }
     let metrics = runtime.shutdown();
     assert_eq!(metrics.requests, 16);
@@ -133,7 +133,7 @@ fn shutdown_with_in_flight_requests_answers_everything() {
     assert_eq!(metrics.requests, 12, "shutdown dropped in-flight requests");
     for (id, h) in handles.into_iter().enumerate() {
         assert_eq!(
-            h.wait_timeout(WAIT),
+            h.wait_timeout(WAIT).ready(),
             Some(Ok(id as u64 * 3 + 7)),
             "request {id} lost its reply during shutdown"
         );
@@ -150,7 +150,7 @@ fn max_batch_bounds_every_executed_batch() {
     .unwrap();
     let handles: Vec<_> = (0..40u64).map(|id| runtime.submit((id, 0)).unwrap()).collect();
     for (id, h) in handles.into_iter().enumerate() {
-        assert_eq!(h.wait_timeout(WAIT), Some(Ok(id as u64 * 3 + 7)));
+        assert_eq!(h.wait_timeout(WAIT).ready(), Some(Ok(id as u64 * 3 + 7)));
     }
     let sizes = engine.batch_sizes();
     assert_eq!(sizes.iter().sum::<usize>(), 40);
@@ -174,7 +174,7 @@ fn drop_without_shutdown_still_drains() {
         // `runtime` dropped here with requests possibly still queued.
     };
     for (id, h) in handles.into_iter().enumerate() {
-        assert_eq!(h.wait_timeout(WAIT), Some(Ok(id as u64 * 3 + 7)), "request {id}");
+        assert_eq!(h.wait_timeout(WAIT).ready(), Some(Ok(id as u64 * 3 + 7)), "request {id}");
     }
 }
 
@@ -246,10 +246,69 @@ fn a_failed_batch_fails_only_its_own_handles() {
         })
         .collect();
     for h in bad {
-        assert!(h.wait_timeout(WAIT).expect("handle must resolve").is_err());
+        assert!(h.wait_timeout(WAIT).ready().expect("handle must resolve").is_err());
     }
     // The runtime keeps serving after a failed batch.
     let good = runtime.submit((5, 0)).unwrap();
-    assert_eq!(good.wait_timeout(WAIT), Some(Ok(5 * 3 + 7)));
+    assert_eq!(good.wait_timeout(WAIT).ready(), Some(Ok(5 * 3 + 7)));
     runtime.shutdown();
+}
+
+#[test]
+fn wait_timeout_distinguishes_pending_from_ready() {
+    use nshd_runtime::WaitOutcome;
+    let engine = MockEngine::new();
+    let runtime = InferenceRuntime::new(
+        engine,
+        RuntimeConfig { workers: 1, max_batch: 1, max_wait: Duration::from_millis(1) },
+    )
+    .unwrap();
+    // A 200 ms extract keeps the request in flight past the short wait.
+    let h = runtime.submit((1, 200)).unwrap();
+    assert!(
+        matches!(h.wait_timeout(Duration::from_millis(5)), WaitOutcome::Timeout),
+        "an in-flight request must report Timeout, not a dead runtime"
+    );
+    // The same handle can keep waiting and still observe the result.
+    assert_eq!(h.wait_timeout(WAIT).ready(), Some(Ok(10)));
+    runtime.shutdown();
+}
+
+/// An engine that panics in extract: with one worker the extract stage
+/// runs on the collector thread, so the panic kills the collector and
+/// every pending reply sender is dropped without an answer.
+struct PanickingEngine;
+
+impl BatchEngine for PanickingEngine {
+    type Input = u64;
+    type Partial = u64;
+    type Output = u64;
+
+    fn extract(&self, _chunk: &[u64]) -> Result<Vec<u64>, PipelineError> {
+        panic!("injected collector death");
+    }
+
+    fn finish(&self, partials: Vec<u64>) -> Result<Vec<u64>, PipelineError> {
+        Ok(partials)
+    }
+}
+
+#[test]
+fn dead_runtime_reports_worker_gone_not_timeout() {
+    use nshd_runtime::WaitOutcome;
+    let runtime = InferenceRuntime::new(
+        Arc::new(PanickingEngine),
+        RuntimeConfig { workers: 1, max_batch: 4, max_wait: Duration::from_millis(1) },
+    )
+    .unwrap();
+    let h = runtime.submit(1).unwrap();
+    // The collector dies executing the batch; the handle must resolve
+    // to WorkerGone (a typed error), never hang and never read as a
+    // mere timeout.
+    let outcome = h.wait_timeout(WAIT);
+    let WaitOutcome::WorkerGone(err) = outcome else {
+        panic!("expected WorkerGone, got {outcome:?}");
+    };
+    assert!(err.to_string().contains("without replying"), "{err}");
+    drop(runtime); // drop (join) must not hang on the dead collector
 }

@@ -42,7 +42,7 @@ fn serve(workers: usize, requests: u64) -> nshd_runtime::RuntimeMetrics {
     .unwrap();
     let handles: Vec<_> = (0..requests).map(|id| runtime.submit(id).unwrap()).collect();
     for (id, h) in handles.into_iter().enumerate() {
-        assert_eq!(h.wait_timeout(Duration::from_secs(20)), Some(Ok(id as u64 + 1)));
+        assert_eq!(h.wait_timeout(Duration::from_secs(20)).ready(), Some(Ok(id as u64 + 1)));
     }
     runtime.shutdown()
 }

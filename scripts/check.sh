@@ -45,7 +45,16 @@ cargo run --release -q -p nshd-bench --bin kernel_bench -- --smoke
 
 echo "==> robustness_sweep --smoke"
 # Fault-injection smoke: tiny model, short rate list; asserts a
-# well-formed BENCH_robustness.json with in-range accuracy curves.
+# well-formed BENCH_robustness.json with in-range accuracy curves and a
+# smoke teacher meaningfully above chance.
 cargo run --release -q -p nshd-bench --bin robustness_sweep -- --smoke
+
+echo "==> cluster_bench --smoke"
+# Fault-tolerant serving smoke: replicated cluster under stall / kill /
+# degraded / overload chaos (BENCH_cluster.json). Asserts every request
+# resolves, surviving replicas stay bit-identical to the fault-free
+# baseline, admission control sheds, failover retries, and p99 stays
+# inside the request deadline.
+cargo run --release -q -p nshd-bench --bin cluster_bench -- --smoke
 
 echo "==> all checks passed"
