@@ -1,13 +1,14 @@
 //! The comparison models of the paper's Fig. 7: VanillaHD, BaselineHD,
 //! and the CNN itself, behind one [`Classifier`] interface.
 
+use crate::robust::PipelineError;
 use crate::scaler::FeatureScaler;
 use nshd_data::ImageDataset;
 use nshd_hdc::{
     bundle_init, AssociativeMemory, BipolarHv, MassTrainer, NonlinearEncoder, RandomProjection,
 };
 use nshd_nn::{evaluate as nn_evaluate, Mode, Model};
-use nshd_tensor::Tensor;
+use nshd_tensor::{Tensor, TensorError};
 
 /// A trained image classifier that can be scored on a dataset.
 pub trait Classifier {
@@ -16,6 +17,62 @@ pub trait Classifier {
 
     /// Classification accuracy over a dataset.
     fn evaluate(&mut self, dataset: &ImageDataset) -> f32;
+}
+
+/// A [`Classifier`] whose penultimate-layer embedding is exposed — the
+/// teacher interface the HD-Glue ensemble (`nshd-glue`) fuses over.
+///
+/// The embedding is the *raw* flattened activation at the classifier's
+/// truncation point (no per-teacher standardisation; consumers fit
+/// their own [`FeatureScaler`] so every teacher is normalised on the
+/// same data).
+pub trait EmbeddingClassifier: Classifier {
+    /// Flattened length of one sample's penultimate-layer embedding.
+    fn embedding_dim(&self) -> usize;
+
+    /// Penultimate-layer embeddings for a batch of CHW images, as an
+    /// `N×E` row-major matrix (immutable eval-mode inference; safe to
+    /// call from several threads).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Tensor`] when an image's shape differs
+    /// from the network's input shape, and
+    /// [`PipelineError::NonFiniteActivation`] when inputs or embeddings
+    /// contain NaN/∞.
+    fn embed_batch(&self, images: &[Tensor]) -> Result<Tensor, PipelineError>;
+
+    /// Snapshots the extractor as `(teacher clone, cut)` so a serving
+    /// head can be built without keeping the classifier alive.
+    fn extractor(&self) -> (Model, usize);
+}
+
+/// Shared [`EmbeddingClassifier::embed_batch`] implementation: stack,
+/// run the truncated teacher once, flatten to `N×E`, and reject
+/// non-finite values.
+fn embed_with(teacher: &Model, cut: usize, images: &[Tensor]) -> Result<Tensor, PipelineError> {
+    let embedding = teacher.feature_len_at(cut);
+    if images.is_empty() {
+        return Ok(Tensor::zeros([0, embedding]));
+    }
+    for image in images {
+        if image.dims() != teacher.input_shape {
+            return Err(TensorError::IncompatibleShapes {
+                lhs: teacher.input_shape.clone(),
+                rhs: image.dims().to_vec(),
+            }
+            .into());
+        }
+        if image.as_slice().iter().any(|v| !v.is_finite()) {
+            return Err(PipelineError::NonFiniteActivation { stage: "embedding input" });
+        }
+    }
+    let batch = Tensor::stack(images)?;
+    let feats = teacher.infer_features_at(&batch, cut);
+    if feats.as_slice().iter().any(|v| !v.is_finite()) {
+        return Err(PipelineError::NonFiniteActivation { stage: "embedding" });
+    }
+    Ok(feats.reshaped([images.len(), embedding])?)
 }
 
 /// VanillaHD: the standalone HD model with nonlinear (ID–level) encoding
@@ -189,6 +246,22 @@ impl Classifier for CnnClassifier {
     }
 }
 
+impl EmbeddingClassifier for CnnClassifier {
+    fn embedding_dim(&self) -> usize {
+        self.model.feature_len_at(self.model.features.len())
+    }
+
+    fn embed_batch(&self, images: &[Tensor]) -> Result<Tensor, PipelineError> {
+        // The CNN's penultimate layer is the end of its feature stack
+        // (everything before the classifier head).
+        embed_with(&self.model, self.model.features.len(), images)
+    }
+
+    fn extractor(&self) -> (Model, usize) {
+        (self.model.clone(), self.model.features.len())
+    }
+}
+
 impl Classifier for crate::model::NshdModel {
     fn name(&self) -> String {
         format!("NSHD({}@{})", self.teacher().name, self.config().cut)
@@ -196,6 +269,22 @@ impl Classifier for crate::model::NshdModel {
 
     fn evaluate(&mut self, dataset: &ImageDataset) -> f32 {
         NshdModel::evaluate(self, dataset)
+    }
+}
+
+impl EmbeddingClassifier for crate::model::NshdModel {
+    fn embedding_dim(&self) -> usize {
+        self.teacher().feature_len_at(self.config().cut)
+    }
+
+    fn embed_batch(&self, images: &[Tensor]) -> Result<Tensor, PipelineError> {
+        // NSHD's symbolic stage already truncates the teacher at the
+        // configured cut; that truncation point is its embedding.
+        embed_with(self.teacher(), self.config().cut, images)
+    }
+
+    fn extractor(&self) -> (Model, usize) {
+        (self.teacher().clone(), self.config().cut)
     }
 }
 

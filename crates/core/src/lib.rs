@@ -49,7 +49,7 @@ mod scaler;
 mod serialize;
 mod verify;
 
-pub use baselines::{BaselineHd, Classifier, CnnClassifier, VanillaHd};
+pub use baselines::{BaselineHd, Classifier, CnnClassifier, EmbeddingClassifier, VanillaHd};
 pub use config::NshdConfig;
 pub use cost::{
     baselinehd_macs, baselinehd_macs_from_stats, baselinehd_size, baselinehd_size_from_stats,
@@ -63,4 +63,7 @@ pub use model::{NshdModel, NshdTrainer, RetrainEpoch};
 pub use robust::{DivergenceGuard, GuardVerdict, PipelineError, RollbackReason};
 pub use scaler::FeatureScaler;
 pub use serialize::load_pipeline;
-pub use verify::{verify_model, verify_quantized, verify_teacher, AnalysisReport, Stage};
+pub use verify::{
+    verify_ensemble, verify_model, verify_quantized, verify_teacher, AnalysisReport, EnsembleDims,
+    Stage,
+};

@@ -45,6 +45,9 @@ pub enum Stage {
     Memory,
     /// A quantised deployment of the class memory.
     Quantizer,
+    /// A multi-teacher HD-Glue ensemble (per-head projection widths
+    /// versus the shared consensus memory).
+    Ensemble,
 }
 
 impl fmt::Display for Stage {
@@ -57,6 +60,7 @@ impl fmt::Display for Stage {
             Stage::Projection => "projection",
             Stage::Memory => "memory",
             Stage::Quantizer => "quantizer",
+            Stage::Ensemble => "ensemble",
         };
         f.write_str(name)
     }
@@ -281,6 +285,95 @@ pub fn verify_model(model: &NshdModel) -> Result<(), AnalysisReport> {
     )
 }
 
+/// One ensemble head's dimension summary, as checked by
+/// [`verify_ensemble`]: the teacher's embedding width, the width the
+/// head's projection actually reads, the HD dimension it emits, and the
+/// weight it contributes with.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EnsembleDims {
+    /// Flattened penultimate-layer embedding length of the teacher.
+    pub embedding: usize,
+    /// Feature width the head's random projection reads.
+    pub features: usize,
+    /// HD dimension the head's projection emits.
+    pub dim: usize,
+    /// The head's contribution weight in the fused bundle.
+    pub weight: f32,
+}
+
+/// Statically checks a multi-teacher HD-Glue ensemble against its
+/// shared consensus memory: at least one head; every head's projection
+/// reading exactly its teacher's embedding width and emitting the
+/// memory's HD dimension; finite non-negative weights with at least one
+/// strictly positive; and a healthy memory (classes present, finite
+/// accumulators). The failing head's index is reported through
+/// [`AnalysisReport::layer`].
+///
+/// # Errors
+///
+/// Returns a [`Stage::Ensemble`] (or [`Stage::Memory`]) report naming
+/// the first violated invariant.
+pub fn verify_ensemble(
+    heads: &[EnsembleDims],
+    memory: &AssociativeMemory,
+) -> Result<(), AnalysisReport> {
+    if heads.is_empty() {
+        return Err(AnalysisReport::new(Stage::Ensemble, "ensemble has no teacher heads"));
+    }
+    for (index, head) in heads.iter().enumerate() {
+        if head.embedding == 0 {
+            return Err(AnalysisReport::new(
+                Stage::Ensemble,
+                format!("head {index} has a zero-width embedding"),
+            )
+            .at_layer(Some(index)));
+        }
+        if head.features != head.embedding {
+            return Err(AnalysisReport::new(
+                Stage::Ensemble,
+                format!(
+                    "head {index}'s projection reads {} features but its teacher embeds {}",
+                    head.features, head.embedding
+                ),
+            )
+            .dims(&[head.embedding], &[head.features])
+            .at_layer(Some(index)));
+        }
+        if head.dim != memory.dim() {
+            return Err(AnalysisReport::new(
+                Stage::Ensemble,
+                format!(
+                    "head {index} encodes D = {} but the consensus memory is {} wide",
+                    head.dim,
+                    memory.dim()
+                ),
+            )
+            .dims(&[memory.dim()], &[head.dim])
+            .at_layer(Some(index)));
+        }
+        if !head.weight.is_finite() || head.weight < 0.0 {
+            return Err(AnalysisReport::new(
+                Stage::Ensemble,
+                format!("head {index} has invalid contribution weight {}", head.weight),
+            )
+            .at_layer(Some(index)));
+        }
+    }
+    if !heads.iter().any(|h| h.weight > 0.0) {
+        return Err(AnalysisReport::new(
+            Stage::Ensemble,
+            "every head has zero weight; the fused bundle would be empty",
+        ));
+    }
+    if memory.num_classes() == 0 {
+        return Err(AnalysisReport::new(Stage::Memory, "memory holds no classes"));
+    }
+    if !memory.is_finite() {
+        return Err(AnalysisReport::new(Stage::Memory, "class memory contains non-finite values"));
+    }
+    Ok(())
+}
+
 /// Checks a quantised deployment against the full-precision memory it
 /// was derived from: matching width and class count, and finite,
 /// positive dequantisation scales.
@@ -406,6 +499,43 @@ mod tests {
         let report = verify_stages(&[100], 100, None, 100, 100, &memory, 2).unwrap_err();
         assert_eq!(report.stage, Stage::Memory);
         assert!(report.to_string().contains("non-finite"));
+    }
+
+    #[test]
+    fn ensemble_checks_cover_heads_weights_and_memory() {
+        let memory = AssociativeMemory::new(4, 512);
+        let good = EnsembleDims { embedding: 32, features: 32, dim: 512, weight: 1.0 };
+        assert!(verify_ensemble(&[good, good], &memory).is_ok());
+
+        // No heads at all.
+        let report = verify_ensemble(&[], &memory).unwrap_err();
+        assert_eq!(report.stage, Stage::Ensemble);
+
+        // Projection width disagreeing with the teacher's embedding.
+        let bad = EnsembleDims { features: 30, ..good };
+        let report = verify_ensemble(&[good, bad], &memory).unwrap_err();
+        assert_eq!(report.stage, Stage::Ensemble);
+        assert_eq!(report.layer, Some(1));
+        assert_eq!((report.expected.as_slice(), report.actual.as_slice()), (&[32][..], &[30][..]));
+
+        // Head HD dimension disagreeing with the consensus memory.
+        let bad = EnsembleDims { dim: 256, ..good };
+        let report = verify_ensemble(&[bad], &memory).unwrap_err();
+        assert_eq!(report.stage, Stage::Ensemble);
+        assert!(report.to_string().contains("256"), "{report}");
+
+        // Negative and all-zero weights.
+        let bad = EnsembleDims { weight: -0.5, ..good };
+        assert_eq!(verify_ensemble(&[bad], &memory).unwrap_err().stage, Stage::Ensemble);
+        let zero = EnsembleDims { weight: 0.0, ..good };
+        let report = verify_ensemble(&[zero, zero], &memory).unwrap_err();
+        assert!(report.to_string().contains("zero weight"), "{report}");
+
+        // Non-finite consensus memory.
+        let mut sick = AssociativeMemory::new(4, 512);
+        sick.class_mut(0)[0] = f32::INFINITY;
+        let report = verify_ensemble(&[good], &sick).unwrap_err();
+        assert_eq!(report.stage, Stage::Memory);
     }
 
     #[test]

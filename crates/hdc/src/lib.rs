@@ -46,6 +46,7 @@ mod ops;
 mod projection;
 mod quantized;
 mod similarity;
+mod snapshot;
 mod ste;
 mod symbolic;
 
@@ -54,12 +55,13 @@ pub use fault::{FaultPlan, FaultReport, FaultScenario};
 pub use hypervector::{BipolarHv, PackedHv};
 pub use lsh::LshEncoder;
 pub use mass::{bundle_init, MassTrainer};
-pub use memory::AssociativeMemory;
+pub use memory::{AssociativeMemory, MemoryError};
 pub use nonlinear::NonlinearEncoder;
-pub use online::OnlineTrainer;
+pub use online::{EpochReport, OnlineTrainer};
 pub use ops::{bind, bundle, bundle_majority, permute, sign_with_tiebreak};
 pub use projection::{BatchEncoder, RandomProjection};
 pub use quantized::{BinaryMemory, QuantizedMemory};
 pub use similarity::{cosine_dense_bipolar, cosine_packed, dot_dense_bipolar};
+pub use snapshot::{MemoryCell, MemorySnapshot};
 pub use ste::{apply_ste, feature_gradient, hyperspace_error, SteConfig};
 pub use symbolic::{encode_record, encode_sequence, query_record, ItemMemory};

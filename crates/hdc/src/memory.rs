@@ -3,6 +3,54 @@
 use crate::hypervector::BipolarHv;
 use crate::similarity::cosine_dense_bipolar;
 use nshd_tensor::{matmul_bt, Tensor};
+use std::fmt;
+
+/// Typed rejection for malformed class matrices or out-of-range class
+/// indices — the fallible counterpart of the panicking constructors.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MemoryError {
+    /// The class matrix has no rows.
+    EmptyClasses,
+    /// Class rows are zero-dimensional.
+    ZeroDim,
+    /// Row `class` has `actual` components where `expected` were
+    /// required by the first row.
+    Ragged {
+        /// Index of the offending row.
+        class: usize,
+        /// Dimensionality established by the first row.
+        expected: usize,
+        /// Dimensionality of the offending row.
+        actual: usize,
+    },
+    /// `class` does not index into a memory of `num_classes` rows.
+    ClassOutOfRange {
+        /// The requested class index.
+        class: usize,
+        /// Number of classes the memory actually holds.
+        num_classes: usize,
+    },
+}
+
+impl fmt::Display for MemoryError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemoryError::EmptyClasses => write!(f, "class matrix has no rows"),
+            MemoryError::ZeroDim => write!(f, "zero-dimensional class hypervectors"),
+            MemoryError::Ragged { class, expected, actual } => {
+                write!(
+                    f,
+                    "ragged class matrix: row {class} has {actual} components, expected {expected}"
+                )
+            }
+            MemoryError::ClassOutOfRange { class, num_classes } => {
+                write!(f, "class {class} out of range for memory of {num_classes} classes")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemoryError {}
 
 /// An HD associative memory `M = [C_0 … C_{k-1}]` of dense class
 /// hypervectors.
@@ -44,12 +92,35 @@ impl AssociativeMemory {
     ///
     /// # Panics
     ///
-    /// Panics if `classes` is empty or rows have differing lengths.
+    /// Panics if `classes` is empty, rows are zero-dimensional, or rows
+    /// have differing lengths. Use
+    /// [`try_from_classes`](AssociativeMemory::try_from_classes) to
+    /// reject malformed input with a typed error instead.
     pub fn from_classes(classes: Vec<Vec<f32>>) -> Self {
-        let dim = classes.first().expect("at least one class").len();
-        assert!(dim > 0, "zero-dimensional class hypervectors");
-        assert!(classes.iter().all(|c| c.len() == dim), "ragged class hypervectors");
-        AssociativeMemory { dim, classes }
+        match Self::try_from_classes(classes) {
+            Ok(memory) => memory,
+            Err(err) => panic!("{err}"),
+        }
+    }
+
+    /// Fallible counterpart of
+    /// [`from_classes`](AssociativeMemory::from_classes): rejects an
+    /// empty matrix, zero-dimensional rows, and ragged rows with a
+    /// [`MemoryError`] instead of panicking.
+    pub fn try_from_classes(classes: Vec<Vec<f32>>) -> Result<Self, MemoryError> {
+        let dim = match classes.first() {
+            Some(first) => first.len(),
+            None => return Err(MemoryError::EmptyClasses),
+        };
+        if dim == 0 {
+            return Err(MemoryError::ZeroDim);
+        }
+        for (class, row) in classes.iter().enumerate() {
+            if row.len() != dim {
+                return Err(MemoryError::Ragged { class, expected: dim, actual: row.len() });
+            }
+        }
+        Ok(AssociativeMemory { dim, classes })
     }
 
     /// Number of classes `k`.
@@ -80,6 +151,37 @@ impl AssociativeMemory {
     /// Panics if `class` is out of range.
     pub fn class_mut(&mut self, class: usize) -> &mut [f32] {
         &mut self.classes[class]
+    }
+
+    /// Fallible counterpart of [`class`](AssociativeMemory::class):
+    /// returns a typed [`MemoryError`] for an out-of-range index instead
+    /// of panicking.
+    pub fn try_class(&self, class: usize) -> Result<&[f32], MemoryError> {
+        self.classes
+            .get(class)
+            .map(Vec::as_slice)
+            .ok_or(MemoryError::ClassOutOfRange { class, num_classes: self.classes.len() })
+    }
+
+    /// Fallible counterpart of
+    /// [`class_mut`](AssociativeMemory::class_mut): returns a typed
+    /// [`MemoryError`] for an out-of-range index instead of panicking.
+    pub fn try_class_mut(&mut self, class: usize) -> Result<&mut [f32], MemoryError> {
+        let num_classes = self.classes.len();
+        self.classes
+            .get_mut(class)
+            .map(Vec::as_mut_slice)
+            .ok_or(MemoryError::ClassOutOfRange { class, num_classes })
+    }
+
+    /// Grows the memory by one zeroed class row and returns the new
+    /// class index — the online class-addition primitive HD-Glue uses to
+    /// admit previously unseen labels without retraining the rest of the
+    /// memory. The new class scores 0 similarity against every query
+    /// until samples are bundled into it.
+    pub fn add_class(&mut self) -> usize {
+        self.classes.push(vec![0.0; self.dim]);
+        self.classes.len() - 1
     }
 
     /// Whether every accumulated component is finite — the post-epoch /

@@ -10,6 +10,31 @@
 use crate::hypervector::BipolarHv;
 use crate::memory::AssociativeMemory;
 
+/// Outcome of one online-training pass over a labelled sample set.
+///
+/// Samples are visited in slice order and each update depends only on
+/// the memory state left by the previous sample, so for a fixed memory,
+/// sample order, and learning rate the counts are exactly reproducible.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EpochReport {
+    /// Samples visited in the pass.
+    pub samples: usize,
+    /// Samples whose *pre-update* prediction was wrong (each triggered
+    /// the two-sided error-correcting update).
+    pub misclassified: usize,
+}
+
+impl EpochReport {
+    /// Pre-update accuracy of the pass; `0.0` for an empty epoch.
+    pub fn accuracy(&self) -> f32 {
+        if self.samples == 0 {
+            0.0
+        } else {
+            (self.samples - self.misclassified) as f32 / self.samples as f32
+        }
+    }
+}
+
 /// The adaptive (OnlineHD-style) trainer.
 #[derive(Debug, Clone, PartialEq)]
 pub struct OnlineTrainer {
@@ -61,11 +86,46 @@ impl OnlineTrainer {
 
     /// One pass over a labelled sample set; returns pre-update accuracy.
     pub fn epoch(&self, memory: &mut AssociativeMemory, samples: &[(BipolarHv, usize)]) -> f32 {
-        if samples.is_empty() {
-            return 0.0;
+        self.epoch_counts(memory, samples).accuracy()
+    }
+
+    /// One pass over a labelled sample set, reporting exact per-epoch
+    /// misclassification counts — the deterministic signal the HD-Glue
+    /// error-correction loop converges on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any label is out of range or dimensions disagree.
+    pub fn epoch_counts(
+        &self,
+        memory: &mut AssociativeMemory,
+        samples: &[(BipolarHv, usize)],
+    ) -> EpochReport {
+        let misclassified =
+            samples.iter().filter(|(hv, label)| !self.step(memory, hv, *label)).count();
+        EpochReport { samples: samples.len(), misclassified }
+    }
+
+    /// Runs `epochs` error-correcting passes and returns one
+    /// [`EpochReport`] per pass, in order. Stops early once a pass sees
+    /// zero misclassifications (further passes would still apply gentle
+    /// pulls, but the error-correction signal is exhausted).
+    pub fn train(
+        &self,
+        memory: &mut AssociativeMemory,
+        samples: &[(BipolarHv, usize)],
+        epochs: usize,
+    ) -> Vec<EpochReport> {
+        let mut reports = Vec::with_capacity(epochs);
+        for _ in 0..epochs {
+            let report = self.epoch_counts(memory, samples);
+            let done = report.misclassified == 0;
+            reports.push(report);
+            if done {
+                break;
+            }
         }
-        let correct = samples.iter().filter(|(hv, label)| self.step(memory, hv, *label)).count();
-        correct as f32 / samples.len() as f32
+        reports
     }
 }
 

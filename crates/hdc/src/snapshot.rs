@@ -1,0 +1,126 @@
+//! Copy-on-write snapshots for a *live* class memory.
+//!
+//! A serving pipeline wants two things that pull in opposite
+//! directions: in-flight batches must score against an **immutable**
+//! memory (bit-exact replies, no torn reads), while the trainer wants
+//! to keep bundling, error-correcting, and even *growing* the class set
+//! mid-traffic. [`MemoryCell`] resolves the tension Arc-swap style with
+//! plain `std` primitives: the current memory lives behind an
+//! `RwLock<Arc<AssociativeMemory>>`, readers clone the `Arc` (a cheap
+//! refcount bump) and drop the lock immediately, and writers build a
+//! *new* memory — cloning the old one when mutating in place — and swap
+//! the pointer. A batch that pinned a [`MemorySnapshot`] before a swap
+//! keeps scoring against exactly that snapshot until it drops it.
+
+use crate::memory::AssociativeMemory;
+use std::sync::{Arc, RwLock};
+
+/// An immutable, shareable snapshot of an [`AssociativeMemory`].
+///
+/// Cloning is a refcount bump; the underlying class accumulators are
+/// never mutated once published, so any number of in-flight batches can
+/// score against the same snapshot concurrently and bit-exactly.
+pub type MemorySnapshot = Arc<AssociativeMemory>;
+
+/// A copy-on-write cell publishing the *current* [`MemorySnapshot`].
+///
+/// # Examples
+///
+/// ```
+/// use nshd_hdc::{AssociativeMemory, BipolarHv, MemoryCell};
+///
+/// let cell = MemoryCell::new(AssociativeMemory::new(2, 64));
+/// let pinned = cell.load(); // an in-flight batch pins the snapshot
+/// cell.update(|memory| {
+///     let h = BipolarHv::from_signs(&vec![1.0; 64]);
+///     memory.bundle(0, &h);
+/// });
+/// // The pinned snapshot is untouched; new loads see the update.
+/// assert_eq!(pinned.class(0)[0], 0.0);
+/// assert_eq!(cell.load().class(0)[0], 1.0);
+/// ```
+#[derive(Debug)]
+pub struct MemoryCell {
+    current: RwLock<MemorySnapshot>,
+}
+
+impl MemoryCell {
+    /// Wraps a memory as the cell's initial snapshot.
+    pub fn new(memory: AssociativeMemory) -> Self {
+        MemoryCell { current: RwLock::new(Arc::new(memory)) }
+    }
+
+    /// Pins and returns the current snapshot. Callers that need a
+    /// consistent view across several operations (extract + score for
+    /// one batch) must call this **once** and reuse the returned `Arc`.
+    pub fn load(&self) -> MemorySnapshot {
+        self.current.read().unwrap_or_else(|poisoned| poisoned.into_inner()).clone()
+    }
+
+    /// Atomically publishes `next` as the current snapshot and returns
+    /// the snapshot it replaced. In-flight readers holding the previous
+    /// snapshot are unaffected; only subsequent [`load`](MemoryCell::load)
+    /// calls observe `next`.
+    pub fn swap(&self, next: MemorySnapshot) -> MemorySnapshot {
+        let _sp = nshd_obs::span("memory_swap");
+        nshd_obs::counter("memory.swaps").inc();
+        let mut slot = self.current.write().unwrap_or_else(|poisoned| poisoned.into_inner());
+        std::mem::replace(&mut slot, next)
+    }
+
+    /// Copy-on-write update: clones the current memory, applies `f` to
+    /// the clone, publishes the result, and returns the new snapshot.
+    /// The pre-update snapshot stays valid for anyone still holding it.
+    pub fn update(&self, f: impl FnOnce(&mut AssociativeMemory)) -> MemorySnapshot {
+        let mut next = AssociativeMemory::clone(&self.load());
+        f(&mut next);
+        let published = Arc::new(next);
+        self.swap(published.clone());
+        published
+    }
+
+    /// Grows the memory by one zeroed class (copy-on-write) and returns
+    /// the new class index — live class addition for a serving ensemble.
+    pub fn add_class(&self) -> usize {
+        let mut next = AssociativeMemory::clone(&self.load());
+        let index = next.add_class();
+        self.swap(Arc::new(next));
+        index
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::hypervector::BipolarHv;
+
+    #[test]
+    fn pinned_snapshot_survives_swap() {
+        let cell = MemoryCell::new(AssociativeMemory::new(2, 16));
+        let pinned = cell.load();
+        let prev = cell.swap(Arc::new(AssociativeMemory::new(3, 16)));
+        assert_eq!(prev.num_classes(), 2);
+        assert_eq!(pinned.num_classes(), 2);
+        assert_eq!(cell.load().num_classes(), 3);
+    }
+
+    #[test]
+    fn update_is_copy_on_write() {
+        let cell = MemoryCell::new(AssociativeMemory::new(1, 8));
+        let pinned = cell.load();
+        let h = BipolarHv::from_signs(&[1.0; 8]);
+        let published = cell.update(|m| m.bundle(0, &h));
+        assert_eq!(pinned.class(0), &[0.0; 8]);
+        assert_eq!(published.class(0), &[1.0; 8]);
+        assert!(Arc::ptr_eq(&published, &cell.load()));
+    }
+
+    #[test]
+    fn add_class_grows_only_new_loads() {
+        let cell = MemoryCell::new(AssociativeMemory::new(2, 8));
+        let pinned = cell.load();
+        assert_eq!(cell.add_class(), 2);
+        assert_eq!(pinned.num_classes(), 2);
+        assert_eq!(cell.load().num_classes(), 3);
+    }
+}

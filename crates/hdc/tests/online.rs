@@ -1,0 +1,106 @@
+//! Direct unit tests for [`OnlineTrainer`]: deterministic per-epoch
+//! misclassification counts, the `epoch`/`epoch_counts` equivalence,
+//! and the early-exit contract of `train`.
+
+use nshd_hdc::{bundle_init, AssociativeMemory, BipolarHv, EpochReport, OnlineTrainer};
+use nshd_tensor::Rng;
+
+fn random_hv(dim: usize, rng: &mut Rng) -> BipolarHv {
+    BipolarHv::new((0..dim).map(|_| if rng.bipolar() > 0.0 { 1 } else { -1 }).collect())
+}
+
+fn noisy_task(
+    classes: usize,
+    per_class: usize,
+    dim: usize,
+    flip: f32,
+    seed: u64,
+) -> Vec<(BipolarHv, usize)> {
+    let mut rng = Rng::new(seed);
+    let prototypes: Vec<BipolarHv> = (0..classes).map(|_| random_hv(dim, &mut rng)).collect();
+    let mut set = Vec::new();
+    for (c, prototype) in prototypes.iter().enumerate() {
+        for _ in 0..per_class {
+            let hv = BipolarHv::new(
+                prototype
+                    .components()
+                    .iter()
+                    .map(|&s| if rng.chance(flip) { -s } else { s })
+                    .collect(),
+            );
+            set.push((hv, c));
+        }
+    }
+    set
+}
+
+#[test]
+fn epoch_counts_are_deterministic_across_reruns() {
+    let train = noisy_task(4, 10, 512, 0.3, 11);
+    let trainer = OnlineTrainer::new(0.25);
+    let run = |_: usize| {
+        let mut memory = bundle_init(4, 512, &train);
+        trainer.train(&mut memory, &train, 5)
+    };
+    let first = run(0);
+    for i in 1..3 {
+        assert_eq!(run(i), first, "rerun {i} diverged");
+    }
+    assert!(!first.is_empty());
+    assert!(first.iter().all(|r| r.samples == train.len()));
+}
+
+#[test]
+fn epoch_counts_match_epoch_accuracy() {
+    let train = noisy_task(3, 8, 256, 0.35, 12);
+    let trainer = OnlineTrainer::new(0.3);
+    let mut by_counts = bundle_init(3, 256, &train);
+    let mut by_epoch = by_counts.clone();
+    for _ in 0..4 {
+        let report = trainer.epoch_counts(&mut by_counts, &train);
+        let acc = trainer.epoch(&mut by_epoch, &train);
+        assert_eq!(report.accuracy(), acc);
+    }
+    assert_eq!(by_counts, by_epoch, "the two paths must apply identical updates");
+}
+
+#[test]
+fn misclassification_counts_are_nonincreasing_on_easy_task() {
+    // Low noise: error correction should monotonically drain the errors.
+    let train = noisy_task(3, 12, 1024, 0.1, 13);
+    let trainer = OnlineTrainer::new(0.3);
+    let mut memory = bundle_init(3, 1024, &train);
+    let reports = trainer.train(&mut memory, &train, 8);
+    for pair in reports.windows(2) {
+        assert!(pair[1].misclassified <= pair[0].misclassified, "errors increased: {reports:?}");
+    }
+    assert_eq!(reports.last().map(|r| r.misclassified), Some(0), "task not learned: {reports:?}");
+}
+
+#[test]
+fn train_stops_after_first_clean_epoch() {
+    let train = noisy_task(2, 6, 2048, 0.05, 14);
+    let trainer = OnlineTrainer::new(0.5);
+    let mut memory = bundle_init(2, 2048, &train);
+    let reports = trainer.train(&mut memory, &train, 50);
+    assert!(reports.len() < 50, "never converged: {reports:?}");
+    let clean = reports.iter().position(|r| r.misclassified == 0);
+    assert_eq!(clean, Some(reports.len() - 1), "kept training past convergence: {reports:?}");
+}
+
+#[test]
+fn empty_epoch_reports_zero_samples() {
+    let trainer = OnlineTrainer::new(0.3);
+    let mut memory = AssociativeMemory::new(2, 64);
+    let report = trainer.epoch_counts(&mut memory, &[]);
+    assert_eq!(report, EpochReport { samples: 0, misclassified: 0 });
+    assert_eq!(report.accuracy(), 0.0);
+    assert_eq!(trainer.epoch(&mut memory, &[]), 0.0);
+}
+
+#[test]
+fn accuracy_is_fraction_of_correct_samples() {
+    assert_eq!(EpochReport { samples: 8, misclassified: 2 }.accuracy(), 0.75);
+    assert_eq!(EpochReport { samples: 3, misclassified: 3 }.accuracy(), 0.0);
+    assert_eq!(EpochReport { samples: 5, misclassified: 0 }.accuracy(), 1.0);
+}

@@ -78,10 +78,13 @@ type ChunkResult<E> = (usize, Result<Vec<<E as BatchEngine>::Partial>, PipelineE
 
 /// One data-parallel slice of a batch, dispatched to a worker. `ctx`
 /// carries the batcher thread's span path so the worker's extract spans
-/// nest under the batch's `request` span in traces.
+/// nest under the batch's `request` span in traces; `snapshot` is the
+/// batch's pinned engine state, shared by every chunk of the batch so a
+/// concurrent hot-swap cannot tear a batch across two snapshots.
 struct Chunk<E: BatchEngine> {
     index: usize,
     inputs: Vec<E::Input>,
+    snapshot: Arc<E::Snapshot>,
     ctx: Option<String>,
     done: Sender<ChunkResult<E>>,
 }
@@ -310,7 +313,7 @@ fn collector_loop<E: BatchEngine>(
             // Re-root this worker's span stack under the batch's
             // `request` span (a no-op when no recorder is installed).
             let _ctx = chunk.ctx.as_deref().map(nshd_obs::enter_context);
-            let partials = worker_engine.extract(&chunk.inputs);
+            let partials = worker_engine.extract(&chunk.snapshot, &chunk.inputs);
             // The collector hanging up mid-batch only happens on panic;
             // nothing useful to do with the error.
             let _ = chunk.done.send((chunk.index, partials));
@@ -351,6 +354,7 @@ fn collector_loop<E: BatchEngine>(
 /// available; partials are reassembled in submission order.
 fn extract_batch<E: BatchEngine>(
     engine: &E,
+    snapshot: &Arc<E::Snapshot>,
     pool: Option<&WorkerPool<Chunk<E>>>,
     inputs: Vec<E::Input>,
     ctx: Option<&str>,
@@ -358,7 +362,7 @@ fn extract_batch<E: BatchEngine>(
     let n = inputs.len();
     let pool = match pool {
         Some(pool) if n > 1 => pool,
-        _ => return engine.extract(&inputs),
+        _ => return engine.extract(snapshot, &inputs),
     };
     // Contiguous chunks, one per worker, front-loading the remainder;
     // reassembled by index so partials stay in submission order no
@@ -374,6 +378,7 @@ fn extract_batch<E: BatchEngine>(
         let chunk = Chunk {
             index,
             inputs: chunk_inputs,
+            snapshot: snapshot.clone(),
             ctx: ctx.map(str::to_owned),
             done: done_tx.clone(),
         };
@@ -420,17 +425,22 @@ fn run_batch<E: BatchEngine>(
     let exec_start = clock::now();
     let span = nshd_obs::span("request");
     let ctx = nshd_obs::current_path();
-    let outputs = extract_batch(engine, pool, inputs, ctx.as_deref()).and_then(|partials| {
-        let outputs = engine.finish(partials)?;
-        if outputs.len() == n {
-            Ok(outputs)
-        } else {
-            Err(PipelineError::Runtime {
-                stage: "finish",
-                detail: format!("engine returned {} outputs for {n} requests", outputs.len()),
-            })
-        }
-    });
+    // Pin the engine state exactly once per batch: every chunk of the
+    // extract stage and the finish stage see this one snapshot, so a
+    // hot-swap that lands mid-batch only affects *later* batches.
+    let snapshot = engine.snapshot();
+    let outputs =
+        extract_batch(engine, &snapshot, pool, inputs, ctx.as_deref()).and_then(|partials| {
+            let outputs = engine.finish(&snapshot, partials)?;
+            if outputs.len() == n {
+                Ok(outputs)
+            } else {
+                Err(PipelineError::Runtime {
+                    stage: "finish",
+                    detail: format!("engine returned {} outputs for {n} requests", outputs.len()),
+                })
+            }
+        });
     drop(span);
 
     let done = clock::now();

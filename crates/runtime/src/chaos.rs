@@ -155,14 +155,26 @@ impl<E: BatchEngine> BatchEngine for ChaosEngine<E> {
     type Input = E::Input;
     type Partial = E::Partial;
     type Output = E::Output;
+    // Snapshot pinning passes straight through: a batch served through a
+    // chaos decorator pins the *inner* engine's snapshot, so hot-swap
+    // determinism is testable under injected stalls.
+    type Snapshot = E::Snapshot;
 
-    fn extract(&self, chunk: &[Self::Input]) -> Result<Vec<Self::Partial>, PipelineError> {
+    fn snapshot(&self) -> Arc<Self::Snapshot> {
+        self.inner.snapshot()
+    }
+
+    fn extract(
+        &self,
+        snapshot: &Self::Snapshot,
+        chunk: &[Self::Input],
+    ) -> Result<Vec<Self::Partial>, PipelineError> {
         match self.switch.mode() {
-            ChaosMode::Healthy => self.inner.extract(chunk),
+            ChaosMode::Healthy => self.inner.extract(snapshot, chunk),
             ChaosMode::Stall(pause) => {
                 self.switch.note_injected();
                 std::thread::sleep(pause);
-                self.inner.extract(chunk)
+                self.inner.extract(snapshot, chunk)
             }
             ChaosMode::Fail => {
                 self.switch.note_injected();
@@ -181,8 +193,12 @@ impl<E: BatchEngine> BatchEngine for ChaosEngine<E> {
         }
     }
 
-    fn finish(&self, partials: Vec<Self::Partial>) -> Result<Vec<Self::Output>, PipelineError> {
-        self.inner.finish(partials)
+    fn finish(
+        &self,
+        snapshot: &Self::Snapshot,
+        partials: Vec<Self::Partial>,
+    ) -> Result<Vec<Self::Output>, PipelineError> {
+        self.inner.finish(snapshot, partials)
     }
 
     fn verify(&self) -> Result<(), PipelineError> {

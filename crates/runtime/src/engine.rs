@@ -3,6 +3,7 @@
 
 use nshd_core::{NshdEngine, PipelineError};
 use nshd_tensor::Tensor;
+use std::sync::Arc;
 
 /// A two-stage batch-inference engine the serving runtime can drive.
 ///
@@ -32,6 +33,21 @@ pub trait BatchEngine: Send + Sync + 'static {
     type Partial: Send + 'static;
     /// Per-sample final answer.
     type Output: Send + 'static;
+    /// The immutable state one batch is served against. Engines whose
+    /// state never changes mid-traffic use `()`; hot-swappable engines
+    /// (like `nshd-glue`'s ensemble) publish a copy-on-write snapshot
+    /// here. The runtime pins **exactly one** snapshot per batch
+    /// ([`snapshot`](BatchEngine::snapshot) is called once, before the
+    /// extract stage) and threads it through both stages, so a
+    /// concurrent swap never produces a torn batch: every request in a
+    /// batch is answered by the snapshot current at batch start.
+    type Snapshot: Send + Sync + 'static;
+
+    /// Pins the engine state one batch will be served against. Called
+    /// once per batch, before [`extract`](BatchEngine::extract); the
+    /// same snapshot is handed to every chunk of the batch and to
+    /// [`finish`](BatchEngine::finish).
+    fn snapshot(&self) -> Arc<Self::Snapshot>;
 
     /// Processes a chunk of inputs into one partial per input, in
     /// order. Must be pure with respect to chunking: splitting a batch
@@ -42,7 +58,11 @@ pub trait BatchEngine: Send + Sync + 'static {
     /// Returns a [`PipelineError`] when the chunk cannot be processed
     /// (malformed inputs); the runtime fails every handle in the batch
     /// with a clone of the error.
-    fn extract(&self, chunk: &[Self::Input]) -> Result<Vec<Self::Partial>, PipelineError>;
+    fn extract(
+        &self,
+        snapshot: &Self::Snapshot,
+        chunk: &[Self::Input],
+    ) -> Result<Vec<Self::Partial>, PipelineError>;
 
     /// Turns the whole batch's partials (submission order) into one
     /// output per partial, in the same order.
@@ -52,7 +72,11 @@ pub trait BatchEngine: Send + Sync + 'static {
     /// Returns a [`PipelineError`] when the batch cannot be completed;
     /// the runtime fails every handle in the batch with a clone of the
     /// error.
-    fn finish(&self, partials: Vec<Self::Partial>) -> Result<Vec<Self::Output>, PipelineError>;
+    fn finish(
+        &self,
+        snapshot: &Self::Snapshot,
+        partials: Vec<Self::Partial>,
+    ) -> Result<Vec<Self::Output>, PipelineError>;
 
     /// Static self-check run once before the runtime spawns any thread.
     /// The default accepts everything; engines with internal invariants
@@ -74,12 +98,18 @@ impl BatchEngine for NshdEngine {
     type Input = Tensor;
     type Partial = Vec<f32>;
     type Output = usize;
+    // The NSHD pipeline's state is immutable once constructed.
+    type Snapshot = ();
 
-    fn extract(&self, chunk: &[Tensor]) -> Result<Vec<Vec<f32>>, PipelineError> {
+    fn snapshot(&self) -> Arc<()> {
+        Arc::new(())
+    }
+
+    fn extract(&self, _snapshot: &(), chunk: &[Tensor]) -> Result<Vec<Vec<f32>>, PipelineError> {
         self.try_extract_values(chunk)
     }
 
-    fn finish(&self, partials: Vec<Vec<f32>>) -> Result<Vec<usize>, PipelineError> {
+    fn finish(&self, _snapshot: &(), partials: Vec<Vec<f32>>) -> Result<Vec<usize>, PipelineError> {
         self.try_finish_values(&partials)
     }
 

@@ -92,10 +92,12 @@ pub struct ClusterReply<T> {
     pub attempts: u32,
 }
 
-/// One replica slot: its runtime (absent once drained), breaker, and
-/// drain flag.
+/// One replica slot: its runtime (absent once drained), the engine it
+/// serves (kept so the slot can be re-admitted or hot-swapped), its
+/// breaker, and the drain flag.
 struct Slot<E: BatchEngine> {
     runtime: RwLock<Option<InferenceRuntime<E>>>,
+    engine: RwLock<Arc<E>>,
     breaker: Mutex<Breaker>,
     draining: AtomicBool,
 }
@@ -170,9 +172,10 @@ impl<E: BatchEngine> ReplicaSet<E> {
         for engine in engines {
             // A failed replica start drops `slots`, draining the
             // runtimes already spawned.
-            let runtime = InferenceRuntime::new(engine, config.runtime.clone())?;
+            let runtime = InferenceRuntime::new(engine.clone(), config.runtime.clone())?;
             slots.push(Slot {
                 runtime: RwLock::new(Some(runtime)),
+                engine: RwLock::new(engine),
                 breaker: Mutex::new(Breaker::new(config.breaker)),
                 draining: AtomicBool::new(false),
             });
@@ -414,6 +417,82 @@ impl<E: BatchEngine> ReplicaSet<E> {
         // Shutdown blocks until every in-flight batch has executed and
         // answered its handles, then joins the replica's threads.
         Ok(runtime.shutdown())
+    }
+
+    /// The engine currently installed in slot `index` (still available
+    /// after a drain, so a hot-swap can derive the replacement from the
+    /// incumbent).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Runtime`] when `index` is out of range.
+    pub fn engine(&self, index: usize) -> Result<Arc<E>, PipelineError> {
+        let slot = self.slots.get(index).ok_or_else(|| PipelineError::Runtime {
+            stage: "swap",
+            detail: format!("replica index {index} out of range ({} slots)", self.slots.len()),
+        })?;
+        Ok(slot.engine.read().unwrap_or_else(|p| p.into_inner()).clone())
+    }
+
+    /// Re-admits a drained slot with a (possibly new) engine: starts a
+    /// fresh [`InferenceRuntime`] around `engine` (statically verifying
+    /// it first), resets the slot's circuit breaker, and reopens the
+    /// slot to the router. The drained incumbent's serving history stays
+    /// in the retired rollup; the new runtime starts counting from zero.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Runtime`] when `index` is out of range
+    /// or the slot still holds a live runtime (drain it first), and the
+    /// engine's own error when verification rejects it — in which case
+    /// the slot stays drained.
+    pub fn readmit(&self, index: usize, engine: Arc<E>) -> Result<(), PipelineError> {
+        let slot = self.slots.get(index).ok_or_else(|| PipelineError::Runtime {
+            stage: "swap",
+            detail: format!("replica index {index} out of range ({} slots)", self.slots.len()),
+        })?;
+        let mut guard = slot.runtime.write().unwrap_or_else(|p| p.into_inner());
+        if guard.is_some() {
+            return Err(PipelineError::Runtime {
+                stage: "swap",
+                detail: format!("replica {index} still serving; drain it before readmitting"),
+            });
+        }
+        // Verification happens inside the runtime constructor; a
+        // rejected engine leaves the slot drained and the set unchanged.
+        let runtime = InferenceRuntime::new(engine.clone(), self.config.runtime.clone())?;
+        *guard = Some(runtime);
+        *slot.engine.write().unwrap_or_else(|p| p.into_inner()) = engine;
+        *lock_breaker(&slot.breaker) = Breaker::new(self.config.breaker);
+        // Reopen the slot to the router only once the runtime is
+        // installed and the breaker is fresh.
+        slot.draining.store(false, Ordering::Release);
+        nshd_obs::counter("replica.readmits").inc();
+        Ok(())
+    }
+
+    /// Replaces slot `index`'s engine mid-traffic: gracefully drains the
+    /// incumbent (every request already routed to it is answered from
+    /// the **old** engine — the per-batch snapshot pin in the batcher
+    /// guarantees no batch straddles the swap), then re-admits the slot
+    /// around `engine`. Traffic arriving during the swap is routed to
+    /// the other replicas by the health-checked router.
+    ///
+    /// Returns the drained incumbent runtime's final serving metrics.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PipelineError::Runtime`] when `index` is out of range
+    /// or already drained, and the new engine's own error when
+    /// verification rejects it (the slot is left drained in that case —
+    /// inspect the error and [`readmit`](ReplicaSet::readmit) a good
+    /// engine).
+    pub fn hot_swap(&self, index: usize, engine: Arc<E>) -> Result<ServingMetrics, PipelineError> {
+        let _sp = nshd_obs::span("replica_swap");
+        let metrics = self.drain(index)?;
+        self.readmit(index, engine)?;
+        nshd_obs::counter("replica.hot_swaps").inc();
+        Ok(metrics)
     }
 
     /// A point-in-time snapshot of the cluster's serving statistics.

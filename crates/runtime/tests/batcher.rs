@@ -33,8 +33,13 @@ impl BatchEngine for MockEngine {
     type Input = (u64, u64);
     type Partial = u64;
     type Output = u64;
+    type Snapshot = ();
 
-    fn extract(&self, chunk: &[(u64, u64)]) -> Result<Vec<u64>, PipelineError> {
+    fn snapshot(&self) -> Arc<()> {
+        Arc::new(())
+    }
+
+    fn extract(&self, _snapshot: &(), chunk: &[(u64, u64)]) -> Result<Vec<u64>, PipelineError> {
         let delay = chunk.iter().map(|&(_, d)| d).max().unwrap_or(0);
         if delay > 0 {
             std::thread::sleep(Duration::from_millis(delay));
@@ -46,7 +51,7 @@ impl BatchEngine for MockEngine {
         Ok(chunk.iter().map(|&(id, _)| id).collect())
     }
 
-    fn finish(&self, partials: Vec<u64>) -> Result<Vec<u64>, PipelineError> {
+    fn finish(&self, _snapshot: &(), partials: Vec<u64>) -> Result<Vec<u64>, PipelineError> {
         self.batch_sizes.lock().unwrap().push(partials.len());
         self.finish_calls.fetch_add(1, Ordering::SeqCst);
         Ok(partials.into_iter().map(|id| id * 3 + 7).collect())
@@ -207,12 +212,17 @@ impl BatchEngine for BrokenEngine {
     type Input = ();
     type Partial = ();
     type Output = ();
+    type Snapshot = ();
 
-    fn extract(&self, _chunk: &[()]) -> Result<Vec<()>, PipelineError> {
+    fn snapshot(&self) -> Arc<()> {
+        Arc::new(())
+    }
+
+    fn extract(&self, _snapshot: &(), _chunk: &[()]) -> Result<Vec<()>, PipelineError> {
         unreachable!("a rejected engine must never run");
     }
 
-    fn finish(&self, _partials: Vec<()>) -> Result<Vec<()>, PipelineError> {
+    fn finish(&self, _snapshot: &(), _partials: Vec<()>) -> Result<Vec<()>, PipelineError> {
         unreachable!("a rejected engine must never run");
     }
 
@@ -283,12 +293,17 @@ impl BatchEngine for PanickingEngine {
     type Input = u64;
     type Partial = u64;
     type Output = u64;
+    type Snapshot = ();
 
-    fn extract(&self, _chunk: &[u64]) -> Result<Vec<u64>, PipelineError> {
+    fn snapshot(&self) -> Arc<()> {
+        Arc::new(())
+    }
+
+    fn extract(&self, _snapshot: &(), _chunk: &[u64]) -> Result<Vec<u64>, PipelineError> {
         panic!("injected collector death");
     }
 
-    fn finish(&self, partials: Vec<u64>) -> Result<Vec<u64>, PipelineError> {
+    fn finish(&self, _snapshot: &(), partials: Vec<u64>) -> Result<Vec<u64>, PipelineError> {
         Ok(partials)
     }
 }

@@ -34,12 +34,17 @@ impl BatchEngine for CountingEngine {
     type Input = u64;
     type Partial = u64;
     type Output = u64;
+    type Snapshot = ();
 
-    fn extract(&self, chunk: &[u64]) -> Result<Vec<u64>, PipelineError> {
+    fn snapshot(&self) -> Arc<()> {
+        Arc::new(())
+    }
+
+    fn extract(&self, _snapshot: &(), chunk: &[u64]) -> Result<Vec<u64>, PipelineError> {
         Ok(chunk.to_vec())
     }
 
-    fn finish(&self, partials: Vec<u64>) -> Result<Vec<u64>, PipelineError> {
+    fn finish(&self, _snapshot: &(), partials: Vec<u64>) -> Result<Vec<u64>, PipelineError> {
         self.served.fetch_add(partials.len() as u64, Ordering::SeqCst);
         Ok(partials.into_iter().map(|id| id * 3 + 7).collect())
     }
@@ -53,12 +58,17 @@ impl BatchEngine for PanickingEngine {
     type Input = u64;
     type Partial = u64;
     type Output = u64;
+    type Snapshot = ();
 
-    fn extract(&self, _chunk: &[u64]) -> Result<Vec<u64>, PipelineError> {
+    fn snapshot(&self) -> Arc<()> {
+        Arc::new(())
+    }
+
+    fn extract(&self, _snapshot: &(), _chunk: &[u64]) -> Result<Vec<u64>, PipelineError> {
         panic!("chaos: injected collector death");
     }
 
-    fn finish(&self, partials: Vec<u64>) -> Result<Vec<u64>, PipelineError> {
+    fn finish(&self, _snapshot: &(), partials: Vec<u64>) -> Result<Vec<u64>, PipelineError> {
         Ok(partials)
     }
 }
@@ -174,18 +184,23 @@ mod dyn_engine {
         type Input = u64;
         type Partial = u64;
         type Output = u64;
+        type Snapshot = ();
 
-        fn extract(&self, chunk: &[u64]) -> Result<Vec<u64>, PipelineError> {
+        fn snapshot(&self) -> Arc<()> {
+            Arc::new(())
+        }
+
+        fn extract(&self, _snapshot: &(), chunk: &[u64]) -> Result<Vec<u64>, PipelineError> {
             match self {
-                Either::Dead(e) => e.extract(chunk),
-                Either::Alive(e) => e.extract(chunk),
+                Either::Dead(e) => e.extract(&(), chunk),
+                Either::Alive(e) => e.extract(&(), chunk),
             }
         }
 
-        fn finish(&self, partials: Vec<u64>) -> Result<Vec<u64>, PipelineError> {
+        fn finish(&self, _snapshot: &(), partials: Vec<u64>) -> Result<Vec<u64>, PipelineError> {
             match self {
-                Either::Dead(e) => e.finish(partials),
-                Either::Alive(e) => e.finish(partials),
+                Either::Dead(e) => e.finish(&(), partials),
+                Either::Alive(e) => e.finish(&(), partials),
             }
         }
     }

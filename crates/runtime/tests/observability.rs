@@ -21,14 +21,19 @@ impl BatchEngine for SpanningEngine {
     type Input = u64;
     type Partial = u64;
     type Output = u64;
+    type Snapshot = ();
 
-    fn extract(&self, chunk: &[u64]) -> Result<Vec<u64>, PipelineError> {
+    fn snapshot(&self) -> Arc<()> {
+        Arc::new(())
+    }
+
+    fn extract(&self, _snapshot: &(), chunk: &[u64]) -> Result<Vec<u64>, PipelineError> {
         let _sp = nshd_obs::span("extract");
         std::thread::sleep(Duration::from_millis(2));
         Ok(chunk.to_vec())
     }
 
-    fn finish(&self, partials: Vec<u64>) -> Result<Vec<u64>, PipelineError> {
+    fn finish(&self, _snapshot: &(), partials: Vec<u64>) -> Result<Vec<u64>, PipelineError> {
         let _sp = nshd_obs::span("score");
         Ok(partials.into_iter().map(|id| id + 1).collect())
     }

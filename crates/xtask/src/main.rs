@@ -439,7 +439,8 @@ fn check_file(
     instant_counts: &mut Vec<(PathBuf, Vec<usize>)>,
     thread_counts: &mut Vec<(PathBuf, Vec<usize>)>,
 ) {
-    let documented_crate = in_crate(rel, "core") || in_crate(rel, "runtime");
+    let documented_crate =
+        in_crate(rel, "core") || in_crate(rel, "runtime") || in_crate(rel, "glue");
     let panic_free_crate = in_crate(rel, "runtime");
 
     // Rule 1: unwrap/expect sites (library targets only).

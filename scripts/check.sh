@@ -24,7 +24,8 @@ cargo clippy --workspace --all-targets -- -D warnings
 echo "==> xtask lint"
 # Workspace lint gate: no unwrap/expect in library code beyond the
 # shrinking allowlist, panic-free nshd-runtime, #[must_use] fallible
-# constructors, documented public API in nshd-core / nshd-runtime.
+# constructors, documented public API in nshd-core / nshd-runtime /
+# nshd-glue.
 cargo run -q -p xtask -- lint
 
 echo "==> cargo doc (warnings denied)"
@@ -56,5 +57,13 @@ echo "==> cluster_bench --smoke"
 # baseline, admission control sheds, failover retries, and p99 stays
 # inside the request deadline.
 cargo run --release -q -p nshd-bench --bin cluster_bench -- --smoke
+
+echo "==> glue_bench --smoke"
+# HD-Glue ensemble smoke: three diverse teachers fused into a consensus
+# memory, served with mid-traffic memory / head / replica hot-swaps
+# (BENCH_glue.json). Asserts the full fusion's accuracy is at least the
+# best single teacher's symbolic accuracy and every in-flight reply
+# resolves across swaps.
+cargo run --release -q -p nshd-bench --bin glue_bench -- --smoke
 
 echo "==> all checks passed"

@@ -19,6 +19,9 @@
 //! - [`core`] — the NSHD pipeline and the paper's baselines;
 //! - [`runtime`] — batched, multi-threaded inference serving
 //!   (micro-batching queue, worker pool, latency metrics);
+//! - [`glue`] — HD-Glue multi-teacher symbolic fusion: a consensus
+//!   class memory over trained ensembles, with live class growth and
+//!   in-flight hot-swap;
 //! - [`obs`] — unified tracing, metrics, and profiling (span trees,
 //!   counters/gauges/histograms, per-stage FLOP accounting, flame-style
 //!   text and JSON reports);
@@ -51,6 +54,7 @@
 pub use nshd_analyze as analyze;
 pub use nshd_core as core;
 pub use nshd_data as data;
+pub use nshd_glue as glue;
 pub use nshd_hdc as hdc;
 pub use nshd_hwmodel as hwmodel;
 pub use nshd_nn as nn;
